@@ -1,0 +1,69 @@
+// Ablation: how many paths per endpoint should the design-sigma aggregate
+// (eq. (11)) include? The paper uses the worst path per unique endpoint
+// (m paths); this bench widens the population to the K latest paths per
+// endpoint and checks that the headline comparison (baseline vs tuned) is
+// insensitive to K — near-critical sibling paths inflate the absolute
+// aggregate but not the conclusion.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "variation/path_stats.hpp"
+
+namespace {
+
+double designSigmaK(const sct::core::TuningFlow& flow,
+                    const sct::synth::SynthesisResult& result, double period,
+                    const sct::liberty::Library& lib,
+                    const sct::statlib::StatLibrary& stat, std::size_t k) {
+  sct::sta::ClockSpec clock = flow.config().clock;
+  clock.period = period;
+  sct::sta::TimingAnalyzer sta(result.design, lib, clock);
+  sta.analyze();
+  const sct::variation::PathStatistics stats(stat);
+  double varSum = 0.0;
+  for (const sct::sta::Endpoint& ep : sta.endpoints()) {
+    for (const sct::sta::TimingPath& path : sta.kWorstPathsTo(ep, k)) {
+      const double sigma = stats.pathStats(path).sigma;
+      varSum += sigma * sigma;
+    }
+  }
+  return std::sqrt(varSum);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Ablation — K paths per endpoint in eq. (11)",
+                     "section V aggregation choice");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const double period = clocks.highPerf;
+  const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  const core::DesignMeasurement tuned = flow.synthesizeTuned(
+      period,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  const liberty::Library& lib = flow.nominalLibrary();
+  const statlib::StatLibrary& stat = flow.statLibrary();
+
+  std::printf("clock %.3f ns; sigma ceiling 0.02\n\n", period);
+  std::printf("%6s %16s %16s %14s\n", "K", "baseline sigma", "tuned sigma",
+              "reduction");
+  bench::printRule();
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const double base =
+        designSigmaK(flow, baseline.synthesis, period, lib, stat, k);
+    const double tun =
+        designSigmaK(flow, tuned.synthesis, period, lib, stat, k);
+    std::printf("%6zu %16.4f %16.4f %13.1f%%\n", k, base, tun,
+                100.0 * (base - tun) / base);
+  }
+  bench::printRule();
+  std::printf("expected: the aggregate grows with K (more RSS terms) but "
+              "the relative reduction is\nstable — the paper's one-path-per-"
+              "endpoint choice does not bias the conclusion.\n");
+  return 0;
+}

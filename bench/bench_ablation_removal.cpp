@@ -1,0 +1,90 @@
+// Ablation (section VI design decision): the paper restricts each cell's
+// LUT *window* instead of removing whole cells (the prior library-tuning
+// approaches [4][5][6]). This bench implements whole-cell removal — drop a
+// cell entirely when any sigma entry exceeds the ceiling — and compares it
+// against the window restriction at the same ceilings.
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Whole-cell pruning: a cell survives only if its *entire* sigma LUT is
+/// below the ceiling (no per-window second chance).
+sct::tuning::LibraryConstraints pruneWholeCells(
+    const sct::statlib::StatLibrary& stat, double ceiling) {
+  using namespace sct;
+  tuning::LibraryConstraints constraints;
+  for (const statlib::StatCell* cell : stat.cells()) {
+    if (cell->arcs().empty()) continue;
+    const statlib::StatLut lut = cell->maxSigmaLut();
+    if (lut.sigma().maxValue() > ceiling) {
+      constraints.markUnusable(cell->name());
+    }
+    // Surviving cells stay fully unconstrained (no window).
+  }
+  return constraints;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader(
+      "Ablation — LUT-window restriction vs whole-cell removal",
+      "section VI (contrast with removal-based tuning [4][5][6])");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const double period = clocks.highPerf;
+  const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  std::printf("clock %.3f ns; baseline sigma %.4f ns, area %.0f um^2\n\n",
+              period, baseline.sigma(), baseline.area());
+
+  std::printf("%-22s %8s %10s %12s %12s %6s\n", "tuner", "ceiling", "removed",
+              "dSigma [%]", "dArea [%]", "met");
+  bench::printRule();
+  for (double ceiling : {0.04, 0.03, 0.02, 0.01}) {
+    // Window restriction (the paper's method).
+    const auto window = flow.synthesizeTuned(
+        period,
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        ceiling));
+    const auto windowConstraints = flow.tune(
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        ceiling));
+    std::printf("%-22s %8.3f %10zu %+12.1f %+12.1f %6s\n", "window (paper)",
+                ceiling, windowConstraints.unusableCellCount(),
+                100.0 * (baseline.sigma() - window.sigma()) / baseline.sigma(),
+                100.0 * (window.area() - baseline.area()) / baseline.area(),
+                window.success() ? "yes" : "NO");
+
+    // Whole-cell removal.
+    const tuning::LibraryConstraints pruned =
+        pruneWholeCells(flow.statLibrary(), ceiling);
+    synth::Synthesizer synth(flow.nominalLibrary(), &pruned);
+    sta::ClockSpec clock = flow.config().clock;
+    clock.period = period;
+    synth::SynthesisResult run = synth.run(flow.subject(), clock);
+    if (run.design.gateCount() == 0 || run.area == 0.0) {
+      std::printf("%-22s %8.3f %10zu %12s %12s %6s\n", "whole-cell removal",
+                  ceiling, pruned.unusableCellCount(), "-", "-",
+                  "UNMAPPABLE");
+      continue;
+    }
+    const core::DesignMeasurement removal =
+        flow.measure(std::move(run), period);
+    std::printf("%-22s %8.3f %10zu %+12.1f %+12.1f %6s\n", "whole-cell removal",
+                ceiling, pruned.unusableCellCount(),
+                100.0 * (baseline.sigma() - removal.sigma()) /
+                    baseline.sigma(),
+                100.0 * (removal.area() - baseline.area()) / baseline.area(),
+                removal.success() ? "yes" : "NO");
+  }
+  bench::printRule();
+  std::printf("expected: removal throws away whole cells whose low-load "
+              "region was fine, so it\neither keeps high-sigma survivors "
+              "(weak reduction) or guts the library (area/\ntiming blow-up). "
+              "The window restriction dominates at every ceiling — the "
+              "paper's\nfiner-grained-tuning claim.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation (section V.B design decision): the paper assumes the pairwise
+// cell-delay correlation rho = 0 (eq. (10)); eq. (9) supports any uniform
+// rho. This bench sweeps rho and reports how design sigma and the headline
+// sigma reduction shift — the *ranking* of tuned vs baseline should be
+// robust to the assumption.
+
+#include "bench_common.hpp"
+#include "variation/path_stats.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Ablation — path convolution correlation rho",
+                     "eqs. (9)-(10), section V.B");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const double period = clocks.highPerf;
+  const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  const core::DesignMeasurement tuned = flow.synthesizeTuned(
+      period,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  const auto basePaths = flow.tracePaths(baseline.synthesis, period);
+  const auto tunedPaths = flow.tracePaths(tuned.synthesis, period);
+
+  std::printf("clock %.3f ns; sigma ceiling 0.02\n\n", period);
+  std::printf("%8s %16s %16s %14s\n", "rho", "baseline sig", "tuned sig",
+              "reduction");
+  bench::printRule();
+  for (double rho : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    const variation::PathStatistics stats(flow.statLibrary(), rho);
+    const double baseSigma = stats.designStats(basePaths).sigma;
+    const double tunedSigma = stats.designStats(tunedPaths).sigma;
+    std::printf("%8.2f %16.4f %16.4f %13.1f%%\n", rho, baseSigma, tunedSigma,
+                100.0 * (baseSigma - tunedSigma) / baseSigma);
+  }
+  bench::printRule();
+  std::printf("expected: absolute sigma grows with rho, but the tuned design "
+              "stays better by a\nsimilar relative margin — the rho = 0 "
+              "assumption does not drive the conclusion.\n");
+  return 0;
+}

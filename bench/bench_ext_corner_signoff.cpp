@@ -1,0 +1,81 @@
+// Extension experiment: design-level corner signoff. The paper validates
+// corner transfer on three extracted paths (Fig. 15); here the *entire*
+// TT-synthesized design (baseline and tuned) is re-verified at the FF and
+// SS corner libraries: arrival times and design sigma must scale by the
+// corner factor, and the tuned design's sigma advantage must persist at
+// every corner.
+
+#include "bench_common.hpp"
+#include "variation/path_stats.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Extension — full-design corner signoff",
+                     "Fig. 15 / section VII.C lifted to the whole design");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const double period = clocks.highPerf;
+  core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  core::DesignMeasurement tuned = flow.synthesizeTuned(
+      period,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+
+  std::printf("TT synthesis at %.3f ns; signoff across corner libraries\n\n",
+              period);
+  std::printf("%8s %8s | %12s %12s | %12s %12s | %10s\n", "corner", "factor",
+              "base arr", "base sigma", "tuned arr", "tuned sigma",
+              "reduction");
+  bench::printRule();
+
+  double ttBaseArrival = 0.0;
+  double ttBaseSigma = 0.0;
+  for (const charlib::ProcessCorner& corner : charlib::ProcessCorner::all()) {
+    const liberty::Library cornerLib =
+        flow.characterizer().characterizeNominal(corner);
+    const auto mcLibs = flow.characterizer().characterizeMonteCarlo(
+        corner, flow.config().mcLibraryCount, flow.config().mcSeed);
+    const statlib::StatLibrary cornerStat =
+        statlib::buildStatLibrary(mcLibs);
+
+    auto signoff = [&](core::DesignMeasurement& m) {
+      netlist::Design design = m.synthesis.design;  // copy, then rebind
+      if (!synth::rebindDesign(design, cornerLib)) {
+        return std::pair{0.0, 0.0};
+      }
+      sta::ClockSpec clock = flow.config().clock;
+      clock.period = period;
+      sta::TimingAnalyzer sta(design, cornerLib, clock);
+      sta.analyze();
+      double worstArrival = 0.0;
+      for (const sta::Endpoint& ep : sta.endpoints()) {
+        worstArrival = std::max(worstArrival, ep.arrival);
+      }
+      const variation::PathStatistics stats(cornerStat);
+      const double sigma = stats.designStats(sta.endpointWorstPaths()).sigma;
+      return std::pair{worstArrival, sigma};
+    };
+
+    const auto [baseArr, baseSigma] = signoff(baseline);
+    const auto [tunedArr, tunedSigma] = signoff(tuned);
+    if (corner.process == "TT") {
+      ttBaseArrival = baseArr;
+      ttBaseSigma = baseSigma;
+    }
+    std::printf("%8s %8.2f | %12.4f %12.4f | %12.4f %12.4f | %9.1f%%\n",
+                corner.process.c_str(), corner.delayFactor, baseArr,
+                baseSigma, tunedArr, tunedSigma,
+                100.0 * (baseSigma - tunedSigma) / baseSigma);
+  }
+  bench::printRule();
+  (void)ttBaseArrival;
+  (void)ttBaseSigma;
+  std::printf("expected: per corner, arrival and sigma scale by the *same* "
+              "factor (slightly above\nthe raw corner factor, since slews "
+              "recomputed at the corner compound the slew-\ndependent delay "
+              "terms), and the tuned design keeps a similar relative sigma\n"
+              "advantage at every corner — tuning once at TT is enough "
+              "(section VII.C).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension experiment: tuning at different PVT corners. Section VII.C
+// argues that because local sigma scales with the mean across corners, the
+// tuning "can also be applied in combination with these PVT corners". This
+// bench makes the mechanism explicit by tuning statistical libraries built
+// at FF/TT/SS: because sigma (and therefore its slopes) scales with the
+// corner's delay factor, any *fixed* bound tightens at SS and relaxes at
+// FF; scaling the bound by the corner factor restores the TT windows
+// exactly — which is why the paper can tune once and transfer the result.
+
+#include "bench_common.hpp"
+#include "statlib/stat_library.hpp"
+
+namespace {
+
+/// Fraction of the full LUT area the windows keep, averaged over cells.
+double meanWindowFraction(const sct::statlib::StatLibrary& stat,
+                          const sct::tuning::LibraryConstraints& constraints) {
+  double sum = 0.0;
+  std::size_t cells = 0;
+  for (const sct::statlib::StatCell* cell : stat.cells()) {
+    if (cell->arcs().empty()) continue;
+    const auto window = constraints.window(cell->name(), "Z");
+    const sct::statlib::StatLut lut = cell->maxSigmaLutForPin("Z");
+    if (lut.empty()) continue;
+    ++cells;
+    if (!window || window->maxLoad < window->minLoad) continue;
+    std::size_t inside = 0;
+    for (std::size_t r = 0; r < lut.rows(); ++r) {
+      for (std::size_t c = 0; c < lut.cols(); ++c) {
+        if (window->allows(lut.slewAxis()[r], lut.loadAxis()[c])) ++inside;
+      }
+    }
+    sum += static_cast<double>(inside) /
+           static_cast<double>(lut.rows() * lut.cols());
+  }
+  return cells > 0 ? sum / static_cast<double>(cells) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Extension — tuning across PVT corners",
+                     "section VII.C: applying the method per corner");
+
+  const charlib::Characterizer characterizer;
+  std::printf("%8s %14s | %-22s %-22s %-22s\n", "corner", "corner factor",
+              "strength-load 0.03", "sigma ceiling 0.02", "scaled ceiling");
+  bench::printRule();
+  for (const charlib::ProcessCorner& corner : charlib::ProcessCorner::all()) {
+    const auto instances =
+        characterizer.characterizeMonteCarlo(corner, 30, 2014);
+    const statlib::StatLibrary stat = statlib::buildStatLibrary(instances);
+
+    const auto slope = tuning::tuneLibrary(
+        stat, tuning::TuningConfig::forMethod(
+                  tuning::TuningMethod::kCellStrengthLoadSlope, 0.03));
+    const auto fixedCeiling = tuning::tuneLibrary(
+        stat, tuning::TuningConfig::forMethod(
+                  tuning::TuningMethod::kSigmaCeiling, 0.02));
+    // Ceiling scaled by the corner's delay factor: recovers TT-like windows.
+    const auto scaledCeiling = tuning::tuneLibrary(
+        stat, tuning::TuningConfig::forMethod(
+                  tuning::TuningMethod::kSigmaCeiling,
+                  0.02 * corner.delayFactor));
+    std::printf("%8s %14.2f | kept %5.1f%% of LUTs    kept %5.1f%% of LUTs"
+                "    kept %5.1f%% of LUTs\n",
+                corner.process.c_str(), corner.delayFactor,
+                100.0 * meanWindowFraction(stat, slope),
+                100.0 * meanWindowFraction(stat, fixedCeiling),
+                100.0 * meanWindowFraction(stat, scaledCeiling));
+  }
+  bench::printRule();
+  std::printf("expected: fixed bounds (slope or ceiling) tighten at SS and "
+              "relax at FF because\nsigma scales with the corner factor; "
+              "scaling the ceiling by that factor restores the\nTT windows "
+              "exactly — the paper's 'scales by an identical factor' "
+              "conclusion expressed\nin window terms.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension experiment: does the library tuning generalize beyond the
+// paper's microcontroller? Runs the sigma-ceiling sweep on a structurally
+// different subject — a DSP/FIR datapath (wide arithmetic, deep regular
+// pipelines, little control) — and compares the sigma/area trade-off
+// against the MCU's.
+
+#include "bench_common.hpp"
+#include "netlist/dsp.hpp"
+
+namespace {
+
+void sweepDesign(sct::core::TuningFlow& flow, const char* label,
+                 const sct::netlist::Design& subject) {
+  using namespace sct;
+  synth::Synthesizer baselineSynth(flow.nominalLibrary());
+  sta::ClockSpec clock = flow.config().clock;
+  const auto minPeriod =
+      baselineSynth.findMinPeriod(subject, clock, 0.5, 20.0, 0.05);
+  if (!minPeriod) {
+    std::printf("%s: no feasible period\n", label);
+    return;
+  }
+  clock.period = *minPeriod;
+  const core::DesignMeasurement baseline =
+      flow.measure(baselineSynth.run(subject, clock), clock.period);
+  std::printf("\n%s: %zu gates, min period %.3f ns, baseline sigma %.4f ns, "
+              "area %.0f um^2\n",
+              label, baseline.synthesis.design.gateCount(), *minPeriod,
+              baseline.sigma(), baseline.area());
+  std::printf("%10s %12s %12s %6s\n", "ceiling", "dSigma [%]", "dArea [%]",
+              "met");
+  sct::bench::printRule();
+  for (double ceiling : {0.04, 0.03, 0.02, 0.01}) {
+    const auto constraints = flow.tune(
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        ceiling));
+    synth::Synthesizer tunedSynth(flow.nominalLibrary(), &constraints);
+    const core::DesignMeasurement tuned =
+        flow.measure(tunedSynth.run(subject, clock), clock.period);
+    std::printf("%10.3f %+12.1f %+12.1f %6s\n", ceiling,
+                100.0 * (baseline.sigma() - tuned.sigma()) / baseline.sigma(),
+                100.0 * (tuned.area() - baseline.area()) / baseline.area(),
+                tuned.success() ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Extension — generalization to a second design (DSP)",
+                     "beyond section VII's single microcontroller");
+
+  core::TuningFlow flow(bench::standardConfig());
+  sweepDesign(flow, "MCU (paper's vehicle)", flow.subject());
+  sweepDesign(flow, "DSP/FIR core", netlist::generateDsp());
+
+  bench::printRule();
+  std::printf("expected: both designs show the same trade-off direction "
+              "(monotone sigma reduction,\nrising area at aggressive "
+              "ceilings). The DSP's headroom is smaller: its regular\n"
+              "adder/multiplier fabric already operates most cells near "
+              "their low-sigma region, so\nthe ceilings bite later — the "
+              "method generalizes, with design-dependent magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 11: sigma-reduction vs area-increase trade-off of the sigma-ceiling
+// method at the high-performance clock, across a fine ceiling sweep. The
+// paper's point: within a single method the bound parameter trades sigma
+// against area.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader(
+      "Fig. 11 — sigma vs area trade-off of the sigma-ceiling method",
+      "Fig. 11 (high-performance clock)");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const double period = clocks.highPerf;
+  const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  std::printf("clock %.3f ns; baseline sigma %.4f ns, area %.0f um^2\n\n",
+              period, baseline.sigma(), baseline.area());
+
+  std::printf("%10s %14s %14s %12s %12s %6s\n", "ceiling", "sigma [ns]",
+              "area [um^2]", "dSigma [%]", "dArea [%]", "met");
+  bench::printRule();
+  // Finer sweep than Table 2 to expose the whole trade-off curve.
+  for (double ceiling : {0.08, 0.06, 0.05, 0.04, 0.03, 0.025, 0.02, 0.015,
+                         0.012, 0.01, 0.008, 0.006}) {
+    const core::DesignMeasurement tuned = flow.synthesizeTuned(
+        period,
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        ceiling));
+    const double dSigma =
+        100.0 * (baseline.sigma() - tuned.sigma()) / baseline.sigma();
+    const double dArea =
+        100.0 * (tuned.area() - baseline.area()) / baseline.area();
+    std::printf("%10.3f %14.4f %14.0f %+12.1f %+12.1f %6s\n", ceiling,
+                tuned.sigma(), tuned.area(), dSigma, dArea,
+                tuned.success() ? "yes" : "NO");
+  }
+  bench::printRule();
+  std::printf("expected shape: monotone sigma reduction as the ceiling "
+              "tightens, paid with rising area\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 12: path depths of the worst-case paths to each unique endpoint at
+// the high-performance clock, baseline vs the sigma-ceiling restriction.
+// Expected effect: the restricted design uses *more* cells per path
+// (buffering and recreated logic functions), shifting the depth histogram
+// to the right (section VII.A).
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+std::vector<std::size_t> depthHistogram(
+    const std::vector<sct::core::PathRecord>& paths, std::size_t buckets) {
+  std::vector<std::size_t> histogram(buckets, 0);
+  for (const auto& record : paths) {
+    ++histogram[std::min(record.depth, buckets - 1)];
+  }
+  return histogram;
+}
+
+double meanDepth(const std::vector<sct::core::PathRecord>& paths) {
+  double sum = 0.0;
+  for (const auto& record : paths) sum += static_cast<double>(record.depth);
+  return paths.empty() ? 0.0 : sum / static_cast<double>(paths.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Fig. 12 — worst-case path depth per unique endpoint",
+                     "Fig. 12 (high-performance clock)");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const bench::TunedPair pair = bench::sigmaCeilingPair(flow, clocks.highPerf);
+  std::printf("clock %.3f ns; sigma ceiling %.3g\n\n", clocks.highPerf,
+              pair.ceiling);
+
+  constexpr std::size_t kBuckets = 65;
+  const auto base = depthHistogram(pair.baseline.paths, kBuckets);
+  const auto tuned = depthHistogram(pair.tuned.paths, kBuckets);
+
+  std::printf("%8s %10s %10s\n", "depth", "baseline", "tuned");
+  bench::printRule();
+  for (std::size_t d = 0; d < kBuckets; ++d) {
+    if (base[d] == 0 && tuned[d] == 0) continue;
+    std::printf("%8zu %10zu %10zu\n", d, base[d], tuned[d]);
+  }
+  bench::printRule();
+  std::printf("endpoints: baseline %zu, tuned %zu\n",
+              pair.baseline.paths.size(), pair.tuned.paths.size());
+  std::printf("mean depth: baseline %.2f, tuned %.2f (expected: tuned >= "
+              "baseline)\n",
+              meanDepth(pair.baseline.paths), meanDepth(pair.tuned.paths));
+  std::printf("gates: baseline %zu, tuned %zu; buffers inserted: %zu vs %zu\n",
+              pair.baseline.synthesis.design.gateCount(),
+              pair.tuned.synthesis.design.gateCount(),
+              pair.baseline.synthesis.buffersInserted,
+              pair.tuned.synthesis.buffersInserted);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 15: Monte-Carlo simulation (N=200) of a short (~3 cells), medium
+// (~18 cells) and long (~57 cells) path extracted from the baseline design,
+// at the fast, typical and slow corners. The paper's validation: moving to
+// another corner scales mean AND sigma by the same factor, so tuning
+// results transfer across PVT corners.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "variation/monte_carlo.hpp"
+
+namespace {
+
+const sct::sta::TimingPath* pickByDepth(
+    const std::vector<sct::sta::TimingPath>& paths, std::size_t target) {
+  const sct::sta::TimingPath* best = nullptr;
+  for (const auto& path : paths) {
+    if (path.depth() == 0) continue;
+    if (best == nullptr ||
+        std::llabs(static_cast<long long>(path.depth()) -
+                   static_cast<long long>(target)) <
+            std::llabs(static_cast<long long>(best->depth()) -
+                       static_cast<long long>(target))) {
+      best = &path;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Fig. 15 — corner Monte Carlo on extracted paths",
+                     "Fig. 15 (short=3, medium=18, long=57 cells; N=200)");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+  const core::DesignMeasurement baseline =
+      flow.synthesizeBaseline(clocks.highPerf);
+  const auto paths = flow.tracePaths(baseline.synthesis, clocks.highPerf);
+
+  const variation::PathMonteCarlo mc(flow.characterizer());
+  for (const auto& [label, target] :
+       {std::pair{"short", std::size_t{3}}, std::pair{"medium", std::size_t{18}},
+        std::pair{"long", std::size_t{57}}}) {
+    const sta::TimingPath* path = pickByDepth(paths, target);
+    if (path == nullptr) continue;
+    std::printf("\n%s path: %zu cells (endpoint %s)\n", label, path->depth(),
+                path->endpoint.name.c_str());
+    std::printf("%8s %12s %12s %14s %14s\n", "corner", "mean [ns]",
+                "sigma [ns]", "mean/typ", "sigma/typ");
+    bench::printRule();
+    variation::PathMcConfig config;
+    config.trials = 200;
+    config.seed = 77;
+    config.corner = charlib::ProcessCorner::typical();
+    const auto typical = mc.simulate(*path, config);
+    for (const charlib::ProcessCorner& corner :
+         charlib::ProcessCorner::all()) {
+      config.corner = corner;
+      const auto result = mc.simulate(*path, config);
+      std::printf("%8s %12.4f %12.5f %14.3f %14.3f\n",
+                  corner.process.c_str(), result.summary.mean,
+                  result.summary.sigma,
+                  result.summary.mean / typical.summary.mean,
+                  result.summary.sigma / typical.summary.sigma);
+    }
+    std::printf("expected: the two ratio columns match per corner "
+                "(mean and sigma scale together)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 4: sigma-delay surfaces of one inverter across drive strengths —
+// higher drive strength means lower overall sigma and a flatter gradient;
+// the slew range is shared while the load range grows with strength.
+// Fig. 5: sigma surfaces of the drive-strength-6 cluster — cells of equal
+// strength are similar but not identical (e.g. NR4_6 vs IV_6).
+
+#include "bench_common.hpp"
+#include "statlib/stat_library.hpp"
+
+namespace {
+
+void printSurface(const sct::statlib::StatCell& cell) {
+  const sct::statlib::StatLut lut = cell.maxSigmaLut();
+  std::printf("\ncell %s (strength %g): sigma LUT [ns], rows = slew, cols = "
+              "load up to %.4f pF\n",
+              cell.name().c_str(), cell.driveStrength(),
+              lut.loadAxis().back());
+  std::printf("%8s |", "slew\\load");
+  for (double l : lut.loadAxis()) std::printf(" %8.4f", l);
+  std::printf("\n");
+  for (std::size_t r = 0; r < lut.rows(); ++r) {
+    std::printf("%8.3f |", lut.slewAxis()[r]);
+    for (std::size_t c = 0; c < lut.cols(); ++c) {
+      std::printf(" %8.5f", lut.sigma().at(r, c));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Fig. 4 — inverter sigma surfaces across drive strengths",
+                     "Fig. 4");
+  core::TuningFlow flow(bench::standardConfig());
+  const statlib::StatLibrary& stat = flow.statLibrary();
+
+  for (const char* name : {"IV_1", "IV_4", "IV_12", "IV_32"}) {
+    const statlib::StatCell* cell = stat.findCell(name);
+    if (cell != nullptr) printSurface(*cell);
+  }
+
+  std::printf("\nsummary (max sigma per cell — must fall with strength):\n");
+  for (const char* name : {"IV_0P5", "IV_1", "IV_2", "IV_4", "IV_8", "IV_16",
+                           "IV_32"}) {
+    const statlib::StatCell* cell = stat.findCell(name);
+    if (cell == nullptr) continue;
+    std::printf("  %-8s max sigma = %.5f ns, max load = %.4f pF\n", name,
+                cell->maxSigmaLut().sigma().maxValue(),
+                cell->maxSigmaLut().loadAxis().back());
+  }
+
+  bench::printHeader("Fig. 5 — sigma surfaces of the drive-strength-6 cluster",
+                     "Fig. 5");
+  const auto clusters = stat.strengthClusters();
+  const auto it = clusters.find(6.0);
+  if (it == clusters.end()) {
+    std::printf("no strength-6 cluster?\n");
+    return 1;
+  }
+  std::printf("%zu cells with drive strength 6; max sigma per cell:\n",
+              it->second.size());
+  for (const statlib::StatCell* cell : it->second) {
+    const statlib::StatLut lut = cell->maxSigmaLut();
+    if (lut.empty()) continue;
+    std::printf("  %-10s max sigma = %.5f ns  load range = %.4f pF  origin "
+                "sigma = %.5f ns\n",
+                cell->name().c_str(), lut.sigma().maxValue(),
+                lut.loadAxis().back(), lut.sigma().at(0, 0));
+  }
+  printSurface(*stat.findCell("NR4_6"));
+  printSurface(*stat.findCell("IV_6"));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 6 + Algorithm 1: largest-rectangle extraction on a binary LUT. Shows
+// the binary table, the extracted rectangle and the sigma threshold taken
+// from the rectangle corner furthest from the origin, on a real cell of the
+// statistical library.
+
+#include "bench_common.hpp"
+#include "tuning/rectangle.hpp"
+#include "tuning/slope.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Fig. 6 — largest rectangle in a binary LUT",
+                     "Fig. 6, Algorithm 1, section VI.B");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const statlib::StatLibrary& stat = flow.statLibrary();
+  const statlib::StatCell* cell = stat.findCell("IV_1");
+  const statlib::StatLut lut = cell->maxSigmaLut();
+
+  for (double threshold : {0.04, 0.02, 0.01, 0.005}) {
+    const tuning::BinaryLut binary =
+        tuning::BinaryLut::thresholdBelow(lut.sigma(), threshold);
+    const auto rect = tuning::largestRectangle(binary);
+    const auto ref = tuning::largestRectangleReference(binary);
+
+    std::printf("\nIV_1, sigma threshold %.3f ns -> binary LUT "
+                "(1 = acceptable, * = inside rectangle):\n",
+                threshold);
+    for (std::size_t r = 0; r < binary.rows(); ++r) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < binary.cols(); ++c) {
+        const bool inRect = rect && rect->contains(r, c);
+        std::printf("%c", inRect ? '*' : (binary.test(r, c) ? '1' : '0'));
+      }
+      std::printf("\n");
+    }
+    if (rect) {
+      std::printf("  rectangle rows [%zu..%zu] x cols [%zu..%zu], area %zu "
+                  "(reference agrees: %s)\n",
+                  rect->rowLo, rect->rowHi, rect->colLo, rect->colHi,
+                  rect->area(), (ref && *ref == *rect) ? "yes" : "NO");
+      std::printf("  extracted sigma at far corner = %.5f ns\n",
+                  lut.sigma().at(rect->rowHi, rect->colHi));
+      std::printf("  window: slew <= %.3f ns, load <= %.4f pF\n",
+                  lut.slewAxis()[rect->rowHi], lut.loadAxis()[rect->colHi]);
+    } else {
+      std::printf("  no acceptable entry -> cell unusable at this threshold\n");
+    }
+  }
+  return 0;
+}

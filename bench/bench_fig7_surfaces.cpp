@@ -1,0 +1,91 @@
+// Fig. 7: the combined sigma-delay surface of all cells in the TT1P1V25C
+// statistical library. The paper plots every cell's LUT in one surface; we
+// report the per-index envelope (min / mean / max sigma across all 304
+// cells) plus summary statistics, which carries the same information: where
+// the library as a whole is flat and where it blows up.
+// Also validates the Fig. 2 construction (statistical library from 50
+// Monte-Carlo library instances).
+
+#include "bench_common.hpp"
+#include "numeric/statistics.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader(
+      "Fig. 7 — all cell-delay sigma LUTs of the statistical library",
+      "Fig. 7 (and the Fig. 2 statistical-library construction)");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const statlib::StatLibrary& stat = flow.statLibrary();
+  std::printf("statistical library: %zu cells, built from %zu MC library "
+              "instances\n\n",
+              stat.size(), stat.sampleCount());
+
+  // Envelope across all cells, per table index (all tables are 8x8 with
+  // strength-normalized load axes).
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  for (const statlib::StatCell* cell : stat.cells()) {
+    const statlib::StatLut lut = cell->maxSigmaLut();
+    if (!lut.empty()) {
+      rows = lut.rows();
+      cols = lut.cols();
+      break;
+    }
+  }
+  std::vector<numeric::RunningStats> envelope(rows * cols);
+  std::size_t timedCells = 0;
+  for (const statlib::StatCell* cell : stat.cells()) {
+    const statlib::StatLut lut = cell->maxSigmaLut();
+    if (lut.empty()) continue;
+    ++timedCells;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        envelope[r * cols + c].add(lut.sigma().at(r, c));
+      }
+    }
+  }
+  std::printf("%zu timed cells; sigma envelope per LUT index [ns]\n",
+              timedCells);
+  std::printf("(rows = slew index, cols = relative-load index)\n\n");
+  std::printf("max over cells:\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::printf(" %8.5f", envelope[r * cols + c].max());
+    }
+    std::printf("\n");
+  }
+  std::printf("mean over cells:\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::printf(" %8.5f", envelope[r * cols + c].mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("min over cells:\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::printf(" %8.5f", envelope[r * cols + c].min());
+    }
+    std::printf("\n");
+  }
+
+  // Library-wide summary (the "surface height" of Fig. 7).
+  numeric::RunningStats all;
+  for (const statlib::StatCell* cell : stat.cells()) {
+    const statlib::StatLut lut = cell->maxSigmaLut();
+    if (lut.empty()) continue;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) all.add(lut.sigma().at(r, c));
+    }
+  }
+  bench::printRule();
+  std::printf("library sigma range: %.5f .. %.5f ns (mean %.5f)\n", all.min(),
+              all.max(), all.mean());
+  std::printf("Table 2 context: ceilings 0.04/0.03/0.02/0.01 ns progressively "
+              "cut into this range\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 9: cell-usage histograms of the baseline synthesis and the marked
+// tuning method (sigma ceiling) at (a) the high-performance clock and
+// (b) the relaxed 10ns-equivalent clock. Only cells used more than 100
+// times are listed, as in the paper. The paper's observations to look for:
+//  - basic cells (NAND/NOR/INV/flip-flops) dominate;
+//  - tighter timing uses a larger variety of simple cells, relaxed timing
+//    uses more dedicated cells (adders);
+//  - the tuned design uses more inverters (buffering) and shifts to higher
+//    drive strengths of the same function (e.g. NR2B_1 -> NR2B_2/3).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using Usage = std::map<std::string, std::size_t>;
+
+void printHistogram(const Usage& baseline, const Usage& tuned,
+                    std::size_t minCount) {
+  // Union of cells above the threshold in either design.
+  std::vector<std::string> names;
+  for (const auto& [name, count] : baseline) {
+    if (count > minCount) names.push_back(name);
+  }
+  for (const auto& [name, count] : tuned) {
+    if (count > minCount && !baseline.contains(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  std::printf("%-12s %10s %10s\n", "cell", "baseline", "tuned");
+  sct::bench::printRule();
+  for (const std::string& name : names) {
+    const auto b = baseline.find(name);
+    const auto t = tuned.find(name);
+    std::printf("%-12s %10zu %10zu\n", name.c_str(),
+                b != baseline.end() ? b->second : 0,
+                t != tuned.end() ? t->second : 0);
+  }
+}
+
+std::size_t inverterCount(const Usage& usage) {
+  std::size_t n = 0;
+  for (const auto& [name, count] : usage) {
+    if (name.rfind("IV_", 0) == 0) n += count;
+  }
+  return n;
+}
+
+double usageMeanStrength(const Usage& usage) {
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const auto& [name, count] : usage) {
+    const std::size_t underscore = name.rfind('_');
+    const double s =
+        sct::liberty::parseStrengthSuffix(name.substr(underscore + 1));
+    if (s > 0.0) {
+      weighted += s * static_cast<double>(count);
+      total += count;
+    }
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Fig. 9 — cell use, baseline vs tuned (cells > 100 uses)",
+                     "Fig. 9 (a) high performance, (b) relaxed");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+
+  for (const auto& [label, period] :
+       {std::pair{"(a) high performance", clocks.highPerf},
+        std::pair{"(b) relaxed / low performance", clocks.low}}) {
+    std::printf("\n=== %s: %.3f ns ===\n", label, period);
+    const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+
+    // Pick the sigma-ceiling parameter as in Table 3: the best sigma
+    // reduction with <10% area increase.
+    const auto sweep = flow.sweepMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        period, baseline);
+    const auto* best = core::TuningFlow::bestUnderAreaCap(sweep, 10.0);
+    if (best == nullptr) {
+      std::printf("no feasible sigma-ceiling point under the area cap\n");
+      continue;
+    }
+    std::printf("tuned with sigma ceiling %.3g (sigma -%.1f%%, area %+.1f%%)\n\n",
+                best->parameter, best->sigmaReductionPct,
+                best->areaIncreasePct);
+    const Usage baseUsage = baseline.synthesis.cellUsage();
+    const Usage tunedUsage = best->measurement.synthesis.cellUsage();
+    printHistogram(baseUsage, tunedUsage, 100);
+
+    bench::printRule();
+    std::printf("inverter cells:   baseline %6zu   tuned %6zu\n",
+                inverterCount(baseUsage), inverterCount(tunedUsage));
+    std::printf("mean drive strength: baseline %.2f   tuned %.2f\n",
+                usageMeanStrength(baseUsage), usageMeanStrength(tunedUsage));
+    std::printf("distinct cells used: baseline %zu   tuned %zu\n",
+                baseUsage.size(), tunedUsage.size());
+  }
+  return 0;
+}

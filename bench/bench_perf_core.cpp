@@ -1,0 +1,245 @@
+// Performance microbenchmarks (google-benchmark) of the computational
+// kernels: bilinear interpolation, largest-rectangle extraction (reference
+// vs production), statistical-library construction, full-design STA and
+// Monte-Carlo path simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/mcu.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/rng.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/synthesis.hpp"
+#include "tuning/rectangle.hpp"
+#include "tuning/restriction.hpp"
+#include "netlist/simulate.hpp"
+#include "synth/pattern_map.hpp"
+#include "variation/monte_carlo.hpp"
+#include "variation/ssta.hpp"
+
+namespace {
+
+using namespace sct;
+
+charlib::CharacterizationConfig smallCharConfig() {
+  charlib::CharacterizationConfig config;
+  config.slewAxis = {0.002, 0.05, 0.2, 0.6};
+  config.loadFractions = {0.01, 0.1, 0.4, 1.0};
+  return config;
+}
+
+void BM_BilinearLookup(benchmark::State& state) {
+  const numeric::Axis slew = {0.002, 0.008, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6};
+  const numeric::Axis load = {0.001, 0.002, 0.004, 0.008,
+                              0.016, 0.032, 0.048, 0.06};
+  numeric::Grid2d grid(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      grid.at(r, c) = 0.01 + 0.1 * slew[r] + 4.0 * load[c];
+    }
+  }
+  numeric::Rng rng(1);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += numeric::bilinear(slew, load, grid, rng.uniform(0.0, 0.6),
+                              rng.uniform(0.0, 0.06));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_BilinearLookup);
+
+tuning::BinaryLut randomLut(std::size_t n, std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  tuning::BinaryLut lut(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) lut.set(r, c, rng.uniform() < 0.7);
+  }
+  return lut;
+}
+
+void BM_LargestRectangle(benchmark::State& state) {
+  const auto lut = randomLut(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuning::largestRectangle(lut));
+  }
+}
+BENCHMARK(BM_LargestRectangle)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LargestRectangleReference(benchmark::State& state) {
+  const auto lut = randomLut(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuning::largestRectangleReference(lut));
+  }
+}
+BENCHMARK(BM_LargestRectangleReference)->Arg(8)->Arg(16);
+
+void BM_CharacterizeLibrary(benchmark::State& state) {
+  const charlib::Characterizer chr(smallCharConfig());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chr.characterizeNominal(charlib::ProcessCorner::typical()));
+  }
+}
+BENCHMARK(BM_CharacterizeLibrary);
+
+void BM_BuildStatLibrary(benchmark::State& state) {
+  const charlib::Characterizer chr(smallCharConfig());
+  const auto libs = chr.characterizeMonteCarlo(
+      charlib::ProcessCorner::typical(),
+      static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statlib::buildStatLibrary(libs));
+  }
+}
+BENCHMARK(BM_BuildStatLibrary)->Arg(10)->Arg(25);
+
+void BM_TuneLibrary(benchmark::State& state) {
+  const charlib::Characterizer chr(smallCharConfig());
+  const auto libs =
+      chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 20, 5);
+  const statlib::StatLibrary stat = statlib::buildStatLibrary(libs);
+  const auto config =
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuning::tuneLibrary(stat, config));
+  }
+}
+BENCHMARK(BM_TuneLibrary);
+
+void BM_FullDesignSta(benchmark::State& state) {
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  static const synth::SynthesisResult result = [&] {
+    synth::Synthesizer synth(lib);
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    sta::ClockSpec c;
+    c.period = 8.0;
+    return synth.run(netlist::generateMcu(small), c);
+  }();
+  sta::TimingAnalyzer analyzer(result.design, lib, clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(result.design.gateCount()));
+}
+BENCHMARK(BM_FullDesignSta);
+
+void BM_MonteCarloPath(benchmark::State& state) {
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  static const synth::SynthesisResult result = [&] {
+    synth::Synthesizer synth(lib);
+    netlist::Design chain("chain");
+    netlist::NetlistBuilder b(chain);
+    netlist::NetIndex n = b.dff(b.inputPort("in"), netlist::PrimOp::kDff);
+    for (int i = 0; i < 20; ++i) n = b.inv(n);
+    b.outputPort("out", b.dff(n, netlist::PrimOp::kDff));
+    sta::ClockSpec c;
+    c.period = 8.0;
+    return synth.run(chain, c);
+  }();
+  sta::TimingAnalyzer analyzer(result.design, lib, clock);
+  analyzer.analyze();
+  const auto paths = analyzer.endpointWorstPaths();
+  const sta::TimingPath* longest = &paths.front();
+  for (const auto& p : paths) {
+    if (p.depth() > longest->depth()) longest = &p;
+  }
+  const variation::PathMonteCarlo mc(chr);
+  variation::PathMcConfig config;
+  config.trials = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.simulate(*longest, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_MonteCarloPath);
+
+void BM_Ssta(benchmark::State& state) {
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  static const statlib::StatLibrary stat = statlib::buildStatLibrary(
+      chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 15, 3));
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  static const synth::SynthesisResult result = [&] {
+    synth::Synthesizer synth(lib);
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    sta::ClockSpec c;
+    c.period = 8.0;
+    return synth.run(netlist::generateMcu(small), c);
+  }();
+  sta::TimingAnalyzer analyzer(result.design, lib, clock);
+  analyzer.analyze();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(variation::runSsta(result.design, analyzer, stat));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(result.design.gateCount()));
+}
+BENCHMARK(BM_Ssta);
+
+void BM_LogicSimulationStep(benchmark::State& state) {
+  static const netlist::Design mcu = [] {
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    return netlist::generateMcu(small);
+  }();
+  netlist::Simulator sim(mcu);
+  sim.reset();
+  sim.setInputBus("sram_rdata", 0xDEADBEEF);
+  sim.setInput("uart_rx", false);
+  sim.setInput("ext_stall", false);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(mcu.gateCount()));
+}
+BENCHMARK(BM_LogicSimulationStep);
+
+void BM_PatternMapping(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    netlist::Design mcu = netlist::generateMcu();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        synth::mapPatterns(mcu, [](netlist::PrimOp) { return true; }));
+  }
+}
+BENCHMARK(BM_PatternMapping);
+
+}  // namespace
+
+BENCHMARK_MAIN();

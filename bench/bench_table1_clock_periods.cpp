@@ -1,0 +1,43 @@
+// Table 1: clock periods for the different timing constraints.
+// The high-performance period is found exactly as in the paper: reduce the
+// clock period until synthesis fails to close timing (bisection). The
+// low-performance period is cross-checked against the knee of the
+// period-vs-area curve (Fig. 8).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sct;
+  bench::printHeader("Table 1 — clock periods for different constraints",
+                     "Table 1 (paper: 2.41 / 2.5 / 4 / 10 ns)");
+
+  core::TuningFlow flow(bench::standardConfig());
+  const auto minPeriod = flow.findMinPeriod();
+  if (!minPeriod) {
+    std::printf("ERROR: no feasible period found\n");
+    return 1;
+  }
+  const bench::ClockSet clocks = bench::paperClockSet(flow);
+
+  std::printf("%-28s %12s %18s\n", "constraint", "paper [ns]", "measured [ns]");
+  bench::printRule();
+  std::printf("%-28s %12s %18.3f\n", "High performance (min)", "2.41",
+              clocks.highPerf);
+  std::printf("%-28s %12s %18.3f\n", "Close to maximum check", "2.50",
+              clocks.closeToMax);
+  std::printf("%-28s %12s %18.3f\n", "Medium performance", "4.00",
+              clocks.medium);
+  std::printf("%-28s %12s %18.3f\n", "Low performance", "10.00", clocks.low);
+  bench::printRule();
+
+  // Verify the protocol: feasible at the minimum, infeasible 5% below it.
+  const auto atMin = flow.synthesizeBaseline(clocks.highPerf);
+  const auto below = flow.synthesizeBaseline(clocks.highPerf * 0.95);
+  std::printf("check: synthesis at min period      -> %s (wns %+.3f ns)\n",
+              atMin.success() ? "MET" : "FAILED", atMin.synthesis.worstSlack);
+  std::printf("check: synthesis 5%% below min       -> %s (wns %+.3f ns)\n",
+              below.success() ? "MET" : "FAILED", below.synthesis.worstSlack);
+  std::printf("design: %zu gates, area %.0f um^2 at the minimum period\n",
+              atMin.synthesis.design.gateCount(), atMin.area());
+  return 0;
+}

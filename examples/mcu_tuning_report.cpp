@@ -1,0 +1,68 @@
+// Example: full microcontroller tuning report.
+//
+// Runs the paper's headline experiment end-to-end on the ~20k-gate MCU:
+// finds the minimum clock period, synthesizes the baseline, sweeps the five
+// tuning methods, and prints a report with the best configuration per
+// method — the data behind Fig. 10 for one clock constraint.
+//
+// Build & run:  ./build/examples/mcu_tuning_report [period_ns]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sct;
+
+  core::TuningFlow flow(core::FlowConfig{});
+  std::printf("characterizing %zu cells, building statistical library from "
+              "%zu MC instances...\n",
+              flow.nominalLibrary().size(), flow.config().mcLibraryCount);
+  std::printf("subject: %s with %zu gates\n", flow.subject().name().c_str(),
+              flow.subject().gateCount());
+
+  double period = 0.0;
+  if (argc > 1) {
+    period = std::atof(argv[1]);
+  }
+  if (period <= 0.0) {
+    const auto minPeriod = flow.findMinPeriod();
+    if (!minPeriod) {
+      std::printf("no feasible period found\n");
+      return 1;
+    }
+    period = *minPeriod;
+    std::printf("minimum feasible clock period: %.3f ns (high-performance "
+                "constraint)\n",
+                period);
+  }
+
+  const core::DesignMeasurement baseline = flow.synthesizeBaseline(period);
+  std::printf("\nbaseline @ %.3f ns: met=%d  area=%.0f um^2  design sigma="
+              "%.4f ns  (%zu endpoint paths)\n",
+              period, baseline.synthesis.timingMet, baseline.area(),
+              baseline.sigma(), baseline.paths.size());
+
+  std::printf("\n%-20s %10s %12s %12s %8s\n", "method", "param",
+              "sigma red.", "area inc.", "status");
+  std::printf("------------------------------------------------------------"
+              "------\n");
+  for (tuning::TuningMethod method : tuning::kAllTuningMethods) {
+    const auto points = flow.sweepMethod(method, period, baseline);
+    const auto* best = core::TuningFlow::bestUnderAreaCap(points, 10.0);
+    if (best != nullptr) {
+      std::printf("%-20s %10.3g %11.1f%% %11.1f%% %8s\n",
+                  std::string(tuning::toString(method)).c_str(),
+                  best->parameter, best->sigmaReductionPct,
+                  best->areaIncreasePct, "ok");
+    } else {
+      std::printf("%-20s %10s %12s %12s %8s\n",
+                  std::string(tuning::toString(method)).c_str(), "-", "-",
+                  "-", "no-fit");
+    }
+  }
+  std::printf("\n(best sigma reduction with area increase < 10%%, the "
+              "paper's Fig. 10 selection rule)\n");
+  return 0;
+}

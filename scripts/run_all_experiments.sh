@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# experiments, writing each harness's output under results/.
+set -u
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+mkdir -p "$OUT_DIR"
+
+status=0
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name"
+  if ! "$bench" > "$OUT_DIR/$name.txt" 2>&1; then
+    echo "    FAILED (see $OUT_DIR/$name.txt)"
+    status=1
+  fi
+done
+echo "outputs in $OUT_DIR/"
+exit $status

@@ -1,0 +1,98 @@
+#include "charlib/catalogue.hpp"
+
+namespace sct::charlib {
+
+using liberty::CellFunction;
+
+const std::vector<CatalogueFamily>& standardCatalogue() {
+  // Strength ladders chosen so every appendix-A category count matches the
+  // paper exactly (sum = 304). Strength 6 appears in many families: Fig. 5
+  // inspects exactly that cluster.
+  static const std::vector<CatalogueFamily> catalogue = {
+      // 19 inverters
+      {CellFunction::kInv,
+       {0.5, 0.7, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 28,
+        32}},
+      // 36 "Or" (AND/OR)
+      {CellFunction::kAnd2, {1, 2, 3, 4, 6, 8}},
+      {CellFunction::kAnd3, {1, 2, 3, 4, 6, 8}},
+      {CellFunction::kAnd4, {1, 2, 3, 4, 6, 8}},
+      {CellFunction::kOr2, {1, 2, 3, 4, 6, 8}},
+      {CellFunction::kOr3, {1, 2, 3, 4, 6, 8}},
+      {CellFunction::kOr4, {1, 2, 3, 4, 6, 8}},
+      // 46 nand
+      {CellFunction::kNand2,
+       {0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 16, 20}},
+      {CellFunction::kNand2B, {1, 2, 3, 4, 6, 8, 12, 16}},
+      {CellFunction::kNand3, {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16}},
+      {CellFunction::kNand4, {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16}},
+      // 43 nor
+      {CellFunction::kNor2, {0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 16}},
+      {CellFunction::kNor2B, {1, 2, 3, 4, 6, 8, 12, 16}},
+      {CellFunction::kNor3, {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12}},
+      {CellFunction::kNor4, {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12}},
+      // 29 xor/xnor
+      {CellFunction::kXor2,
+       {0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20}},
+      {CellFunction::kXnor2,
+       {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20}},
+      // 34 adders
+      {CellFunction::kFullAdder,
+       {0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20,
+        24, 28}},
+      {CellFunction::kHalfAdder,
+       {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24}},
+      // 27 multiplexers
+      {CellFunction::kMux2,
+       {0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24}},
+      {CellFunction::kMux4, {1, 2, 3, 4, 6, 8, 10, 12, 16, 20}},
+      // 51 flip-flops
+      {CellFunction::kDff,
+       {0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20}},
+      {CellFunction::kDffR, {0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16}},
+      {CellFunction::kDffS, {1, 2, 3, 4, 6, 8, 12, 16}},
+      {CellFunction::kDffRS, {1, 2, 3, 4, 6, 8, 12, 16}},
+      {CellFunction::kDffE, {1, 2, 3, 4, 6, 8, 12, 16}},
+      // 12 latches
+      {CellFunction::kLatch, {1, 2, 3, 4, 6, 8, 12}},
+      {CellFunction::kLatchR, {1, 2, 4, 6, 8}},
+      // 7 other
+      {CellFunction::kBuf, {2, 4, 8}},
+      {CellFunction::kClkBuf, {4, 8}},
+      {CellFunction::kTieHi, {1}},
+      {CellFunction::kTieLo, {1}},
+  };
+  return catalogue;
+}
+
+std::vector<CellSpec> buildSpecs(const DelayModel& model) {
+  std::vector<CellSpec> specs;
+  specs.reserve(304);
+  for (const CatalogueFamily& family : standardCatalogue()) {
+    for (double strength : family.strengths) {
+      specs.push_back(model.makeSpec(family.function, strength));
+    }
+  }
+  return specs;
+}
+
+SpecRegistry::SpecRegistry(const DelayModel& model)
+    : specs_(buildSpecs(model)) {
+  for (const CellSpec& spec : specs_) by_name_[spec.name] = &spec;
+}
+
+const CellSpec* SpecRegistry::find(const std::string& name) const noexcept {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+std::map<liberty::CellCategory, std::size_t> catalogueCensus() {
+  std::map<liberty::CellCategory, std::size_t> census;
+  for (const CatalogueFamily& family : standardCatalogue()) {
+    census[liberty::traits(family.function).category] +=
+        family.strengths.size();
+  }
+  return census;
+}
+
+}  // namespace sct::charlib

@@ -1,0 +1,46 @@
+#pragma once
+// The 304-cell catalogue matching the paper's appendix A census:
+//   19 inverters, 36 and/or, 46 nand, 43 nor, 29 xor/xnor, 34 adders,
+//   27 multiplexers, 51 flip-flops, 12 latches, 7 other.
+// Cell names follow the paper's convention
+// "prefix[B]_strength" with 'P' as decimal separator (e.g. NR2B_3, IV_0P5).
+
+#include <map>
+#include <vector>
+
+#include "charlib/delay_model.hpp"
+#include "liberty/function.hpp"
+
+namespace sct::charlib {
+
+struct CatalogueFamily {
+  liberty::CellFunction function;
+  std::vector<double> strengths;
+};
+
+/// The full 304-cell family list.
+[[nodiscard]] const std::vector<CatalogueFamily>& standardCatalogue();
+
+/// Electrical specs for every catalogue cell, in deterministic order.
+[[nodiscard]] std::vector<CellSpec> buildSpecs(const DelayModel& model);
+
+/// Spec registry addressable by cell name (used by the Monte-Carlo path
+/// simulator to recover the model behind a mapped library cell).
+class SpecRegistry {
+ public:
+  explicit SpecRegistry(const DelayModel& model);
+
+  [[nodiscard]] const CellSpec* find(const std::string& name) const noexcept;
+  [[nodiscard]] const std::vector<CellSpec>& all() const noexcept {
+    return specs_;
+  }
+
+ private:
+  std::vector<CellSpec> specs_;
+  std::map<std::string, const CellSpec*> by_name_;
+};
+
+/// Census per appendix-A category; must total 304.
+[[nodiscard]] std::map<liberty::CellCategory, std::size_t> catalogueCensus();
+
+}  // namespace sct::charlib

@@ -1,0 +1,235 @@
+#include "charlib/characterizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sct::charlib {
+
+using liberty::CellFunction;
+using liberty::Pin;
+using liberty::PinDirection;
+using liberty::TimingArc;
+
+Characterizer::Characterizer(CharacterizationConfig config)
+    : config_(std::move(config)),
+      model_(config_.tech, config_.variation),
+      specs_(model_) {
+  assert(numeric::isStrictlyIncreasing(config_.slewAxis));
+}
+
+numeric::Axis Characterizer::loadAxisFor(const CellSpec& spec) const {
+  numeric::Axis axis;
+  axis.reserve(config_.loadFractions.size());
+  for (double fraction : config_.loadFractions) {
+    axis.push_back(fraction * spec.maxLoad);
+  }
+  return axis;
+}
+
+namespace {
+
+/// Per-output deterministic speed factor: carry outputs of adders are the
+/// optimized path in real cells.
+double outputFactor(CellFunction f, std::string_view output) noexcept {
+  if (f == CellFunction::kFullAdder || f == CellFunction::kHalfAdder) {
+    return output == "CO" ? 0.75 : 1.10;
+  }
+  return 1.0;
+}
+
+/// Auxiliary control pins present on sequential variants.
+std::vector<std::string_view> controlPins(CellFunction f) {
+  switch (f) {
+    case CellFunction::kDffR:
+      return {"RN"};
+    case CellFunction::kDffS:
+      return {"SN"};
+    case CellFunction::kDffRS:
+      return {"RN", "SN"};
+    case CellFunction::kDffE:
+      return {"E"};
+    case CellFunction::kLatchR:
+      return {"RN"};
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+double arcDelayFactor(liberty::CellFunction f, std::string_view relatedPin,
+                      std::string_view outputPin, bool rise) noexcept {
+  std::size_t inputIndex = 0;
+  if (relatedPin != "CP" && relatedPin != "G") {
+    const auto names = liberty::dataInputNames(f);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == relatedPin) {
+        inputIndex = i;
+        break;
+      }
+    }
+  }
+  const ArcFlavor flavor = ArcFlavor::forInput(inputIndex);
+  return flavor.positionFactor * outputFactor(f, outputPin) *
+         (rise ? flavor.riseFactor : flavor.fallFactor);
+}
+
+liberty::Library Characterizer::characterizeWith(const ProcessCorner& corner,
+                                                 const std::string& libraryName,
+                                                 std::uint64_t seed,
+                                                 bool withMismatch) const {
+  liberty::OperatingConditions conditions{corner.process, corner.voltage,
+                                          corner.temperature};
+  liberty::Library library(libraryName, conditions);
+  numeric::Rng master(seed);
+
+  for (const CellSpec& spec : specs_.all()) {
+    const liberty::FunctionTraits& t = liberty::traits(spec.function);
+    liberty::Cell cell(spec.name, spec.function, spec.driveStrength,
+                       spec.area);
+    cell.setSetupTime(spec.setupTime);
+    cell.setHoldTime(spec.holdTime);
+    if (t.sequential) {
+      // Slew-dependent setup: a slow data edge needs more margin before the
+      // clock edge, a slow clock edge relaxes it slightly.
+      static const numeric::Axis kClockSlewAxis = {0.01, 0.05, 0.1, 0.2};
+      liberty::Lut setupLut(config_.slewAxis, kClockSlewAxis);
+      for (std::size_t r = 0; r < config_.slewAxis.size(); ++r) {
+        for (std::size_t c = 0; c < kClockSlewAxis.size(); ++c) {
+          const double value = spec.setupTime + 0.30 * config_.slewAxis[r] -
+                               0.08 * kClockSlewAxis[c];
+          setupLut.at(r, c) = std::max(value, 0.25 * spec.setupTime);
+        }
+      }
+      cell.setSetupLut(std::move(setupLut));
+    }
+
+    // One mismatch draw per cell per library instance: the same physical
+    // instance fills every entry of its tables (section IV).
+    LocalDeltas deltas;
+    if (withMismatch) {
+      numeric::Rng cellRng = master.fork(numeric::Rng::hashTag(spec.name));
+      deltas = model_.drawLocal(spec, cellRng);
+    }
+
+    // Pins.
+    const auto inputNames = liberty::dataInputNames(spec.function);
+    for (std::size_t i = 0; i < t.numDataInputs; ++i) {
+      Pin pin;
+      pin.name = std::string(inputNames[i]);
+      pin.direction = PinDirection::kInput;
+      pin.capacitance = spec.inputCap;
+      cell.addPin(std::move(pin));
+    }
+    if (t.sequential) {
+      Pin clk;
+      clk.name = spec.function == CellFunction::kLatch ||
+                         spec.function == CellFunction::kLatchR
+                     ? "G"
+                     : "CP";
+      clk.direction = PinDirection::kInput;
+      clk.capacitance = spec.inputCap * 0.8;
+      clk.isClock = true;
+      cell.addPin(std::move(clk));
+    }
+    for (std::string_view ctrl : controlPins(spec.function)) {
+      Pin pin;
+      pin.name = std::string(ctrl);
+      pin.direction = PinDirection::kInput;
+      pin.capacitance = spec.inputCap * 0.5;
+      cell.addPin(std::move(pin));
+    }
+    const auto outNames = liberty::outputNames(spec.function);
+    for (std::size_t o = 0; o < t.numOutputs; ++o) {
+      Pin pin;
+      pin.name = std::string(outNames[o]);
+      pin.direction = PinDirection::kOutput;
+      pin.maxCapacitance = spec.maxLoad;
+      cell.addPin(std::move(pin));
+    }
+
+    // Timing arcs: every (triggering input, output) pair. Sequential cells
+    // expose the clock->Q arc (setup/hold are scalar cell attributes).
+    const numeric::Axis loadAxis = loadAxisFor(spec);
+    auto makeLut = [&](const ArcFlavor& flavor, double outFactor,
+                       double edgeFactor, bool transition) {
+      liberty::Lut lut(config_.slewAxis, loadAxis);
+      for (std::size_t r = 0; r < config_.slewAxis.size(); ++r) {
+        for (std::size_t c = 0; c < loadAxis.size(); ++c) {
+          const double s = config_.slewAxis[r];
+          const double l = loadAxis[c];
+          const double base =
+              transition ? model_.outputSlew(spec, s, l, deltas,
+                                             corner.delayFactor, 1.0)
+                         : model_.delay(spec, s, l, deltas,
+                                        corner.delayFactor, 1.0);
+          lut.at(r, c) = base * flavor.positionFactor * outFactor * edgeFactor;
+        }
+      }
+      return lut;
+    };
+
+    auto addArc = [&](std::string_view related, std::string_view output,
+                      const ArcFlavor& flavor) {
+      TimingArc arc;
+      arc.relatedPin = std::string(related);
+      arc.outputPin = std::string(output);
+      const double of = outputFactor(spec.function, output);
+      arc.riseDelay = makeLut(flavor, of, flavor.riseFactor, false);
+      arc.fallDelay = makeLut(flavor, of, flavor.fallFactor, false);
+      arc.riseTransition = makeLut(flavor, of, flavor.riseFactor, true);
+      arc.fallTransition = makeLut(flavor, of, flavor.fallFactor, true);
+      cell.addArc(std::move(arc));
+    };
+
+    if (t.sequential) {
+      const char* clkName = (spec.function == CellFunction::kLatch ||
+                             spec.function == CellFunction::kLatchR)
+                                ? "G"
+                                : "CP";
+      addArc(clkName, outNames[0], ArcFlavor::forInput(0));
+    } else {
+      for (std::size_t o = 0; o < t.numOutputs; ++o) {
+        for (std::size_t i = 0; i < t.numDataInputs; ++i) {
+          addArc(inputNames[i], outNames[o], ArcFlavor::forInput(i));
+        }
+      }
+    }
+
+    library.addCell(std::move(cell));
+  }
+  return library;
+}
+
+liberty::Library Characterizer::characterizeNominal(
+    const ProcessCorner& corner) const {
+  liberty::OperatingConditions oc{corner.process, corner.voltage,
+                                  corner.temperature};
+  return characterizeWith(corner, oc.cornerName(), /*seed=*/0,
+                          /*withMismatch=*/false);
+}
+
+liberty::Library Characterizer::characterizeSample(
+    const ProcessCorner& corner, std::uint64_t seed,
+    std::uint64_t sampleIndex) const {
+  liberty::OperatingConditions oc{corner.process, corner.voltage,
+                                  corner.temperature};
+  const std::string name =
+      oc.cornerName() + "_mc" + std::to_string(sampleIndex);
+  // Decorrelate samples by mixing the sample index into the seed.
+  numeric::Rng seeder(seed);
+  const std::uint64_t sampleSeed = seeder.fork(sampleIndex).next();
+  return characterizeWith(corner, name, sampleSeed, /*withMismatch=*/true);
+}
+
+std::vector<liberty::Library> Characterizer::characterizeMonteCarlo(
+    const ProcessCorner& corner, std::size_t n, std::uint64_t seed) const {
+  std::vector<liberty::Library> libraries;
+  libraries.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    libraries.push_back(characterizeSample(corner, seed, k));
+  }
+  return libraries;
+}
+
+}  // namespace sct::charlib

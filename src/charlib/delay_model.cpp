@@ -1,0 +1,103 @@
+#include "charlib/delay_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sct::charlib {
+
+CellSpec DelayModel::makeSpec(liberty::CellFunction f,
+                              double driveStrength) const {
+  assert(driveStrength > 0.0);
+  const liberty::FunctionTraits& t = liberty::traits(f);
+  CellSpec spec;
+  spec.name = liberty::makeCellName(f, driveStrength);
+  spec.function = f;
+  spec.driveStrength = driveStrength;
+
+  // Deterministic electrical personality of the cell *type* (not instance
+  // mismatch): topology-level differences between cells of equal strength.
+  numeric::Rng personality(numeric::Rng::hashTag(spec.name));
+  const double spread = tech_.personalitySpread;
+  const double resJitter = 1.0 + personality.uniform(-spread, spread);
+  const double intJitter = 1.0 + personality.uniform(-spread, spread);
+
+  spec.driveRes = tech_.rUnit / driveStrength * resJitter;
+  spec.inputCap = tech_.cInUnit * t.logicalEffort * driveStrength;
+  spec.intrinsic = tech_.tau * t.parasitic * intJitter;
+  spec.maxLoad = tech_.maxLoadPerStrength * driveStrength;
+  // Area grows sub-linearly at the low end (shared wells/rails), linearly
+  // after; relative footprint follows the function complexity.
+  spec.area = tech_.areaUnit * t.unitArea * (0.35 + 0.65 * driveStrength);
+  // Pelgrom: mismatch shrinks with the square root of device area.
+  spec.localSigma =
+      variation_.pelgrom / std::sqrt(driveStrength * t.unitArea);
+  if (t.sequential) {
+    spec.setupTime = 0.040 + 0.020 / driveStrength;
+    spec.holdTime = 0.010;
+  }
+  return spec;
+}
+
+namespace {
+
+/// Shared core of delay(): the slew-sensitivity coefficient including the
+/// high-load boost (steeper slew dependence when the output edge is slow).
+double slewCoefficient(const TechnologyParams& tech, double rc) noexcept {
+  return tech.slewSens *
+         (1.0 + tech.slewSensLoadBoost * rc / (rc + tech.slewSensLoadKnee));
+}
+
+/// Overload blow-up towards (and beyond) the cell's drive limit.
+double overloadFactor(const TechnologyParams& tech, const CellSpec& spec,
+                      double load) noexcept {
+  const double x = load / spec.maxLoad;
+  return 1.0 + tech.overload * x * x;
+}
+
+}  // namespace
+
+double DelayModel::delay(const CellSpec& spec, double slew, double load,
+                         const LocalDeltas& local, double cornerFactor,
+                         double globalFactor) const noexcept {
+  assert(slew >= 0.0 && load >= 0.0);
+  const double rc = spec.driveRes * load;
+  const double driveTerm =
+      rc * (1.0 + local.dDrive) * overloadFactor(tech_, spec, load);
+  const double intrinsicTerm = spec.intrinsic * (1.0 + local.dIntrinsic);
+  // The slew term inherits part of the drive mismatch: a weak transistor
+  // both drives the load slower and resolves a slow input edge later. This
+  // coupling makes the sigma surface rise along the slew axis fastest where
+  // the load is heavy, the structure the slew-slope tuning methods exploit.
+  const double slewTerm = slewCoefficient(tech_, rc) * slew *
+                          (1.0 + 0.7 * local.dDrive + local.dSlew);
+  const double nominal = intrinsicTerm + driveTerm + slewTerm;
+  return std::max(0.0, nominal) * cornerFactor * globalFactor;
+}
+
+double DelayModel::outputSlew(const CellSpec& spec, double slew, double load,
+                              const LocalDeltas& local, double cornerFactor,
+                              double globalFactor) const noexcept {
+  const double rc = spec.driveRes * load * (1.0 + local.dDrive) *
+                    overloadFactor(tech_, spec, load);
+  const double value = tech_.transIntrinsic * spec.intrinsic *
+                           (1.0 + local.dIntrinsic) +
+                       tech_.transDrive * rc + tech_.transLeak * slew;
+  return std::max(1e-4, value * cornerFactor * globalFactor);
+}
+
+LocalDeltas DelayModel::drawLocal(const CellSpec& spec,
+                                  numeric::Rng& rng) const noexcept {
+  LocalDeltas d;
+  d.dDrive = rng.normal(0.0, spec.localSigma);
+  d.dIntrinsic =
+      rng.normal(0.0, spec.localSigma * variation_.intrinsicFraction);
+  d.dSlew = rng.normal(0.0, spec.localSigma * variation_.slewFraction);
+  return d;
+}
+
+double DelayModel::drawGlobalFactor(numeric::Rng& rng) const noexcept {
+  return 1.0 + rng.normal(0.0, variation_.globalSigma);
+}
+
+}  // namespace sct::charlib

@@ -1,0 +1,179 @@
+#include "clocktree/clock_tree.hpp"
+
+#include <cmath>
+
+namespace sct::clocktree {
+namespace {
+
+using liberty::Cell;
+using liberty::CellFunction;
+
+/// Buffer candidates: CLKBUF family first (dedicated clock cells), BUF as a
+/// fallback; only cells the constraints leave usable.
+std::vector<const Cell*> bufferCandidates(
+    const liberty::Library& library,
+    const tuning::LibraryConstraints* constraints) {
+  std::vector<const Cell*> out;
+  for (CellFunction f : {CellFunction::kClkBuf, CellFunction::kBuf}) {
+    for (const Cell* cell : library.family(f)) {
+      if (constraints == nullptr || constraints->cellUsable(cell->name())) {
+        out.push_back(cell);
+      }
+    }
+  }
+  return out;
+}
+
+/// Smallest candidate that can legally drive `load` at `inputSlew`.
+const Cell* pickBuffer(const std::vector<const Cell*>& candidates,
+                       const tuning::LibraryConstraints* constraints,
+                       double inputSlew, double load) {
+  for (const Cell* cell : candidates) {
+    const liberty::Pin* out = cell->findPin("Z");
+    if (out == nullptr || (out->maxCapacitance > 0.0 &&
+                           load > out->maxCapacitance)) {
+      continue;
+    }
+    if (constraints != nullptr &&
+        !constraints->allows(cell->name(), "Z", inputSlew, load)) {
+      continue;
+    }
+    return cell;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t ClockTree::bufferCount() const noexcept {
+  std::size_t n = 0;
+  for (const TreeLevel& level : levels) n += level.bufferCount;
+  return n;
+}
+
+double ClockTree::bufferArea() const noexcept {
+  double area = 0.0;
+  for (const TreeLevel& level : levels) {
+    if (level.buffer != nullptr) {
+      area += level.buffer->area() * static_cast<double>(level.bufferCount);
+    }
+  }
+  return area;
+}
+
+double ClockTree::insertionDelay() const noexcept {
+  double delay = 0.0;
+  for (const TreeLevel& level : levels) delay += level.delayMean;
+  return delay;
+}
+
+double ClockTree::insertionSigma() const noexcept {
+  double var = 0.0;
+  for (const TreeLevel& level : levels) {
+    var += level.delaySigma * level.delaySigma;
+  }
+  return std::sqrt(var);
+}
+
+double ClockTree::siblingSkewSigma() const noexcept {
+  if (levels.empty()) return 0.0;
+  // Only the two distinct leaf buffers differ; everything above is shared.
+  const double leaf = levels.front().delaySigma;
+  return std::sqrt(2.0) * leaf;
+}
+
+double ClockTree::worstSkewSigma() const noexcept {
+  // Fully disjoint chains (except the root driver itself when there is only
+  // one buffer at the top level — exclude single-buffer levels, which are
+  // shared by every sink).
+  double var = 0.0;
+  for (const TreeLevel& level : levels) {
+    if (level.bufferCount <= 1) continue;
+    var += 2.0 * level.delaySigma * level.delaySigma;
+  }
+  return std::sqrt(var);
+}
+
+std::optional<ClockTree> buildClockTree(
+    const netlist::Design& design, const liberty::Library& library,
+    const statlib::StatLibrary& statLibrary,
+    const tuning::LibraryConstraints* constraints,
+    const ClockTreeConfig& config) {
+  // Collect clock-pin loads of all sequential instances.
+  std::vector<double> sinkCaps;
+  for (const netlist::Instance& inst : design.instances()) {
+    if (!inst.alive || inst.cell == nullptr ||
+        !netlist::isSequential(inst.op)) {
+      continue;
+    }
+    const liberty::Pin* cp = inst.cell->findPin("CP");
+    if (cp != nullptr) sinkCaps.push_back(cp->capacitance);
+  }
+  if (sinkCaps.empty()) return std::nullopt;
+
+  const std::vector<const Cell*> candidates =
+      bufferCandidates(library, constraints);
+  if (candidates.empty()) return std::nullopt;
+
+  ClockTree tree;
+  tree.sinkCount = sinkCaps.size();
+
+  // Bottom-up clustering. Levels are built sink-side first; slews can only
+  // be computed top-down, so structure first, then annotate.
+  std::vector<double> currentLoads = std::move(sinkCaps);
+  while (true) {
+    // Adapt the group size downward until a buffer can drive the group.
+    std::size_t fanout = config.maxFanout;
+    const Cell* chosen = nullptr;
+    double groupLoad = 0.0;
+    while (fanout >= 2) {
+      // Worst group load: the `fanout` largest sinks is pessimistic; use
+      // average load x fanout + wire, which matches balanced clustering.
+      double avg = 0.0;
+      for (double c : currentLoads) avg += c;
+      avg /= static_cast<double>(currentLoads.size());
+      groupLoad = avg * static_cast<double>(
+                            std::min(fanout, currentLoads.size())) +
+                  config.wireCapPerSink *
+                      static_cast<double>(std::min(fanout, currentLoads.size()));
+      // Slew is unknown until the top-down pass; check at the root slew
+      // (clock slews are tightly controlled, so this is representative).
+      chosen = pickBuffer(candidates, constraints, config.rootSlew, groupLoad);
+      if (chosen != nullptr) break;
+      fanout /= 2;
+    }
+    if (chosen == nullptr) return std::nullopt;  // tuned away entirely
+
+    const std::size_t buffers =
+        (currentLoads.size() + fanout - 1) / fanout;
+    TreeLevel level;
+    level.buffer = chosen;
+    level.bufferCount = buffers;
+    level.loadPerBuffer = groupLoad;
+    tree.levels.push_back(level);
+    if (buffers == 1) break;
+    currentLoads.assign(buffers, chosen->inputCapacitance("A"));
+  }
+
+  // Top-down annotation: slews and delay statistics per level.
+  double slew = config.rootSlew;
+  for (auto it = tree.levels.rbegin(); it != tree.levels.rend(); ++it) {
+    TreeLevel& level = *it;
+    level.inputSlew = slew;
+    const liberty::TimingArc* arc = level.buffer->findArc("A", "Z");
+    if (arc == nullptr) return std::nullopt;
+    level.delayMean = arc->worstDelay(slew, level.loadPerBuffer);
+    const statlib::StatCell* statCell =
+        statLibrary.findCell(level.buffer->name());
+    if (statCell != nullptr) {
+      if (const statlib::StatArc* statArc = statCell->findArc("A", "Z")) {
+        level.delaySigma =
+            statArc->worstDelayStats(slew, level.loadPerBuffer).sigma;
+      }
+    }
+    slew = arc->worstTransition(slew, level.loadPerBuffer);
+  }
+  return tree;
+}
+
+}  // namespace sct::clocktree

@@ -1,0 +1,71 @@
+#pragma once
+// Clock-tree synthesis and variation analysis — the paper's future-work
+// item (section VIII: "The effectiveness of the method on the clock tree in
+// particular needs further investigation").
+//
+// Builds a balanced buffered clock tree over all sequential clock pins of a
+// mapped design: sinks are clustered bottom-up under clock buffers until a
+// single root remains. Buffer cells are picked from the CLKBUF (fallback
+// BUF) family, honouring tuned per-pin slew/load windows when constraints
+// are given — so the same library tuning that shapes the data path also
+// shapes the clock tree. The analysis reports insertion delay, per-sink
+// sigma (local mismatch accumulated along the buffer chain) and skew sigma
+// between sink pairs (shared buffers cancel; only the disjoint tree
+// portions contribute).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "statlib/stat_library.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct::clocktree {
+
+struct ClockTreeConfig {
+  std::size_t maxFanout = 16;   ///< sinks per buffer
+  double rootSlew = 0.02;       ///< transition driven into the root [ns]
+  double wireCapPerSink = 0.0015;  ///< lumped wire model [pF per sink]
+};
+
+/// One level of the balanced tree (level 0 drives the flip-flop pins).
+struct TreeLevel {
+  const liberty::Cell* buffer = nullptr;
+  std::size_t bufferCount = 0;
+  double loadPerBuffer = 0.0;   ///< pF seen by each buffer
+  double inputSlew = 0.0;       ///< transition at the buffer input [ns]
+  double delayMean = 0.0;       ///< per-buffer delay at this level [ns]
+  double delaySigma = 0.0;      ///< per-buffer local-mismatch sigma [ns]
+};
+
+struct ClockTree {
+  std::vector<TreeLevel> levels;  ///< levels.front() drives the sinks
+  std::size_t sinkCount = 0;
+
+  [[nodiscard]] std::size_t bufferCount() const noexcept;
+  [[nodiscard]] double bufferArea() const noexcept;
+  /// Mean source-to-sink insertion delay [ns].
+  [[nodiscard]] double insertionDelay() const noexcept;
+  /// Sigma of one sink's insertion delay (RSS along its buffer chain).
+  [[nodiscard]] double insertionSigma() const noexcept;
+  /// Skew sigma between two sinks sharing all levels above the leaves
+  /// (common buffers cancel; only the two leaf buffers differ).
+  [[nodiscard]] double siblingSkewSigma() const noexcept;
+  /// Skew sigma between two sinks with fully disjoint buffer chains
+  /// (worst pair in the tree).
+  [[nodiscard]] double worstSkewSigma() const noexcept;
+};
+
+/// Builds and analyzes a clock tree for the design's sequential sinks.
+/// Returns nullopt when no usable buffer cell exists (library tuned away)
+/// or the design has no sequential cells.
+[[nodiscard]] std::optional<ClockTree> buildClockTree(
+    const netlist::Design& design, const liberty::Library& library,
+    const statlib::StatLibrary& statLibrary,
+    const tuning::LibraryConstraints* constraints = nullptr,
+    const ClockTreeConfig& config = {});
+
+}  // namespace sct::clocktree

@@ -1,0 +1,142 @@
+#include "core/flow.hpp"
+
+#include <utility>
+
+namespace sct::core {
+
+TuningFlow::TuningFlow(FlowConfig config)
+    : config_(std::move(config)), characterizer_(config_.characterization) {}
+
+const liberty::Library& TuningFlow::nominalLibrary() {
+  if (!nominal_) {
+    nominal_ = std::make_unique<liberty::Library>(
+        characterizer_.characterizeNominal(charlib::ProcessCorner::typical()));
+  }
+  return *nominal_;
+}
+
+const statlib::StatLibrary& TuningFlow::statLibrary() {
+  if (!stat_) {
+    const std::vector<liberty::Library> instances =
+        characterizer_.characterizeMonteCarlo(charlib::ProcessCorner::typical(),
+                                              config_.mcLibraryCount,
+                                              config_.mcSeed);
+    stat_ = std::make_unique<statlib::StatLibrary>(
+        statlib::buildStatLibrary(instances));
+  }
+  return *stat_;
+}
+
+const netlist::Design& TuningFlow::subject() {
+  if (!subject_) {
+    subject_ = std::make_unique<netlist::Design>(
+        netlist::generateMcu(config_.mcu));
+  }
+  return *subject_;
+}
+
+tuning::LibraryConstraints TuningFlow::tune(const tuning::TuningConfig& config) {
+  return tuning::tuneLibrary(statLibrary(), config);
+}
+
+DesignMeasurement TuningFlow::synthesizeBaseline(double period) {
+  synth::Synthesizer synthesizer(nominalLibrary());
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  return measure(synthesizer.run(subject(), clock, config_.synthesis), period);
+}
+
+DesignMeasurement TuningFlow::synthesizeTuned(
+    double period, const tuning::TuningConfig& config) {
+  const tuning::LibraryConstraints constraints = tune(config);
+  synth::Synthesizer synthesizer(nominalLibrary(), &constraints);
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  return measure(synthesizer.run(subject(), clock, config_.synthesis), period);
+}
+
+std::vector<sta::TimingPath> TuningFlow::tracePaths(
+    const synth::SynthesisResult& result, double period) const {
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  sta::TimingAnalyzer analyzer(result.design, *nominal_, clock);
+  if (!analyzer.analyze()) return {};
+  return analyzer.endpointWorstPaths();
+}
+
+DesignMeasurement TuningFlow::measure(synth::SynthesisResult result,
+                                      double period) {
+  DesignMeasurement out;
+  out.clockPeriod = period;
+  out.synthesis = std::move(result);
+
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  sta::TimingAnalyzer analyzer(out.synthesis.design, nominalLibrary(), clock);
+  if (!analyzer.analyze()) return out;
+
+  const std::vector<sta::TimingPath> paths = analyzer.endpointWorstPaths();
+  const variation::PathStatistics stats(statLibrary(), config_.rho);
+  out.design = stats.designStats(paths);
+  out.paths.reserve(paths.size());
+  for (const sta::TimingPath& path : paths) {
+    const variation::PathStats ps = stats.pathStats(path);
+    PathRecord record;
+    record.depth = ps.depth;
+    record.mean = ps.mean;
+    record.sigma = ps.sigma;
+    record.arrival = path.endpoint.arrival;
+    record.slack = path.endpoint.slack;
+    record.endpoint = path.endpoint.name;
+    out.paths.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::optional<double> TuningFlow::findMinPeriod(double lo, double hi,
+                                                double tolerance) {
+  synth::Synthesizer synthesizer(nominalLibrary());
+  return synthesizer.findMinPeriod(subject(), config_.clock, lo, hi, tolerance,
+                                   config_.synthesis);
+}
+
+std::vector<TuningFlow::SweepPoint> TuningFlow::sweepMethod(
+    tuning::TuningMethod method, double period,
+    const DesignMeasurement& baseline) {
+  std::vector<SweepPoint> points;
+  for (double value : tuning::sweepValues(method)) {
+    SweepPoint point;
+    point.method = method;
+    point.parameter = value;
+    point.measurement =
+        synthesizeTuned(period, tuning::TuningConfig::forMethod(method, value));
+    if (baseline.sigma() > 0.0) {
+      point.sigmaReductionPct =
+          100.0 * (baseline.sigma() - point.measurement.sigma()) /
+          baseline.sigma();
+    }
+    if (baseline.area() > 0.0) {
+      point.areaIncreasePct =
+          100.0 * (point.measurement.area() - baseline.area()) /
+          baseline.area();
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+const TuningFlow::SweepPoint* TuningFlow::bestUnderAreaCap(
+    std::span<const SweepPoint> points, double maxAreaIncreasePct) {
+  const SweepPoint* best = nullptr;
+  for (const SweepPoint& point : points) {
+    if (!point.measurement.success()) continue;
+    if (point.areaIncreasePct >= maxAreaIncreasePct) continue;
+    if (best == nullptr ||
+        point.sigmaReductionPct > best->sigmaReductionPct) {
+      best = &point;
+    }
+  }
+  return best;
+}
+
+}  // namespace sct::core

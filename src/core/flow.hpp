@@ -1,0 +1,117 @@
+#pragma once
+// End-to-end library-tuning flow (the paper's methodology, sections II-VII):
+//   characterize -> build statistical library -> extract thresholds ->
+//   restrict LUTs -> synthesize under constraints -> measure design sigma.
+// Every bench and example drives this facade.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/mcu.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/synthesis.hpp"
+#include "tuning/restriction.hpp"
+#include "variation/path_stats.hpp"
+
+namespace sct::core {
+
+struct FlowConfig {
+  charlib::CharacterizationConfig characterization{};
+  std::size_t mcLibraryCount = 50;  ///< paper: 50 library instances
+  std::uint64_t mcSeed = 2014;
+  netlist::McuConfig mcu{};
+  sta::ClockSpec clock{};  ///< period is overridden per experiment
+  synth::SynthesisOptions synthesis{};
+  double rho = 0.0;  ///< pairwise cell correlation in path convolution
+};
+
+/// Per-endpoint worst-path record used by the path-population figures.
+struct PathRecord {
+  std::size_t depth = 0;
+  double mean = 0.0;    ///< statistical path mean [ns]
+  double sigma = 0.0;   ///< statistical path sigma [ns]
+  double arrival = 0.0; ///< STA arrival at the endpoint [ns]
+  double slack = 0.0;
+  std::string endpoint;
+};
+
+struct DesignMeasurement {
+  synth::SynthesisResult synthesis;
+  variation::DesignStats design;  ///< eq. (11) aggregate
+  std::vector<PathRecord> paths;  ///< one per unique endpoint
+  double clockPeriod = 0.0;
+
+  [[nodiscard]] bool success() const noexcept { return synthesis.success(); }
+  [[nodiscard]] double area() const noexcept { return synthesis.area; }
+  [[nodiscard]] double sigma() const noexcept { return design.sigma; }
+};
+
+class TuningFlow {
+ public:
+  explicit TuningFlow(FlowConfig config = {});
+
+  [[nodiscard]] const FlowConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const charlib::Characterizer& characterizer() const noexcept {
+    return characterizer_;
+  }
+
+  /// Nominal TT library used by synthesis (lazily characterized).
+  const liberty::Library& nominalLibrary();
+  /// Statistical library from N Monte-Carlo library instances (Fig. 2).
+  const statlib::StatLibrary& statLibrary();
+  /// The microcontroller subject graph (lazily generated).
+  const netlist::Design& subject();
+
+  /// Stage 1+2 of the tuning method for a given config.
+  tuning::LibraryConstraints tune(const tuning::TuningConfig& config);
+
+  /// Baseline synthesis (untuned library) at a clock period.
+  DesignMeasurement synthesizeBaseline(double period);
+  /// Constrained synthesis under a tuning config.
+  DesignMeasurement synthesizeTuned(double period,
+                                    const tuning::TuningConfig& config);
+
+  /// Statistical measurement of an already-synthesized design.
+  DesignMeasurement measure(synth::SynthesisResult result, double period);
+
+  /// Traced endpoint worst paths of a synthesized design (for Monte-Carlo
+  /// experiments that need the full path structure, Figs. 15/16).
+  [[nodiscard]] std::vector<sta::TimingPath> tracePaths(
+      const synth::SynthesisResult& result, double period) const;
+
+  /// Minimum feasible clock period of the baseline (Table 1 protocol).
+  std::optional<double> findMinPeriod(double lo = 0.5, double hi = 14.0,
+                                      double tolerance = 0.02);
+
+  // ---- method sweeps (Table 3 / Fig. 10) --------------------------------
+  struct SweepPoint {
+    tuning::TuningMethod method{};
+    double parameter = 0.0;
+    DesignMeasurement measurement;
+    double sigmaReductionPct = 0.0;  ///< vs baseline, positive = better
+    double areaIncreasePct = 0.0;    ///< vs baseline
+  };
+
+  /// Runs the Table 2 parameter sweep of one method at one clock period.
+  std::vector<SweepPoint> sweepMethod(tuning::TuningMethod method,
+                                      double period,
+                                      const DesignMeasurement& baseline);
+
+  /// Paper's Fig. 10 selection rule: highest sigma reduction among
+  /// successful runs with area increase below the cap (default 10%).
+  [[nodiscard]] static const SweepPoint* bestUnderAreaCap(
+      std::span<const SweepPoint> points, double maxAreaIncreasePct = 10.0);
+
+ private:
+  FlowConfig config_;
+  charlib::Characterizer characterizer_;
+  std::unique_ptr<liberty::Library> nominal_;
+  std::unique_ptr<statlib::StatLibrary> stat_;
+  std::unique_ptr<netlist::Design> subject_;
+};
+
+}  // namespace sct::core

@@ -1,0 +1,51 @@
+#include "liberty/cell.hpp"
+
+namespace sct::liberty {
+
+const Pin* Cell::findPin(std::string_view name) const noexcept {
+  for (const Pin& pin : pins_) {
+    if (pin.name == name) return &pin;
+  }
+  return nullptr;
+}
+
+double Cell::inputCapacitance(std::string_view pin) const noexcept {
+  const Pin* p = findPin(pin);
+  return (p != nullptr && p->direction == PinDirection::kInput)
+             ? p->capacitance
+             : 0.0;
+}
+
+std::vector<const TimingArc*> Cell::arcsTo(std::string_view outputPin) const {
+  std::vector<const TimingArc*> out;
+  for (const TimingArc& arc : arcs_) {
+    if (arc.outputPin == outputPin) out.push_back(&arc);
+  }
+  return out;
+}
+
+const TimingArc* Cell::findArc(std::string_view relatedPin,
+                               std::string_view outputPin) const noexcept {
+  for (const TimingArc& arc : arcs_) {
+    if (arc.relatedPin == relatedPin && arc.outputPin == outputPin) return &arc;
+  }
+  return nullptr;
+}
+
+std::vector<const Pin*> Cell::inputPins() const {
+  std::vector<const Pin*> out;
+  for (const Pin& pin : pins_) {
+    if (pin.direction == PinDirection::kInput) out.push_back(&pin);
+  }
+  return out;
+}
+
+std::vector<const Pin*> Cell::outputPins() const {
+  std::vector<const Pin*> out;
+  for (const Pin& pin : pins_) {
+    if (pin.direction == PinDirection::kOutput) out.push_back(&pin);
+  }
+  return out;
+}
+
+}  // namespace sct::liberty

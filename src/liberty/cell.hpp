@@ -1,0 +1,126 @@
+#pragma once
+// Standard cell model: pins, timing arcs and per-cell metadata. One timing
+// arc holds the four LUTs of a related-pin/output-pin pair (rise/fall delay
+// and rise/fall output transition), exactly the tables the tuner restricts.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/function.hpp"
+#include "liberty/lut.hpp"
+
+namespace sct::liberty {
+
+enum class PinDirection { kInput, kOutput };
+
+struct Pin {
+  std::string name;
+  PinDirection direction = PinDirection::kInput;
+  double capacitance = 0.0;  ///< input pin capacitance [pF]
+  double maxCapacitance = 0.0;  ///< output drive limit [pF]; 0 = unlimited
+  bool isClock = false;
+};
+
+/// Timing arc from one input (related) pin to one output pin.
+struct TimingArc {
+  std::string relatedPin;
+  std::string outputPin;
+  Lut riseDelay;
+  Lut fallDelay;
+  Lut riseTransition;
+  Lut fallTransition;
+
+  /// Worst (max of rise/fall) delay at an operating point; the analysis in
+  /// this repository is single-valued worst-case, like the paper's setup
+  /// study.
+  [[nodiscard]] double worstDelay(double slew, double load) const noexcept {
+    return std::max(riseDelay.lookup(slew, load), fallDelay.lookup(slew, load));
+  }
+  /// Best (min of rise/fall) delay; used by the hold (min-delay) analysis.
+  [[nodiscard]] double bestDelay(double slew, double load) const noexcept {
+    return std::min(riseDelay.lookup(slew, load), fallDelay.lookup(slew, load));
+  }
+  [[nodiscard]] double worstTransition(double slew, double load) const noexcept {
+    return std::max(riseTransition.lookup(slew, load),
+                    fallTransition.lookup(slew, load));
+  }
+};
+
+class Cell {
+ public:
+  Cell() = default;
+  Cell(std::string name, CellFunction function, double driveStrength,
+       double area)
+      : name_(std::move(name)),
+        function_(function),
+        drive_strength_(driveStrength),
+        area_(area) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] CellFunction function() const noexcept { return function_; }
+  [[nodiscard]] double driveStrength() const noexcept { return drive_strength_; }
+  [[nodiscard]] double area() const noexcept { return area_; }
+  [[nodiscard]] bool isSequential() const noexcept {
+    return traits(function_).sequential;
+  }
+  [[nodiscard]] CellCategory category() const noexcept {
+    return traits(function_).category;
+  }
+
+  /// Setup requirement at the D pin of sequential cells [ns] at the table
+  /// origin (fast edges). Kept as the scalar summary; timing checks use the
+  /// slew-dependent form below.
+  [[nodiscard]] double setupTime() const noexcept { return setup_time_; }
+  void setSetupTime(double t) noexcept { setup_time_ = t; }
+  /// Slew-dependent setup requirement (Liberty setup_rising semantics):
+  /// indexed by data slew (rows) and clock slew (columns). Falls back to
+  /// the scalar when no table was characterized.
+  [[nodiscard]] double setupTime(double dataSlew,
+                                 double clockSlew) const noexcept {
+    return setup_lut_.empty() ? setup_time_
+                              : setup_lut_.lookup(dataSlew, clockSlew);
+  }
+  void setSetupLut(Lut lut) noexcept { setup_lut_ = std::move(lut); }
+  [[nodiscard]] const Lut& setupLut() const noexcept { return setup_lut_; }
+
+  /// Hold requirement at the D pin of sequential cells [ns].
+  [[nodiscard]] double holdTime() const noexcept { return hold_time_; }
+  void setHoldTime(double t) noexcept { hold_time_ = t; }
+
+  [[nodiscard]] const std::vector<Pin>& pins() const noexcept { return pins_; }
+  [[nodiscard]] std::vector<Pin>& pins() noexcept { return pins_; }
+  [[nodiscard]] const std::vector<TimingArc>& arcs() const noexcept {
+    return arcs_;
+  }
+  [[nodiscard]] std::vector<TimingArc>& arcs() noexcept { return arcs_; }
+
+  void addPin(Pin pin) { pins_.push_back(std::move(pin)); }
+  void addArc(TimingArc arc) { arcs_.push_back(std::move(arc)); }
+
+  [[nodiscard]] const Pin* findPin(std::string_view name) const noexcept;
+  /// Input pin capacitance; 0 when the pin does not exist.
+  [[nodiscard]] double inputCapacitance(std::string_view pin) const noexcept;
+  /// Arcs driving the given output pin.
+  [[nodiscard]] std::vector<const TimingArc*> arcsTo(
+      std::string_view outputPin) const;
+  /// Arc for a specific related-pin/output-pin pair, if present.
+  [[nodiscard]] const TimingArc* findArc(std::string_view relatedPin,
+                                         std::string_view outputPin) const noexcept;
+  [[nodiscard]] std::vector<const Pin*> inputPins() const;
+  [[nodiscard]] std::vector<const Pin*> outputPins() const;
+
+ private:
+  std::string name_;
+  CellFunction function_ = CellFunction::kInv;
+  double drive_strength_ = 1.0;
+  double area_ = 0.0;
+  double setup_time_ = 0.0;
+  double hold_time_ = 0.0;
+  Lut setup_lut_;  ///< rows: data slew, cols: clock slew; empty = scalar
+  std::vector<Pin> pins_;
+  std::vector<TimingArc> arcs_;
+};
+
+}  // namespace sct::liberty

@@ -1,0 +1,162 @@
+#include "liberty/function.hpp"
+
+#include <cassert>
+#include <charconv>
+
+namespace sct::liberty {
+namespace {
+
+// Logical effort values loosely follow Sutherland/Sproull per-input efforts
+// (INV = 1, NAND2 = 4/3, NOR2 = 5/3, XOR ~ 4); parasitics scale with the
+// number of stacked/internal transistors. Areas are relative unit-drive
+// footprints.
+constexpr FunctionTraits kTraits[] = {
+    {CellFunction::kInv, "IV", 1, 1, false, CellCategory::kInverter, 1.00, 1.0, 1.0},
+    {CellFunction::kBuf, "BF", 1, 1, false, CellCategory::kOther, 1.10, 2.0, 1.6},
+    {CellFunction::kClkBuf, "CB", 1, 1, false, CellCategory::kOther, 1.05, 2.2, 2.0},
+    {CellFunction::kTieHi, "TIEH", 0, 1, false, CellCategory::kOther, 1.00, 1.0, 0.8},
+    {CellFunction::kTieLo, "TIEL", 0, 1, false, CellCategory::kOther, 1.00, 1.0, 0.8},
+    {CellFunction::kNand2, "ND2", 2, 1, false, CellCategory::kNand, 1.33, 2.0, 1.4},
+    {CellFunction::kNand2B, "ND2B", 2, 1, false, CellCategory::kNand, 1.45, 2.6, 1.9},
+    {CellFunction::kNand3, "ND3", 3, 1, false, CellCategory::kNand, 1.67, 3.0, 1.9},
+    {CellFunction::kNand4, "ND4", 4, 1, false, CellCategory::kNand, 2.00, 4.0, 2.4},
+    {CellFunction::kNor2, "NR2", 2, 1, false, CellCategory::kNor, 1.67, 2.2, 1.5},
+    {CellFunction::kNor2B, "NR2B", 2, 1, false, CellCategory::kNor, 1.80, 2.8, 2.0},
+    {CellFunction::kNor3, "NR3", 3, 1, false, CellCategory::kNor, 2.33, 3.4, 2.1},
+    {CellFunction::kNor4, "NR4", 4, 1, false, CellCategory::kNor, 3.00, 4.6, 2.7},
+    {CellFunction::kAnd2, "AN2", 2, 1, false, CellCategory::kOr, 1.50, 3.0, 1.8},
+    {CellFunction::kAnd3, "AN3", 3, 1, false, CellCategory::kOr, 1.83, 4.0, 2.3},
+    {CellFunction::kAnd4, "AN4", 4, 1, false, CellCategory::kOr, 2.17, 5.0, 2.8},
+    {CellFunction::kOr2, "OR2", 2, 1, false, CellCategory::kOr, 1.83, 3.2, 1.9},
+    {CellFunction::kOr3, "OR3", 3, 1, false, CellCategory::kOr, 2.50, 4.4, 2.4},
+    {CellFunction::kOr4, "OR4", 4, 1, false, CellCategory::kOr, 3.17, 5.6, 2.9},
+    {CellFunction::kXor2, "EO2", 2, 1, false, CellCategory::kXnor, 4.00, 4.0, 2.8},
+    {CellFunction::kXnor2, "EN2", 2, 1, false, CellCategory::kXnor, 4.00, 4.2, 2.8},
+    {CellFunction::kAoi21, "AOI21", 3, 1, false, CellCategory::kOther, 2.00, 3.0, 1.9},
+    {CellFunction::kOai21, "OAI21", 3, 1, false, CellCategory::kOther, 1.85, 3.0, 1.9},
+    {CellFunction::kMux2, "MU2", 3, 1, false, CellCategory::kMultiplexer, 2.00, 4.0, 2.6},
+    {CellFunction::kMux4, "MU4", 6, 1, false, CellCategory::kMultiplexer, 2.60, 7.0, 5.0},
+    {CellFunction::kHalfAdder, "HA1", 2, 2, false, CellCategory::kAdder, 4.00, 5.0, 3.6},
+    {CellFunction::kFullAdder, "FA1", 3, 2, false, CellCategory::kAdder, 4.50, 7.0, 5.4},
+    {CellFunction::kDff, "FD1", 1, 1, true, CellCategory::kFlipFlop, 1.80, 6.0, 4.6},
+    {CellFunction::kDffR, "FD1R", 1, 1, true, CellCategory::kFlipFlop, 1.90, 6.4, 5.2},
+    {CellFunction::kDffS, "FD1S", 1, 1, true, CellCategory::kFlipFlop, 1.90, 6.4, 5.2},
+    {CellFunction::kDffRS, "FD1RS", 1, 1, true, CellCategory::kFlipFlop, 2.00, 6.8, 5.8},
+    {CellFunction::kDffE, "FD1E", 1, 1, true, CellCategory::kFlipFlop, 2.00, 6.8, 5.8},
+    {CellFunction::kLatch, "LD1", 1, 1, true, CellCategory::kLatch, 1.60, 4.0, 3.0},
+    {CellFunction::kLatchR, "LD1R", 1, 1, true, CellCategory::kLatch, 1.70, 4.4, 3.4},
+};
+
+static_assert(sizeof(kTraits) / sizeof(kTraits[0]) == kNumCellFunctions);
+
+constexpr std::string_view kFunctionNames[] = {
+    "INV",   "BUF",   "CLKBUF", "TIEHI", "TIELO", "NAND2", "NAND2B",
+    "NAND3", "NAND4", "NOR2",   "NOR2B", "NOR3",  "NOR4",  "AND2",
+    "AND3",  "AND4",  "OR2",    "OR3",   "OR4",   "XOR2",  "XNOR2",
+    "AOI21", "OAI21", "MUX2",   "MUX4",  "HA",    "FA",    "DFF",
+    "DFFR",  "DFFS",  "DFFRS",  "DFFE",  "LATCH", "LATCHR",
+};
+static_assert(sizeof(kFunctionNames) / sizeof(kFunctionNames[0]) ==
+              kNumCellFunctions);
+
+constexpr std::string_view kCategoryNames[] = {
+    "Inverter", "Or",           "Nand",     "Nor",   "Xnor",
+    "Adder",    "Multiplexer",  "FlipFlop", "Latch", "Other",
+};
+
+}  // namespace
+
+const FunctionTraits& traits(CellFunction f) noexcept {
+  const auto idx = static_cast<std::size_t>(f);
+  assert(idx < kNumCellFunctions);
+  assert(kTraits[idx].function == f);
+  return kTraits[idx];
+}
+
+std::string_view toString(CellFunction f) noexcept {
+  return kFunctionNames[static_cast<std::size_t>(f)];
+}
+
+std::string_view toString(CellCategory c) noexcept {
+  return kCategoryNames[static_cast<std::size_t>(c)];
+}
+
+std::string strengthSuffix(double strength) {
+  assert(strength > 0.0);
+  const auto whole = static_cast<long>(strength);
+  const auto tenths =
+      static_cast<long>((strength - static_cast<double>(whole)) * 10.0 + 0.5);
+  std::string out = std::to_string(whole);
+  if (tenths != 0) {
+    out += 'P';
+    out += std::to_string(tenths);
+  }
+  return out;
+}
+
+std::string makeCellName(CellFunction f, double strength) {
+  std::string name(traits(f).prefix);
+  name += '_';
+  name += strengthSuffix(strength);
+  return name;
+}
+
+double parseStrengthSuffix(std::string_view suffix) noexcept {
+  const std::size_t p = suffix.find('P');
+  auto parseLong = [](std::string_view text, long& out) {
+    const auto* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(text.data(), end, out);
+    return ec == std::errc{} && ptr == end;
+  };
+  long whole = 0;
+  long tenths = 0;
+  if (p == std::string_view::npos) {
+    if (!parseLong(suffix, whole)) return -1.0;
+  } else {
+    if (!parseLong(suffix.substr(0, p), whole)) return -1.0;
+    if (!parseLong(suffix.substr(p + 1), tenths)) return -1.0;
+  }
+  if (whole < 0 || tenths < 0 || tenths > 9) return -1.0;
+  return static_cast<double>(whole) + static_cast<double>(tenths) / 10.0;
+}
+
+std::array<std::string_view, 6> dataInputNames(CellFunction f) noexcept {
+  switch (f) {
+    case CellFunction::kMux2:
+      return {"D0", "D1", "S", "", "", ""};
+    case CellFunction::kMux4:
+      return {"D0", "D1", "D2", "D3", "S0", "S1"};
+    case CellFunction::kFullAdder:
+      return {"A", "B", "CI", "", "", ""};
+    case CellFunction::kDff:
+    case CellFunction::kDffR:
+    case CellFunction::kDffS:
+    case CellFunction::kDffRS:
+    case CellFunction::kDffE:
+    case CellFunction::kLatch:
+    case CellFunction::kLatchR:
+      return {"D", "", "", "", "", ""};
+    default:
+      return {"A", "B", "C", "D", "E", "F"};
+  }
+}
+
+std::array<std::string_view, 2> outputNames(CellFunction f) noexcept {
+  switch (f) {
+    case CellFunction::kHalfAdder:
+    case CellFunction::kFullAdder:
+      return {"S", "CO"};
+    case CellFunction::kDff:
+    case CellFunction::kDffR:
+    case CellFunction::kDffS:
+    case CellFunction::kDffRS:
+    case CellFunction::kDffE:
+    case CellFunction::kLatch:
+    case CellFunction::kLatchR:
+      return {"Q", ""};
+    default:
+      return {"Z", ""};
+  }
+}
+
+}  // namespace sct::liberty

@@ -1,0 +1,110 @@
+#pragma once
+// Logic-function identities for the standard cell catalogue. The synthesis
+// mapper groups cells into *function families* (same logic, different drive
+// strength), the tuner additionally clusters by drive strength, and the
+// experiment reports bucket cells into the appendix-A categories.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sct::liberty {
+
+/// Logic functions present in the 304-cell catalogue (paper appendix A).
+enum class CellFunction {
+  kInv,
+  kBuf,
+  kClkBuf,
+  kTieHi,
+  kTieLo,
+  kNand2,
+  kNand2B,  ///< NAND2 with one inverted input
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor2B,  ///< NOR2 with one inverted input
+  kNor3,
+  kNor4,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kXor2,
+  kXnor2,
+  kAoi21,
+  kOai21,
+  kMux2,
+  kMux4,
+  kHalfAdder,
+  kFullAdder,
+  kDff,
+  kDffR,   ///< async reset
+  kDffS,   ///< async set
+  kDffRS,  ///< async reset + set
+  kDffE,   ///< clock enable
+  kLatch,
+  kLatchR,
+};
+
+inline constexpr std::size_t kNumCellFunctions =
+    static_cast<std::size_t>(CellFunction::kLatchR) + 1;
+
+/// Appendix-A catalogue categories used by the usage/summary reports.
+enum class CellCategory {
+  kInverter,
+  kOr,  ///< AND/OR cells (the appendix groups them under "Or")
+  kNand,
+  kNor,
+  kXnor,  ///< XOR/XNOR
+  kAdder,
+  kMultiplexer,
+  kFlipFlop,
+  kLatch,
+  kOther,
+};
+
+struct FunctionTraits {
+  CellFunction function;
+  std::string_view prefix;  ///< cell-name prefix, e.g. "NR2B" for NR2B_3
+  std::size_t numDataInputs;  ///< data inputs (excludes clock/reset/set/enable)
+  std::size_t numOutputs;
+  bool sequential;
+  CellCategory category;
+  /// Logical-effort-style complexity of the worst input-to-output stage;
+  /// scales both delay and input capacitance in the analytic delay model.
+  double logicalEffort;
+  /// Relative parasitic (intrinsic) delay of the cell topology.
+  double parasitic;
+  /// Relative layout area of a unit-drive instance.
+  double unitArea;
+};
+
+[[nodiscard]] const FunctionTraits& traits(CellFunction f) noexcept;
+
+/// Short name, e.g. "NAND2B".
+[[nodiscard]] std::string_view toString(CellFunction f) noexcept;
+[[nodiscard]] std::string_view toString(CellCategory c) noexcept;
+
+/// Drive strength rendered in the paper's naming convention where 'P' is a
+/// decimal separator: 0.5 -> "0P5", 4 -> "4".
+[[nodiscard]] std::string strengthSuffix(double strength);
+
+/// Full cell name "<prefix>_<strength>", e.g. makeCellName(kNor2B, 3) ->
+/// "NR2B_3".
+[[nodiscard]] std::string makeCellName(CellFunction f, double strength);
+
+/// Inverse of strengthSuffix for name parsing; returns <=0 on failure.
+[[nodiscard]] double parseStrengthSuffix(std::string_view suffix) noexcept;
+
+/// Data-input pin names in order (A, B, C, D / D0, D1, S / A, B, CI / ...).
+[[nodiscard]] std::array<std::string_view, 6> dataInputNames(
+    CellFunction f) noexcept;
+
+/// Output pin names in order (Z / S, CO / Q).
+[[nodiscard]] std::array<std::string_view, 2> outputNames(
+    CellFunction f) noexcept;
+
+}  // namespace sct::liberty

@@ -1,0 +1,310 @@
+#include "liberty/liberty_io.hpp"
+
+#include "liberty/text_format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace sct::liberty {
+namespace {
+
+// max_digits10: guarantees exact double round-trips through text.
+constexpr int kPrecision = 17;
+
+void writeAxis(std::ostream& out, std::string_view key,
+               const numeric::Axis& axis, int indent) {
+  out << std::string(static_cast<std::size_t>(indent), ' ') << key << " :";
+  for (double v : axis) out << ' ' << v;
+  out << " ;\n";
+}
+
+void writeLut(std::ostream& out, std::string_view key, const Lut& lut,
+              int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << pad << key << " {\n";
+  writeAxis(out, "index_1", lut.slewAxis(), indent + 2);
+  writeAxis(out, "index_2", lut.loadAxis(), indent + 2);
+  for (std::size_t r = 0; r < lut.rows(); ++r) {
+    out << pad << "  row :";
+    for (std::size_t c = 0; c < lut.cols(); ++c) out << ' ' << lut.at(r, c);
+    out << " ;\n";
+  }
+  out << pad << "}\n";
+}
+
+std::optional<CellFunction> functionFromString(std::string_view text) {
+  for (std::size_t i = 0; i < kNumCellFunctions; ++i) {
+    const auto f = static_cast<CellFunction>(i);
+    if (toString(f) == text) return f;
+  }
+  return std::nullopt;
+}
+
+using text::axisValues;
+using text::Lexer;
+using text::Line;
+using text::singleValue;
+using text::toDouble;
+
+Lut readLut(Lexer& lexer) {
+  numeric::Axis slew;
+  numeric::Axis load;
+  std::vector<std::vector<double>> rows;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) {
+      if (slew.empty() || load.empty()) {
+        throw ParseError(line->number, "LUT missing index_1/index_2");
+      }
+      if (rows.size() != slew.size()) {
+        throw ParseError(line->number, "LUT row count does not match index_1");
+      }
+      numeric::Grid2d grid(slew.size(), load.size());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != load.size()) {
+          throw ParseError(line->number,
+                           "LUT row width does not match index_2");
+        }
+        for (std::size_t c = 0; c < load.size(); ++c) {
+          grid.at(r, c) = rows[r][c];
+        }
+      }
+      return Lut(std::move(slew), std::move(load), std::move(grid));
+    }
+    if (line->head == "index_1") {
+      slew = axisValues(*line);
+    } else if (line->head == "index_2") {
+      load = axisValues(*line);
+    } else if (line->head == "row") {
+      std::vector<double> row;
+      row.reserve(line->values.size());
+      for (const std::string& token : line->values) {
+        row.push_back(toDouble(*line, token));
+      }
+      rows.push_back(std::move(row));
+    } else {
+      throw ParseError(line->number, "unexpected '" + line->head + "' in LUT");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated LUT block");
+}
+
+TimingArc readArc(Lexer& lexer, const std::string& arg) {
+  TimingArc arc;
+  const std::size_t arrow = arg.find("->");
+  if (arrow == std::string::npos) {
+    throw ParseError(lexer.lineNumber(), "timing needs 'related -> output'");
+  }
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(' ');
+    const auto e = s.find_last_not_of(' ');
+    return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+  };
+  arc.relatedPin = trim(arg.substr(0, arrow));
+  arc.outputPin = trim(arg.substr(arrow + 2));
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) return arc;
+    if (!line->opensBlock) {
+      throw ParseError(line->number, "expected LUT block in timing arc");
+    }
+    if (line->head == "cell_rise") {
+      arc.riseDelay = readLut(lexer);
+    } else if (line->head == "cell_fall") {
+      arc.fallDelay = readLut(lexer);
+    } else if (line->head == "rise_transition") {
+      arc.riseTransition = readLut(lexer);
+    } else if (line->head == "fall_transition") {
+      arc.fallTransition = readLut(lexer);
+    } else {
+      throw ParseError(line->number, "unknown table '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated timing block");
+}
+
+Pin readPin(Lexer& lexer, const std::string& name) {
+  Pin pin;
+  pin.name = name;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) return pin;
+    if (line->head == "direction") {
+      if (line->values.size() != 1) {
+        throw ParseError(line->number, "direction needs one value");
+      }
+      if (line->values[0] == "input") {
+        pin.direction = PinDirection::kInput;
+      } else if (line->values[0] == "output") {
+        pin.direction = PinDirection::kOutput;
+      } else {
+        throw ParseError(line->number,
+                         "bad direction '" + line->values[0] + "'");
+      }
+    } else if (line->head == "capacitance") {
+      pin.capacitance = singleValue(*line);
+    } else if (line->head == "max_capacitance") {
+      pin.maxCapacitance = singleValue(*line);
+    } else if (line->head == "clock") {
+      pin.isClock = line->values.size() == 1 && line->values[0] == "true";
+    } else {
+      throw ParseError(line->number, "unknown pin attribute '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated pin block");
+}
+
+Cell readCell(Lexer& lexer, const std::string& name) {
+  std::optional<CellFunction> function;
+  double strength = 1.0;
+  double area = 0.0;
+  double setup = 0.0;
+  double hold = 0.0;
+  Lut setupLut;
+  std::vector<Pin> pins;
+  std::vector<TimingArc> arcs;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) {
+      if (!function) throw ParseError(line->number, "cell missing function");
+      Cell cell(name, *function, strength, area);
+      cell.setSetupTime(setup);
+      cell.setHoldTime(hold);
+      if (!setupLut.empty()) cell.setSetupLut(std::move(setupLut));
+      for (Pin& pin : pins) cell.addPin(std::move(pin));
+      for (TimingArc& arc : arcs) cell.addArc(std::move(arc));
+      return cell;
+    }
+    if (line->opensBlock && line->head == "pin") {
+      pins.push_back(readPin(lexer, line->arg));
+    } else if (line->opensBlock && line->head == "setup_constraint") {
+      setupLut = readLut(lexer);
+    } else if (line->opensBlock && line->head == "timing") {
+      arcs.push_back(readArc(lexer, line->arg));
+    } else if (line->head == "function") {
+      if (line->values.size() != 1) {
+        throw ParseError(line->number, "function needs one value");
+      }
+      function = functionFromString(line->values[0]);
+      if (!function) {
+        throw ParseError(line->number,
+                         "unknown function '" + line->values[0] + "'");
+      }
+    } else if (line->head == "drive_strength") {
+      strength = singleValue(*line);
+    } else if (line->head == "area") {
+      area = singleValue(*line);
+    } else if (line->head == "setup") {
+      setup = singleValue(*line);
+    } else if (line->head == "hold") {
+      hold = singleValue(*line);
+    } else {
+      throw ParseError(line->number,
+                       "unknown cell attribute '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated cell block");
+}
+
+}  // namespace
+
+void writeLibrary(std::ostream& out, const Library& library) {
+  out << std::setprecision(kPrecision);
+  out << "library (" << library.name() << ") {\n";
+  const OperatingConditions& oc = library.conditions();
+  out << "  operating_conditions {\n"
+      << "    process : " << oc.processName << " ;\n"
+      << "    voltage : " << oc.voltage << " ;\n"
+      << "    temperature : " << oc.temperature << " ;\n"
+      << "  }\n";
+  for (const Cell* cell : library.cells()) {
+    out << "  cell (" << cell->name() << ") {\n";
+    out << "    function : " << toString(cell->function()) << " ;\n";
+    out << "    drive_strength : " << cell->driveStrength() << " ;\n";
+    out << "    area : " << cell->area() << " ;\n";
+    if (cell->isSequential()) {
+      out << "    setup : " << cell->setupTime() << " ;\n";
+      out << "    hold : " << cell->holdTime() << " ;\n";
+      if (!cell->setupLut().empty()) {
+        writeLut(out, "setup_constraint", cell->setupLut(), 4);
+      }
+    }
+    for (const Pin& pin : cell->pins()) {
+      out << "    pin (" << pin.name << ") {\n";
+      out << "      direction : "
+          << (pin.direction == PinDirection::kInput ? "input" : "output")
+          << " ;\n";
+      if (pin.direction == PinDirection::kInput) {
+        out << "      capacitance : " << pin.capacitance << " ;\n";
+        if (pin.isClock) out << "      clock : true ;\n";
+      } else if (pin.maxCapacitance > 0.0) {
+        out << "      max_capacitance : " << pin.maxCapacitance << " ;\n";
+      }
+      out << "    }\n";
+    }
+    for (const TimingArc& arc : cell->arcs()) {
+      out << "    timing (" << arc.relatedPin << " -> " << arc.outputPin
+          << ") {\n";
+      writeLut(out, "cell_rise", arc.riseDelay, 6);
+      writeLut(out, "cell_fall", arc.fallDelay, 6);
+      writeLut(out, "rise_transition", arc.riseTransition, 6);
+      writeLut(out, "fall_transition", arc.fallTransition, 6);
+      out << "    }\n";
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+}
+
+std::string writeLibraryToString(const Library& library) {
+  std::ostringstream out;
+  writeLibrary(out, library);
+  return out.str();
+}
+
+Library readLibrary(std::istream& in) {
+  Lexer lexer(in);
+  auto first = lexer.next();
+  if (!first || first->head != "library" || !first->opensBlock) {
+    throw ParseError(first ? first->number : 0, "expected 'library (name) {'");
+  }
+  Library library(first->arg);
+  OperatingConditions oc;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) {
+      return library;
+    }
+    if (line->opensBlock && line->head == "operating_conditions") {
+      while (auto inner = lexer.next()) {
+        if (inner->closesBlock) break;
+        if (inner->head == "process") {
+          if (inner->values.size() != 1) {
+            throw ParseError(inner->number, "process needs one value");
+          }
+          oc.processName = inner->values[0];
+        } else if (inner->head == "voltage") {
+          oc.voltage = singleValue(*inner);
+        } else if (inner->head == "temperature") {
+          oc.temperature = singleValue(*inner);
+        } else {
+          throw ParseError(inner->number,
+                           "unknown condition '" + inner->head + "'");
+        }
+      }
+      library = Library(library.name(), oc);
+    } else if (line->opensBlock && line->head == "cell") {
+      library.addCell(readCell(lexer, line->arg));
+    } else {
+      throw ParseError(line->number, "unexpected '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated library block");
+}
+
+Library readLibraryFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readLibrary(in);
+}
+
+}  // namespace sct::liberty

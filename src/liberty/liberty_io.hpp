@@ -1,0 +1,36 @@
+#pragma once
+// Text serialization of libraries in a simplified Liberty dialect. The
+// writer emits a deterministic, human-diffable .lib-style file; the parser
+// reads it back losslessly (round-trip tested). This stands in for the
+// Liberty files exchanged between characterization and synthesis in the
+// paper's flow (section II, [7]).
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace sct::liberty {
+
+/// Raised by readLibrary on malformed input; carries a line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Writes the library in the simplified Liberty dialect.
+void writeLibrary(std::ostream& out, const Library& library);
+[[nodiscard]] std::string writeLibraryToString(const Library& library);
+
+/// Parses a library previously produced by writeLibrary.
+[[nodiscard]] Library readLibrary(std::istream& in);
+[[nodiscard]] Library readLibraryFromString(const std::string& text);
+
+}  // namespace sct::liberty

@@ -1,0 +1,79 @@
+#include "liberty/library.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sct::liberty {
+
+std::string OperatingConditions::cornerName() const {
+  // 1.1 V -> "1P1V"; 25 degC -> "25C".
+  char buf[64];
+  const auto volts = static_cast<int>(voltage);
+  const auto tenths =
+      static_cast<int>((voltage - static_cast<double>(volts)) * 10.0 + 0.5);
+  if (tenths != 0) {
+    std::snprintf(buf, sizeof buf, "%s%dP%dV%dC", processName.c_str(), volts,
+                  tenths, static_cast<int>(temperature));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%dV%dC", processName.c_str(), volts,
+                  static_cast<int>(temperature));
+  }
+  return buf;
+}
+
+Cell* Library::addCell(Cell cell) {
+  auto owned = std::make_unique<Cell>(std::move(cell));
+  Cell* raw = owned.get();
+  cells_.push_back(std::move(owned));
+  by_name_[raw->name()] = raw;
+  return raw;
+}
+
+const Cell* Library::findCell(std::string_view name) const noexcept {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+Cell* Library::findCell(std::string_view name) noexcept {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+std::vector<const Cell*> Library::cells() const {
+  std::vector<const Cell*> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<Cell*> Library::cells() {
+  std::vector<Cell*> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Cell*> Library::family(CellFunction f) const {
+  std::vector<const Cell*> out;
+  for (const auto& c : cells_) {
+    if (c->function() == f) out.push_back(c.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Cell* a, const Cell* b) {
+    return a->driveStrength() < b->driveStrength();
+  });
+  return out;
+}
+
+std::map<double, std::vector<const Cell*>> Library::strengthClusters() const {
+  std::map<double, std::vector<const Cell*>> out;
+  for (const auto& c : cells_) out[c->driveStrength()].push_back(c.get());
+  return out;
+}
+
+std::map<CellCategory, std::size_t> Library::categoryCounts() const {
+  std::map<CellCategory, std::size_t> out;
+  for (const auto& c : cells_) ++out[c->category()];
+  return out;
+}
+
+}  // namespace sct::liberty

@@ -1,0 +1,72 @@
+#pragma once
+// A characterized standard cell library: a named corner (e.g. TT1P1V25C)
+// plus a set of cells. Cells have stable addresses for the lifetime of the
+// library so netlists and timing graphs can hold Cell pointers.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/cell.hpp"
+
+namespace sct::liberty {
+
+/// Operating-condition metadata carried in the library header.
+struct OperatingConditions {
+  std::string processName = "TT";  ///< TT / FF / SS
+  double voltage = 1.1;            ///< V
+  double temperature = 25.0;       ///< degC
+
+  /// Corner string in the paper's style, e.g. "TT1P1V25C".
+  [[nodiscard]] std::string cornerName() const;
+};
+
+class Library {
+ public:
+  Library() = default;
+  explicit Library(std::string name, OperatingConditions conditions = {})
+      : name_(std::move(name)), conditions_(std::move(conditions)) {}
+
+  // Movable, non-copyable: cells are identity objects referenced by pointer.
+  Library(Library&&) noexcept = default;
+  Library& operator=(Library&&) noexcept = default;
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const OperatingConditions& conditions() const noexcept {
+    return conditions_;
+  }
+
+  /// Adds a cell; the returned pointer stays valid for the library lifetime.
+  Cell* addCell(Cell cell);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] const Cell* findCell(std::string_view name) const noexcept;
+  [[nodiscard]] Cell* findCell(std::string_view name) noexcept;
+
+  /// All cells in insertion order.
+  [[nodiscard]] std::vector<const Cell*> cells() const;
+  [[nodiscard]] std::vector<Cell*> cells();
+
+  /// Cells implementing one logic function, sorted by ascending drive
+  /// strength (the mapper's size ladder).
+  [[nodiscard]] std::vector<const Cell*> family(CellFunction f) const;
+
+  /// Cells grouped by drive strength across all functions (tuning clusters).
+  [[nodiscard]] std::map<double, std::vector<const Cell*>> strengthClusters()
+      const;
+
+  /// Count of cells per appendix-A category.
+  [[nodiscard]] std::map<CellCategory, std::size_t> categoryCounts() const;
+
+ private:
+  std::string name_;
+  OperatingConditions conditions_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::map<std::string, Cell*, std::less<>> by_name_;
+};
+
+}  // namespace sct::liberty

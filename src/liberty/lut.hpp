@@ -1,0 +1,74 @@
+#pragma once
+// Liberty-style look-up tables: a delay or output-transition value indexed by
+// input slew (index_1, rows) and output load (index_2, columns), interpolated
+// bilinearly between breakpoints (paper section II and V.A).
+
+#include <string>
+
+#include "numeric/grid2d.hpp"
+#include "numeric/interp.hpp"
+
+namespace sct::liberty {
+
+/// Shared axis definition for a family of LUTs (lu_table_template).
+struct LutTemplate {
+  std::string name;
+  numeric::Axis slew;  ///< index_1: input transition breakpoints [ns]
+  numeric::Axis load;  ///< index_2: output capacitance breakpoints [pF]
+
+  [[nodiscard]] std::size_t rows() const noexcept { return slew.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return load.size(); }
+
+  friend bool operator==(const LutTemplate&, const LutTemplate&) = default;
+};
+
+/// A single look-up table with its axes. Axes are stored by value so a Lut is
+/// self-contained (statistical processing slices and recombines tables from
+/// many library instances).
+class Lut {
+ public:
+  Lut() = default;
+  Lut(numeric::Axis slew, numeric::Axis load)
+      : slew_(std::move(slew)),
+        load_(std::move(load)),
+        values_(slew_.size(), load_.size()) {}
+  Lut(numeric::Axis slew, numeric::Axis load, numeric::Grid2d values)
+      : slew_(std::move(slew)), load_(std::move(load)), values_(std::move(values)) {}
+
+  [[nodiscard]] const numeric::Axis& slewAxis() const noexcept { return slew_; }
+  [[nodiscard]] const numeric::Axis& loadAxis() const noexcept { return load_; }
+  [[nodiscard]] const numeric::Grid2d& values() const noexcept { return values_; }
+  [[nodiscard]] numeric::Grid2d& values() noexcept { return values_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return values_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return values_.cols(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return values_.at(r, c);
+  }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return values_.at(r, c);
+  }
+
+  /// Bilinear interpolation at an arbitrary (slew, load) operating point.
+  [[nodiscard]] double lookup(
+      double slew, double load,
+      numeric::EdgePolicy policy = numeric::EdgePolicy::kClamp) const noexcept {
+    return numeric::bilinear(slew_, load_, values_, slew, load, policy);
+  }
+
+  /// True when both tables share axes (required for entry-wise combination).
+  [[nodiscard]] bool sameShape(const Lut& other) const noexcept {
+    return slew_ == other.slew_ && load_ == other.load_;
+  }
+
+  friend bool operator==(const Lut&, const Lut&) = default;
+
+ private:
+  numeric::Axis slew_;
+  numeric::Axis load_;
+  numeric::Grid2d values_;
+};
+
+}  // namespace sct::liberty

@@ -1,0 +1,98 @@
+#include "liberty/text_format.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace sct::liberty::text {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::optional<Line> Lexer::next() {
+  std::string raw;
+  while (std::getline(in_, raw)) {
+    ++line_no_;
+    const std::size_t comment = raw.find("//");
+    if (comment != std::string::npos) raw.erase(comment);
+    std::string trimmed = trim(raw);
+    if (trimmed.empty()) continue;
+    return parse(trimmed);
+  }
+  return std::nullopt;
+}
+
+Line Lexer::parse(const std::string& textLine) const {
+  Line line;
+  line.number = line_no_;
+  if (textLine == "}") {
+    line.closesBlock = true;
+    return line;
+  }
+  std::string body = textLine;
+  if (body.back() == '{') {
+    line.opensBlock = true;
+    body = trim(body.substr(0, body.size() - 1));
+  }
+  // Extract "name (arg)" if present and there is no key/value colon.
+  const std::size_t open = body.find('(');
+  if (open != std::string::npos && body.find(':') == std::string::npos) {
+    const std::size_t close = body.find(')', open);
+    if (close == std::string::npos) {
+      throw ParseError(line_no_, "unterminated '(' in '" + textLine + "'");
+    }
+    line.head = trim(body.substr(0, open));
+    line.arg = trim(body.substr(open + 1, close - open - 1));
+    return line;
+  }
+  const std::size_t colon = body.find(':');
+  if (colon == std::string::npos) {
+    line.head = body;
+    return line;
+  }
+  line.head = trim(body.substr(0, colon));
+  std::string rest = trim(body.substr(colon + 1));
+  if (!rest.empty() && rest.back() == ';') {
+    rest = trim(rest.substr(0, rest.size() - 1));
+  }
+  std::istringstream tokens(rest);
+  std::string tok;
+  while (tokens >> tok) line.values.push_back(tok);
+  return line;
+}
+
+double toDouble(const Line& line, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(line.number, "expected number, got '" + token + "'");
+  }
+}
+
+double singleValue(const Line& line) {
+  if (line.values.size() != 1) {
+    throw ParseError(line.number, "expected one value for '" + line.head + "'");
+  }
+  return toDouble(line, line.values.front());
+}
+
+numeric::Axis axisValues(const Line& line) {
+  numeric::Axis axis;
+  axis.reserve(line.values.size());
+  for (const std::string& token : line.values) {
+    axis.push_back(toDouble(line, token));
+  }
+  if (axis.empty()) throw ParseError(line.number, "empty axis");
+  return axis;
+}
+
+}  // namespace sct::liberty::text

@@ -1,0 +1,51 @@
+#pragma once
+// Shared line-oriented lexer for the Liberty-style text dialects used by
+// the nominal-library and statistical-library serializers. The grammar is
+// intentionally simple: "name (arg) {", "key : values ;", "}" and "//"
+// comments.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/liberty_io.hpp"  // ParseError
+#include "numeric/grid2d.hpp"
+
+namespace sct::liberty::text {
+
+struct Line {
+  std::size_t number = 0;
+  std::string head;                 ///< first token
+  std::string arg;                  ///< parenthesised argument, if any
+  std::vector<std::string> values;  ///< tokens after ':'
+  bool opensBlock = false;
+  bool closesBlock = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) : in_(in) {}
+
+  /// Next meaningful line; nullopt at end of input.
+  std::optional<Line> next();
+
+  [[nodiscard]] std::size_t lineNumber() const noexcept { return line_no_; }
+
+ private:
+  Line parse(const std::string& text) const;
+
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+};
+
+/// Strict double parse; throws ParseError referencing the line on failure.
+[[nodiscard]] double toDouble(const Line& line, const std::string& token);
+
+/// Requires exactly one value and parses it as a double.
+[[nodiscard]] double singleValue(const Line& line);
+
+/// Parses all value tokens as a non-empty axis.
+[[nodiscard]] numeric::Axis axisValues(const Line& line);
+
+}  // namespace sct::liberty::text

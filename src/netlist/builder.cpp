@@ -1,0 +1,313 @@
+#include "netlist/builder.hpp"
+
+#include <cassert>
+
+namespace sct::netlist {
+
+NetIndex NetlistBuilder::gate(PrimOp op, const std::vector<NetIndex>& inputs,
+                              const std::string& stem) {
+  assert(inputs.size() == numInputs(op));
+  const NetIndex out = design_.addNet(design_.freshName(stem));
+  design_.addInstance(design_.freshName("u"), op, inputs, {out});
+  return out;
+}
+
+NetIndex NetlistBuilder::dff(NetIndex d, PrimOp op, NetIndex enable) {
+  assert(isSequential(op));
+  const NetIndex q = design_.addNet(design_.freshName("q"));
+  std::vector<NetIndex> inputs{d};
+  if (op == PrimOp::kDffE) {
+    assert(enable != kNoNet);
+    inputs.push_back(enable);
+  } else {
+    assert(enable == kNoNet);
+  }
+  design_.addInstance(design_.freshName("reg"), op, inputs, {q});
+  return q;
+}
+
+std::pair<NetIndex, NetIndex> NetlistBuilder::fullAdder(NetIndex a, NetIndex b,
+                                                        NetIndex ci) {
+  const NetIndex sum = design_.addNet(design_.freshName("s"));
+  const NetIndex carry = design_.addNet(design_.freshName("co"));
+  design_.addInstance(design_.freshName("fa"), PrimOp::kFullAdder, {a, b, ci},
+                      {sum, carry});
+  return {sum, carry};
+}
+
+std::pair<NetIndex, NetIndex> NetlistBuilder::halfAdder(NetIndex a,
+                                                        NetIndex b) {
+  const NetIndex sum = design_.addNet(design_.freshName("s"));
+  const NetIndex carry = design_.addNet(design_.freshName("co"));
+  design_.addInstance(design_.freshName("ha"), PrimOp::kHalfAdder, {a, b},
+                      {sum, carry});
+  return {sum, carry};
+}
+
+NetIndex NetlistBuilder::constant(bool value) {
+  NetIndex& cached = value ? const1_ : const0_;
+  if (cached == kNoNet) {
+    cached = design_.addNet(value ? "const1" : "const0");
+    design_.addInstance(value ? "tie1" : "tie0",
+                        value ? PrimOp::kConst1 : PrimOp::kConst0, {},
+                        {cached});
+  }
+  return cached;
+}
+
+NetIndex NetlistBuilder::inputPort(const std::string& name) {
+  const NetIndex net = design_.addNet(name);
+  design_.addPort(name, PortDirection::kInput, net);
+  return net;
+}
+
+Bus NetlistBuilder::inputBus(const std::string& name, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(inputPort(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void NetlistBuilder::outputPort(const std::string& name, NetIndex net) {
+  design_.addPort(name, PortDirection::kOutput, net);
+}
+
+void NetlistBuilder::outputBus(const std::string& name, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    outputPort(name + "[" + std::to_string(i) + "]", bus[i]);
+  }
+}
+
+Bus NetlistBuilder::busDff(const Bus& d, PrimOp op, NetIndex enable) {
+  Bus q;
+  q.reserve(d.size());
+  for (NetIndex bit : d) q.push_back(dff(bit, op, enable));
+  return q;
+}
+
+Bus NetlistBuilder::bitwise(PrimOp op, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(gate(op, {a[i], b[i]}));
+  }
+  return out;
+}
+
+Bus NetlistBuilder::notBus(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (NetIndex bit : a) out.push_back(inv(bit));
+  return out;
+}
+
+Bus NetlistBuilder::mux2Bus(const Bus& d0, const Bus& d1, NetIndex s) {
+  assert(d0.size() == d1.size());
+  Bus out;
+  out.reserve(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    out.push_back(mux2(d0[i], d1[i], s));
+  }
+  return out;
+}
+
+Bus NetlistBuilder::rippleAdder(const Bus& a, const Bus& b, NetIndex cin,
+                                NetIndex* cout) {
+  assert(a.size() == b.size());
+  Bus sum;
+  sum.reserve(a.size());
+  NetIndex carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, co] = fullAdder(a[i], b[i], carry);
+    sum.push_back(s);
+    carry = co;
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+Bus NetlistBuilder::incrementer(const Bus& a, NetIndex* cout) {
+  Bus sum;
+  sum.reserve(a.size());
+  NetIndex carry = constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, co] = halfAdder(a[i], carry);
+    sum.push_back(s);
+    carry = co;
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+namespace {
+
+NetIndex reduceTree(NetlistBuilder& b, Bus bits, PrimOp op2) {
+  assert(!bits.empty());
+  while (bits.size() > 1) {
+    Bus next;
+    next.reserve(bits.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(b.gate(op2, {bits[i], bits[i + 1]}));
+    }
+    if (bits.size() % 2 == 1) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits.front();
+}
+
+}  // namespace
+
+NetIndex NetlistBuilder::orTree(const Bus& bits) {
+  return reduceTree(*this, bits, PrimOp::kOr2);
+}
+NetIndex NetlistBuilder::andTree(const Bus& bits) {
+  return reduceTree(*this, bits, PrimOp::kAnd2);
+}
+NetIndex NetlistBuilder::xorTree(const Bus& bits) {
+  return reduceTree(*this, bits, PrimOp::kXor2);
+}
+
+Bus NetlistBuilder::muxTree(const std::vector<Bus>& choices, const Bus& sel) {
+  assert(!choices.empty());
+  assert(choices.size() == (std::size_t{1} << sel.size()));
+  std::vector<Bus> level = choices;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<Bus> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(mux2Bus(level[i], level[i + 1], sel[s]));
+    }
+    level = std::move(next);
+  }
+  assert(level.size() == 1);
+  return level.front();
+}
+
+Bus NetlistBuilder::decoder(const Bus& sel) {
+  const std::size_t n = std::size_t{1} << sel.size();
+  const Bus selInv = notBus(sel);
+  Bus out;
+  out.reserve(n);
+  for (std::size_t code = 0; code < n; ++code) {
+    Bus literals;
+    literals.reserve(sel.size());
+    for (std::size_t b = 0; b < sel.size(); ++b) {
+      literals.push_back((code >> b & 1) != 0 ? sel[b] : selInv[b]);
+    }
+    out.push_back(andTree(literals));
+  }
+  return out;
+}
+
+Bus NetlistBuilder::shiftLeft(const Bus& value, const Bus& amount) {
+  Bus current = value;
+  const NetIndex zero = constant(false);
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t shift = std::size_t{1} << s;
+    Bus shifted(current.size(), zero);
+    for (std::size_t i = shift; i < current.size(); ++i) {
+      shifted[i] = current[i - shift];
+    }
+    current = mux2Bus(current, shifted, amount[s]);
+  }
+  return current;
+}
+
+Bus NetlistBuilder::shiftRight(const Bus& value, const Bus& amount) {
+  Bus current = value;
+  const NetIndex zero = constant(false);
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t shift = std::size_t{1} << s;
+    Bus shifted(current.size(), zero);
+    for (std::size_t i = 0; i + shift < current.size(); ++i) {
+      shifted[i] = current[i + shift];
+    }
+    current = mux2Bus(current, shifted, amount[s]);
+  }
+  return current;
+}
+
+Bus NetlistBuilder::multiplier(const Bus& a, const Bus& b) {
+  // Row-by-row carry-save array: partial product rows are added with a
+  // ripple chain per row (classic low-area array multiplier).
+  const std::size_t width = a.size() + b.size();
+  const NetIndex zero = constant(false);
+  Bus acc(width, zero);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // Partial product row j: a << j AND b[j].
+    Bus row(width, zero);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      row[i + j] = and2(a[i], b[j]);
+    }
+    if (j == 0) {
+      acc = std::move(row);
+    } else {
+      acc = rippleAdder(acc, row, zero);
+    }
+  }
+  return acc;
+}
+
+NetIndex NetlistBuilder::equal(const Bus& a, const Bus& b) {
+  Bus eq = bitwise(PrimOp::kXnor2, a, b);
+  return andTree(eq);
+}
+
+Bus NetlistBuilder::randomLogic(const Bus& inputs, std::size_t numOutputs,
+                                std::size_t depth, numeric::Rng& rng) {
+  assert(!inputs.empty());
+  static constexpr PrimOp kOps[] = {PrimOp::kNand2, PrimOp::kNor2,
+                                    PrimOp::kAnd2,  PrimOp::kOr2,
+                                    PrimOp::kXor2,  PrimOp::kNand3,
+                                    PrimOp::kNor3};
+  Bus pool = inputs;
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    Bus next;
+    const std::size_t layerSize =
+        layer + 1 == depth ? numOutputs
+                           : std::max(numOutputs, inputs.size());
+    next.reserve(layerSize);
+    for (std::size_t i = 0; i < layerSize; ++i) {
+      PrimOp op = kOps[rng.uniformInt(7)];  // excludes the placeholder
+      std::vector<NetIndex> ins;
+      ins.reserve(numInputs(op));
+      for (std::size_t k = 0; k < numInputs(op); ++k) {
+        ins.push_back(pool[rng.uniformInt(pool.size())]);
+      }
+      next.push_back(gate(op, ins, "rnd"));
+    }
+    // Let later layers also reach back to the primary inputs so path depths
+    // vary across outputs.
+    pool = next;
+    for (std::size_t i = 0; i < inputs.size(); i += 3) pool.push_back(inputs[i]);
+  }
+  pool.resize(numOutputs);
+  return pool;
+}
+
+std::vector<Bus> NetlistBuilder::registerFile(
+    std::size_t registers, std::size_t width, const Bus& writeAddress,
+    const Bus& writeData, NetIndex writeEnable,
+    const std::vector<Bus>& readAddresses) {
+  assert((std::size_t{1} << writeAddress.size()) == registers);
+  assert(writeData.size() == width);
+  (void)width;
+  const Bus select = decoder(writeAddress);
+  std::vector<Bus> storage;
+  storage.reserve(registers);
+  for (std::size_t r = 0; r < registers; ++r) {
+    const NetIndex we = and2(select[r], writeEnable);
+    storage.push_back(busDff(writeData, PrimOp::kDffE, we));
+  }
+  std::vector<Bus> readData;
+  readData.reserve(readAddresses.size());
+  for (const Bus& address : readAddresses) {
+    readData.push_back(muxTree(storage, address));
+  }
+  return readData;
+}
+
+}  // namespace sct::netlist

@@ -1,0 +1,105 @@
+#pragma once
+// Structural netlist construction helpers: single gates, buses, adders,
+// shifters, decoders, mux trees, register files and pseudo-random control
+// logic. The microcontroller generator is built entirely from these.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "numeric/rng.hpp"
+
+namespace sct::netlist {
+
+/// A little-endian bundle of nets (bit 0 first).
+using Bus = std::vector<NetIndex>;
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(Design& design) : design_(design) {}
+
+  [[nodiscard]] Design& design() noexcept { return design_; }
+
+  // --- primitive helpers (return the output net) --------------------------
+  NetIndex gate(PrimOp op, const std::vector<NetIndex>& inputs,
+                const std::string& stem = "n");
+  NetIndex inv(NetIndex a) { return gate(PrimOp::kInv, {a}); }
+  NetIndex buf(NetIndex a) { return gate(PrimOp::kBuf, {a}); }
+  NetIndex and2(NetIndex a, NetIndex b) { return gate(PrimOp::kAnd2, {a, b}); }
+  NetIndex or2(NetIndex a, NetIndex b) { return gate(PrimOp::kOr2, {a, b}); }
+  NetIndex nand2(NetIndex a, NetIndex b) {
+    return gate(PrimOp::kNand2, {a, b});
+  }
+  NetIndex nor2(NetIndex a, NetIndex b) { return gate(PrimOp::kNor2, {a, b}); }
+  NetIndex xor2(NetIndex a, NetIndex b) { return gate(PrimOp::kXor2, {a, b}); }
+  NetIndex xnor2(NetIndex a, NetIndex b) {
+    return gate(PrimOp::kXnor2, {a, b});
+  }
+  /// MUX2: out = s ? d1 : d0.
+  NetIndex mux2(NetIndex d0, NetIndex d1, NetIndex s) {
+    return gate(PrimOp::kMux2, {d0, d1, s});
+  }
+  NetIndex dff(NetIndex d, PrimOp op = PrimOp::kDffR,
+               NetIndex enable = kNoNet);
+  /// Full adder; returns {sum, carry}.
+  std::pair<NetIndex, NetIndex> fullAdder(NetIndex a, NetIndex b, NetIndex ci);
+  std::pair<NetIndex, NetIndex> halfAdder(NetIndex a, NetIndex b);
+  NetIndex constant(bool value);
+
+  // --- ports ---------------------------------------------------------------
+  NetIndex inputPort(const std::string& name);
+  Bus inputBus(const std::string& name, std::size_t width);
+  void outputPort(const std::string& name, NetIndex net);
+  void outputBus(const std::string& name, const Bus& bus);
+
+  // --- word-level blocks ---------------------------------------------------
+  Bus busDff(const Bus& d, PrimOp op = PrimOp::kDffR, NetIndex enable = kNoNet);
+  Bus bitwise(PrimOp op, const Bus& a, const Bus& b);
+  Bus notBus(const Bus& a);
+  Bus mux2Bus(const Bus& d0, const Bus& d1, NetIndex s);
+  /// Ripple-carry adder; cout receives the final carry when non-null.
+  Bus rippleAdder(const Bus& a, const Bus& b, NetIndex cin,
+                  NetIndex* cout = nullptr);
+  /// a + 1 using a half-adder chain.
+  Bus incrementer(const Bus& a, NetIndex* cout = nullptr);
+  /// Balanced reduction trees.
+  NetIndex orTree(const Bus& bits);
+  NetIndex andTree(const Bus& bits);
+  NetIndex xorTree(const Bus& bits);
+  /// Select one of choices.size() buses; sel is binary, choices.size() must
+  /// be a power of two and match 1 << sel.size().
+  Bus muxTree(const std::vector<Bus>& choices, const Bus& sel);
+  /// One-hot decoder: 2^sel.size() outputs.
+  Bus decoder(const Bus& sel);
+  /// Logical left shifter by a binary amount (zeros shifted in).
+  Bus shiftLeft(const Bus& value, const Bus& amount);
+  /// Logical right shifter.
+  Bus shiftRight(const Bus& value, const Bus& amount);
+  /// Unsigned array multiplier (carry-save rows + ripple finish); result is
+  /// a.size()+b.size() bits wide.
+  Bus multiplier(const Bus& a, const Bus& b);
+  /// a == b comparator.
+  NetIndex equal(const Bus& a, const Bus& b);
+
+  /// Layered pseudo-random combinational logic: numOutputs functions of the
+  /// inputs through `depth` layers of random 2-3 input gates. Deterministic
+  /// for a given rng stream; models decoder/control blobs.
+  Bus randomLogic(const Bus& inputs, std::size_t numOutputs, std::size_t depth,
+                  numeric::Rng& rng);
+
+  /// Register file: `registers` words of `width` bits with one write port
+  /// (binary address + write data, enable) and `readAddresses.size()` read
+  /// ports (binary addresses). Returns one read bus per port.
+  std::vector<Bus> registerFile(std::size_t registers, std::size_t width,
+                                const Bus& writeAddress, const Bus& writeData,
+                                NetIndex writeEnable,
+                                const std::vector<Bus>& readAddresses);
+
+ private:
+  Design& design_;
+  NetIndex const0_ = kNoNet;
+  NetIndex const1_ = kNoNet;
+};
+
+}  // namespace sct::netlist

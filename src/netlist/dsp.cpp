@@ -1,0 +1,105 @@
+#include "netlist/dsp.hpp"
+
+#include <cassert>
+
+#include "netlist/builder.hpp"
+#include "netlist/structures.hpp"
+
+namespace sct::netlist {
+namespace {
+
+Bus zeroExtend(NetlistBuilder& b, Bus bus, std::size_t width) {
+  const NetIndex zero = b.constant(false);
+  while (bus.size() < width) bus.push_back(zero);
+  bus.resize(width);
+  return bus;
+}
+
+}  // namespace
+
+Design generateDsp(const DspConfig& config) {
+  assert(config.taps >= 2);
+  assert(config.accWidth >= 2 * config.dataWidth);
+  Design design("dsp");
+  NetlistBuilder b(design);
+  numeric::Rng rng(config.seed);
+  const std::size_t w = config.dataWidth;
+
+  const Bus sampleIn = b.inputBus("sample_in", w);
+  const Bus coeffIn = b.inputBus("coeff_in", w);
+  const NetIndex coeffLoad = b.inputPort("coeff_load");
+  const NetIndex sampleValid = b.inputPort("sample_valid");
+
+  // Coefficient write pointer: gray-coded tap selector + decoder.
+  std::size_t tapBits = 0;
+  while ((std::size_t{1} << tapBits) < config.taps) ++tapBits;
+  const Bus tapSel = b.inputBus("tap_sel", tapBits);
+  const Bus tapOneHot = b.decoder(tapSel);
+
+  Bus irqs;
+  for (std::size_t ch = 0; ch < config.channels; ++ch) {
+    // Registered input sample (advances on valid).
+    const Bus x = b.busDff(sampleIn, PrimOp::kDffE, sampleValid);
+
+    // Coefficient registers, loaded one tap at a time.
+    std::vector<Bus> coeffs;
+    for (std::size_t t = 0; t < config.taps; ++t) {
+      const NetIndex we = b.and2(tapOneHot[t % tapOneHot.size()], coeffLoad);
+      coeffs.push_back(b.busDff(coeffIn, PrimOp::kDffE, we));
+    }
+
+    // Transposed-form FIR: every tap multiplies the *current* sample; the
+    // partial sums shift through registers toward the output, so the
+    // structure is pipelined by construction (one multiplier+adder per
+    // register stage):  z_k = reg(x * c_k + z_{k+1}),  y = z_0.
+    Bus carry = zeroExtend(b, {}, config.accWidth);  // z_taps = 0
+    for (std::size_t t = config.taps; t-- > 0;) {
+      const Bus product =
+          zeroExtend(b, b.multiplier(x, coeffs[t]), config.accWidth);
+      const Bus sum =
+          config.useKoggeStone
+              ? koggeStoneAdder(b, carry, product, b.constant(false))
+              : carrySelectAdder(b, carry, product, b.constant(false), 4);
+      carry = b.busDff(sum, PrimOp::kDffE, sampleValid);
+    }
+    const Bus acc = carry;  // y = z_0
+
+    // Saturation to the output width: clamp when the top bits disagree.
+    const std::size_t outW = w + 2;
+    Bus top(acc.begin() + static_cast<std::ptrdiff_t>(outW), acc.end());
+    const NetIndex overflow = b.orTree(top);
+    Bus clamped;
+    for (std::size_t i = 0; i < outW; ++i) {
+      clamped.push_back(b.mux2(acc[i], b.constant(true), overflow));
+    }
+    const Bus result = b.busDff(clamped, PrimOp::kDffR);
+    b.outputBus("ch" + std::to_string(ch) + "_out", result);
+
+    // Peak detector: output magnitude above a programmable threshold.
+    const Bus threshold =
+        b.busDff(zeroExtend(b, coeffIn, outW), PrimOp::kDffE, coeffLoad);
+    irqs.push_back(b.dff(lessThan(b, threshold, result), PrimOp::kDffR));
+
+    // Decimator: keep one sample in four using a gray-coded phase counter.
+    const Bus phase = grayCounter(b, 2, sampleValid);
+    const NetIndex keep = b.and2(sampleValid, b.nor2(phase[0], phase[1]));
+    b.outputBus("ch" + std::to_string(ch) + "_dec",
+                b.busDff(result, PrimOp::kDffE, keep));
+  }
+
+  // Control blob: status/interrupt logic from a random two-level network,
+  // plus a built-in-self-test LFSR that can replace the input samples.
+  Bus ctrlIn = sampleIn;
+  ctrlIn.push_back(coeffLoad);
+  ctrlIn.push_back(sampleValid);
+  const Bus status = b.randomLogic(ctrlIn, 16, 3, rng);
+  b.outputBus("status", b.busDff(status, PrimOp::kDffR));
+  const Bus bist = lfsr(b, 16, {15, 13, 12, 10});
+  b.outputBus("bist", Bus(bist.begin(), bist.begin() + 4));
+  b.outputPort("irq", b.orTree(irqs));
+
+  assert(design.validate().empty());
+  return design;
+}
+
+}  // namespace sct::netlist

@@ -1,0 +1,379 @@
+#include "netlist/mcu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "netlist/builder.hpp"
+
+namespace sct::netlist {
+namespace {
+
+/// Round down to a power of two exponent: log2 of a power-of-two value.
+std::size_t log2Exact(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  assert((std::size_t{1} << bits) == n && "value must be a power of two");
+  return bits;
+}
+
+Bus slice(const Bus& bus, std::size_t lo, std::size_t count) {
+  assert(lo + count <= bus.size());
+  return Bus(bus.begin() + static_cast<std::ptrdiff_t>(lo),
+             bus.begin() + static_cast<std::ptrdiff_t>(lo + count));
+}
+
+/// Slice that tolerates narrow sources by wrapping around (used where a
+/// configurable block is narrower than the datapath).
+Bus sliceWrap(const Bus& bus, std::size_t lo, std::size_t count) {
+  assert(!bus.empty());
+  Bus out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(bus[(lo + i) % bus.size()]);
+  }
+  return out;
+}
+
+/// 32-bit timer block: up-counter with compare match -> interrupt line.
+NetIndex timerBlock(NetlistBuilder& b, const Bus& busWData, NetIndex loadEn,
+                    NetIndex countEn) {
+  // Compare register written from the bus.
+  const Bus compare = b.busDff(busWData, PrimOp::kDffE, loadEn);
+  // Counter: q nets are created first so the increment feedback loop can be
+  // closed through the enabled registers.
+  Design& d = b.design();
+  Bus q;
+  q.reserve(busWData.size());
+  for (std::size_t i = 0; i < busWData.size(); ++i) {
+    q.push_back(d.addNet(d.freshName("tmr_q")));
+  }
+  Bus inc = b.incrementer(q);
+  for (std::size_t i = 0; i < busWData.size(); ++i) {
+    d.addInstance(d.freshName("tmr_reg"), PrimOp::kDffE, {inc[i], countEn},
+                  {q[i]});
+  }
+  return b.equal(q, compare);
+}
+
+/// DMA channel: address register + incrementer, length countdown, busy flag.
+NetIndex dmaChannel(NetlistBuilder& b, const Bus& busWData, NetIndex loadEn,
+                    NetIndex advance, numeric::Rng& rng) {
+  Design& d = b.design();
+  const std::size_t w = busWData.size();
+  // Address register with increment-on-advance.
+  Bus addrQ;
+  for (std::size_t i = 0; i < w; ++i) {
+    addrQ.push_back(d.addNet(d.freshName("dma_a")));
+  }
+  Bus addrInc = b.incrementer(addrQ);
+  Bus addrD = b.mux2Bus(addrInc, busWData, loadEn);
+  for (std::size_t i = 0; i < w; ++i) {
+    d.addInstance(d.freshName("dma_areg"), PrimOp::kDffE, {addrD[i], advance},
+                  {addrQ[i]});
+  }
+  // Control mini-FSM from random logic.
+  Bus state;
+  for (std::size_t i = 0; i < 4; ++i) {
+    state.push_back(d.addNet(d.freshName("dma_s")));
+  }
+  Bus fsmIn = state;
+  fsmIn.push_back(loadEn);
+  fsmIn.push_back(advance);
+  fsmIn.push_back(addrQ[0]);
+  Bus next = b.randomLogic(fsmIn, 4, 2, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.addInstance(d.freshName("dma_sreg"), PrimOp::kDffR, {next[i]},
+                  {state[i]});
+  }
+  return b.orTree(state);
+}
+
+}  // namespace
+
+Design generateMcu(const McuConfig& config) {
+  Design design("mcu");
+  NetlistBuilder b(design);
+  numeric::Rng rng(config.seed);
+  const std::size_t w = config.width;
+
+  // ---------------------------------------------------------------- inputs
+  const Bus sramRData = b.inputBus("sram_rdata", w);
+  const Bus extIrq = b.inputBus("ext_irq", config.interruptSources / 2);
+  const Bus gpioIn = b.inputBus("gpio_in", config.gpioWidth);
+  const NetIndex uartRx = b.inputPort("uart_rx");
+  const NetIndex extStall = b.inputPort("ext_stall");
+
+  // ------------------------------------------------------------- fetch/PC
+  // PC register, incrementer and branch target adder.
+  Bus pcQ;
+  for (std::size_t i = 0; i < w; ++i) {
+    pcQ.push_back(design.addNet(design.freshName("pc")));
+  }
+  const Bus instr = b.busDff(sramRData, PrimOp::kDffR);  // instruction reg
+  const Bus pcInc = b.incrementer(pcQ);
+  // Sign-extend-ish immediate: low half of instruction replicated.
+  Bus imm = slice(instr, 0, w / 2);
+  while (imm.size() < w) imm.push_back(instr[w / 2 - 1]);
+  const Bus branchTarget = b.rippleAdder(pcQ, imm, b.constant(false));
+
+  // ---------------------------------------------------------------- decode
+  Bus decodeIn = slice(instr, 0, 24);
+  decodeIn.push_back(extStall);
+  Bus controls =
+      b.randomLogic(decodeIn, config.decodeOutputs, config.decodeDepth, rng);
+  // Control FSM.
+  Bus fsmState;
+  for (std::size_t i = 0; i < 6; ++i) {
+    fsmState.push_back(design.addNet(design.freshName("fsm")));
+  }
+  Bus fsmIn = fsmState;
+  for (std::size_t i = 0; i < 8; ++i) fsmIn.push_back(instr[i]);
+  fsmIn.push_back(extStall);
+  Bus fsmNext = b.randomLogic(fsmIn, 6, 3, rng);
+  for (std::size_t i = 0; i < 6; ++i) {
+    design.addInstance(design.freshName("fsm_reg"), PrimOp::kDffR,
+                       {fsmNext[i]}, {fsmState[i]});
+  }
+
+  // ---------------------------------------------------------- register file
+  const std::size_t regBits = log2Exact(config.registers);
+  const Bus writeAddr = slice(instr, 0, regBits);
+  std::vector<Bus> readAddrs;
+  for (std::size_t p = 0; p < config.readPorts; ++p) {
+    readAddrs.push_back(slice(instr, (p + 1) * regBits, regBits));
+  }
+  // Writeback data is defined later; use a staging register bus so the
+  // regfile can be constructed now (models the writeback pipeline stage).
+  Bus writeback;
+  for (std::size_t i = 0; i < w; ++i) {
+    writeback.push_back(design.addNet(design.freshName("wb")));
+  }
+  const NetIndex regWriteEn = controls[0];
+  std::vector<Bus> readData = b.registerFile(
+      config.registers, w, writeAddr, writeback, regWriteEn, readAddrs);
+
+  // Banked shadow registers for interrupt context: a second, smaller file.
+  if (config.bankedRegisters > 1) {
+    const std::size_t bankBits = log2Exact(config.bankedRegisters);
+    std::vector<Bus> bankRead = b.registerFile(
+        config.bankedRegisters, w, slice(instr, 4, bankBits), writeback,
+        controls[1], {slice(instr, 8, bankBits)});
+    // Bank select mux on read port 0.
+    readData[0] = b.mux2Bus(readData[0], bankRead[0], controls[2]);
+  }
+
+  // ------------------------------------------------------------------- ALU
+  const Bus opA = readData[0];
+  // Forwarding mux: operand B can take the writeback value.
+  const Bus opB = b.mux2Bus(readData[1], writeback, controls[3]);
+  const NetIndex subtract = controls[4];
+  Bus bXor;
+  bXor.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) bXor.push_back(b.xor2(opB[i], subtract));
+  NetIndex aluCarry = kNoNet;
+  const Bus sum = b.rippleAdder(opA, bXor, subtract, &aluCarry);
+  const Bus logicAnd = b.bitwise(PrimOp::kAnd2, opA, opB);
+  const Bus logicOr = b.bitwise(PrimOp::kOr2, opA, opB);
+  const Bus logicXor = b.bitwise(PrimOp::kXor2, opA, opB);
+  const Bus aluOut =
+      b.muxTree({sum, logicAnd, logicOr, logicXor}, {controls[5], controls[6]});
+  const NetIndex zeroFlag = b.inv(b.orTree(aluOut));
+  const NetIndex negFlag = aluOut[w - 1];
+  const NetIndex ovfFlag =
+      b.xor2(aluCarry, b.xor2(opA[w - 1], bXor[w - 1]));
+  const NetIndex takeBranch =
+      b.mux2(zeroFlag, b.or2(negFlag, ovfFlag), controls[7]);
+
+  // PC update.
+  const Bus pcNext = b.mux2Bus(pcInc, branchTarget, takeBranch);
+  for (std::size_t i = 0; i < w; ++i) {
+    design.addInstance(design.freshName("pc_reg"), PrimOp::kDffR, {pcNext[i]},
+                       {pcQ[i]});
+  }
+
+  // --------------------------------------------------------------- shifter
+  const Bus shamt = slice(opB, 0, 5);
+  const Bus shl = b.shiftLeft(aluOut, shamt);
+  const Bus shr = b.shiftRight(aluOut, shamt);
+  const Bus shifted = b.mux2Bus(shl, shr, controls[8]);
+  const Bus shiftResult = b.mux2Bus(aluOut, shifted, controls[9]);
+
+  // ------------------------------------------------------------------- MAC
+  Bus macResult;
+  for (std::size_t m = 0; m < config.macUnits; ++m) {
+    // Operand registers (multi-cycle MAC), carry-save array multiplier,
+    // accumulate register.
+    const Bus ma =
+        b.busDff(slice(opA, 0, config.macWidth), PrimOp::kDffE, controls[10]);
+    const Bus mb =
+        b.busDff(slice(opB, 0, config.macWidth), PrimOp::kDffE, controls[10]);
+    const Bus product = b.multiplier(ma, mb);
+    Bus accQ;
+    for (std::size_t i = 0; i < product.size(); ++i) {
+      accQ.push_back(design.addNet(design.freshName("acc")));
+    }
+    const Bus accSum = b.rippleAdder(accQ, product, b.constant(false));
+    for (std::size_t i = 0; i < product.size(); ++i) {
+      design.addInstance(design.freshName("acc_reg"), PrimOp::kDffE,
+                         {accSum[i], controls[11 + m]}, {accQ[i]});
+    }
+    if (macResult.empty()) {
+      macResult = sliceWrap(accQ, 0, w);
+    } else {
+      macResult = b.mux2Bus(macResult, sliceWrap(accQ, 0, w), controls[13]);
+    }
+  }
+  if (macResult.empty()) {
+    macResult.assign(w, b.constant(false));  // no MAC units configured
+  }
+
+  // -------------------------------------------------------------- bus unit
+  // Address generation: base + immediate.
+  const Bus memAddr = b.rippleAdder(opA, imm, b.constant(false));
+  const Bus addrReg = b.busDff(memAddr, PrimOp::kDffE, controls[14]);
+  const Bus wdataReg = b.busDff(readData.back(), PrimOp::kDffE, controls[15]);
+  // Slave decode on high address bits (AHB-style 8-region map).
+  const Bus slaveSel = b.decoder(slice(addrReg, w - 3, 3));
+
+  // Cache tag array: tags in flops, data in the external SRAM macro.
+  NetIndex cacheHit = b.constant(false);
+  if (config.cacheTagEntries > 0) {
+    const std::size_t idxBits = log2Exact(config.cacheTagEntries);
+    const Bus index = slice(addrReg, 2, idxBits);
+    const Bus tag = slice(addrReg, 2 + idxBits, config.cacheTagBits);
+    const Bus lineSel = b.decoder(index);
+    Bus hits;
+    for (std::size_t e = 0; e < config.cacheTagEntries; ++e) {
+      const NetIndex we = b.and2(lineSel[e], controls[16]);
+      const Bus storedTag = b.busDff(tag, PrimOp::kDffE, we);
+      const NetIndex valid = b.dff(b.or2(we, controls[17]), PrimOp::kDffR);
+      hits.push_back(b.and2(valid, b.equal(storedTag, tag)));
+    }
+    cacheHit = b.orTree(hits);
+  }
+
+  // ---------------------------------------------------------- peripherals
+  Bus irqLines = extIrq;
+  for (std::size_t t = 0; t < config.timers; ++t) {
+    irqLines.push_back(
+        timerBlock(b, wdataReg, controls[18 + (t % 8)], controls[26]));
+  }
+  for (std::size_t c = 0; c < config.dmaChannels; ++c) {
+    irqLines.push_back(
+        dmaChannel(b, addrReg, controls[27 + (c % 4)], controls[31], rng));
+  }
+
+  // GPIO.
+  const Bus gpioOut =
+      b.busDff(b.mux2Bus(wdataReg, addrReg, controls[32]), PrimOp::kDffE,
+               controls[33]);
+  Bus gpioOutWide;
+  for (std::size_t i = 0; i < config.gpioWidth; ++i) {
+    gpioOutWide.push_back(gpioOut[i % w]);
+  }
+  const Bus gpioSync1 = b.busDff(gpioIn, PrimOp::kDff);
+  const Bus gpioSync2 = b.busDff(gpioSync1, PrimOp::kDff);
+  const Bus gpioDir = b.busDff(sliceWrap(gpioSync2, 0, w), PrimOp::kDffE,
+                               controls[34]);
+
+  // UART: baud counter + shift registers.
+  const Bus baudQ = [&] {
+    Bus q;
+    for (std::size_t i = 0; i < 12; ++i) {
+      q.push_back(design.addNet(design.freshName("baud")));
+    }
+    Bus inc = b.incrementer(q);
+    for (std::size_t i = 0; i < 12; ++i) {
+      design.addInstance(design.freshName("baud_reg"), PrimOp::kDffR, {inc[i]},
+                         {q[i]});
+    }
+    return q;
+  }();
+  const NetIndex baudTick = b.andTree(slice(baudQ, 6, 6));
+  Bus uartShift;
+  NetIndex shiftIn = uartRx;
+  for (std::size_t i = 0; i < 10; ++i) {
+    shiftIn = b.dff(shiftIn, PrimOp::kDffE, baudTick);
+    uartShift.push_back(shiftIn);
+  }
+
+  // Interrupt controller: pending/mask registers + priority chain.
+  while (irqLines.size() < config.interruptSources) {
+    irqLines.push_back(gpioSync2[irqLines.size() % gpioSync2.size()]);
+  }
+  irqLines.resize(config.interruptSources);
+  const Bus pending = b.busDff(irqLines, PrimOp::kDffR);
+  const Bus mask = b.busDff(sliceWrap(wdataReg, 0, config.interruptSources),
+                            PrimOp::kDffE, controls[35]);
+  const Bus masked = b.bitwise(PrimOp::kAnd2, pending, b.notBus(mask));
+  // Priority chain: grant[i] = masked[i] & none-before.
+  Bus grant;
+  NetIndex anyBefore = masked[0];
+  grant.push_back(masked[0]);
+  for (std::size_t i = 1; i < masked.size(); ++i) {
+    grant.push_back(b.and2(masked[i], b.inv(anyBefore)));
+    anyBefore = b.or2(anyBefore, masked[i]);
+  }
+  const NetIndex irqValid = anyBefore;
+
+  // ------------------------------------------------------------ writeback
+  // Read data returning from the bus fabric.
+  const Bus rdataMux = b.muxTree(
+      {sramRData, macResult, sliceWrap(gpioSync2, 0, w),
+       [&] {
+         Bus v = pending;
+         while (v.size() < w) v.push_back(cacheHit);
+         v.resize(w);
+         return v;
+       }()},
+      {controls[36], controls[37]});
+  const Bus wbValue =
+      b.mux2Bus(shiftResult, rdataMux, controls[38]);
+  for (std::size_t i = 0; i < w; ++i) {
+    design.addInstance(design.freshName("wb_reg"), PrimOp::kDff, {wbValue[i]},
+                       {writeback[i]});
+  }
+
+  // --------------------------------------------------------------- outputs
+  b.outputBus("sram_addr", addrReg);
+  b.outputBus("sram_wdata", wdataReg);
+  b.outputPort("sram_we", b.and2(controls[39], slaveSel[0]));
+  b.outputBus("gpio_out", gpioOutWide);
+  b.outputBus("gpio_dir", gpioDir);
+  b.outputPort("uart_tx", uartShift.back());
+  b.outputPort("irq_valid", b.dff(irqValid, PrimOp::kDffR));
+  b.outputPort("cache_hit", cacheHit);
+  b.outputBus("debug_state", fsmState);
+  b.outputPort("dbg_grant", b.orTree(grant));
+
+  assert(design.validate().empty());
+  return design;
+}
+
+Design generateAccumulator(std::size_t width, std::uint64_t seed) {
+  Design design("accumulator");
+  NetlistBuilder b(design);
+  numeric::Rng rng(seed);
+
+  const Bus in = b.inputBus("in", width);
+  const NetIndex loadEn = b.inputPort("load");
+  Bus accQ;
+  for (std::size_t i = 0; i < width; ++i) {
+    accQ.push_back(design.addNet(design.freshName("acc")));
+  }
+  const Bus sum = b.rippleAdder(accQ, in, b.constant(false));
+  const Bus d = b.mux2Bus(sum, in, loadEn);
+  for (std::size_t i = 0; i < width; ++i) {
+    design.addInstance(design.freshName("acc_reg"), PrimOp::kDffR, {d[i]},
+                       {accQ[i]});
+  }
+  Bus ctrlIn = slice(accQ, 0, std::min<std::size_t>(8, width));
+  ctrlIn.push_back(loadEn);
+  const Bus flags = b.randomLogic(ctrlIn, 4, 2, rng);
+  b.outputBus("acc", accQ);
+  b.outputBus("flags", b.busDff(flags, PrimOp::kDffR));
+  assert(design.validate().empty());
+  return design;
+}
+
+}  // namespace sct::netlist

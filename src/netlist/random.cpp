@@ -1,0 +1,59 @@
+#include "netlist/random.hpp"
+
+#include <cassert>
+
+#include "netlist/builder.hpp"
+#include "numeric/rng.hpp"
+
+namespace sct::netlist {
+
+Design generateRandomDag(const RandomDagConfig& config) {
+  assert(config.primaryInputs >= 1);
+  assert(config.primaryOutputs >= 1);
+  Design design("random_dag");
+  NetlistBuilder b(design);
+  numeric::Rng rng(config.seed);
+
+  static constexpr PrimOp kOps[] = {
+      PrimOp::kInv,    PrimOp::kBuf,    PrimOp::kNand2, PrimOp::kNand2B,
+      PrimOp::kNand3,  PrimOp::kNand4,  PrimOp::kNor2,  PrimOp::kNor2B,
+      PrimOp::kNor3,   PrimOp::kNor4,   PrimOp::kAnd2,  PrimOp::kAnd3,
+      PrimOp::kAnd4,   PrimOp::kOr2,    PrimOp::kOr3,   PrimOp::kOr4,
+      PrimOp::kXor2,   PrimOp::kXnor2,  PrimOp::kMux2,  PrimOp::kMux4,
+      PrimOp::kHalfAdder, PrimOp::kFullAdder};
+
+  Bus pool = b.inputBus("in", config.primaryInputs);
+  auto pick = [&] { return pool[rng.uniformInt(pool.size())]; };
+
+  for (std::size_t g = 0; g < config.gates; ++g) {
+    const PrimOp op = kOps[rng.uniformInt(std::size(kOps))];
+    std::vector<NetIndex> inputs;
+    inputs.reserve(numInputs(op));
+    for (std::size_t i = 0; i < numInputs(op); ++i) inputs.push_back(pick());
+    if (numOutputs(op) == 1) {
+      pool.push_back(b.gate(op, inputs, "rnd"));
+    } else {
+      const NetIndex o0 = design.addNet(design.freshName("rnd"));
+      const NetIndex o1 = design.addNet(design.freshName("rnd"));
+      design.addInstance(design.freshName("u"), op, inputs, {o0, o1});
+      pool.push_back(o0);
+      pool.push_back(o1);
+    }
+  }
+
+  for (std::size_t f = 0; f < config.flipFlops; ++f) {
+    const bool enabled = rng.uniform() < 0.3;
+    pool.push_back(enabled ? b.dff(pick(), PrimOp::kDffE, pick())
+                           : b.dff(pick(), rng.uniform() < 0.5
+                                               ? PrimOp::kDff
+                                               : PrimOp::kDffR));
+  }
+
+  for (std::size_t o = 0; o < config.primaryOutputs; ++o) {
+    b.outputPort("out[" + std::to_string(o) + "]", pick());
+  }
+  assert(design.validate().empty());
+  return design;
+}
+
+}  // namespace sct::netlist

@@ -1,0 +1,28 @@
+#pragma once
+// Random DAG netlist generator: structurally valid designs with arbitrary
+// op mixes, used for fuzz-style property testing of the mapper/STA/IO
+// layers (every generated design must map, legalize, analyze, simulate and
+// round-trip).
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sct::netlist {
+
+struct RandomDagConfig {
+  std::size_t primaryInputs = 8;
+  std::size_t gates = 200;        ///< combinational instances
+  std::size_t flipFlops = 16;     ///< DFFs inserted on random nets
+  std::size_t primaryOutputs = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random, acyclic, fully connected design: gates draw operands
+/// from already-created nets (feed-forward by construction), flip-flops
+/// re-register random nets, and outputs tap random nets. Every net is
+/// reachable from an input; every output net exists. The result passes
+/// Design::validate().
+[[nodiscard]] Design generateRandomDag(const RandomDagConfig& config = {});
+
+}  // namespace sct::netlist

@@ -1,0 +1,192 @@
+#include "netlist/simulate.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sct::netlist {
+
+Simulator::Simulator(const Design& design) : design_(design) {
+  values_.assign(design_.netCount(), 0);
+  state_.assign(design_.instanceCount(), 0);
+
+  // Kahn levelization over combinational instances (sequential and source
+  // instances are boundaries), mirroring the STA's traversal.
+  std::vector<std::uint32_t> indegree(design_.instanceCount(), 0);
+  std::vector<InstIndex> queue;
+  std::size_t combCount = 0;
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    const Instance& inst = design_.instance(static_cast<InstIndex>(i));
+    if (!inst.alive) continue;
+    if (isSequential(inst.op)) {
+      sequential_.push_back(static_cast<InstIndex>(i));
+      continue;
+    }
+    if (numInputs(inst.op) == 0) {
+      topo_.push_back(static_cast<InstIndex>(i));  // ties evaluate first
+      continue;
+    }
+    ++combCount;
+    std::uint32_t deg = 0;
+    for (NetIndex in : inst.inputs) {
+      const Net& net = design_.net(in);
+      if (net.driver == kNoInst) continue;
+      const Instance& drv = design_.instance(net.driver);
+      if (drv.alive && !isSequential(drv.op) && numInputs(drv.op) != 0) {
+        ++deg;
+      }
+    }
+    indegree[i] = deg;
+    if (deg == 0) queue.push_back(static_cast<InstIndex>(i));
+  }
+  std::size_t processed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const InstIndex index = queue[head];
+    topo_.push_back(index);
+    ++processed;
+    for (NetIndex out : design_.instance(index).outputs) {
+      for (const SinkRef& sink : design_.net(out).sinks) {
+        const Instance& target = design_.instance(sink.instance);
+        if (!target.alive || isSequential(target.op) ||
+            numInputs(target.op) == 0) {
+          continue;
+        }
+        if (--indegree[sink.instance] == 0) queue.push_back(sink.instance);
+      }
+    }
+  }
+  if (processed != combCount) {
+    throw std::invalid_argument("combinational cycle in design '" +
+                                design_.name() + "'");
+  }
+}
+
+NetIndex Simulator::portNet(std::string_view portName) const {
+  for (const Port& port : design_.ports()) {
+    if (port.name == portName) return port.net;
+  }
+  throw std::invalid_argument("no port named '" + std::string(portName) + "'");
+}
+
+void Simulator::setInput(std::string_view portName, bool value) {
+  values_[portNet(portName)] = value ? 1 : 0;
+}
+
+void Simulator::setInputBus(std::string_view stem, std::uint64_t value) {
+  for (std::size_t bit = 0;; ++bit) {
+    const std::string name =
+        std::string(stem) + "[" + std::to_string(bit) + "]";
+    bool found = false;
+    for (const Port& port : design_.ports()) {
+      if (port.name == name) {
+        values_[port.net] = ((value >> bit) & 1) != 0 ? 1 : 0;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (bit == 0) {
+        throw std::invalid_argument("no bus named '" + std::string(stem) + "'");
+      }
+      return;
+    }
+  }
+}
+
+void Simulator::reset() {
+  for (InstIndex ff : sequential_) state_[ff] = 0;
+}
+
+bool Simulator::evalOp(const Instance& inst, std::uint32_t slot) const {
+  auto in = [&](std::size_t i) { return values_[inst.inputs[i]] != 0; };
+  switch (inst.op) {
+    case PrimOp::kConst0: return false;
+    case PrimOp::kConst1: return true;
+    case PrimOp::kInv: return !in(0);
+    case PrimOp::kBuf: return in(0);
+    case PrimOp::kNand2: return !(in(0) && in(1));
+    case PrimOp::kNand2B: return !(in(0) && !in(1));
+    case PrimOp::kNand3: return !(in(0) && in(1) && in(2));
+    case PrimOp::kNand4: return !(in(0) && in(1) && in(2) && in(3));
+    case PrimOp::kNor2: return !(in(0) || in(1));
+    case PrimOp::kNor2B: return !(in(0) || !in(1));
+    case PrimOp::kNor3: return !(in(0) || in(1) || in(2));
+    case PrimOp::kNor4: return !(in(0) || in(1) || in(2) || in(3));
+    case PrimOp::kAnd2: return in(0) && in(1);
+    case PrimOp::kAnd3: return in(0) && in(1) && in(2);
+    case PrimOp::kAnd4: return in(0) && in(1) && in(2) && in(3);
+    case PrimOp::kOr2: return in(0) || in(1);
+    case PrimOp::kOr3: return in(0) || in(1) || in(2);
+    case PrimOp::kOr4: return in(0) || in(1) || in(2) || in(3);
+    case PrimOp::kXor2: return in(0) != in(1);
+    case PrimOp::kXnor2: return in(0) == in(1);
+    case PrimOp::kMux2: return in(2) ? in(1) : in(0);
+    case PrimOp::kMux4: {
+      const std::size_t sel =
+          (in(4) ? 1u : 0u) | (in(5) ? 2u : 0u);
+      return in(sel);
+    }
+    case PrimOp::kHalfAdder:
+      return slot == 0 ? (in(0) != in(1)) : (in(0) && in(1));
+    case PrimOp::kFullAdder: {
+      const int ones = int(in(0)) + int(in(1)) + int(in(2));
+      return slot == 0 ? (ones % 2 == 1) : (ones >= 2);
+    }
+    case PrimOp::kDff:
+    case PrimOp::kDffR:
+    case PrimOp::kDffE:
+      return false;  // handled by state, not here
+  }
+  return false;
+}
+
+void Simulator::evaluate() {
+  // Flip-flop outputs reflect their state.
+  for (InstIndex ff : sequential_) {
+    const Instance& inst = design_.instance(ff);
+    values_[inst.outputs[0]] = state_[ff];
+  }
+  for (InstIndex index : topo_) {
+    const Instance& inst = design_.instance(index);
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      values_[inst.outputs[slot]] = evalOp(inst, slot) ? 1 : 0;
+    }
+  }
+}
+
+void Simulator::step() {
+  evaluate();
+  // Capture D values, then commit (all flops clock simultaneously).
+  std::vector<char> next(sequential_.size());
+  for (std::size_t k = 0; k < sequential_.size(); ++k) {
+    const Instance& inst = design_.instance(sequential_[k]);
+    const bool d = values_[inst.inputs[0]] != 0;
+    if (inst.op == PrimOp::kDffE) {
+      const bool enable = values_[inst.inputs[1]] != 0;
+      next[k] = enable ? (d ? 1 : 0) : state_[sequential_[k]];
+    } else {
+      next[k] = d ? 1 : 0;
+    }
+  }
+  for (std::size_t k = 0; k < sequential_.size(); ++k) {
+    state_[sequential_[k]] = next[k];
+  }
+  evaluate();  // outputs reflect the new state
+}
+
+bool Simulator::output(std::string_view portName) const {
+  // const_cast-free lookup: portNet is const.
+  return values_[portNet(portName)] != 0;
+}
+
+std::uint64_t Simulator::outputBus(std::string_view stem,
+                                   std::size_t width) const {
+  std::uint64_t out = 0;
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    const std::string name =
+        std::string(stem) + "[" + std::to_string(bit) + "]";
+    if (values_[portNet(name)] != 0) out |= (std::uint64_t{1} << bit);
+  }
+  return out;
+}
+
+}  // namespace sct::netlist

@@ -1,0 +1,54 @@
+#pragma once
+// Two-valued functional simulator for gate-level designs: evaluates the
+// combinational network in topological order and steps sequential state on
+// demand. Used to verify structural generators (adders really add, the
+// LFSR really cycles) and for equivalence checks around netlist rewrites.
+// Works on technology-independent designs; bound cells are ignored (the
+// primitive op defines the function).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sct::netlist {
+
+class Simulator {
+ public:
+  /// The design must be acyclic through combinational logic (same
+  /// requirement as STA). Throws std::invalid_argument on a cycle.
+  explicit Simulator(const Design& design);
+
+  // --- inputs -------------------------------------------------------------
+  void setInput(std::string_view portName, bool value);
+  /// Sets ports named "stem[0]" ... "stem[width-1]" from an integer.
+  void setInputBus(std::string_view stem, std::uint64_t value);
+
+  // --- execution ------------------------------------------------------------
+  /// Clears all sequential state to 0 (the ideal async reset).
+  void reset();
+  /// Evaluates the combinational network with current inputs and state.
+  void evaluate();
+  /// evaluate() then clocks every flip-flop (one rising edge).
+  void step();
+
+  // --- observation ----------------------------------------------------------
+  [[nodiscard]] bool value(NetIndex net) const { return values_[net]; }
+  [[nodiscard]] bool output(std::string_view portName) const;
+  /// Reads ports "stem[0]"... as an integer (up to 64 bits).
+  [[nodiscard]] std::uint64_t outputBus(std::string_view stem,
+                                        std::size_t width) const;
+
+ private:
+  [[nodiscard]] bool evalOp(const Instance& inst, std::uint32_t slot) const;
+  [[nodiscard]] NetIndex portNet(std::string_view portName) const;
+
+  const Design& design_;
+  std::vector<InstIndex> topo_;       ///< combinational evaluation order
+  std::vector<InstIndex> sequential_; ///< flip-flops, in index order
+  std::vector<char> values_;          ///< per-net value
+  std::vector<char> state_;           ///< per-instance flip-flop state
+};
+
+}  // namespace sct::netlist

@@ -1,0 +1,177 @@
+#include "netlist/structures.hpp"
+
+#include <cassert>
+
+namespace sct::netlist {
+
+Bus carrySelectAdder(NetlistBuilder& b, const Bus& x, const Bus& y,
+                     NetIndex cin, std::size_t blockWidth, NetIndex* cout) {
+  assert(x.size() == y.size());
+  assert(blockWidth >= 1);
+  Bus sum;
+  sum.reserve(x.size());
+  NetIndex carry = cin;
+  for (std::size_t lo = 0; lo < x.size(); lo += blockWidth) {
+    const std::size_t width = std::min(blockWidth, x.size() - lo);
+    const Bus xs(x.begin() + static_cast<std::ptrdiff_t>(lo),
+                 x.begin() + static_cast<std::ptrdiff_t>(lo + width));
+    const Bus ys(y.begin() + static_cast<std::ptrdiff_t>(lo),
+                 y.begin() + static_cast<std::ptrdiff_t>(lo + width));
+    if (lo == 0) {
+      // First block: the carry-in is known, plain ripple.
+      NetIndex blockCout = kNoNet;
+      const Bus s = b.rippleAdder(xs, ys, carry, &blockCout);
+      sum.insert(sum.end(), s.begin(), s.end());
+      carry = blockCout;
+      continue;
+    }
+    // Speculative blocks: compute with carry 0 and carry 1, then select.
+    NetIndex cout0 = kNoNet;
+    NetIndex cout1 = kNoNet;
+    const Bus s0 = b.rippleAdder(xs, ys, b.constant(false), &cout0);
+    const Bus s1 = b.rippleAdder(xs, ys, b.constant(true), &cout1);
+    const Bus selected = b.mux2Bus(s0, s1, carry);
+    sum.insert(sum.end(), selected.begin(), selected.end());
+    carry = b.mux2(cout0, cout1, carry);
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+Bus koggeStoneAdder(NetlistBuilder& b, const Bus& x, const Bus& y,
+                    NetIndex cin, NetIndex* cout) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  // Bitwise generate/propagate.
+  Bus g = b.bitwise(PrimOp::kAnd2, x, y);
+  Bus p = b.bitwise(PrimOp::kXor2, x, y);
+  const Bus pSum = p;  // sum needs the original propagate bits
+
+  // Parallel-prefix combine: (g, p) o (g', p') = (g | p&g', p & p').
+  for (std::size_t offset = 1; offset < n; offset *= 2) {
+    Bus gNext = g;
+    Bus pNext = p;
+    for (std::size_t i = offset; i < n; ++i) {
+      gNext[i] = b.or2(g[i], b.and2(p[i], g[i - offset]));
+      pNext[i] = b.and2(p[i], p[i - offset]);
+    }
+    g = std::move(gNext);
+    p = std::move(pNext);
+  }
+
+  // Carry into bit i: prefix over bits [0, i-1] plus the carry-in through
+  // the full prefix propagate.
+  Bus sum;
+  sum.reserve(n);
+  NetIndex carry = cin;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum.push_back(b.xor2(pSum[i], carry));
+    // carry into bit i+1 = G[0..i] | (P[0..i] & cin)
+    carry = b.or2(g[i], b.and2(p[i], cin));
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+NetIndex lessThan(NetlistBuilder& b, const Bus& x, const Bus& y) {
+  assert(x.size() == y.size());
+  // Borrow chain of x - y: borrow_{i+1} = (!x_i & y_i) | (borrow_i & (!x_i | y_i)).
+  NetIndex borrow = b.constant(false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const NetIndex nx = b.inv(x[i]);
+    const NetIndex strictly = b.and2(nx, y[i]);
+    const NetIndex propagates = b.or2(nx, y[i]);
+    borrow = b.or2(strictly, b.and2(borrow, propagates));
+  }
+  return borrow;
+}
+
+PriorityEncoded priorityEncode(NetlistBuilder& b, const Bus& requests) {
+  assert(!requests.empty());
+  PriorityEncoded out;
+  out.grant.reserve(requests.size());
+  out.grant.push_back(requests[0]);
+  NetIndex anyBefore = requests[0];
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    out.grant.push_back(b.and2(requests[i], b.inv(anyBefore)));
+    anyBefore = b.or2(anyBefore, requests[i]);
+  }
+  out.any = anyBefore;
+  return out;
+}
+
+Bus popcount(NetlistBuilder& b, const Bus& bits) {
+  assert(!bits.empty());
+  if (bits.size() == 1) return {bits[0]};
+  if (bits.size() == 2) {
+    auto [s, c] = b.halfAdder(bits[0], bits[1]);
+    return {s, c};
+  }
+  if (bits.size() == 3) {
+    auto [s, c] = b.fullAdder(bits[0], bits[1], bits[2]);
+    return {s, c};
+  }
+  // Divide and conquer, then add the two sub-counts.
+  const std::size_t half = bits.size() / 2;
+  Bus lo = popcount(b, Bus(bits.begin(),
+                           bits.begin() + static_cast<std::ptrdiff_t>(half)));
+  Bus hi = popcount(b, Bus(bits.begin() + static_cast<std::ptrdiff_t>(half),
+                           bits.end()));
+  // Zero-extend to a common width + 1 for the carry.
+  const std::size_t width = std::max(lo.size(), hi.size());
+  const NetIndex zero = b.constant(false);
+  lo.resize(width, zero);
+  hi.resize(width, zero);
+  NetIndex carry = kNoNet;
+  Bus sum = b.rippleAdder(lo, hi, b.constant(false), &carry);
+  sum.push_back(carry);
+  return sum;
+}
+
+Bus grayCounter(NetlistBuilder& b, std::size_t width, NetIndex enable) {
+  Design& d = b.design();
+  // Binary counter register with feedback.
+  Bus binQ;
+  binQ.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    binQ.push_back(d.addNet(d.freshName("grayb")));
+  }
+  const Bus inc = b.incrementer(binQ);
+  for (std::size_t i = 0; i < width; ++i) {
+    d.addInstance(d.freshName("gray_reg"), PrimOp::kDffE, {inc[i], enable},
+                  {binQ[i]});
+  }
+  // Gray output: g_i = b_i ^ b_{i+1}; top bit passes through.
+  Bus gray;
+  gray.reserve(width);
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    gray.push_back(b.xor2(binQ[i], binQ[i + 1]));
+  }
+  gray.push_back(binQ[width - 1]);
+  return gray;
+}
+
+Bus lfsr(NetlistBuilder& b, std::size_t width,
+         const std::vector<std::size_t>& taps) {
+  assert(width >= 2);
+  assert(!taps.empty());
+  Design& d = b.design();
+  Bus q;
+  q.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    q.push_back(d.addNet(d.freshName("lfsr")));
+  }
+  Bus tapBits;
+  for (std::size_t tap : taps) {
+    assert(tap < width);
+    tapBits.push_back(q[tap]);
+  }
+  const NetIndex feedback = b.xorTree(tapBits);
+  d.addInstance(d.freshName("lfsr_reg"), PrimOp::kDffR, {feedback}, {q[0]});
+  for (std::size_t i = 1; i < width; ++i) {
+    d.addInstance(d.freshName("lfsr_reg"), PrimOp::kDffR, {q[i - 1]}, {q[i]});
+  }
+  return q;
+}
+
+}  // namespace sct::netlist

@@ -1,0 +1,51 @@
+#pragma once
+// Extended structural generators on top of NetlistBuilder: faster adder
+// topologies (carry-select, Kogge-Stone), comparators, priority encoders,
+// counters, LFSRs and popcount trees. These give subject designs realistic
+// structural diversity (the paper's path-depth population depends on it)
+// and are exercised by the alternative evaluation design.
+
+#include "netlist/builder.hpp"
+
+namespace sct::netlist {
+
+/// Carry-select adder: blocks of `blockWidth` ripple adders computed for
+/// both carry-in values, selected by the block carry chain. Shallower than
+/// ripple (depth ~ blockWidth + blocks) at ~2x the adder area.
+[[nodiscard]] Bus carrySelectAdder(NetlistBuilder& b, const Bus& x,
+                                   const Bus& y, NetIndex cin,
+                                   std::size_t blockWidth = 4,
+                                   NetIndex* cout = nullptr);
+
+/// Kogge-Stone parallel-prefix adder: log-depth carry tree, the fastest
+/// (and largest) classic adder topology.
+[[nodiscard]] Bus koggeStoneAdder(NetlistBuilder& b, const Bus& x,
+                                  const Bus& y, NetIndex cin,
+                                  NetIndex* cout = nullptr);
+
+/// Unsigned less-than comparator (x < y), built as a borrow chain.
+[[nodiscard]] NetIndex lessThan(NetlistBuilder& b, const Bus& x, const Bus& y);
+
+/// Priority encoder: returns (onehot grant bus, any-request flag). Bit 0
+/// has the highest priority, matching the interrupt-controller convention.
+struct PriorityEncoded {
+  Bus grant;
+  NetIndex any = kNoNet;
+};
+[[nodiscard]] PriorityEncoded priorityEncode(NetlistBuilder& b,
+                                             const Bus& requests);
+
+/// Popcount: number of set bits, using a full/half-adder reduction tree.
+[[nodiscard]] Bus popcount(NetlistBuilder& b, const Bus& bits);
+
+/// Gray-code counter register of the given width (q outputs).
+[[nodiscard]] Bus grayCounter(NetlistBuilder& b, std::size_t width,
+                              NetIndex enable);
+
+/// Fibonacci LFSR register with the given feedback taps (bit indices into
+/// the state; the paper-standard maximal-length polynomial is up to the
+/// caller). Returns the state bus.
+[[nodiscard]] Bus lfsr(NetlistBuilder& b, std::size_t width,
+                       const std::vector<std::size_t>& taps);
+
+}  // namespace sct::netlist

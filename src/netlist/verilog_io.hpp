@@ -1,0 +1,42 @@
+#pragma once
+// Structural Verilog export/import for gate-level designs — the standard
+// EDA interchange artifact around a synthesis flow. The writer emits a flat
+// module with named port connections; mapped instances use their library
+// cell name as master, unmapped instances the primitive name. The reader
+// accepts the writer's subset (flat, named connections, escaped
+// identifiers) and rebinds cells against a library when one is provided.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sct::netlist {
+
+class VerilogError : public std::runtime_error {
+ public:
+  VerilogError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Writes the design as a flat structural Verilog module.
+void writeVerilog(std::ostream& out, const Design& design);
+[[nodiscard]] std::string writeVerilogToString(const Design& design);
+
+/// Parses a flat structural module produced by writeVerilog. When `library`
+/// is non-null, instance masters are resolved against it and bound;
+/// otherwise masters must be primitive names (INV, NAND2, ...). Throws
+/// VerilogError on malformed input or unknown masters.
+[[nodiscard]] Design readVerilog(std::istream& in,
+                                 const liberty::Library* library = nullptr);
+[[nodiscard]] Design readVerilogFromString(
+    const std::string& text, const liberty::Library* library = nullptr);
+
+}  // namespace sct::netlist

@@ -1,0 +1,79 @@
+#pragma once
+// Dense 2D grid of doubles, the storage behind every look-up table in the
+// library model. Row-major; by library convention rows follow the input-slew
+// axis (index_1) and columns the output-load axis (index_2).
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sct::numeric {
+
+class Grid2d {
+ public:
+  Grid2d() = default;
+  Grid2d(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return values_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return values_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return values_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return values_; }
+
+  /// Entry-wise maximum with another grid of identical shape.
+  void maxWith(const Grid2d& other) noexcept {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (other.values_[i] > values_[i]) values_[i] = other.values_[i];
+    }
+  }
+
+  [[nodiscard]] double maxValue() const noexcept {
+    double m = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_) {
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  [[nodiscard]] double minValue() const noexcept {
+    double m = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_) {
+      if (v < m) m = v;
+    }
+    return m;
+  }
+
+  friend bool operator==(const Grid2d&, const Grid2d&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// Monotonically increasing axis of index values (slew or load breakpoints).
+using Axis = std::vector<double>;
+
+/// True when the axis is strictly increasing and non-empty.
+[[nodiscard]] bool isStrictlyIncreasing(const Axis& axis) noexcept;
+
+/// Index i such that axis[i] <= x < axis[i+1], clamped to [0, n-2] so the
+/// surrounding segment always exists (callers extrapolate or clamp outside
+/// the axis range). Requires axis.size() >= 2.
+[[nodiscard]] std::size_t bracket(const Axis& axis, double x) noexcept;
+
+}  // namespace sct::numeric

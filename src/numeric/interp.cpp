@@ -1,0 +1,73 @@
+#include "numeric/interp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sct::numeric {
+namespace {
+
+double clampToAxis(const Axis& axis, double x) noexcept {
+  return std::clamp(x, axis.front(), axis.back());
+}
+
+/// Interpolation weight of x within segment [a, b].
+double segmentRatio(double a, double b, double x) noexcept {
+  const double span = b - a;
+  return span > 0.0 ? (x - a) / span : 0.0;
+}
+
+}  // namespace
+
+double linear(const Axis& axis, std::span<const double> values, double x,
+              EdgePolicy policy) noexcept {
+  assert(axis.size() == values.size());
+  assert(!axis.empty());
+  if (axis.size() == 1) return values.front();
+  if (policy == EdgePolicy::kClamp) x = clampToAxis(axis, x);
+  const std::size_t i = bracket(axis, x);
+  const double t = segmentRatio(axis[i], axis[i + 1], x);
+  return values[i] * (1.0 - t) + values[i + 1] * t;
+}
+
+double bilinear(const Axis& slewAxis, const Axis& loadAxis, const Grid2d& grid,
+                double slew, double load, EdgePolicy policy) noexcept {
+  assert(grid.rows() == slewAxis.size());
+  assert(grid.cols() == loadAxis.size());
+  assert(!slewAxis.empty() && !loadAxis.empty());
+
+  if (policy == EdgePolicy::kClamp) {
+    slew = clampToAxis(slewAxis, slew);
+    load = clampToAxis(loadAxis, load);
+  }
+
+  // Degenerate axes fall back to 1D (or 0D) interpolation.
+  if (slewAxis.size() == 1 && loadAxis.size() == 1) return grid.at(0, 0);
+
+  std::size_t j = 0;
+  double tl = 0.0;  // weight along the load axis
+  if (loadAxis.size() > 1) {
+    j = bracket(loadAxis, load);
+    tl = segmentRatio(loadAxis[j], loadAxis[j + 1], load);
+  }
+
+  std::size_t i = 0;
+  double ts = 0.0;  // weight along the slew axis
+  if (slewAxis.size() > 1) {
+    i = bracket(slewAxis, slew);
+    ts = segmentRatio(slewAxis[i], slewAxis[i + 1], slew);
+  }
+
+  auto rowInterp = [&](std::size_t row) {
+    if (loadAxis.size() == 1) return grid.at(row, 0);
+    // Eq. (2)/(3): interpolate along the load axis within one slew row.
+    return grid.at(row, j) * (1.0 - tl) + grid.at(row, j + 1) * tl;
+  };
+
+  if (slewAxis.size() == 1) return rowInterp(0);
+  // Eq. (4): interpolate the two partial results along the slew axis.
+  const double p1 = rowInterp(i);
+  const double p2 = rowInterp(i + 1);
+  return p1 * (1.0 - ts) + p2 * ts;
+}
+
+}  // namespace sct::numeric

@@ -1,0 +1,31 @@
+#pragma once
+// Bilinear interpolation over a look-up table (paper section V.A,
+// eqs. (2)-(4), Fig. 3). Given load L and slew S between grid breakpoints,
+// the value X is interpolated first along the load axis (P1, P2) and then
+// along the slew axis.
+
+#include "numeric/grid2d.hpp"
+
+namespace sct::numeric {
+
+/// Behaviour outside the axis range.
+enum class EdgePolicy {
+  kClamp,        ///< clamp the query to the axis range
+  kExtrapolate,  ///< linearly extrapolate the boundary segment
+};
+
+/// Bilinear interpolation of grid(slewAxis x loadAxis) at (slew, load).
+/// Rows of the grid follow slewAxis, columns follow loadAxis; both axes must
+/// be strictly increasing with at least one entry. Single-entry axes
+/// degenerate to nearest-value lookup along that axis.
+[[nodiscard]] double bilinear(const Axis& slewAxis, const Axis& loadAxis,
+                              const Grid2d& grid, double slew, double load,
+                              EdgePolicy policy = EdgePolicy::kClamp) noexcept;
+
+/// One-dimensional linear interpolation helper used by bilinear(); exposed
+/// because slope-threshold code interpolates single rows/columns too.
+[[nodiscard]] double linear(const Axis& axis, std::span<const double> values,
+                            double x,
+                            EdgePolicy policy = EdgePolicy::kClamp) noexcept;
+
+}  // namespace sct::numeric

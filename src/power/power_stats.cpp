@@ -1,0 +1,118 @@
+#include "power/power_stats.hpp"
+
+#include <cmath>
+
+#include "numeric/statistics.hpp"
+#include "tuning/rectangle.hpp"
+
+namespace sct::power {
+
+statlib::StatLut buildPowerLut(const charlib::Characterizer& characterizer,
+                               const PowerModel& model,
+                               const charlib::CellSpec& spec,
+                               std::size_t samples, std::uint64_t seed) {
+  const numeric::Axis& slewAxis = characterizer.config().slewAxis;
+  const numeric::Axis loadAxis = characterizer.loadAxisFor(spec);
+  statlib::StatLut lut(slewAxis, loadAxis);
+
+  // One mismatch draw per sample, applied across the whole grid (one
+  // physical instance per "die", exactly like the delay characterization).
+  std::vector<numeric::RunningStats> stats(slewAxis.size() * loadAxis.size());
+  numeric::Rng master(seed);
+  numeric::Rng cellRng = master.fork(numeric::Rng::hashTag(spec.name));
+  for (std::size_t k = 0; k < samples; ++k) {
+    const charlib::LocalDeltas deltas =
+        characterizer.model().drawLocal(spec, cellRng);
+    for (std::size_t r = 0; r < slewAxis.size(); ++r) {
+      for (std::size_t c = 0; c < loadAxis.size(); ++c) {
+        stats[r * loadAxis.size() + c].add(model.transitionEnergy(
+            spec, slewAxis[r], loadAxis[c], deltas));
+      }
+    }
+  }
+  for (std::size_t r = 0; r < slewAxis.size(); ++r) {
+    for (std::size_t c = 0; c < loadAxis.size(); ++c) {
+      lut.mean().at(r, c) = stats[r * loadAxis.size() + c].mean();
+      lut.sigma().at(r, c) = stats[r * loadAxis.size() + c].stddev();
+    }
+  }
+  return lut;
+}
+
+tuning::LibraryConstraints tuneLibraryOnPower(
+    const charlib::Characterizer& characterizer, const PowerModel& model,
+    double energySigmaCeiling, std::size_t samples, std::uint64_t seed) {
+  tuning::LibraryConstraints constraints;
+  for (const charlib::CellSpec& spec : characterizer.specs().all()) {
+    const liberty::FunctionTraits& traits = liberty::traits(spec.function);
+    if (traits.numDataInputs == 0 && !traits.sequential) continue;  // ties
+    const statlib::StatLut lut =
+        buildPowerLut(characterizer, model, spec, samples, seed);
+    const auto rect = tuning::largestRectangle(
+        tuning::BinaryLut::thresholdBelow(lut.sigma(), energySigmaCeiling));
+    if (!rect) {
+      constraints.markUnusable(spec.name);
+      continue;
+    }
+    tuning::PinWindow window;
+    window.minSlew = rect->rowLo == 0 ? 0.0 : lut.slewAxis()[rect->rowLo];
+    window.maxSlew = lut.slewAxis()[rect->rowHi];
+    window.minLoad = rect->colLo == 0 ? 0.0 : lut.loadAxis()[rect->colLo];
+    window.maxLoad = lut.loadAxis()[rect->colHi];
+    tuning::CellConstraint constraint;
+    constraint.sigmaThreshold = energySigmaCeiling;
+    const auto outputs = liberty::outputNames(spec.function);
+    for (std::size_t o = 0; o < traits.numOutputs; ++o) {
+      constraint.pinWindows.emplace(std::string(outputs[o]), window);
+    }
+    constraints.setCell(spec.name, std::move(constraint));
+  }
+  return constraints;
+}
+
+DesignPower analyzeDesignPower(const netlist::Design& design,
+                               const sta::TimingAnalyzer& sta,
+                               const charlib::Characterizer& characterizer,
+                               const PowerModel& model, double activity,
+                               std::size_t samples, std::uint64_t seed) {
+  DesignPower out;
+  const double period = sta.clock().period;
+  numeric::Rng master(seed);
+  double varSum = 0.0;  // (uW)^2
+
+  for (std::size_t i = 0; i < design.instanceCount(); ++i) {
+    const netlist::Instance& inst =
+        design.instance(static_cast<netlist::InstIndex>(i));
+    if (!inst.alive || inst.cell == nullptr) continue;
+    const charlib::CellSpec* spec =
+        characterizer.specs().find(inst.cell->name());
+    if (spec == nullptr) continue;  // cells outside the catalogue
+
+    // Operating point: worst input slew, total driven load.
+    double slew = sta.clock().clockSlew;
+    for (netlist::NetIndex in : inst.inputs) {
+      slew = std::max(slew, sta.netSlew(in));
+    }
+    double load = 0.0;
+    for (netlist::NetIndex outNet : inst.outputs) {
+      load += sta.netLoad(outNet);
+    }
+
+    // Per-instance energy statistics from fresh mismatch draws.
+    numeric::Rng instRng = master.fork(numeric::Rng::hashTag(inst.name));
+    numeric::RunningStats energy;
+    for (std::size_t k = 0; k < samples; ++k) {
+      energy.add(model.transitionEnergy(
+          *spec, slew, load, characterizer.model().drawLocal(*spec, instRng)));
+    }
+    const double toPower = activity / period;  // fJ -> uW
+    out.meanPower += energy.mean() * toPower;
+    const double sigmaPower = energy.stddev() * toPower;
+    varSum += sigmaPower * sigmaPower;
+    ++out.cells;
+  }
+  out.sigmaPower = std::sqrt(varSum);
+  return out;
+}
+
+}  // namespace sct::power

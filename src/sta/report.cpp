@@ -1,0 +1,140 @@
+#include "sta/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace sct::sta {
+namespace {
+
+void writeSummary(std::ostream& out, const netlist::Design& design,
+                  const TimingAnalyzer& sta) {
+  const ClockSpec& clock = sta.clock();
+  out << "Design           : " << design.name() << "\n";
+  out << "Clock period     : " << clock.period << " ns (uncertainty "
+      << clock.uncertainty << " ns)\n";
+  out << "Gates            : " << design.gateCount() << "\n";
+  out << "Total cell area  : " << design.totalArea() << " um^2\n";
+  out << "Endpoints        : " << sta.endpoints().size() << "\n";
+  out << "Setup WNS        : " << sta.worstSlack() << " ns ("
+      << (sta.met() ? "MET" : "VIOLATED") << ")\n";
+  out << "Setup TNS        : " << sta.totalNegativeSlack() << " ns\n";
+  out << "Hold  WNS        : " << sta.worstHoldSlack() << " ns ("
+      << (sta.holdMet() ? "MET" : "VIOLATED") << ")\n";
+}
+
+void writeAreaBreakdown(std::ostream& out, const netlist::Design& design) {
+  std::map<liberty::CellCategory, std::pair<std::size_t, double>> byCategory;
+  for (const netlist::Instance& inst : design.instances()) {
+    if (!inst.alive || inst.cell == nullptr) continue;
+    auto& [count, area] = byCategory[inst.cell->category()];
+    ++count;
+    area += inst.cell->area();
+  }
+  out << "\nArea by category\n";
+  out << "  " << std::left << std::setw(14) << "category" << std::right
+      << std::setw(9) << "cells" << std::setw(14) << "area [um^2]"
+      << std::setw(9) << "share" << "\n";
+  const double total = design.totalArea();
+  for (const auto& [category, entry] : byCategory) {
+    out << "  " << std::left << std::setw(14) << liberty::toString(category)
+        << std::right << std::setw(9) << entry.first << std::setw(14)
+        << std::fixed << std::setprecision(1) << entry.second << std::setw(8)
+        << std::setprecision(1) << (100.0 * entry.second / total) << "%\n";
+  }
+  out.unsetf(std::ios::fixed);
+  out << std::setprecision(6);
+}
+
+void writeSlackHistogram(std::ostream& out, const TimingAnalyzer& sta,
+                         std::size_t bins) {
+  const auto& endpoints = sta.endpoints();
+  if (endpoints.empty() || bins == 0) return;
+  double lo = endpoints.front().slack;
+  double hi = lo;
+  for (const Endpoint& ep : endpoints) {
+    lo = std::min(lo, ep.slack);
+    hi = std::max(hi, ep.slack);
+  }
+  if (hi <= lo) hi = lo + 1e-9;
+  std::vector<std::size_t> counts(bins, 0);
+  for (const Endpoint& ep : endpoints) {
+    auto bin = static_cast<std::size_t>((ep.slack - lo) / (hi - lo) *
+                                        static_cast<double>(bins));
+    ++counts[std::min(bin, bins - 1)];
+  }
+  std::size_t peak = 1;
+  for (std::size_t c : counts) peak = std::max(peak, c);
+  out << "\nEndpoint slack histogram [" << lo << " .. " << hi << " ns]\n";
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double binLo = lo + (hi - lo) * static_cast<double>(b) /
+                                  static_cast<double>(bins);
+    const auto width = static_cast<std::size_t>(
+        40.0 * static_cast<double>(counts[b]) / static_cast<double>(peak));
+    out << "  " << std::setw(9) << std::fixed << std::setprecision(3) << binLo
+        << " | " << std::string(width, '#') << " " << counts[b] << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+  out << std::setprecision(6);
+}
+
+void writeCriticalPaths(std::ostream& out, const TimingAnalyzer& sta,
+                        std::size_t count) {
+  // Rank endpoints by slack.
+  std::vector<const Endpoint*> ranked;
+  ranked.reserve(sta.endpoints().size());
+  for (const Endpoint& ep : sta.endpoints()) ranked.push_back(&ep);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Endpoint* a, const Endpoint* b) {
+              return a->slack < b->slack;
+            });
+  count = std::min(count, ranked.size());
+  for (std::size_t p = 0; p < count; ++p) {
+    const Endpoint& ep = *ranked[p];
+    const TimingPath path = sta.worstPathTo(ep);
+    out << "\nCritical path " << (p + 1) << ": " << ep.name << " (slack "
+        << ep.slack << " ns, depth " << path.depth() << ")\n";
+    out << "  " << std::left << std::setw(12) << "cell" << std::setw(10)
+        << "arc" << std::right << std::setw(10) << "incr" << std::setw(10)
+        << "arrive" << std::setw(10) << "load" << "\n";
+    double cumulative = 0.0;
+    for (const PathStep& step : path.steps) {
+      cumulative += step.delay;
+      out << "  " << std::left << std::setw(12) << step.cell->name()
+          << std::setw(10)
+          << (step.arc->relatedPin + ">" + step.arc->outputPin) << std::right
+          << std::setw(10) << std::fixed << std::setprecision(4) << step.delay
+          << std::setw(10) << cumulative << std::setw(10) << step.load
+          << "\n";
+      out.unsetf(std::ios::fixed);
+      out << std::setprecision(6);
+    }
+    out << "  required " << ep.required << " ns, arrival " << ep.arrival
+        << " ns\n";
+  }
+}
+
+}  // namespace
+
+void writeTimingReport(std::ostream& out, const netlist::Design& design,
+                       const TimingAnalyzer& sta,
+                       const ReportOptions& options) {
+  out << "==== sctune timing report ====\n";
+  writeSummary(out, design, sta);
+  writeAreaBreakdown(out, design);
+  writeSlackHistogram(out, sta, options.histogramBins);
+  writeCriticalPaths(out, sta, options.criticalPaths);
+}
+
+std::string timingReportToString(const netlist::Design& design,
+                                 const TimingAnalyzer& sta,
+                                 const ReportOptions& options) {
+  std::ostringstream out;
+  writeTimingReport(out, design, sta, options);
+  return out.str();
+}
+
+}  // namespace sct::sta

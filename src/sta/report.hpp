@@ -1,0 +1,28 @@
+#pragma once
+// Human-readable timing/area reports in the style of a signoff STA tool:
+// design summary, per-category area breakdown, slack histogram, and the
+// top-N critical paths with a per-cell trace (cell, arc, incremental delay,
+// cumulative arrival).
+
+#include <iosfwd>
+#include <string>
+
+#include "sta/sta.hpp"
+
+namespace sct::sta {
+
+struct ReportOptions {
+  std::size_t criticalPaths = 3;   ///< full traces to print
+  std::size_t histogramBins = 10;  ///< slack histogram resolution
+};
+
+/// Writes the full report; the analyzer must have been analyze()d.
+void writeTimingReport(std::ostream& out, const netlist::Design& design,
+                       const TimingAnalyzer& sta,
+                       const ReportOptions& options = {});
+
+[[nodiscard]] std::string timingReportToString(
+    const netlist::Design& design, const TimingAnalyzer& sta,
+    const ReportOptions& options = {});
+
+}  // namespace sct::sta

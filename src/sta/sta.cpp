@@ -1,0 +1,399 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <cassert>
+#include <limits>
+
+namespace sct::sta {
+
+using netlist::Design;
+using netlist::Instance;
+using netlist::InstIndex;
+using netlist::kNoInst;
+using netlist::kNoNet;
+using netlist::NetIndex;
+using netlist::PrimOp;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string_view inputPinName(const Instance& inst,
+                              std::uint32_t slot) noexcept {
+  assert(inst.cell != nullptr);
+  switch (inst.op) {
+    case PrimOp::kDff:
+    case PrimOp::kDffR:
+      return "D";
+    case PrimOp::kDffE:
+      return slot == 0 ? "D" : "E";
+    default:
+      return liberty::dataInputNames(inst.cell->function())[slot];
+  }
+}
+
+std::string_view outputPinName(const Instance& inst,
+                               std::uint32_t slot) noexcept {
+  assert(inst.cell != nullptr);
+  return liberty::outputNames(inst.cell->function())[slot];
+}
+
+TimingAnalyzer::TimingAnalyzer(const Design& design,
+                               const liberty::Library& library,
+                               ClockSpec clock)
+    : design_(design), library_(library), clock_(clock) {
+  (void)library_;
+}
+
+void TimingAnalyzer::computeLoads() {
+  load_.assign(design_.netCount(), 0.0);
+  for (NetIndex n = 0; n < design_.netCount(); ++n) {
+    const netlist::Net& net = design_.net(n);
+    double load = net.isPrimaryOutput ? clock_.outputLoad : 0.0;
+    std::size_t fanout = 0;
+    for (const netlist::SinkRef& sink : net.sinks) {
+      const Instance& inst = design_.instance(sink.instance);
+      if (!inst.alive || inst.cell == nullptr) continue;
+      load += inst.cell->inputCapacitance(inputPinName(inst, sink.inputSlot));
+      ++fanout;
+    }
+    load_[n] = load + clock_.wireLoad.netCap(fanout);
+  }
+}
+
+bool TimingAnalyzer::levelize() {
+  topo_.clear();
+  topo_.reserve(design_.instanceCount());
+  std::vector<std::uint32_t> indegree(design_.instanceCount(), 0);
+
+  std::size_t combCount = 0;
+  std::vector<InstIndex> queue;
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    const Instance& inst = design_.instance(static_cast<InstIndex>(i));
+    if (!inst.alive) continue;
+    const bool isSource = netlist::isSequential(inst.op) ||
+                          netlist::numInputs(inst.op) == 0;
+    if (!isSource) {
+      ++combCount;
+      std::uint32_t deg = 0;
+      for (NetIndex in : inst.inputs) {
+        const netlist::Net& net = design_.net(in);
+        if (net.driver == kNoInst) continue;
+        const Instance& drv = design_.instance(net.driver);
+        if (drv.alive && !netlist::isSequential(drv.op) &&
+            netlist::numInputs(drv.op) != 0) {
+          ++deg;
+        }
+      }
+      indegree[i] = deg;
+      if (deg == 0) queue.push_back(static_cast<InstIndex>(i));
+    } else {
+      queue.push_back(static_cast<InstIndex>(i));
+    }
+  }
+
+  std::size_t combProcessed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const InstIndex index = queue[head];
+    const Instance& inst = design_.instance(index);
+    topo_.push_back(index);
+    const bool combinational = !netlist::isSequential(inst.op) &&
+                               netlist::numInputs(inst.op) != 0;
+    if (combinational) ++combProcessed;
+    for (NetIndex out : inst.outputs) {
+      for (const netlist::SinkRef& sink : design_.net(out).sinks) {
+        const Instance& target = design_.instance(sink.instance);
+        if (!target.alive || netlist::isSequential(target.op) ||
+            netlist::numInputs(target.op) == 0) {
+          continue;
+        }
+        if (--indegree[sink.instance] == 0) queue.push_back(sink.instance);
+      }
+    }
+  }
+  return combProcessed == combCount;
+}
+
+void TimingAnalyzer::propagateArrivals() {
+  arrival_.assign(design_.netCount(), 0.0);
+  min_arrival_.assign(design_.netCount(), 0.0);
+  slew_.assign(design_.netCount(), clock_.inputSlew);
+  pred_.assign(design_.netCount(), Pred{});
+
+  for (const netlist::Port& port : design_.ports()) {
+    if (port.direction == netlist::PortDirection::kInput) {
+      arrival_[port.net] = clock_.inputDelay;
+      min_arrival_[port.net] = clock_.inputDelay;
+      slew_[port.net] = clock_.inputSlew;
+    }
+  }
+
+  for (InstIndex index : topo_) {
+    const Instance& inst = design_.instance(index);
+    assert(inst.cell != nullptr && "STA requires a mapped design");
+
+    if (netlist::numInputs(inst.op) == 0) {
+      // Tie cells: static outputs.
+      for (NetIndex out : inst.outputs) {
+        arrival_[out] = 0.0;
+        slew_[out] = clock_.inputSlew;
+      }
+      continue;
+    }
+
+    if (netlist::isSequential(inst.op)) {
+      // Launch: clock -> Q through the clk->Q arc.
+      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+        const NetIndex out = inst.outputs[slot];
+        const liberty::TimingArc* arc =
+            inst.cell->findArc("CP", outputPinName(inst, slot));
+        assert(arc != nullptr);
+        const double delay =
+            arc->worstDelay(clock_.clockSlew, load_[out]) * clock_.derateLate;
+        arrival_[out] = delay;
+        min_arrival_[out] = arc->bestDelay(clock_.clockSlew, load_[out]) *
+                            clock_.derateEarly;
+        slew_[out] = arc->worstTransition(clock_.clockSlew, load_[out]);
+        pred_[out] = Pred{index, arc, 0, delay, clock_.clockSlew};
+      }
+      continue;
+    }
+
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      double bestArrival = -kInf;
+      double earliest = kInf;
+      double worstSlew = 0.0;
+      Pred best;
+      for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+        const liberty::TimingArc* arc = inst.cell->findArc(
+            inputPinName(inst, i), outputPinName(inst, slot));
+        if (arc == nullptr) continue;
+        const NetIndex in = inst.inputs[i];
+        const double delay =
+            arc->worstDelay(slew_[in], load_[out]) * clock_.derateLate;
+        const double cand = arrival_[in] + delay;
+        if (cand > bestArrival) {
+          bestArrival = cand;
+          best = Pred{index, arc, i, delay, slew_[in]};
+        }
+        earliest = std::min(earliest,
+                            min_arrival_[in] +
+                                arc->bestDelay(slew_[in], load_[out]) *
+                                    clock_.derateEarly);
+        worstSlew = std::max(
+            worstSlew, arc->worstTransition(slew_[in], load_[out]));
+      }
+      assert(best.arc != nullptr);
+      arrival_[out] = bestArrival;
+      min_arrival_[out] = earliest;
+      slew_[out] = worstSlew;
+      pred_[out] = best;
+    }
+  }
+}
+
+void TimingAnalyzer::collectEndpoints() {
+  endpoints_.clear();
+  worst_slack_ = kInf;
+  worst_hold_slack_ = kInf;
+  tns_ = 0.0;
+
+  auto finish = [&](Endpoint ep) {
+    ep.slack = ep.required - ep.arrival;
+    worst_slack_ = std::min(worst_slack_, ep.slack);
+    if (ep.slack < 0.0) tns_ += ep.slack;
+    endpoints_.push_back(std::move(ep));
+  };
+
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    const Instance& inst = design_.instance(static_cast<InstIndex>(i));
+    if (!inst.alive || !netlist::isSequential(inst.op)) continue;
+    for (std::uint32_t slot = 0; slot < inst.inputs.size(); ++slot) {
+      Endpoint ep;
+      ep.instance = static_cast<InstIndex>(i);
+      ep.inputSlot = slot;
+      ep.net = inst.inputs[slot];
+      ep.name = inst.name + "/" + std::string(inputPinName(inst, slot));
+      ep.arrival = arrival_[ep.net];
+      ep.required = clock_.effectivePeriod() -
+                    inst.cell->setupTime(slew_[ep.net], clock_.clockSlew);
+      // Hold: data launched by this edge must not race through before the
+      // capturing flop's hold window closes (ideal clock, zero skew).
+      ep.minArrival = min_arrival_[ep.net];
+      ep.holdSlack = ep.minArrival - inst.cell->holdTime();
+      worst_hold_slack_ = std::min(worst_hold_slack_, ep.holdSlack);
+      finish(std::move(ep));
+    }
+  }
+  for (const netlist::Port& port : design_.ports()) {
+    if (port.direction != netlist::PortDirection::kOutput) continue;
+    Endpoint ep;
+    ep.net = port.net;
+    ep.name = port.name;
+    ep.arrival = arrival_[port.net];
+    ep.required = clock_.effectivePeriod();
+    finish(std::move(ep));
+  }
+  if (endpoints_.empty()) worst_slack_ = 0.0;
+}
+
+void TimingAnalyzer::propagateRequired() {
+  required_.assign(design_.netCount(), kInf);
+  for (const Endpoint& ep : endpoints_) {
+    required_[ep.net] = std::min(required_[ep.net], ep.required);
+  }
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const Instance& inst = design_.instance(*it);
+    if (netlist::isSequential(inst.op) || netlist::numInputs(inst.op) == 0) {
+      continue;
+    }
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      if (required_[out] == kInf) continue;
+      for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+        const liberty::TimingArc* arc = inst.cell->findArc(
+            inputPinName(inst, i), outputPinName(inst, slot));
+        if (arc == nullptr) continue;
+        const NetIndex in = inst.inputs[i];
+        const double delay =
+            arc->worstDelay(slew_[in], load_[out]) * clock_.derateLate;
+        required_[in] = std::min(required_[in], required_[out] - delay);
+      }
+    }
+  }
+}
+
+bool TimingAnalyzer::analyze() {
+  // A mapped design is a precondition; fail cleanly on unmapped instances
+  // (e.g. when synthesis could not find usable cells for every function).
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    const Instance& inst = design_.instance(static_cast<InstIndex>(i));
+    if (inst.alive && inst.cell == nullptr) return false;
+  }
+  computeLoads();
+  if (!levelize()) return false;
+  propagateArrivals();
+  collectEndpoints();
+  propagateRequired();
+  return true;
+}
+
+TimingPath TimingAnalyzer::worstPathTo(const Endpoint& endpoint) const {
+  TimingPath path;
+  path.endpoint = endpoint;
+  NetIndex net = endpoint.net;
+  while (net != kNoNet) {
+    const Pred& pred = pred_[net];
+    if (pred.instance == kNoInst || pred.arc == nullptr) break;  // PI or tie
+    const Instance& inst = design_.instance(pred.instance);
+    path.steps.push_back(PathStep{pred.instance, inst.cell, pred.arc,
+                                  pred.inputSlew, load_[net], pred.delay});
+    if (netlist::isSequential(inst.op)) break;  // launching flip-flop
+    net = inst.inputs[pred.inputSlot];
+  }
+  std::reverse(path.steps.begin(), path.steps.end());
+  return path;
+}
+
+TimingPath TimingAnalyzer::criticalPath() const {
+  const Endpoint* worst = nullptr;
+  for (const Endpoint& ep : endpoints_) {
+    if (worst == nullptr || ep.slack < worst->slack) worst = &ep;
+  }
+  if (worst == nullptr) return {};
+  return worstPathTo(*worst);
+}
+
+std::vector<TimingPath> TimingAnalyzer::kWorstPathsTo(
+    const Endpoint& endpoint, std::size_t k) const {
+  // Best-first backward enumeration: a partial path is a suffix of steps
+  // from some net to the endpoint; its bound is the best achievable total
+  // arrival (forward arrival at the net plus the suffix delay), which is
+  // exact, so paths pop in decreasing-arrival order.
+  struct Partial {
+    NetIndex net = kNoNet;
+    double suffixDelay = 0.0;
+    double bound = 0.0;
+    std::vector<PathStep> reversedSteps;  // endpoint-side first
+  };
+  auto worseBound = [](const Partial& a, const Partial& b) {
+    return a.bound < b.bound;
+  };
+  std::priority_queue<Partial, std::vector<Partial>, decltype(worseBound)>
+      queue(worseBound);
+  queue.push(Partial{endpoint.net, 0.0, arrival_[endpoint.net], {}});
+
+  std::vector<TimingPath> out;
+  // Guard against pathological fan-in explosions.
+  std::size_t expansions = 0;
+  const std::size_t expansionCap = 20000 + 200 * k;
+  while (!queue.empty() && out.size() < k && expansions < expansionCap) {
+    ++expansions;
+    Partial p = queue.top();
+    queue.pop();
+    const netlist::Net& net = design_.net(p.net);
+
+    auto emit = [&](std::vector<PathStep> steps, double arrivalAtSource) {
+      std::reverse(steps.begin(), steps.end());
+      TimingPath path;
+      path.steps = std::move(steps);
+      path.endpoint = endpoint;
+      path.endpoint.arrival = arrivalAtSource + p.suffixDelay;
+      path.endpoint.slack = path.endpoint.required - path.endpoint.arrival;
+      out.push_back(std::move(path));
+    };
+
+    if (net.driver == kNoInst) {
+      emit(p.reversedSteps, clock_.inputDelay);  // primary-input launch
+      continue;
+    }
+    const Instance& drv = design_.instance(net.driver);
+    if (netlist::numInputs(drv.op) == 0) {
+      emit(p.reversedSteps, 0.0);  // tie cell
+      continue;
+    }
+    if (netlist::isSequential(drv.op)) {
+      const liberty::TimingArc* arc =
+          drv.cell->findArc("CP", outputPinName(drv, net.driverSlot));
+      if (arc == nullptr) continue;
+      const double delay =
+          arc->worstDelay(clock_.clockSlew, load_[p.net]) * clock_.derateLate;
+      std::vector<PathStep> steps = p.reversedSteps;
+      steps.push_back(PathStep{net.driver, drv.cell, arc, clock_.clockSlew,
+                               load_[p.net], delay});
+      // The launch arrival is the flip-flop's clk->Q delay (the appended
+      // step's delay is not folded into suffixDelay, so add it here).
+      emit(std::move(steps), delay);
+      continue;
+    }
+    // Combinational driver: branch over every fan-in arc.
+    for (std::uint32_t i = 0; i < drv.inputs.size(); ++i) {
+      const liberty::TimingArc* arc = drv.cell->findArc(
+          inputPinName(drv, i), outputPinName(drv, net.driverSlot));
+      if (arc == nullptr) continue;
+      const NetIndex in = drv.inputs[i];
+      const double delay =
+          arc->worstDelay(slew_[in], load_[p.net]) * clock_.derateLate;
+      Partial next;
+      next.net = in;
+      next.suffixDelay = p.suffixDelay + delay;
+      next.bound = arrival_[in] + next.suffixDelay;
+      next.reversedSteps = p.reversedSteps;
+      next.reversedSteps.push_back(PathStep{net.driver, drv.cell, arc,
+                                            slew_[in], load_[p.net], delay});
+      queue.push(std::move(next));
+    }
+  }
+  return out;
+}
+
+std::vector<TimingPath> TimingAnalyzer::endpointWorstPaths() const {
+  std::vector<TimingPath> paths;
+  paths.reserve(endpoints_.size());
+  for (const Endpoint& ep : endpoints_) paths.push_back(worstPathTo(ep));
+  return paths;
+}
+
+}  // namespace sct::sta

@@ -1,0 +1,212 @@
+#pragma once
+// Static timing analysis over a mapped design: levelization, load
+// computation, slew/arrival propagation through library LUTs, setup checks
+// against the clock constraint, and worst-path extraction per endpoint.
+// Single-valued worst-case (max of rise/fall) analysis, one ideal clock —
+// the same abstraction level as the paper's setup study.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sct::sta {
+
+/// Pre-layout wire-load model: estimated net capacitance as a function of
+/// fanout (Liberty wire_load semantics, simplified to a quadratic fit).
+/// The default reproduces a short-reach lumped model; the medium/large
+/// presets emulate bigger floorplans where routing dominates.
+struct WireLoadModel {
+  double capBase = 0.0;         ///< fixed per-net cap [pF]
+  double capPerFanout = 0.0015; ///< linear term [pF per sink]
+  double capQuadratic = 0.0;    ///< congestion term [pF per sink^2]
+
+  [[nodiscard]] double netCap(std::size_t fanout) const noexcept {
+    const double n = static_cast<double>(fanout);
+    return fanout == 0 ? 0.0 : capBase + capPerFanout * n +
+                                   capQuadratic * n * n;
+  }
+  [[nodiscard]] static WireLoadModel small() { return {0.0, 0.0015, 0.0}; }
+  [[nodiscard]] static WireLoadModel medium() {
+    return {0.001, 0.0022, 0.00004};
+  }
+  [[nodiscard]] static WireLoadModel large() {
+    return {0.002, 0.0030, 0.00012};
+  }
+};
+
+/// Clock and boundary conditions of the analysis.
+struct ClockSpec {
+  double period = 2.41;       ///< ns
+  double uncertainty = 0.30;  ///< guard band subtracted from the period [ns]
+                              ///< (paper section VII: 300 ps at 2.41 ns)
+  double clockSlew = 0.05;    ///< transition at flip-flop clock pins [ns]
+  double inputSlew = 0.05;    ///< transition driven into primary inputs [ns]
+  double inputDelay = 0.0;    ///< external arrival at primary inputs [ns]
+  double outputLoad = 0.004;  ///< external load on primary outputs [pF]
+  WireLoadModel wireLoad{};   ///< pre-layout net-capacitance estimate
+  /// On-chip-variation derates (the blanket alternative to statistical
+  /// analysis, cf. the paper's reference [10]): every max-path delay is
+  /// multiplied by derateLate, every min-path delay by derateEarly.
+  double derateLate = 1.0;
+  double derateEarly = 1.0;
+
+  /// Data must arrive before this time (excluding per-endpoint setup).
+  [[nodiscard]] double effectivePeriod() const noexcept {
+    return period - uncertainty;
+  }
+};
+
+/// A setup endpoint: a sequential data/enable input or a primary output.
+struct Endpoint {
+  netlist::InstIndex instance = netlist::kNoInst;  ///< kNoInst => primary out
+  std::uint32_t inputSlot = 0;  ///< input slot on the instance
+  netlist::NetIndex net = netlist::kNoNet;  ///< the endpoint's data net
+  std::string name;             ///< diagnostic label
+  double arrival = 0.0;         ///< latest (setup) arrival
+  double required = 0.0;
+  double slack = 0.0;           ///< setup slack
+  double minArrival = 0.0;      ///< earliest arrival (hold analysis)
+  double holdSlack = 0.0;       ///< minArrival - hold requirement
+};
+
+/// One cell traversal on a timing path, carrying the operating point the
+/// statistics layer needs (input slew, output load).
+struct PathStep {
+  netlist::InstIndex instance = netlist::kNoInst;
+  const liberty::Cell* cell = nullptr;
+  const liberty::TimingArc* arc = nullptr;
+  double inputSlew = 0.0;  ///< slew presented to the arc's related pin
+  double load = 0.0;       ///< capacitive load on the arc's output pin
+  double delay = 0.0;      ///< worst-edge arc delay at this operating point
+};
+
+/// A traced worst path ending at an endpoint. steps.front() is the
+/// launching element (flip-flop clk->Q or the first gate after a primary
+/// input); steps.size() is the paper's "path depth" in cells.
+struct TimingPath {
+  std::vector<PathStep> steps;
+  Endpoint endpoint;
+  [[nodiscard]] std::size_t depth() const noexcept { return steps.size(); }
+  [[nodiscard]] double arrival() const noexcept { return endpoint.arrival; }
+  [[nodiscard]] double slack() const noexcept { return endpoint.slack; }
+};
+
+class TimingAnalyzer {
+ public:
+  /// The design must be fully mapped (every alive instance bound to a cell).
+  TimingAnalyzer(const netlist::Design& design, const liberty::Library& library,
+                 ClockSpec clock);
+
+  /// Full timing update. Returns false when the combinational netlist has a
+  /// cycle (analysis results are then invalid).
+  bool analyze();
+
+  [[nodiscard]] const ClockSpec& clock() const noexcept { return clock_; }
+  void setClock(const ClockSpec& clock) noexcept { clock_ = clock; }
+
+  // --- per-net results -----------------------------------------------------
+  // Accessors are bounds-safe: nets created after the last analyze() (e.g.
+  // by mid-pass buffer insertion) report neutral defaults until the next
+  // full update.
+  [[nodiscard]] double netLoad(netlist::NetIndex net) const noexcept {
+    return net < load_.size() ? load_[net] : 0.0;
+  }
+  [[nodiscard]] double netArrival(netlist::NetIndex net) const noexcept {
+    return net < arrival_.size() ? arrival_[net] : 0.0;
+  }
+  [[nodiscard]] double netSlew(netlist::NetIndex net) const noexcept {
+    return net < slew_.size() ? slew_[net] : clock_.inputSlew;
+  }
+  /// Earliest possible switch time (min-delay propagation, hold analysis).
+  [[nodiscard]] double netMinArrival(netlist::NetIndex net) const noexcept {
+    return net < min_arrival_.size() ? min_arrival_[net] : 0.0;
+  }
+  /// Latest time the net may switch so all downstream endpoints still meet
+  /// setup; +inf for nets with no timing endpoints downstream.
+  [[nodiscard]] double netRequired(netlist::NetIndex net) const noexcept {
+    return net < required_.size() ? required_[net]
+                                  : std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] double netSlack(netlist::NetIndex net) const noexcept {
+    return netRequired(net) - netArrival(net);
+  }
+
+  // --- design summary --------------------------------------------------------
+  [[nodiscard]] const std::vector<Endpoint>& endpoints() const noexcept {
+    return endpoints_;
+  }
+  [[nodiscard]] double worstSlack() const noexcept { return worst_slack_; }
+  [[nodiscard]] double totalNegativeSlack() const noexcept { return tns_; }
+  [[nodiscard]] bool met() const noexcept { return worst_slack_ >= 0.0; }
+  /// Worst hold slack over all sequential endpoints (+inf if none).
+  [[nodiscard]] double worstHoldSlack() const noexcept {
+    return worst_hold_slack_;
+  }
+  [[nodiscard]] bool holdMet() const noexcept {
+    return worst_hold_slack_ >= 0.0;
+  }
+
+  /// Instances in combinational topological order (valid after analyze()).
+  [[nodiscard]] const std::vector<netlist::InstIndex>& topoOrder()
+      const noexcept {
+    return topo_;
+  }
+
+  // --- paths ------------------------------------------------------------------
+  /// Backtracks the worst path into the endpoint.
+  [[nodiscard]] TimingPath worstPathTo(const Endpoint& endpoint) const;
+  /// Worst path of the whole design.
+  [[nodiscard]] TimingPath criticalPath() const;
+  /// One worst path per endpoint (Fig. 12-14 population).
+  [[nodiscard]] std::vector<TimingPath> endpointWorstPaths() const;
+  /// The k latest-arriving distinct paths into an endpoint, in decreasing
+  /// arrival order (best-first enumeration over the timing graph). Each
+  /// returned path carries its own arrival/slack in `endpoint`.
+  [[nodiscard]] std::vector<TimingPath> kWorstPathsTo(const Endpoint& endpoint,
+                                                      std::size_t k) const;
+
+ private:
+  struct Pred {
+    netlist::InstIndex instance = netlist::kNoInst;
+    const liberty::TimingArc* arc = nullptr;
+    std::uint32_t inputSlot = 0;
+    double delay = 0.0;
+    double inputSlew = 0.0;
+  };
+
+  void computeLoads();
+  bool levelize();
+  void propagateArrivals();
+  void propagateRequired();
+  void collectEndpoints();
+
+  const netlist::Design& design_;
+  const liberty::Library& library_;
+  ClockSpec clock_;
+
+  std::vector<double> load_;
+  std::vector<double> arrival_;
+  std::vector<double> min_arrival_;
+  std::vector<double> slew_;
+  std::vector<double> required_;
+  std::vector<Pred> pred_;  ///< winning predecessor per net (path tracing)
+  std::vector<netlist::InstIndex> topo_;
+  std::vector<Endpoint> endpoints_;
+  double worst_slack_ = 0.0;
+  double tns_ = 0.0;
+  double worst_hold_slack_ = 0.0;
+};
+
+/// Pin name on the bound cell for an instance input slot (handles the
+/// enable pin of DFFE and the clock-related conventions).
+[[nodiscard]] std::string_view inputPinName(const netlist::Instance& inst,
+                                            std::uint32_t slot) noexcept;
+/// Pin name on the bound cell for an instance output slot.
+[[nodiscard]] std::string_view outputPinName(const netlist::Instance& inst,
+                                             std::uint32_t slot) noexcept;
+
+}  // namespace sct::sta

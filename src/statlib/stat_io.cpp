@@ -1,0 +1,218 @@
+#include "statlib/stat_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "liberty/text_format.hpp"
+
+namespace sct::statlib {
+namespace {
+
+using liberty::ParseError;
+using liberty::text::axisValues;
+using liberty::text::Lexer;
+using liberty::text::Line;
+using liberty::text::singleValue;
+using liberty::text::toDouble;
+
+constexpr int kPrecision = 17;
+
+void writeAxis(std::ostream& out, std::string_view key,
+               const numeric::Axis& axis, const std::string& pad) {
+  out << pad << key << " :";
+  for (double v : axis) out << ' ' << v;
+  out << " ;\n";
+}
+
+void writeGridRows(std::ostream& out, std::string_view key,
+                   const numeric::Grid2d& grid, const std::string& pad) {
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    out << pad << key << " :";
+    for (std::size_t c = 0; c < grid.cols(); ++c) out << ' ' << grid.at(r, c);
+    out << " ;\n";
+  }
+}
+
+void writeStatLut(std::ostream& out, std::string_view edge, const StatLut& lut,
+                  const std::string& pad) {
+  out << pad << "edge (" << edge << ") {\n";
+  const std::string inner = pad + "  ";
+  writeAxis(out, "index_1", lut.slewAxis(), inner);
+  writeAxis(out, "index_2", lut.loadAxis(), inner);
+  writeGridRows(out, "mean_row", lut.mean(), inner);
+  writeGridRows(out, "sigma_row", lut.sigma(), inner);
+  out << pad << "}\n";
+}
+
+StatLut readStatLut(Lexer& lexer) {
+  numeric::Axis slew;
+  numeric::Axis load;
+  std::vector<std::vector<double>> meanRows;
+  std::vector<std::vector<double>> sigmaRows;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) {
+      if (slew.empty() || load.empty()) {
+        throw ParseError(line->number, "stat LUT missing index_1/index_2");
+      }
+      if (meanRows.size() != slew.size() || sigmaRows.size() != slew.size()) {
+        throw ParseError(line->number, "stat LUT row count mismatch");
+      }
+      StatLut lut(slew, load);
+      for (std::size_t r = 0; r < slew.size(); ++r) {
+        if (meanRows[r].size() != load.size() ||
+            sigmaRows[r].size() != load.size()) {
+          throw ParseError(line->number, "stat LUT row width mismatch");
+        }
+        for (std::size_t c = 0; c < load.size(); ++c) {
+          lut.mean().at(r, c) = meanRows[r][c];
+          lut.sigma().at(r, c) = sigmaRows[r][c];
+        }
+      }
+      return lut;
+    }
+    if (line->head == "index_1") {
+      slew = axisValues(*line);
+    } else if (line->head == "index_2") {
+      load = axisValues(*line);
+    } else if (line->head == "mean_row" || line->head == "sigma_row") {
+      std::vector<double> row;
+      row.reserve(line->values.size());
+      for (const std::string& token : line->values) {
+        row.push_back(toDouble(*line, token));
+      }
+      (line->head == "mean_row" ? meanRows : sigmaRows)
+          .push_back(std::move(row));
+    } else {
+      throw ParseError(line->number,
+                       "unexpected '" + line->head + "' in stat LUT");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated stat LUT block");
+}
+
+StatArc readArc(Lexer& lexer, const std::string& arg, std::size_t lineNo) {
+  StatArc arc;
+  const std::size_t arrow = arg.find("->");
+  if (arrow == std::string::npos) {
+    throw ParseError(lineNo, "arc needs 'related -> output'");
+  }
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(' ');
+    const auto e = s.find_last_not_of(' ');
+    return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+  };
+  arc.relatedPin = trim(arg.substr(0, arrow));
+  arc.outputPin = trim(arg.substr(arrow + 2));
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) return arc;
+    if (!line->opensBlock || line->head != "edge") {
+      throw ParseError(line->number, "expected edge block in arc");
+    }
+    if (line->arg == "rise") {
+      arc.rise = readStatLut(lexer);
+    } else if (line->arg == "fall") {
+      arc.fall = readStatLut(lexer);
+    } else {
+      throw ParseError(line->number, "unknown edge '" + line->arg + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated arc block");
+}
+
+StatCell readCell(Lexer& lexer, const std::string& name) {
+  std::optional<liberty::CellFunction> function;
+  double strength = 1.0;
+  double area = 0.0;
+  std::vector<StatArc> arcs;
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) {
+      if (!function) throw ParseError(line->number, "cell missing function");
+      StatCell cell(name, *function, strength, area);
+      for (StatArc& arc : arcs) cell.addArc(std::move(arc));
+      return cell;
+    }
+    if (line->opensBlock && line->head == "arc") {
+      arcs.push_back(readArc(lexer, line->arg, line->number));
+    } else if (line->head == "function") {
+      if (line->values.size() != 1) {
+        throw ParseError(line->number, "function needs one value");
+      }
+      for (std::size_t i = 0; i < liberty::kNumCellFunctions; ++i) {
+        const auto f = static_cast<liberty::CellFunction>(i);
+        if (liberty::toString(f) == line->values[0]) function = f;
+      }
+      if (!function) {
+        throw ParseError(line->number,
+                         "unknown function '" + line->values[0] + "'");
+      }
+    } else if (line->head == "drive_strength") {
+      strength = singleValue(*line);
+    } else if (line->head == "area") {
+      area = singleValue(*line);
+    } else {
+      throw ParseError(line->number,
+                       "unknown cell attribute '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated cell block");
+}
+
+}  // namespace
+
+void writeStatLibrary(std::ostream& out, const StatLibrary& library) {
+  out << std::setprecision(kPrecision);
+  out << "stat_library (" << library.name() << ") {\n";
+  out << "  samples : " << library.sampleCount() << " ;\n";
+  for (const StatCell* cell : library.cells()) {
+    out << "  cell (" << cell->name() << ") {\n";
+    out << "    function : " << liberty::toString(cell->function()) << " ;\n";
+    out << "    drive_strength : " << cell->driveStrength() << " ;\n";
+    out << "    area : " << cell->area() << " ;\n";
+    for (const StatArc& arc : cell->arcs()) {
+      out << "    arc (" << arc.relatedPin << " -> " << arc.outputPin
+          << ") {\n";
+      writeStatLut(out, "rise", arc.rise, "      ");
+      writeStatLut(out, "fall", arc.fall, "      ");
+      out << "    }\n";
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+}
+
+std::string writeStatLibraryToString(const StatLibrary& library) {
+  std::ostringstream out;
+  writeStatLibrary(out, library);
+  return out.str();
+}
+
+StatLibrary readStatLibrary(std::istream& in) {
+  Lexer lexer(in);
+  auto first = lexer.next();
+  if (!first || first->head != "stat_library" || !first->opensBlock) {
+    throw ParseError(first ? first->number : 0,
+                     "expected 'stat_library (name) {'");
+  }
+  StatLibrary library(first->arg);
+  while (auto line = lexer.next()) {
+    if (line->closesBlock) return library;
+    if (line->head == "samples") {
+      library.setSampleCount(static_cast<std::size_t>(singleValue(*line)));
+    } else if (line->opensBlock && line->head == "cell") {
+      library.addCell(readCell(lexer, line->arg));
+    } else {
+      throw ParseError(line->number, "unexpected '" + line->head + "'");
+    }
+  }
+  throw ParseError(lexer.lineNumber(), "unterminated stat_library block");
+}
+
+StatLibrary readStatLibraryFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readStatLibrary(in);
+}
+
+}  // namespace sct::statlib

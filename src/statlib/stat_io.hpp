@@ -1,0 +1,25 @@
+#pragma once
+// Text serialization of statistical libraries. The paper's flow produces a
+// "statistical library file with identical tables as a nominal library but
+// which contains local variation statistics instead" (section IV); this is
+// that artifact: a Liberty-style dialect with paired mean/sigma tables,
+// round-trippable so tuning can run without re-characterizing.
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/liberty_io.hpp"  // ParseError
+#include "statlib/stat_library.hpp"
+
+namespace sct::statlib {
+
+/// Writes the statistical library (deterministic output).
+void writeStatLibrary(std::ostream& out, const StatLibrary& library);
+[[nodiscard]] std::string writeStatLibraryToString(const StatLibrary& library);
+
+/// Parses a library previously produced by writeStatLibrary. Throws
+/// liberty::ParseError on malformed input.
+[[nodiscard]] StatLibrary readStatLibrary(std::istream& in);
+[[nodiscard]] StatLibrary readStatLibraryFromString(const std::string& text);
+
+}  // namespace sct::statlib

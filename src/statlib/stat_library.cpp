@@ -1,0 +1,177 @@
+#include "statlib/stat_library.hpp"
+
+#include <stdexcept>
+
+#include "numeric/interp.hpp"
+
+namespace sct::statlib {
+
+numeric::NormalSummary StatLut::lookup(double slew, double load) const noexcept {
+  numeric::NormalSummary out;
+  out.mean = numeric::bilinear(slew_, load_, mean_, slew, load);
+  out.sigma = numeric::bilinear(slew_, load_, sigma_, slew, load);
+  return out;
+}
+
+numeric::NormalSummary StatArc::worstDelayStats(double slew,
+                                                double load) const noexcept {
+  const numeric::NormalSummary r = rise.lookup(slew, load);
+  const numeric::NormalSummary f = fall.lookup(slew, load);
+  return r.mean >= f.mean ? r : f;
+}
+
+const StatArc* StatCell::findArc(std::string_view related,
+                                 std::string_view output) const noexcept {
+  for (const StatArc& arc : arcs_) {
+    if (arc.relatedPin == related && arc.outputPin == output) return &arc;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> StatCell::outputPins() const {
+  std::vector<std::string> out;
+  for (const StatArc& arc : arcs_) {
+    bool seen = false;
+    for (const std::string& name : out) {
+      if (name == arc.outputPin) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(arc.outputPin);
+  }
+  return out;
+}
+
+namespace {
+
+/// Entry-wise max of sigma surfaces over a set of arcs.
+StatLut maxSigmaOver(const std::vector<const StatArc*>& arcs) {
+  if (arcs.empty()) return {};
+  StatLut out(arcs.front()->rise.slewAxis(), arcs.front()->rise.loadAxis());
+  out.sigma() = arcs.front()->rise.sigma();
+  out.mean() = arcs.front()->rise.mean();
+  for (const StatArc* arc : arcs) {
+    out.sigma().maxWith(arc->rise.sigma());
+    out.sigma().maxWith(arc->fall.sigma());
+    out.mean().maxWith(arc->rise.mean());
+    out.mean().maxWith(arc->fall.mean());
+  }
+  return out;
+}
+
+}  // namespace
+
+StatLut StatCell::maxSigmaLutForPin(std::string_view outputPin) const {
+  std::vector<const StatArc*> arcs;
+  for (const StatArc& arc : arcs_) {
+    if (arc.outputPin == outputPin) arcs.push_back(&arc);
+  }
+  return maxSigmaOver(arcs);
+}
+
+StatLut StatCell::maxSigmaLut() const {
+  std::vector<const StatArc*> arcs;
+  arcs.reserve(arcs_.size());
+  for (const StatArc& arc : arcs_) arcs.push_back(&arc);
+  return maxSigmaOver(arcs);
+}
+
+StatCell* StatLibrary::addCell(StatCell cell) {
+  auto owned = std::make_unique<StatCell>(std::move(cell));
+  StatCell* raw = owned.get();
+  cells_.push_back(std::move(owned));
+  by_name_[raw->name()] = raw;
+  return raw;
+}
+
+const StatCell* StatLibrary::findCell(std::string_view name) const noexcept {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+std::vector<const StatCell*> StatLibrary::cells() const {
+  std::vector<const StatCell*> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.get());
+  return out;
+}
+
+std::map<double, std::vector<const StatCell*>> StatLibrary::strengthClusters()
+    const {
+  std::map<double, std::vector<const StatCell*>> out;
+  for (const auto& c : cells_) out[c->driveStrength()].push_back(c.get());
+  return out;
+}
+
+namespace {
+
+/// Collects one LUT position across all library instances and reduces it to
+/// (mean, sigma) — the "temporary table" of Fig. 2.
+StatLut mergeLuts(std::span<const liberty::Library> libraries,
+                  const std::string& cellName,
+                  const liberty::TimingArc& refArc, bool rise) {
+  const liberty::Lut& refLut = rise ? refArc.riseDelay : refArc.fallDelay;
+
+  // Resolve the matching table in every library instance once.
+  std::vector<const liberty::Lut*> instances;
+  instances.reserve(libraries.size());
+  for (const liberty::Library& lib : libraries) {
+    const liberty::Cell* cell = lib.findCell(cellName);
+    if (cell == nullptr) {
+      throw std::invalid_argument("cell '" + cellName +
+                                  "' missing from library " + lib.name());
+    }
+    const liberty::TimingArc* arc =
+        cell->findArc(refArc.relatedPin, refArc.outputPin);
+    if (arc == nullptr) {
+      throw std::invalid_argument("arc " + refArc.relatedPin + "->" +
+                                  refArc.outputPin + " missing on " +
+                                  cellName + " in " + lib.name());
+    }
+    const liberty::Lut& lut = rise ? arc->riseDelay : arc->fallDelay;
+    if (!lut.sameShape(refLut)) {
+      throw std::invalid_argument("table shape mismatch on " + cellName);
+    }
+    instances.push_back(&lut);
+  }
+
+  // "Temporary table" reduction of Fig. 2, one entry at a time.
+  StatLut out(refLut.slewAxis(), refLut.loadAxis());
+  for (std::size_t r = 0; r < refLut.rows(); ++r) {
+    for (std::size_t c = 0; c < refLut.cols(); ++c) {
+      numeric::RunningStats stats;
+      for (const liberty::Lut* lut : instances) stats.add(lut->at(r, c));
+      out.mean().at(r, c) = stats.mean();
+      out.sigma().at(r, c) = stats.stddev();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatLibrary buildStatLibrary(std::span<const liberty::Library> libraries) {
+  if (libraries.empty()) {
+    throw std::invalid_argument("need at least one library instance");
+  }
+  const liberty::Library& ref = libraries.front();
+  StatLibrary out(ref.name() + "_stat");
+  out.setSampleCount(libraries.size());
+  for (const liberty::Cell* refCell : ref.cells()) {
+    StatCell cell(refCell->name(), refCell->function(),
+                  refCell->driveStrength(), refCell->area());
+    for (const liberty::TimingArc& refArc : refCell->arcs()) {
+      StatArc arc;
+      arc.relatedPin = refArc.relatedPin;
+      arc.outputPin = refArc.outputPin;
+      arc.rise = mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true);
+      arc.fall = mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false);
+      cell.addArc(std::move(arc));
+    }
+    out.addCell(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace sct::statlib

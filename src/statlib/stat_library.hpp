@@ -1,0 +1,145 @@
+#pragma once
+// Statistical library (paper section IV, Fig. 2): N Monte-Carlo library
+// instances are merged entry-wise into tables of (mean, sigma). The result
+// has exactly the shape of a nominal library but stores local-variation
+// statistics instead of single delays.
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "numeric/statistics.hpp"
+
+namespace sct::statlib {
+
+/// Mean and sigma surfaces over one LUT's axes.
+class StatLut {
+ public:
+  StatLut() = default;
+  StatLut(numeric::Axis slew, numeric::Axis load)
+      : slew_(std::move(slew)),
+        load_(std::move(load)),
+        mean_(slew_.size(), load_.size()),
+        sigma_(slew_.size(), load_.size()) {}
+
+  [[nodiscard]] const numeric::Axis& slewAxis() const noexcept { return slew_; }
+  [[nodiscard]] const numeric::Axis& loadAxis() const noexcept { return load_; }
+  [[nodiscard]] const numeric::Grid2d& mean() const noexcept { return mean_; }
+  [[nodiscard]] numeric::Grid2d& mean() noexcept { return mean_; }
+  [[nodiscard]] const numeric::Grid2d& sigma() const noexcept { return sigma_; }
+  [[nodiscard]] numeric::Grid2d& sigma() noexcept { return sigma_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return mean_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return mean_.cols(); }
+  [[nodiscard]] bool empty() const noexcept { return mean_.empty(); }
+
+  /// Bilinearly interpolated statistics at an operating point (eqs. 2-4
+  /// applied to both surfaces).
+  [[nodiscard]] numeric::NormalSummary lookup(double slew,
+                                              double load) const noexcept;
+
+ private:
+  numeric::Axis slew_;
+  numeric::Axis load_;
+  numeric::Grid2d mean_;
+  numeric::Grid2d sigma_;
+};
+
+/// Statistics of one timing arc (rise and fall processed separately, like
+/// the underlying Liberty tables).
+struct StatArc {
+  std::string relatedPin;
+  std::string outputPin;
+  StatLut rise;
+  StatLut fall;
+
+  /// Worst-edge delay statistics at an operating point: the edge with the
+  /// larger mean delay decides (setup-oriented analysis).
+  [[nodiscard]] numeric::NormalSummary worstDelayStats(double slew,
+                                                       double load) const noexcept;
+};
+
+class StatCell {
+ public:
+  StatCell(std::string name, liberty::CellFunction function,
+           double driveStrength, double area)
+      : name_(std::move(name)),
+        function_(function),
+        drive_strength_(driveStrength),
+        area_(area) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] liberty::CellFunction function() const noexcept {
+    return function_;
+  }
+  [[nodiscard]] double driveStrength() const noexcept { return drive_strength_; }
+  [[nodiscard]] double area() const noexcept { return area_; }
+
+  [[nodiscard]] const std::vector<StatArc>& arcs() const noexcept {
+    return arcs_;
+  }
+  void addArc(StatArc arc) { arcs_.push_back(std::move(arc)); }
+
+  [[nodiscard]] const StatArc* findArc(std::string_view related,
+                                       std::string_view output) const noexcept;
+
+  /// Output pins that have at least one arc.
+  [[nodiscard]] std::vector<std::string> outputPins() const;
+
+  /// Entry-wise maximum sigma over all delay tables related to one output
+  /// pin (paper section VI.C: the worst case across the pin's tables).
+  /// Returns an empty LUT when the pin has no arcs.
+  [[nodiscard]] StatLut maxSigmaLutForPin(std::string_view outputPin) const;
+
+  /// Entry-wise maximum sigma over *all* delay tables of the cell.
+  [[nodiscard]] StatLut maxSigmaLut() const;
+
+ private:
+  std::string name_;
+  liberty::CellFunction function_;
+  double drive_strength_;
+  double area_;
+  std::vector<StatArc> arcs_;
+};
+
+class StatLibrary {
+ public:
+  StatLibrary() = default;
+  explicit StatLibrary(std::string name) : name_(std::move(name)) {}
+
+  StatLibrary(StatLibrary&&) noexcept = default;
+  StatLibrary& operator=(StatLibrary&&) noexcept = default;
+  StatLibrary(const StatLibrary&) = delete;
+  StatLibrary& operator=(const StatLibrary&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t sampleCount() const noexcept { return samples_; }
+  void setSampleCount(std::size_t n) noexcept { samples_ = n; }
+
+  StatCell* addCell(StatCell cell);
+  [[nodiscard]] const StatCell* findCell(std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<const StatCell*> cells() const;
+
+  /// Cells grouped by drive strength (tuning clusters, section VI.A).
+  [[nodiscard]] std::map<double, std::vector<const StatCell*>>
+  strengthClusters() const;
+
+ private:
+  std::string name_;
+  std::size_t samples_ = 0;
+  std::vector<std::unique_ptr<StatCell>> cells_;
+  std::map<std::string, StatCell*, std::less<>> by_name_;
+};
+
+/// Merges N Monte-Carlo library instances entry-wise (Fig. 2). All
+/// libraries must contain the same cells with identically shaped tables;
+/// violations throw std::invalid_argument.
+[[nodiscard]] StatLibrary buildStatLibrary(
+    std::span<const liberty::Library> libraries);
+
+}  // namespace sct::statlib

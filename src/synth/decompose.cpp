@@ -1,0 +1,251 @@
+#include "synth/decompose.hpp"
+
+#include <stdexcept>
+
+namespace sct::synth {
+
+using netlist::Design;
+using netlist::InstIndex;
+using netlist::kNoNet;
+using netlist::NetIndex;
+using netlist::PrimOp;
+
+namespace {
+
+/// Emits replacement logic using only usable ops. Each emit* call creates
+/// exactly one top-level gate (optionally driving an existing target net)
+/// and may recurse for its operands. Throws Unmappable when the base set
+/// (inverter-ish + nand/nor-ish) is unavailable.
+struct Unmappable : std::runtime_error {
+  Unmappable() : std::runtime_error("no usable decomposition") {}
+};
+
+class Emitter {
+ public:
+  Emitter(Design& design, const OpUsable& usable)
+      : d_(design), usable_(usable) {}
+
+  NetIndex gate(PrimOp op, const std::vector<NetIndex>& ins,
+                NetIndex target = kNoNet) {
+    const NetIndex out =
+        target != kNoNet ? target : d_.addNet(d_.freshName("dec"));
+    d_.addInstance(d_.freshName("dec_u"), op, ins, {out});
+    return out;
+  }
+
+  NetIndex inv(NetIndex a, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kInv)) return gate(PrimOp::kInv, {a}, target);
+    if (usable_(PrimOp::kNand2)) return gate(PrimOp::kNand2, {a, a}, target);
+    if (usable_(PrimOp::kNor2)) return gate(PrimOp::kNor2, {a, a}, target);
+    throw Unmappable{};
+  }
+
+  NetIndex buf(NetIndex a, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kBuf)) return gate(PrimOp::kBuf, {a}, target);
+    return inv(inv(a), target);
+  }
+
+  NetIndex and2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kAnd2)) return gate(PrimOp::kAnd2, {a, b}, target);
+    if (usable_(PrimOp::kNand2)) {
+      return inv(gate(PrimOp::kNand2, {a, b}), target);
+    }
+    if (usable_(PrimOp::kNor2)) {
+      return gate(PrimOp::kNor2, {inv(a), inv(b)}, target);
+    }
+    throw Unmappable{};
+  }
+
+  NetIndex or2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kOr2)) return gate(PrimOp::kOr2, {a, b}, target);
+    if (usable_(PrimOp::kNor2)) return inv(gate(PrimOp::kNor2, {a, b}), target);
+    if (usable_(PrimOp::kNand2)) {
+      return gate(PrimOp::kNand2, {inv(a), inv(b)}, target);
+    }
+    throw Unmappable{};
+  }
+
+  NetIndex nand2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kNand2)) return gate(PrimOp::kNand2, {a, b}, target);
+    return inv(and2(a, b, kNoNet), target);
+  }
+
+  NetIndex nor2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kNor2)) return gate(PrimOp::kNor2, {a, b}, target);
+    return inv(or2(a, b, kNoNet), target);
+  }
+
+  NetIndex xor2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kXor2)) return gate(PrimOp::kXor2, {a, b}, target);
+    if (usable_(PrimOp::kXnor2)) {
+      return inv(gate(PrimOp::kXnor2, {a, b}), target);
+    }
+    // 4-NAND network.
+    const NetIndex nab = nand2(a, b);
+    return nand2(nand2(a, nab), nand2(b, nab), target);
+  }
+
+  NetIndex xnor2(NetIndex a, NetIndex b, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kXnor2)) return gate(PrimOp::kXnor2, {a, b}, target);
+    return inv(xor2(a, b), target);
+  }
+
+  NetIndex mux2(NetIndex d0, NetIndex d1, NetIndex s, NetIndex target = kNoNet) {
+    if (usable_(PrimOp::kMux2)) return gate(PrimOp::kMux2, {d0, d1, s}, target);
+    return nand2(nand2(d0, inv(s)), nand2(d1, s), target);
+  }
+
+  /// Balanced AND/OR of 3-4 operands built from 2-input pieces.
+  NetIndex andN(const std::vector<NetIndex>& ins, NetIndex target) {
+    NetIndex acc = and2(ins[0], ins[1]);
+    for (std::size_t i = 2; i + 1 < ins.size(); ++i) acc = and2(acc, ins[i]);
+    return and2(acc, ins.back(), target);
+  }
+  NetIndex orN(const std::vector<NetIndex>& ins, NetIndex target) {
+    NetIndex acc = or2(ins[0], ins[1]);
+    for (std::size_t i = 2; i + 1 < ins.size(); ++i) acc = or2(acc, ins[i]);
+    return or2(acc, ins.back(), target);
+  }
+
+  Design& d_;
+  const OpUsable& usable_;
+};
+
+}  // namespace
+
+bool isDecomposable(PrimOp op) noexcept {
+  switch (op) {
+    case PrimOp::kConst0:
+    case PrimOp::kConst1:
+    case PrimOp::kDff:
+    case PrimOp::kDffR:
+      return false;  // base cases: must exist in the library
+    default:
+      return true;
+  }
+}
+
+bool decomposeInstance(Design& design, InstIndex instance,
+                       const OpUsable& usable) {
+  const netlist::Instance inst = design.instance(instance);  // copy
+  if (!inst.alive || !isDecomposable(inst.op)) return false;
+
+  design.removeInstance(instance);
+  Emitter e(design, usable);
+  const auto& in = inst.inputs;
+  const auto& out = inst.outputs;
+  try {
+    switch (inst.op) {
+      case PrimOp::kInv:
+        e.inv(in[0], out[0]);
+        break;
+      case PrimOp::kBuf:
+        e.buf(in[0], out[0]);
+        break;
+      case PrimOp::kNand2:
+        e.nand2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kNand2B:
+        e.nand2(in[0], e.inv(in[1]), out[0]);
+        break;
+      case PrimOp::kNor2B:
+        e.nor2(in[0], e.inv(in[1]), out[0]);
+        break;
+      case PrimOp::kNor2:
+        e.nor2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kAnd2:
+        e.and2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kOr2:
+        e.or2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kNand3:
+        e.inv(e.and2(e.and2(in[0], in[1]), in[2]), out[0]);
+        break;
+      case PrimOp::kNand4:
+        e.inv(e.and2(e.and2(in[0], in[1]), e.and2(in[2], in[3])), out[0]);
+        break;
+      case PrimOp::kNor3:
+        e.inv(e.or2(e.or2(in[0], in[1]), in[2]), out[0]);
+        break;
+      case PrimOp::kNor4:
+        e.inv(e.or2(e.or2(in[0], in[1]), e.or2(in[2], in[3])), out[0]);
+        break;
+      case PrimOp::kAnd3:
+      case PrimOp::kAnd4:
+        e.andN(in, out[0]);
+        break;
+      case PrimOp::kOr3:
+      case PrimOp::kOr4:
+        e.orN(in, out[0]);
+        break;
+      case PrimOp::kXor2:
+        e.xor2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kXnor2:
+        e.xnor2(in[0], in[1], out[0]);
+        break;
+      case PrimOp::kMux2:
+        e.mux2(in[0], in[1], in[2], out[0]);
+        break;
+      case PrimOp::kMux4:
+        // out = s1 ? (s0 ? d3 : d2) : (s0 ? d1 : d0)
+        e.mux2(e.mux2(in[0], in[1], in[4]), e.mux2(in[2], in[3], in[4]),
+               in[5], out[0]);
+        break;
+      case PrimOp::kHalfAdder:
+        e.xor2(in[0], in[1], out[0]);
+        e.and2(in[0], in[1], out[1]);
+        break;
+      case PrimOp::kFullAdder: {
+        const NetIndex axb = e.xor2(in[0], in[1]);
+        e.xor2(axb, in[2], out[0]);
+        e.or2(e.and2(in[0], in[1]), e.and2(in[2], axb), out[1]);
+        break;
+      }
+      case PrimOp::kDffE: {
+        // Enable flop as recirculating mux + plain flop (Q feeds back).
+        const PrimOp ff =
+            usable(PrimOp::kDffR) ? PrimOp::kDffR : PrimOp::kDff;
+        if (!usable(ff)) throw Unmappable{};
+        const NetIndex d = e.mux2(out[0], in[0], in[1]);
+        design.addInstance(design.freshName("dec_reg"), ff, {d}, {out[0]});
+        break;
+      }
+      default:
+        throw Unmappable{};
+    }
+  } catch (const Unmappable&) {
+    // Restore the original instance.
+    design.addInstance(inst.name, inst.op, inst.inputs, inst.outputs);
+    return false;
+  }
+  return true;
+}
+
+long decomposeUnusable(Design& design, const OpUsable& usable) {
+  long rewritten = 0;
+  // New instances are appended during rewriting; only scan the original
+  // range, then re-scan appended ones until a fixed point (a rewrite only
+  // emits usable ops, so one extra sweep suffices in practice).
+  bool failed = false;
+  for (std::size_t pass = 0; pass < 4; ++pass) {
+    bool any = false;
+    const std::size_t count = design.instanceCount();
+    for (InstIndex i = 0; i < count; ++i) {
+      const netlist::Instance& inst = design.instance(i);
+      if (!inst.alive || usable(inst.op)) continue;
+      if (decomposeInstance(design, i, usable)) {
+        ++rewritten;
+        any = true;
+      } else {
+        failed = true;
+      }
+    }
+    if (!any) break;
+  }
+  return failed ? -1 : rewritten;
+}
+
+}  // namespace sct::synth

@@ -1,0 +1,32 @@
+#pragma once
+// Subject-graph rewrites: re-expresses a primitive with a network of simpler
+// primitives. Used by the mapper when library tuning leaves a function
+// family without any usable cell (the paper, section VII.A: "the synthesis
+// process can either use a combination of available cells to recreate the
+// logic function, or use a higher drive strength").
+
+#include <functional>
+
+#include "netlist/netlist.hpp"
+
+namespace sct::synth {
+
+/// Predicate telling the decomposer which primitive ops have at least one
+/// usable library cell.
+using OpUsable = std::function<bool(netlist::PrimOp)>;
+
+/// True when `op` can be rewritten into other primitives at all.
+[[nodiscard]] bool isDecomposable(netlist::PrimOp op) noexcept;
+
+/// Rewrites the instance into a network of usable primitives, preserving
+/// logic function and connectivity. The original instance is removed. New
+/// instances use ops for which usable(op) is true; returns false (leaving
+/// the design unchanged) when no such rewrite exists.
+bool decomposeInstance(netlist::Design& design, netlist::InstIndex instance,
+                       const OpUsable& usable);
+
+/// Rewrites every alive instance whose op is not usable. Returns the number
+/// of instances rewritten, or -1 if some instance could not be rewritten.
+long decomposeUnusable(netlist::Design& design, const OpUsable& usable);
+
+}  // namespace sct::synth

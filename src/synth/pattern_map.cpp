@@ -1,0 +1,147 @@
+#include "synth/pattern_map.hpp"
+
+namespace sct::synth {
+
+using netlist::Design;
+using netlist::InstIndex;
+using netlist::kNoInst;
+using netlist::NetIndex;
+using netlist::PrimOp;
+
+namespace {
+
+/// The single-fanout inverter driving `net`, if any (and the net is not
+/// externally observed).
+InstIndex singleFanoutInverter(const Design& design, NetIndex net) {
+  const netlist::Net& n = design.net(net);
+  if (n.isPrimaryOutput || n.sinks.size() != 1 || n.driver == kNoInst) {
+    return kNoInst;
+  }
+  const netlist::Instance& driver = design.instance(n.driver);
+  return (driver.alive && driver.op == PrimOp::kInv) ? n.driver : kNoInst;
+}
+
+/// Same for a single-fanout MUX2.
+InstIndex singleFanoutMux(const Design& design, NetIndex net) {
+  const netlist::Net& n = design.net(net);
+  if (n.isPrimaryOutput || n.sinks.size() != 1 || n.driver == kNoInst) {
+    return kNoInst;
+  }
+  const netlist::Instance& driver = design.instance(n.driver);
+  return (driver.alive && driver.op == PrimOp::kMux2) ? n.driver : kNoInst;
+}
+
+/// Absorbs a single-fanout inverter on one input of a commutative 2-input
+/// gate into the matching B-variant cell. Pin B of the B cell is the
+/// internally inverted one, so:
+///   NAND2(x, !y) = NAND2B(A=x, B=y)      NOR2(x, !y) = NOR2B(A=x, B=y)
+///   AND2(x, !y)  = NOR2B(A=y, B=x)       OR2(x, !y)  = NAND2B(A=y, B=x)
+/// (the last two by De Morgan: x & !y = !(y | !x), x | !y = !(y & !x)).
+bool absorbInverter(Design& design, InstIndex gate, PatternStats& stats) {
+  const netlist::Instance inst = design.instance(gate);  // copy
+  for (std::uint32_t slot : {1u, 0u}) {
+    const InstIndex invIndex = singleFanoutInverter(design, inst.inputs[slot]);
+    if (invIndex == kNoInst || invIndex == gate) continue;
+    const NetIndex invInput = design.instance(invIndex).inputs[0];
+    const NetIndex other = inst.inputs[1 - slot];
+    if (invInput == other) continue;  // would alias both pins oddly; skip
+
+    PrimOp bOp;
+    NetIndex pinA;
+    NetIndex pinB;
+    switch (inst.op) {
+      case PrimOp::kNand2:
+        bOp = PrimOp::kNand2B;
+        pinA = other;
+        pinB = invInput;
+        break;
+      case PrimOp::kNor2:
+        bOp = PrimOp::kNor2B;
+        pinA = other;
+        pinB = invInput;
+        break;
+      case PrimOp::kAnd2:
+        bOp = PrimOp::kNor2B;
+        pinA = invInput;
+        pinB = other;
+        break;
+      case PrimOp::kOr2:
+        bOp = PrimOp::kNand2B;
+        pinA = invInput;
+        pinB = other;
+        break;
+      default:
+        return false;
+    }
+    const NetIndex out = inst.outputs[0];
+    design.removeInstance(gate);
+    design.removeInstance(invIndex);
+    design.addInstance(design.freshName("pm"), bOp, {pinA, pinB}, {out});
+    ++stats.inverterAbsorbed;
+    if (bOp == PrimOp::kNand2B) {
+      ++stats.nandB;
+    } else {
+      ++stats.norB;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool collapseMux4(Design& design, InstIndex gate, PatternStats& stats) {
+  const netlist::Instance inst = design.instance(gate);  // copy
+  const InstIndex loIndex = singleFanoutMux(design, inst.inputs[0]);
+  const InstIndex hiIndex = singleFanoutMux(design, inst.inputs[1]);
+  if (loIndex == kNoInst || hiIndex == kNoInst || loIndex == hiIndex) {
+    return false;
+  }
+  const netlist::Instance& lo = design.instance(loIndex);
+  const netlist::Instance& hi = design.instance(hiIndex);
+  if (lo.inputs[2] != hi.inputs[2]) return false;  // different low selects
+  const NetIndex s0 = lo.inputs[2];
+  const NetIndex s1 = inst.inputs[2];
+  const NetIndex out = inst.outputs[0];
+  const NetIndex d0 = lo.inputs[0];
+  const NetIndex d1 = lo.inputs[1];
+  const NetIndex d2 = hi.inputs[0];
+  const NetIndex d3 = hi.inputs[1];
+  design.removeInstance(gate);
+  design.removeInstance(loIndex);
+  design.removeInstance(hiIndex);
+  // out = s1 ? (s0 ? d3 : d2) : (s0 ? d1 : d0), matching the 2-level tree.
+  design.addInstance(design.freshName("pm"), PrimOp::kMux4,
+                     {d0, d1, d2, d3, s0, s1}, {out});
+  ++stats.mux4;
+  return true;
+}
+
+}  // namespace
+
+PatternStats mapPatterns(Design& design, const OpUsable& usable) {
+  PatternStats stats;
+  const bool canNandB = usable(PrimOp::kNand2B);
+  const bool canNorB = usable(PrimOp::kNor2B);
+  const bool canMux4 = usable(PrimOp::kMux4);
+  if (!canNandB && !canNorB && !canMux4) return stats;
+
+  bool changed = true;
+  for (int pass = 0; pass < 4 && changed; ++pass) {
+    changed = false;
+    const std::size_t count = design.instanceCount();
+    for (InstIndex i = 0; i < count; ++i) {
+      const netlist::Instance& inst = design.instance(i);
+      if (!inst.alive) continue;
+      if ((inst.op == PrimOp::kNand2 && canNandB) ||
+          (inst.op == PrimOp::kNor2 && canNorB) ||
+          (inst.op == PrimOp::kAnd2 && canNorB) ||
+          (inst.op == PrimOp::kOr2 && canNandB)) {
+        changed |= absorbInverter(design, i, stats);
+      } else if (canMux4 && inst.op == PrimOp::kMux2) {
+        changed |= collapseMux4(design, i, stats);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace sct::synth

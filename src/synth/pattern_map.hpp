@@ -1,0 +1,28 @@
+#pragma once
+// Local pattern mapping: absorbs single-fanout inverters into B-variant
+// cells (NAND2B / NOR2B — NAND/NOR with one internally inverted input) and
+// collapses 2-level mux trees into MUX4. This is the piece of technology
+// mapping that makes the Fig. 9 usage histograms realistic: the paper's
+// synthesized design leans heavily on NR2B_x cells.
+
+#include "synth/decompose.hpp"
+
+namespace sct::synth {
+
+struct PatternStats {
+  std::size_t nandB = 0;
+  std::size_t norB = 0;
+  std::size_t mux4 = 0;
+  std::size_t inverterAbsorbed = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return nandB + norB + mux4;
+  }
+};
+
+/// Rewrites matching patterns in place. `usable` gates which target ops may
+/// be produced (a tuned library may have no usable B cells). Returns the
+/// number of rewrites per pattern. Deterministic.
+PatternStats mapPatterns(netlist::Design& design, const OpUsable& usable);
+
+}  // namespace sct::synth

@@ -1,0 +1,603 @@
+#include "synth/synthesis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "netlist/analysis.hpp"
+#include "synth/decompose.hpp"
+#include "synth/pattern_map.hpp"
+
+namespace sct::synth {
+
+using liberty::Cell;
+using netlist::Design;
+using netlist::InstIndex;
+using netlist::kNoInst;
+using netlist::kNoNet;
+using netlist::NetIndex;
+using netlist::PrimOp;
+using tuning::PinWindow;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMinBenefit = 5e-4;  // 0.5 ps
+
+/// All primitive ops, for family construction.
+constexpr PrimOp kAllOps[] = {
+    PrimOp::kConst0, PrimOp::kConst1, PrimOp::kInv,    PrimOp::kBuf,
+    PrimOp::kNand2,  PrimOp::kNand2B, PrimOp::kNand3,  PrimOp::kNand4,
+    PrimOp::kNor2,   PrimOp::kNor2B,  PrimOp::kNor3,   PrimOp::kNor4,
+    PrimOp::kAnd2,   PrimOp::kAnd3,
+    PrimOp::kAnd4,   PrimOp::kOr2,    PrimOp::kOr3,    PrimOp::kOr4,
+    PrimOp::kXor2,   PrimOp::kXnor2,  PrimOp::kMux2,   PrimOp::kMux4,
+    PrimOp::kHalfAdder,
+    PrimOp::kFullAdder, PrimOp::kDff, PrimOp::kDffR,   PrimOp::kDffE};
+
+}  // namespace
+
+Synthesizer::Synthesizer(const liberty::Library& library,
+                         const tuning::LibraryConstraints* constraints)
+    : library_(library), constraints_(constraints) {
+  for (PrimOp op : kAllOps) {
+    std::vector<const Cell*> cells =
+        library_.family(netlist::defaultFunction(op));
+    if (constraints_ != nullptr) {
+      std::erase_if(cells, [&](const Cell* c) {
+        return !constraints_->cellUsable(c->name());
+      });
+    }
+    families_[op] = std::move(cells);
+  }
+}
+
+const std::vector<const Cell*>& Synthesizer::family(PrimOp op) const {
+  static const std::vector<const Cell*> kEmpty;
+  const auto it = families_.find(op);
+  return it != families_.end() ? it->second : kEmpty;
+}
+
+namespace {
+
+/// Working state of one synthesis run.
+class Session {
+ public:
+  Session(const Synthesizer& synth, const tuning::LibraryConstraints* constraints,
+          Design& design, const sta::ClockSpec& clock,
+          const SynthesisOptions& options, SynthesisResult& result)
+      : synth_(synth),
+        constraints_(constraints),
+        design_(design),
+        options_(options),
+        result_(result),
+        analyzer_(design, synth.library(), clock) {}
+
+  bool mapInitial();
+  void optimize();
+  void finalize();
+
+ private:
+  // --- constraint helpers ---------------------------------------------------
+  [[nodiscard]] std::optional<PinWindow> windowOf(const Cell& cell,
+                                                  std::string_view pin) const {
+    if (constraints_ == nullptr) return std::nullopt;
+    return constraints_->window(cell.name(), pin);
+  }
+
+  /// Max load the cell may drive on this output pin (electrical + window).
+  [[nodiscard]] double maxLoadOf(const Cell& cell, std::string_view pin) const {
+    double limit = kInf;
+    const liberty::Pin* p = cell.findPin(pin);
+    if (p != nullptr && p->maxCapacitance > 0.0) limit = p->maxCapacitance;
+    if (const auto w = windowOf(cell, pin)) limit = std::min(limit, w->maxLoad);
+    return limit;
+  }
+  [[nodiscard]] double minLoadOf(const Cell& cell, std::string_view pin) const {
+    const auto w = windowOf(cell, pin);
+    return w ? w->minLoad : 0.0;
+  }
+
+  /// True when the cell's input-slew window accepts the instance's current
+  /// input slews for arcs into `pin`.
+  [[nodiscard]] bool slewsAccepted(const netlist::Instance& inst,
+                                   const Cell& cell,
+                                   std::string_view pin) const {
+    const auto w = windowOf(cell, pin);
+    if (!w) return true;
+    for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+      if (netlist::isSequential(inst.op)) break;  // clock slew is fixed
+      const double s = analyzer_.netSlew(inst.inputs[i]);
+      if (s > w->maxSlew || s < w->minSlew) return false;
+    }
+    return true;
+  }
+
+  /// Strictest transition limit a net's sinks impose on its slew.
+  [[nodiscard]] double netSlewLimit(NetIndex net) const {
+    double limit = options_.maxSlew;
+    for (const netlist::SinkRef& sink : design_.net(net).sinks) {
+      const netlist::Instance& inst = design_.instance(sink.instance);
+      if (!inst.alive || inst.cell == nullptr) continue;
+      if (netlist::isSequential(inst.op)) continue;
+      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+        if (const auto w = windowOf(*inst.cell,
+                                    sta::outputPinName(inst, slot))) {
+          limit = std::min(limit, w->maxSlew);
+        }
+      }
+    }
+    return limit;
+  }
+
+  /// Worst arc delay of an instance's output at a hypothetical load, with
+  /// current input slews and a hypothetical cell binding.
+  [[nodiscard]] double worstDelayAt(const netlist::Instance& inst,
+                                    const Cell& cell, std::uint32_t outSlot,
+                                    double load) const {
+    const std::string_view outPin = liberty::outputNames(cell.function())[outSlot];
+    if (netlist::isSequential(inst.op)) {
+      const liberty::TimingArc* arc = cell.findArc("CP", outPin);
+      return arc != nullptr
+                 ? arc->worstDelay(analyzer_.clock().clockSlew, load)
+                 : 0.0;
+    }
+    double worst = 0.0;
+    for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+      const liberty::TimingArc* arc =
+          cell.findArc(sta::inputPinName(inst, i), outPin);
+      if (arc == nullptr) continue;
+      worst = std::max(
+          worst, arc->worstDelay(analyzer_.netSlew(inst.inputs[i]), load));
+    }
+    return worst;
+  }
+
+  [[nodiscard]] double worstTransitionAt(const netlist::Instance& inst,
+                                         const Cell& cell,
+                                         std::uint32_t outSlot,
+                                         double load) const {
+    const std::string_view outPin = liberty::outputNames(cell.function())[outSlot];
+    double worst = 0.0;
+    if (netlist::isSequential(inst.op)) {
+      const liberty::TimingArc* arc = cell.findArc("CP", outPin);
+      return arc != nullptr
+                 ? arc->worstTransition(analyzer_.clock().clockSlew, load)
+                 : 0.0;
+    }
+    for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+      const liberty::TimingArc* arc =
+          cell.findArc(sta::inputPinName(inst, i), outPin);
+      if (arc == nullptr) continue;
+      worst = std::max(worst, arc->worstTransition(
+                                  analyzer_.netSlew(inst.inputs[i]), load));
+    }
+    return worst;
+  }
+
+  /// Marginal delay per added load of the driver of `net` (0 for primary
+  /// inputs): used to price the input-capacitance cost of upsizing.
+  [[nodiscard]] double driverResistance(NetIndex net) const {
+    const netlist::Net& n = design_.net(net);
+    if (n.driver == kNoInst) return 0.0;
+    const netlist::Instance& drv = design_.instance(n.driver);
+    if (drv.cell == nullptr) return 0.0;
+    const double load = analyzer_.netLoad(net);
+    const double delta = 5e-4;  // 0.5 fF probe
+    const double d0 = worstDelayAt(drv, *drv.cell, n.driverSlot, load);
+    const double d1 = worstDelayAt(drv, *drv.cell, n.driverSlot, load + delta);
+    return (d1 - d0) / delta;
+  }
+
+  /// Candidate legality at the instance's current operating point.
+  [[nodiscard]] bool candidateLegal(const netlist::Instance& inst,
+                                    const Cell& cell) const {
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const std::string_view pin = liberty::outputNames(cell.function())[slot];
+      const double load = analyzer_.netLoad(inst.outputs[slot]);
+      if (load > maxLoadOf(cell, pin) || load < minLoadOf(cell, pin)) {
+        return false;
+      }
+      if (!slewsAccepted(inst, cell, pin)) return false;
+      if (worstTransitionAt(inst, cell, slot, load) >
+          netSlewLimit(inst.outputs[slot])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void resize(InstIndex index, const Cell* cell) {
+    design_.bindCell(index, cell);
+    ++result_.resizes;
+  }
+
+  // --- optimization stages -----------------------------------------------
+  std::size_t fixFanout();
+  std::size_t fixElectrical();
+  std::size_t improveTiming();
+  std::size_t recoverArea();
+  void splitNet(NetIndex net, std::size_t groups);
+  [[nodiscard]] const Cell* bufferCellFor(double load) const;
+
+  const Synthesizer& synth_;
+  const tuning::LibraryConstraints* constraints_;
+  Design& design_;
+  const SynthesisOptions& options_;
+  SynthesisResult& result_;
+  sta::TimingAnalyzer analyzer_;
+  std::set<InstIndex> noDownsize_;
+  std::size_t analyzedNets_ = 0;
+};
+
+bool Session::mapInitial() {
+  // Remove logic no output or register observes (generated subject graphs
+  // carry unused carry-outs etc.); real synthesis sweeps these too.
+  netlist::sweepDeadLogic(design_);
+  const auto usable = [this](PrimOp op) { return !synth_.family(op).empty(); };
+  const long rewritten = decomposeUnusable(design_, usable);
+  if (rewritten < 0) return false;
+  result_.decomposed = static_cast<std::size_t>(rewritten);
+  // Absorb single-fanout inverters into B-variant cells and collapse
+  // 2-level mux trees into MUX4 (classic mapping patterns; see Fig. 9).
+  result_.patternRewrites = mapPatterns(design_, usable).total();
+
+  for (InstIndex i = 0; i < design_.instanceCount(); ++i) {
+    const netlist::Instance& inst = design_.instance(i);
+    if (!inst.alive) continue;
+    const auto& fam = synth_.family(inst.op);
+    if (fam.empty()) return false;
+    // Start lean: the smallest usable drive strength; the sizing loop grows
+    // cells as timing and electrical constraints demand.
+    design_.bindCell(i, fam.front());
+  }
+  return true;
+}
+
+const Cell* Session::bufferCellFor(double load) const {
+  // Prefer real buffers; tuned libraries may leave none usable, in which
+  // case the caller falls back to inverter pairs (paper section VII.A).
+  const auto& bufs = synth_.family(PrimOp::kBuf);
+  for (const Cell* c : bufs) {
+    if (load <= 0.6 * maxLoadOf(*c, "Z") && load >= minLoadOf(*c, "Z")) {
+      return c;
+    }
+  }
+  return bufs.empty() ? nullptr : bufs.back();
+}
+
+void Session::splitNet(NetIndex net, std::size_t groups) {
+  // Copy: reconnect mutates the sink list.
+  const std::vector<netlist::SinkRef> sinks = design_.net(net).sinks;
+  if (sinks.size() < 2 || groups < 2) return;
+  groups = std::min(groups, sinks.size());
+  const std::size_t perGroup = (sinks.size() + groups - 1) / groups;
+
+  const auto& invFam = synth_.family(PrimOp::kInv);
+  const bool useInvPair = synth_.family(PrimOp::kBuf).empty();
+  if (useInvPair && invFam.empty()) return;  // nothing we can do
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * perGroup;
+    if (begin >= sinks.size()) break;
+    const std::size_t end = std::min(begin + perGroup, sinks.size());
+
+    NetIndex stage = net;
+    if (useInvPair) {
+      const NetIndex mid = design_.addNet(design_.freshName("bufn"));
+      const NetIndex out = design_.addNet(design_.freshName("bufn"));
+      const InstIndex i1 = design_.addInstance(design_.freshName("sibuf"),
+                                               PrimOp::kInv, {stage}, {mid});
+      const InstIndex i2 = design_.addInstance(design_.freshName("sibuf"),
+                                               PrimOp::kInv, {mid}, {out});
+      design_.bindCell(i1, invFam.front());
+      design_.bindCell(i2, invFam.front());
+      stage = out;
+      result_.buffersInserted += 2;
+    } else {
+      const NetIndex out = design_.addNet(design_.freshName("bufn"));
+      const InstIndex ib = design_.addInstance(design_.freshName("sibuf"),
+                                               PrimOp::kBuf, {stage}, {out});
+      const Cell* bc = bufferCellFor(0.0);
+      assert(bc != nullptr);
+      design_.bindCell(ib, bc);
+      stage = out;
+      ++result_.buffersInserted;
+    }
+    for (std::size_t s = begin; s < end; ++s) {
+      design_.reconnectInput(sinks[s].instance, sinks[s].inputSlot, stage);
+    }
+  }
+}
+
+std::size_t Session::fixFanout() {
+  std::size_t changes = 0;
+  const std::size_t preCount = design_.netCount();
+  for (NetIndex n = 0; n < preCount; ++n) {
+    const netlist::Net& net = design_.net(n);
+    if (net.sinks.size() <= options_.maxFanout) continue;
+    const std::size_t groups =
+        (net.sinks.size() + options_.maxFanout - 1) / options_.maxFanout;
+    splitNet(n, groups);
+    ++changes;
+  }
+  return changes;
+}
+
+std::size_t Session::fixElectrical() {
+  std::size_t changes = 0;
+  const std::size_t preInst = design_.instanceCount();
+  const std::size_t preNets = design_.netCount();
+  for (InstIndex i = 0; i < preInst; ++i) {
+    const netlist::Instance& inst = design_.instance(i);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    const auto& fam = synth_.family(inst.op);
+    if (fam.empty()) continue;
+
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      if (out >= preNets) continue;  // created this pass; next pass
+      const double load = analyzer_.netLoad(out);
+      const double slewLimit = netSlewLimit(out);
+      const std::string_view pin = sta::outputPinName(inst, slot);
+
+      const bool loadHigh = load > maxLoadOf(*inst.cell, pin);
+      const bool loadLow = load < minLoadOf(*inst.cell, pin);
+      const bool slewHigh =
+          worstTransitionAt(inst, *inst.cell, slot, load) > slewLimit;
+      if (!loadHigh && !loadLow && !slewHigh) continue;
+
+      // Find the smallest family member that fixes all three conditions.
+      const Cell* best = nullptr;
+      for (const Cell* c : fam) {
+        const std::string_view cpin = liberty::outputNames(c->function())[slot];
+        if (load > maxLoadOf(*c, cpin) || load < minLoadOf(*c, cpin)) continue;
+        if (!slewsAccepted(inst, *c, cpin)) continue;
+        if (worstTransitionAt(inst, *c, slot, load) > slewLimit) continue;
+        best = c;
+        break;
+      }
+      if (best != nullptr && best != inst.cell) {
+        resize(i, best);
+        noDownsize_.insert(i);
+        ++changes;
+      } else if (best == nullptr && (loadHigh || slewHigh) &&
+                 design_.net(out).sinks.size() > 1) {
+        // No size fits: split the fanout and retry next pass.
+        splitNet(out, 2);
+        ++changes;
+      }
+      break;  // re-evaluate multi-output cells next pass
+    }
+  }
+  return changes;
+}
+
+std::size_t Session::improveTiming() {
+  // Candidate instances: negative slack through their output.
+  std::vector<std::pair<double, InstIndex>> critical;
+  for (InstIndex i = 0; i < design_.instanceCount(); ++i) {
+    const netlist::Instance& inst = design_.instance(i);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    double slack = kInf;
+    for (NetIndex out : inst.outputs) {
+      slack = std::min(slack, analyzer_.netSlack(out));
+    }
+    if (slack < 0.0) critical.emplace_back(slack, i);
+  }
+  std::sort(critical.begin(), critical.end());
+
+  std::size_t changes = 0;
+  for (const auto& [slack, i] : critical) {
+    const netlist::Instance& inst = design_.instance(i);
+    const auto& fam = synth_.family(inst.op);
+    const double currentStrength = inst.cell->driveStrength();
+
+    // Upstream penalty of adding input capacitance: only drivers that are
+    // themselves timing critical pay full price — loading a slack-rich
+    // driver merely consumes its slack.
+    double penaltyPerCap = 0.0;
+    for (NetIndex in : inst.inputs) {
+      const double r = driverResistance(in);
+      const double driverSlack = analyzer_.netSlack(in);
+      const double criticality =
+          driverSlack < 0.0 ? 1.0 : (driverSlack < 0.05 ? 0.5 : 0.15);
+      penaltyPerCap = std::max(penaltyPerCap, r * criticality);
+    }
+    double oldCap = 0.0;
+    for (const liberty::Pin* p : inst.cell->inputPins()) {
+      oldCap += p->capacitance;
+    }
+
+    const Cell* best = nullptr;
+    double bestBenefit = kMinBenefit;
+    double oldDelay = 0.0;
+    double oldTrans = 0.0;
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const double load = analyzer_.netLoad(inst.outputs[slot]);
+      oldDelay = std::max(oldDelay, worstDelayAt(inst, *inst.cell, slot, load));
+      oldTrans = std::max(oldTrans,
+                          worstTransitionAt(inst, *inst.cell, slot, load));
+    }
+    for (const Cell* c : fam) {
+      if (c->driveStrength() <= currentStrength) continue;
+      if (!candidateLegal(inst, *c)) continue;
+      double newDelay = 0.0;
+      double newTrans = 0.0;
+      double newCap = 0.0;
+      for (const liberty::Pin* p : c->inputPins()) newCap += p->capacitance;
+      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+        const double load = analyzer_.netLoad(inst.outputs[slot]);
+        newDelay = std::max(newDelay, worstDelayAt(inst, *c, slot, load));
+        newTrans = std::max(newTrans, worstTransitionAt(inst, *c, slot, load));
+      }
+      // A sharper output edge also speeds up the downstream stage; weight it
+      // with the technology's typical slew-to-delay sensitivity.
+      const double benefit = (oldDelay - newDelay) +
+                             0.25 * (oldTrans - newTrans) -
+                             penaltyPerCap * (newCap - oldCap);
+      if (benefit > bestBenefit) {
+        bestBenefit = benefit;
+        best = c;
+      }
+    }
+    if (best != nullptr) {
+      resize(i, best);
+      noDownsize_.insert(i);
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+std::size_t Session::recoverArea() {
+  std::size_t changes = 0;
+  for (InstIndex i = 0; i < design_.instanceCount(); ++i) {
+    const netlist::Instance& inst = design_.instance(i);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    if (noDownsize_.contains(i)) continue;
+    const auto& fam = synth_.family(inst.op);
+    const double currentStrength = inst.cell->driveStrength();
+    if (fam.empty() || fam.front() == inst.cell) continue;
+
+    double slack = kInf;
+    double oldDelay = 0.0;
+    for (NetIndex out : inst.outputs) {
+      slack = std::min(slack, analyzer_.netSlack(out));
+    }
+    if (slack == kInf || slack < options_.areaRecoveryMargin) continue;
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      oldDelay = std::max(
+          oldDelay, worstDelayAt(inst, *inst.cell, slot,
+                                 analyzer_.netLoad(inst.outputs[slot])));
+    }
+
+    // Largest downsize that keeps the margin and stays legal.
+    const Cell* best = nullptr;
+    for (const Cell* c : fam) {
+      if (c->driveStrength() >= currentStrength) break;
+      if (!candidateLegal(inst, *c)) continue;
+      double newDelay = 0.0;
+      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+        newDelay = std::max(
+            newDelay, worstDelayAt(inst, *c, slot,
+                                   analyzer_.netLoad(inst.outputs[slot])));
+      }
+      if (slack - (newDelay - oldDelay) >= options_.areaRecoveryMargin) {
+        best = c;
+        break;  // smallest legal size wins (area first)
+      }
+    }
+    if (best != nullptr && best->area() < inst.cell->area()) {
+      resize(i, best);
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+void Session::optimize() {
+  for (std::size_t pass = 0; pass < options_.maxPasses; ++pass) {
+    result_.passes = pass + 1;
+    if (!analyzer_.analyze()) return;  // combinational cycle: give up
+    analyzedNets_ = design_.netCount();
+
+    std::size_t changes = fixFanout();
+    changes += fixElectrical();
+    // Structural edits (buffer insertion) invalidate the timing annotation;
+    // defer timing/area moves to the next pass so they act on fresh data.
+    const bool structuralChange = design_.netCount() > analyzedNets_;
+    if (!structuralChange) {
+      if (analyzer_.worstSlack() < 0.0) {
+        changes += improveTiming();
+      } else if (changes == 0) {
+        changes += recoverArea();
+      }
+    }
+    if (changes == 0) break;
+  }
+  analyzer_.analyze();
+}
+
+void Session::finalize() {
+  result_.worstSlack = analyzer_.worstSlack();
+  result_.tns = analyzer_.totalNegativeSlack();
+  result_.timingMet = analyzer_.met();
+  result_.area = design_.totalArea();
+
+  // Residual violation census.
+  std::size_t violations = 0;
+  for (InstIndex i = 0; i < design_.instanceCount(); ++i) {
+    const netlist::Instance& inst = design_.instance(i);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      const double load = analyzer_.netLoad(out);
+      const std::string_view pin = sta::outputPinName(inst, slot);
+      if (load > maxLoadOf(*inst.cell, pin) * (1.0 + 1e-9)) ++violations;
+      if (load < minLoadOf(*inst.cell, pin) * (1.0 - 1e-9)) ++violations;
+      if (analyzer_.netSlew(out) > netSlewLimit(out) * (1.0 + 1e-9)) {
+        ++violations;
+      }
+      if (!slewsAccepted(inst, *inst.cell, pin)) ++violations;
+    }
+  }
+  result_.violations = violations;
+  result_.legal = violations == 0;
+}
+
+}  // namespace
+
+bool rebindDesign(Design& design, const liberty::Library& library) {
+  // Verify first so failure leaves the design untouched.
+  for (const netlist::Instance& inst : design.instances()) {
+    if (inst.alive && inst.cell != nullptr &&
+        library.findCell(inst.cell->name()) == nullptr) {
+      return false;
+    }
+  }
+  for (InstIndex i = 0; i < design.instanceCount(); ++i) {
+    const netlist::Instance& inst = design.instance(i);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    design.bindCell(i, library.findCell(inst.cell->name()));
+  }
+  return true;
+}
+
+SynthesisResult Synthesizer::run(const Design& subject,
+                                 const sta::ClockSpec& clock,
+                                 const SynthesisOptions& options) const {
+  SynthesisResult result;
+  result.design = subject;  // work on a copy
+  Session session(*this, constraints_, result.design, clock, options, result);
+  if (!session.mapInitial()) {
+    result.timingMet = false;
+    result.legal = false;
+    return result;
+  }
+  session.optimize();
+  session.finalize();
+  return result;
+}
+
+std::optional<double> Synthesizer::findMinPeriod(
+    const Design& subject, sta::ClockSpec clock, double lo, double hi,
+    double tolerance, const SynthesisOptions& options) const {
+  auto feasible = [&](double period) {
+    clock.period = period;
+    return run(subject, clock, options).success();
+  };
+  if (!feasible(hi)) return std::nullopt;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace sct::synth

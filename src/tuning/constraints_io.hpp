@@ -1,0 +1,38 @@
+#pragma once
+// Serialization of tuned library constraints. Two formats:
+//  - a round-trippable text format (the flow's own artifact, so tuning and
+//    synthesis can run in separate processes, as in the paper's tool
+//    hand-off);
+//  - a synthesis-tool script (set_max_transition / set_max_capacitance per
+//    library pin, the mechanism section VI describes: "for each pin of a
+//    standard cell a minimum and maximum slew and load value can be
+//    defined"). Export only; meant for inspection and external tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/liberty_io.hpp"  // ParseError
+#include "tuning/restriction.hpp"
+
+namespace sct::tuning {
+
+/// Round-trippable text form.
+void writeConstraints(std::ostream& out, const LibraryConstraints& constraints);
+[[nodiscard]] std::string writeConstraintsToString(
+    const LibraryConstraints& constraints);
+
+/// Parses constraints previously produced by writeConstraints. Throws
+/// liberty::ParseError on malformed input.
+[[nodiscard]] LibraryConstraints readConstraints(std::istream& in);
+[[nodiscard]] LibraryConstraints readConstraintsFromString(
+    const std::string& text);
+
+/// Synthesis-script export (SDC-flavoured, one line per bound; unusable
+/// cells become set_dont_use).
+void writeSynthesisScript(std::ostream& out,
+                          const LibraryConstraints& constraints,
+                          const std::string& libraryName);
+[[nodiscard]] std::string writeSynthesisScriptToString(
+    const LibraryConstraints& constraints, const std::string& libraryName);
+
+}  // namespace sct::tuning

@@ -1,0 +1,57 @@
+#include "tuning/methods.hpp"
+
+#include <span>
+
+namespace sct::tuning {
+
+std::string_view toString(TuningMethod method) noexcept {
+  switch (method) {
+    case TuningMethod::kCellStrengthLoadSlope:
+      return "Cell strength load";
+    case TuningMethod::kCellStrengthSlewSlope:
+      return "Cell strength slew";
+    case TuningMethod::kCellLoadSlope:
+      return "Cell load";
+    case TuningMethod::kCellSlewSlope:
+      return "Cell slew";
+    case TuningMethod::kSigmaCeiling:
+      return "Sigma ceiling";
+  }
+  return "?";
+}
+
+bool clustersByStrength(TuningMethod method) noexcept {
+  return method == TuningMethod::kCellStrengthLoadSlope ||
+         method == TuningMethod::kCellStrengthSlewSlope;
+}
+
+TuningConfig TuningConfig::forMethod(TuningMethod method,
+                                     double value) noexcept {
+  TuningConfig config;
+  config.method = method;
+  switch (method) {
+    case TuningMethod::kCellStrengthLoadSlope:
+    case TuningMethod::kCellLoadSlope:
+      config.loadSlopeBound = value;
+      break;
+    case TuningMethod::kCellStrengthSlewSlope:
+    case TuningMethod::kCellSlewSlope:
+      config.slewSlopeBound = value;
+      break;
+    case TuningMethod::kSigmaCeiling:
+      config.sigmaCeiling = value;
+      break;
+  }
+  return config;
+}
+
+std::span<const double> sweepValues(TuningMethod method) noexcept {
+  // Table 2: slope bounds swept over {1, 0.05, 0.03, 0.01}; sigma ceiling
+  // over {0.04, 0.03, 0.02, 0.01}.
+  static constexpr double kSlopeSweep[] = {1.0, 0.05, 0.03, 0.01};
+  static constexpr double kCeilingSweep[] = {0.04, 0.03, 0.02, 0.01};
+  return method == TuningMethod::kSigmaCeiling ? std::span(kCeilingSweep)
+                                               : std::span(kSlopeSweep);
+}
+
+}  // namespace sct::tuning

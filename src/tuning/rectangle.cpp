@@ -1,0 +1,118 @@
+#include "tuning/rectangle.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace sct::tuning {
+
+std::size_t BinaryLut::countOnes() const noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t b : bits_) n += b;
+  return n;
+}
+
+BinaryLut BinaryLut::andWith(const BinaryLut& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  BinaryLut out(rows_, cols_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = static_cast<std::uint8_t>(bits_[i] & other.bits_[i]);
+  }
+  return out;
+}
+
+BinaryLut BinaryLut::thresholdBelow(const numeric::Grid2d& grid,
+                                    double threshold) {
+  BinaryLut out(grid.rows(), grid.cols());
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      out.set(r, c, grid.at(r, c) <= threshold);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Lexicographic candidate key matching Algorithm 1's loop order
+/// (ll_x, ll_y, ur_x, ur_y) with x = column, y = row.
+using RectKey = std::array<std::size_t, 4>;
+
+RectKey keyOf(const Rect& rect) noexcept {
+  return {rect.colLo, rect.rowLo, rect.colHi, rect.rowHi};
+}
+
+bool allOnes(const BinaryLut& lut, const Rect& rect) noexcept {
+  for (std::size_t r = rect.rowLo; r <= rect.rowHi; ++r) {
+    for (std::size_t c = rect.colLo; c <= rect.colHi; ++c) {
+      if (!lut.test(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Rect> largestRectangleReference(const BinaryLut& lut) {
+  std::optional<Rect> best;
+  std::size_t bestArea = 0;
+  // Loop order is exactly Algorithm 1's: lower-left x (column), lower-left y
+  // (row), upper-right x, upper-right y; strictly-greater area wins, so the
+  // first maximum in this order is kept.
+  for (std::size_t llx = 0; llx < lut.cols(); ++llx) {
+    for (std::size_t lly = 0; lly < lut.rows(); ++lly) {
+      for (std::size_t urx = llx; urx < lut.cols(); ++urx) {
+        for (std::size_t ury = lly; ury < lut.rows(); ++ury) {
+          const Rect rect{lly, llx, ury, urx};
+          if (rect.area() > bestArea && allOnes(lut, rect)) {
+            bestArea = rect.area();
+            best = rect;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Rect> largestRectangle(const BinaryLut& lut) {
+  if (lut.rows() == 0 || lut.cols() == 0) return std::nullopt;
+  std::optional<Rect> best;
+  std::size_t bestArea = 0;
+  RectKey bestKey{};
+
+  // For every starting row, grow the row span downward while tracking which
+  // columns are all-ones over the span; each maximal all-ones column run
+  // forms a candidate rectangle. Every maximum-area rectangle is maximal in
+  // both directions, so it appears among these candidates; the reference
+  // tie-break is then applied explicitly.
+  std::vector<std::uint8_t> colOnes(lut.cols());
+  for (std::size_t rowLo = 0; rowLo < lut.rows(); ++rowLo) {
+    std::fill(colOnes.begin(), colOnes.end(), std::uint8_t{1});
+    for (std::size_t rowHi = rowLo; rowHi < lut.rows(); ++rowHi) {
+      for (std::size_t c = 0; c < lut.cols(); ++c) {
+        if (!lut.test(rowHi, c)) colOnes[c] = 0;
+      }
+      std::size_t c = 0;
+      while (c < lut.cols()) {
+        if (colOnes[c] == 0) {
+          ++c;
+          continue;
+        }
+        std::size_t runEnd = c;
+        while (runEnd + 1 < lut.cols() && colOnes[runEnd + 1] != 0) ++runEnd;
+        const Rect rect{rowLo, c, rowHi, runEnd};
+        const std::size_t area = rect.area();
+        if (area > bestArea ||
+            (area == bestArea && best && keyOf(rect) < bestKey)) {
+          bestArea = area;
+          best = rect;
+          bestKey = keyOf(rect);
+        }
+        c = runEnd + 1;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sct::tuning

@@ -1,0 +1,80 @@
+#pragma once
+// Binary look-up tables and the largest-rectangle extraction of the paper's
+// Algorithm 1 / Fig. 6. Two implementations are provided: a literal
+// transcription of the paper's quadruple loop (the executable spec) and a
+// row-pair scan that returns the identical rectangle under the same
+// tie-breaking, property-tested against the reference.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "numeric/grid2d.hpp"
+
+namespace sct::tuning {
+
+/// Dense binary table; rows follow the slew axis, columns the load axis,
+/// matching the delay LUT convention.
+class BinaryLut {
+ public:
+  BinaryLut() = default;
+  BinaryLut(std::size_t rows, std::size_t cols, bool fill = false)
+      : rows_(rows), cols_(cols), bits_(rows * cols, fill ? 1 : 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool test(std::size_t r, std::size_t c) const noexcept {
+    return bits_[r * cols_ + c] != 0;
+  }
+  void set(std::size_t r, std::size_t c, bool value) noexcept {
+    bits_[r * cols_ + c] = value ? 1 : 0;
+  }
+
+  [[nodiscard]] std::size_t countOnes() const noexcept;
+
+  /// Logic AND with a table of identical shape (paper: combine the binary
+  /// slew and load slope tables).
+  [[nodiscard]] BinaryLut andWith(const BinaryLut& other) const;
+
+  /// 1 where grid value <= threshold ("acceptable" entries).
+  [[nodiscard]] static BinaryLut thresholdBelow(const numeric::Grid2d& grid,
+                                                double threshold);
+
+  friend bool operator==(const BinaryLut&, const BinaryLut&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Inclusive rectangle of table indices.
+struct Rect {
+  std::size_t rowLo = 0;  ///< min slew index
+  std::size_t colLo = 0;  ///< min load index
+  std::size_t rowHi = 0;  ///< max slew index (inclusive)
+  std::size_t colHi = 0;  ///< max load index (inclusive)
+
+  [[nodiscard]] std::size_t area() const noexcept {
+    return (rowHi - rowLo + 1) * (colHi - colLo + 1);
+  }
+  [[nodiscard]] bool contains(std::size_t r, std::size_t c) const noexcept {
+    return r >= rowLo && r <= rowHi && c >= colLo && c <= colHi;
+  }
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Literal transcription of Algorithm 1: scans every candidate rectangle in
+/// (colLo, rowLo, colHi, rowHi) lexicographic order and keeps the first one
+/// with strictly larger all-ones area, i.e. the largest rectangle starting
+/// as close as possible to the origin. O(R^2 C^2 * R C); reference only.
+[[nodiscard]] std::optional<Rect> largestRectangleReference(
+    const BinaryLut& lut);
+
+/// Production implementation: O(R^2 C) row-pair scan with the same
+/// tie-breaking as the reference. Returns nullopt when the table has no 1s.
+[[nodiscard]] std::optional<Rect> largestRectangle(const BinaryLut& lut);
+
+}  // namespace sct::tuning

@@ -1,0 +1,195 @@
+#include "tuning/restriction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "liberty/function.hpp"
+#include "tuning/slope.hpp"
+
+namespace sct::tuning {
+
+std::optional<PinWindow> LibraryConstraints::window(std::string_view cell,
+                                                    std::string_view pin) const {
+  const auto it = cells_.find(cell);
+  if (it == cells_.end()) return std::nullopt;
+  const auto pinIt = it->second.pinWindows.find(std::string(pin));
+  if (pinIt == it->second.pinWindows.end()) {
+    // Cell is constrained; a pin without a window is unusable: return a
+    // window that allows nothing if the cell is unusable, otherwise treat
+    // the (non-timing) pin as unconstrained.
+    if (!it->second.usable()) return PinWindow{0.0, -1.0, 0.0, -1.0};
+    return std::nullopt;
+  }
+  return pinIt->second;
+}
+
+bool LibraryConstraints::cellUsable(std::string_view cell) const {
+  const auto it = cells_.find(cell);
+  return it == cells_.end() || it->second.usable();
+}
+
+bool LibraryConstraints::allows(std::string_view cell, std::string_view pin,
+                                double slew, double load) const {
+  const std::optional<PinWindow> w = window(cell, pin);
+  return !w || w->allows(slew, load);
+}
+
+std::size_t LibraryConstraints::unusableCellCount() const {
+  std::size_t n = 0;
+  for (const auto& [name, constraint] : cells_) {
+    if (!constraint.usable()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Cluster-equivalent sigma LUT plus the normalized axis positions used by
+/// the slope tables.
+struct ClusterLut {
+  numeric::Grid2d sigma;
+  std::vector<double> rowPositions;
+  std::vector<double> colPositions;
+
+  [[nodiscard]] bool empty() const noexcept { return sigma.empty(); }
+};
+
+/// Entry-wise max of the per-cell worst-sigma LUTs over a cluster
+/// (section VI.B: "maximum equivalent LUT ... for the whole cluster").
+/// All tables in this repository share dimensions and normalized axis
+/// positions, so the index-wise max is well defined even though absolute
+/// load ranges differ per drive strength.
+ClusterLut clusterEquivalentSigma(
+    const std::vector<const statlib::StatCell*>& cells) {
+  ClusterLut out;
+  for (const statlib::StatCell* cell : cells) {
+    statlib::StatLut lut = cell->maxSigmaLut();
+    if (lut.empty()) continue;  // tie cells etc. have no timing arcs
+    if (out.sigma.empty()) {
+      out.sigma = lut.sigma();
+      out.rowPositions = normalizedPositions(lut.slewAxis());
+      out.colPositions = normalizedPositions(lut.loadAxis());
+    } else {
+      assert(out.sigma.rows() == lut.sigma().rows() &&
+             out.sigma.cols() == lut.sigma().cols());
+      out.sigma.maxWith(lut.sigma());
+    }
+  }
+  return out;
+}
+
+/// Threshold extraction for one cluster (section VI.B): slope tables of the
+/// equivalent LUT -> binary tables under the slope bounds -> AND -> largest
+/// flat rectangle -> sigma at the rectangle corner furthest from the origin,
+/// capped by the sigma ceiling.
+ClusterThreshold extractForCluster(std::string name,
+                                   const ClusterLut& equivalent,
+                                   const TuningConfig& config) {
+  ClusterThreshold out;
+  out.clusterName = std::move(name);
+  if (equivalent.empty()) {
+    out.sigmaThreshold = config.sigmaCeiling;
+    return out;
+  }
+  const numeric::Grid2d slewSlope =
+      slewSlopeTable(equivalent.sigma, equivalent.rowPositions);
+  const numeric::Grid2d loadSlope =
+      loadSlopeTable(equivalent.sigma, equivalent.colPositions);
+  const BinaryLut flat =
+      BinaryLut::thresholdBelow(slewSlope, config.slewSlopeBound)
+          .andWith(BinaryLut::thresholdBelow(loadSlope, config.loadSlopeBound));
+  out.rectangle = largestRectangle(flat);
+  if (!out.rectangle) {
+    out.sigmaThreshold = 0.0;  // nothing is flat: cluster tuned away
+    return out;
+  }
+  const double cornerSigma =
+      equivalent.sigma.at(out.rectangle->rowHi, out.rectangle->colHi);
+  out.sigmaThreshold = std::min(cornerSigma, config.sigmaCeiling);
+  return out;
+}
+
+std::string clusterNameFor(const statlib::StatCell& cell,
+                           const TuningConfig& config) {
+  if (clustersByStrength(config.method)) {
+    return "strength_" + liberty::strengthSuffix(cell.driveStrength());
+  }
+  return cell.name();
+}
+
+}  // namespace
+
+std::map<std::string, ClusterThreshold> extractThresholds(
+    const statlib::StatLibrary& library, const TuningConfig& config) {
+  // Group member cells per cluster.
+  std::map<std::string, std::vector<const statlib::StatCell*>> clusters;
+  for (const statlib::StatCell* cell : library.cells()) {
+    if (cell->arcs().empty()) continue;
+    clusters[clusterNameFor(*cell, config)].push_back(cell);
+  }
+
+  std::map<std::string, ClusterThreshold> out;
+  for (const auto& [name, members] : clusters) {
+    // The sigma-ceiling method uses the ceiling as the threshold on its own
+    // (section VI.B); slope methods extract it from the cluster LUT.
+    if (config.method == TuningMethod::kSigmaCeiling) {
+      ClusterThreshold t;
+      t.clusterName = name;
+      t.sigmaThreshold = config.sigmaCeiling;
+      out.emplace(name, std::move(t));
+      continue;
+    }
+    out.emplace(name,
+                extractForCluster(name, clusterEquivalentSigma(members), config));
+  }
+  return out;
+}
+
+std::optional<PinWindow> restrictPin(const statlib::StatCell& cell,
+                                     std::string_view outputPin,
+                                     double sigmaThreshold) {
+  const statlib::StatLut lut = cell.maxSigmaLutForPin(outputPin);
+  if (lut.empty()) return std::nullopt;
+  const BinaryLut acceptable =
+      BinaryLut::thresholdBelow(lut.sigma(), sigmaThreshold);
+  const std::optional<Rect> rect = largestRectangle(acceptable);
+  if (!rect) return std::nullopt;
+  PinWindow window;
+  window.minSlew = rect->rowLo == 0 ? 0.0 : lut.slewAxis()[rect->rowLo];
+  window.maxSlew = lut.slewAxis()[rect->rowHi];
+  window.minLoad = rect->colLo == 0 ? 0.0 : lut.loadAxis()[rect->colLo];
+  window.maxLoad = lut.loadAxis()[rect->colHi];
+  return window;
+}
+
+LibraryConstraints tuneLibrary(const statlib::StatLibrary& library,
+                               const TuningConfig& config) {
+  const auto thresholds = extractThresholds(library, config);
+  LibraryConstraints constraints;
+  for (const statlib::StatCell* cell : library.cells()) {
+    if (cell->arcs().empty()) continue;  // tie cells: unconstrained
+    const auto thresholdIt = thresholds.find(clusterNameFor(*cell, config));
+    assert(thresholdIt != thresholds.end());
+    const double threshold = thresholdIt->second.sigmaThreshold;
+
+    CellConstraint constraint;
+    constraint.sigmaThreshold = threshold;
+    bool allPinsUsable = true;
+    for (const std::string& pin : cell->outputPins()) {
+      std::optional<PinWindow> window = restrictPin(*cell, pin, threshold);
+      if (!window) {
+        allPinsUsable = false;
+        break;
+      }
+      constraint.pinWindows.emplace(pin, *window);
+    }
+    if (!allPinsUsable) {
+      constraints.markUnusable(cell->name());
+    } else {
+      constraints.setCell(cell->name(), std::move(constraint));
+    }
+  }
+  return constraints;
+}
+
+}  // namespace sct::tuning

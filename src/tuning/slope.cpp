@@ -1,0 +1,47 @@
+#include "tuning/slope.hpp"
+
+#include <cassert>
+
+namespace sct::tuning {
+
+std::vector<double> normalizedPositions(const numeric::Axis& axis) {
+  assert(!axis.empty());
+  const double lo = axis.front();
+  const double range = axis.back() - lo;
+  std::vector<double> out;
+  out.reserve(axis.size());
+  for (double v : axis) {
+    out.push_back(range > 0.0 ? (v - lo) / range : 0.0);
+  }
+  return out;
+}
+
+numeric::Grid2d slewSlopeTable(const numeric::Grid2d& q,
+                               const std::vector<double>& rowPositions) {
+  assert(rowPositions.size() == q.rows());
+  numeric::Grid2d out(q.rows(), q.cols(), 0.0);
+  for (std::size_t r = 1; r < q.rows(); ++r) {
+    const double step = rowPositions[r] - rowPositions[r - 1];
+    if (step <= 0.0) continue;
+    for (std::size_t c = 0; c < q.cols(); ++c) {
+      out.at(r, c) = (q.at(r, c) - q.at(r - 1, c)) / step;
+    }
+  }
+  return out;
+}
+
+numeric::Grid2d loadSlopeTable(const numeric::Grid2d& q,
+                               const std::vector<double>& colPositions) {
+  assert(colPositions.size() == q.cols());
+  numeric::Grid2d out(q.rows(), q.cols(), 0.0);
+  for (std::size_t c = 1; c < q.cols(); ++c) {
+    const double step = colPositions[c] - colPositions[c - 1];
+    if (step <= 0.0) continue;
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+      out.at(r, c) = (q.at(r, c) - q.at(r, c - 1)) / step;
+    }
+  }
+  return out;
+}
+
+}  // namespace sct::tuning

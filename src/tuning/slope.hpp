@@ -1,0 +1,31 @@
+#pragma once
+// Slope tables of the threshold-extraction stage (paper eqs. (12) and (13)):
+// first differences of a sigma LUT along the slew (row) and load (column)
+// directions. As in the paper, indices start at the second row/column, so
+// the first row (slew table) / first column (load table) is zero.
+//
+// The index step 'di'/'dj' of the equations is taken as the *normalized*
+// axis step (axis step divided by the full axis range). Normalizing makes
+// slopes comparable across cells whose absolute load ranges differ by drive
+// strength — which the cluster-equivalent LUT of section VI.B requires —
+// and gives the Table 2 slope bounds (1 / 0.05 / 0.03 / 0.01) a consistent
+// meaning for every cell.
+
+#include "numeric/grid2d.hpp"
+
+namespace sct::tuning {
+
+/// Positions of axis breakpoints normalized to [0, 1].
+[[nodiscard]] std::vector<double> normalizedPositions(const numeric::Axis& axis);
+
+/// Eq. (12): slew(i,j) = (Q(i,j) - Q(i-1,j)) / d(i); row 0 is zero.
+/// rowPositions must be normalizedPositions() of the slew axis (size = rows).
+[[nodiscard]] numeric::Grid2d slewSlopeTable(
+    const numeric::Grid2d& q, const std::vector<double>& rowPositions);
+
+/// Eq. (13): load(i,j) = (Q(i,j) - Q(i,j-1)) / d(j); column 0 is zero.
+/// colPositions must be normalizedPositions() of the load axis (size = cols).
+[[nodiscard]] numeric::Grid2d loadSlopeTable(
+    const numeric::Grid2d& q, const std::vector<double>& colPositions);
+
+}  // namespace sct::tuning

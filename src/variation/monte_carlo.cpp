@@ -1,0 +1,58 @@
+#include "variation/monte_carlo.hpp"
+
+#include <cassert>
+
+namespace sct::variation {
+
+double PathMonteCarlo::evaluateOnce(const sta::TimingPath& path,
+                                    const charlib::ProcessCorner& corner,
+                                    double globalFactor,
+                                    numeric::Rng* localRng) const {
+  const charlib::DelayModel& model = characterizer_.model();
+  const charlib::SpecRegistry& specs = characterizer_.specs();
+  double total = 0.0;
+  for (const sta::PathStep& step : path.steps) {
+    assert(step.cell != nullptr && step.arc != nullptr);
+    const charlib::CellSpec* spec = specs.find(step.cell->name());
+    assert(spec != nullptr && "path cell missing from catalogue");
+    charlib::LocalDeltas deltas;
+    if (localRng != nullptr) deltas = model.drawLocal(*spec, *localRng);
+    const double base = model.delay(*spec, step.inputSlew, step.load, deltas,
+                                    corner.delayFactor, globalFactor);
+    // The worst edge used by the setup analysis is the rise edge (its skew
+    // factor is the larger one), matching TimingArc::worstDelay.
+    total += base * charlib::arcDelayFactor(step.cell->function(),
+                                            step.arc->relatedPin,
+                                            step.arc->outputPin,
+                                            /*rise=*/true);
+  }
+  return total;
+}
+
+PathMcResult PathMonteCarlo::simulate(const sta::TimingPath& path,
+                                      const PathMcConfig& config) const {
+  const charlib::DelayModel& model = characterizer_.model();
+  numeric::Rng master(config.seed);
+  numeric::Rng globalRng = master.fork(numeric::Rng::hashTag("global"));
+  numeric::Rng localRng = master.fork(numeric::Rng::hashTag("local"));
+
+  PathMcResult result;
+  result.samples.reserve(config.trials);
+  numeric::RunningStats stats;
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    // One global factor per trial ("die"), shared by all cells of the path;
+    // local draws are fresh per cell instance. Draw the global deviate even
+    // when disabled so local-only and global+local runs stay sample-aligned.
+    const double globalDraw = model.drawGlobalFactor(globalRng);
+    const double globalFactor = config.includeGlobal ? globalDraw : 1.0;
+    const double sample = evaluateOnce(
+        path, config.corner, globalFactor,
+        config.includeLocal ? &localRng : nullptr);
+    stats.add(sample);
+    result.samples.push_back(sample);
+  }
+  result.summary = stats.summary();
+  return result;
+}
+
+}  // namespace sct::variation

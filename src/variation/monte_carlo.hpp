@@ -1,0 +1,51 @@
+#pragma once
+// Monte-Carlo simulation of extracted timing paths (paper section VII.C,
+// Figs. 15 and 16): re-evaluates each path cell through the analytic delay
+// model with fresh local mismatch draws per trial, optionally adding a
+// shared per-die global factor, at any process corner. This substitutes the
+// paper's transistor-level Monte Carlo on extracted data paths.
+
+#include <cstdint>
+#include <vector>
+
+#include "charlib/characterizer.hpp"
+#include "numeric/statistics.hpp"
+#include "sta/sta.hpp"
+
+namespace sct::variation {
+
+struct PathMcConfig {
+  std::size_t trials = 200;  ///< paper uses N = 200
+  bool includeLocal = true;
+  bool includeGlobal = false;
+  charlib::ProcessCorner corner = charlib::ProcessCorner::typical();
+  std::uint64_t seed = 1;
+};
+
+/// Result of one Monte-Carlo run: summary plus the raw samples (for
+/// histograms).
+struct PathMcResult {
+  numeric::NormalSummary summary;
+  std::vector<double> samples;
+};
+
+class PathMonteCarlo {
+ public:
+  explicit PathMonteCarlo(const charlib::Characterizer& characterizer)
+      : characterizer_(characterizer) {}
+
+  /// One deterministic path delay evaluation for a single trial's draws.
+  [[nodiscard]] double evaluateOnce(const sta::TimingPath& path,
+                                    const charlib::ProcessCorner& corner,
+                                    double globalFactor,
+                                    numeric::Rng* localRng) const;
+
+  /// Full Monte-Carlo run on a path.
+  [[nodiscard]] PathMcResult simulate(const sta::TimingPath& path,
+                                      const PathMcConfig& config) const;
+
+ private:
+  const charlib::Characterizer& characterizer_;
+};
+
+}  // namespace sct::variation

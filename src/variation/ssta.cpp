@@ -1,0 +1,119 @@
+#include "variation/ssta.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sct::variation {
+
+using numeric::NormalSummary;
+
+double SstaEndpoint::failureProbability() const noexcept {
+  if (arrival.sigma < 1e-15) {
+    return arrival.mean > required ? 1.0 : 0.0;
+  }
+  return 1.0 - numeric::normalCdf((required - arrival.mean) / arrival.sigma);
+}
+
+namespace {
+
+/// Sum of an arrival distribution and an independent cell-delay
+/// distribution: means add, variances add.
+NormalSummary propagate(const NormalSummary& arrival,
+                        const NormalSummary& delay) noexcept {
+  NormalSummary out;
+  out.mean = arrival.mean + delay.mean;
+  out.sigma = std::sqrt(arrival.sigma * arrival.sigma +
+                        delay.sigma * delay.sigma);
+  return out;
+}
+
+}  // namespace
+
+SstaResult runSsta(const netlist::Design& design,
+                   const sta::TimingAnalyzer& sta,
+                   const statlib::StatLibrary& library) {
+  const sta::ClockSpec& clock = sta.clock();
+  std::vector<NormalSummary> arrival(design.netCount());
+
+  // Primary inputs launch deterministically at the external arrival.
+  for (const netlist::Port& port : design.ports()) {
+    if (port.direction == netlist::PortDirection::kInput) {
+      arrival[port.net] = {clock.inputDelay, 0.0};
+    }
+  }
+
+  for (netlist::InstIndex index : sta.topoOrder()) {
+    const netlist::Instance& inst = design.instance(index);
+    assert(inst.cell != nullptr);
+    const statlib::StatCell* statCell = library.findCell(inst.cell->name());
+
+    if (netlist::numInputs(inst.op) == 0) {
+      for (netlist::NetIndex out : inst.outputs) arrival[out] = {0.0, 0.0};
+      continue;
+    }
+
+    if (netlist::isSequential(inst.op)) {
+      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+        const netlist::NetIndex out = inst.outputs[slot];
+        NormalSummary launch{sta.netArrival(out), 0.0};  // fallback
+        if (statCell != nullptr) {
+          if (const statlib::StatArc* arc = statCell->findArc(
+                  "CP", sta::outputPinName(inst, slot))) {
+            launch = arc->worstDelayStats(clock.clockSlew, sta.netLoad(out));
+          }
+        }
+        arrival[out] = launch;
+      }
+      continue;
+    }
+
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const netlist::NetIndex out = inst.outputs[slot];
+      const double load = sta.netLoad(out);
+      bool first = true;
+      NormalSummary combined;
+      for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+        const statlib::StatArc* arc =
+            statCell != nullptr
+                ? statCell->findArc(sta::inputPinName(inst, i),
+                                    sta::outputPinName(inst, slot))
+                : nullptr;
+        if (arc == nullptr) continue;
+        const netlist::NetIndex in = inst.inputs[i];
+        const NormalSummary delay =
+            arc->worstDelayStats(sta.netSlew(in), load);
+        const NormalSummary candidate = propagate(arrival[in], delay);
+        combined = first ? candidate : numeric::clarkMax(combined, candidate);
+        first = false;
+      }
+      arrival[out] = combined;
+    }
+  }
+
+  SstaResult result;
+  result.endpoints.reserve(sta.endpoints().size());
+  bool first = true;
+  for (const sta::Endpoint& ep : sta.endpoints()) {
+    SstaEndpoint out;
+    out.net = ep.net;
+    out.name = ep.name;
+    out.arrival = arrival[ep.net];
+    out.required = ep.required;
+    const double pFail = out.failureProbability();
+    result.expectedFailures += pFail;
+    result.timingYield *= 1.0 - pFail;
+    // Normalize every endpoint to a common deadline so the design-level
+    // maximum is meaningful: add the per-endpoint margin (setup) back in.
+    NormalSummary normalized = out.arrival;
+    normalized.mean += clock.effectivePeriod() - ep.required;
+    result.designArrival = first
+                               ? normalized
+                               : numeric::clarkMax(result.designArrival,
+                                                   normalized);
+    first = false;
+    result.endpoints.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace sct::variation

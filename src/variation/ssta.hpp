@@ -1,0 +1,55 @@
+#pragma once
+// Block-based statistical STA (extension): propagates Gaussian arrival
+// distributions (mean, sigma) through the timing graph, combining
+// reconvergent fan-in with Clark's max approximation. This is the
+// alternative to the paper's per-path convolution (section V): instead of
+// eq. (11) over worst paths, each endpoint gets the full statistical max
+// over *all* of its paths — the comparison bench shows where the paper's
+// per-path view under/over-estimates.
+//
+// Modeling assumptions (documented limits): cell-delay distributions are
+// independent Gaussians (the paper's rho = 0), structural path correlation
+// from shared sub-paths is ignored by the pairwise Clark reduction — the
+// standard block-SSTA simplification.
+
+#include <vector>
+
+#include "sta/sta.hpp"
+#include "statlib/stat_library.hpp"
+
+namespace sct::variation {
+
+/// A statistical endpoint result.
+struct SstaEndpoint {
+  netlist::NetIndex net = netlist::kNoNet;
+  std::string name;
+  numeric::NormalSummary arrival;  ///< statistical latest arrival
+  double required = 0.0;           ///< deterministic required time
+  /// P(arrival > required): endpoint timing-failure probability.
+  [[nodiscard]] double failureProbability() const noexcept;
+  /// mean + 3 sigma margin against the requirement.
+  [[nodiscard]] double slack3Sigma() const noexcept {
+    return required - (arrival.mean + 3.0 * arrival.sigma);
+  }
+};
+
+struct SstaResult {
+  std::vector<SstaEndpoint> endpoints;
+  /// Statistical max over all endpoints' arrivals (the design's critical
+  /// delay distribution).
+  numeric::NormalSummary designArrival;
+  /// Expected number of failing endpoints at the analyzed clock.
+  double expectedFailures = 0.0;
+  /// Parametric timing yield: probability that every endpoint meets setup
+  /// (independent-endpoint approximation).
+  double timingYield = 1.0;
+};
+
+/// Runs SSTA over an analyzed design. `sta` must have been analyze()d: its
+/// per-net slews and loads define the operating points at which the
+/// statistical library is interpolated.
+[[nodiscard]] SstaResult runSsta(const netlist::Design& design,
+                                 const sta::TimingAnalyzer& sta,
+                                 const statlib::StatLibrary& library);
+
+}  // namespace sct::variation

@@ -1,0 +1,164 @@
+// Tests for the clock-tree extension (the paper's section VIII future-work
+// item): tree construction, delay/sigma accounting and the effect of tuned
+// buffer windows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/clock_tree.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/mcu.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+
+namespace sct::clocktree {
+namespace {
+
+class ClockTreeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chr_ = new charlib::Characterizer(test::makeSmallCharacterizer());
+    lib_ = new liberty::Library(
+        chr_->characterizeNominal(charlib::ProcessCorner::typical()));
+    const auto mcLibs =
+        chr_->characterizeMonteCarlo(charlib::ProcessCorner::typical(), 25, 9);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(mcLibs));
+
+    // One mapped design shared by the tests.
+    const synth::Synthesizer synth(*lib_);
+    sta::ClockSpec clock;
+    clock.period = 8.0;
+    netlist::McuConfig small;
+    small.registers = 8;
+    small.readPorts = 2;
+    small.timers = 1;
+    small.dmaChannels = 1;
+    small.gpioWidth = 16;
+    small.cacheTagEntries = 16;
+    small.macUnits = 1;
+    small.macWidth = 8;
+    small.bankedRegisters = 1;
+    small.interruptSources = 8;
+    small.decodeOutputs = 64;
+    result_ = new synth::SynthesisResult(
+        synth.run(netlist::generateMcu(small), clock));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete stat_;
+    delete lib_;
+    delete chr_;
+    result_ = nullptr;
+    stat_ = nullptr;
+    lib_ = nullptr;
+    chr_ = nullptr;
+  }
+  static charlib::Characterizer* chr_;
+  static liberty::Library* lib_;
+  static statlib::StatLibrary* stat_;
+  static synth::SynthesisResult* result_;
+};
+
+charlib::Characterizer* ClockTreeTest::chr_ = nullptr;
+liberty::Library* ClockTreeTest::lib_ = nullptr;
+statlib::StatLibrary* ClockTreeTest::stat_ = nullptr;
+synth::SynthesisResult* ClockTreeTest::result_ = nullptr;
+
+TEST_F(ClockTreeTest, BuildsBalancedTree) {
+  const auto tree = buildClockTree(result_->design, *lib_, *stat_);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_GT(tree->sinkCount, 500u);
+  EXPECT_GE(tree->levels.size(), 2u);
+  // Root level has exactly one buffer; leaf level covers all sinks.
+  EXPECT_EQ(tree->levels.back().bufferCount, 1u);
+  const ClockTreeConfig config;
+  EXPECT_GE(tree->levels.front().bufferCount * config.maxFanout,
+            tree->sinkCount);
+}
+
+TEST_F(ClockTreeTest, BufferCountConsistent) {
+  const auto tree = buildClockTree(result_->design, *lib_, *stat_);
+  ASSERT_TRUE(tree.has_value());
+  std::size_t sum = 0;
+  for (const TreeLevel& level : tree->levels) sum += level.bufferCount;
+  EXPECT_EQ(tree->bufferCount(), sum);
+  EXPECT_GT(tree->bufferArea(), 0.0);
+}
+
+TEST_F(ClockTreeTest, InsertionDelayAndSigmaPositive) {
+  const auto tree = buildClockTree(result_->design, *lib_, *stat_);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_GT(tree->insertionDelay(), 0.0);
+  EXPECT_GT(tree->insertionSigma(), 0.0);
+  // RSS consistency.
+  double var = 0.0;
+  for (const TreeLevel& level : tree->levels) {
+    var += level.delaySigma * level.delaySigma;
+  }
+  EXPECT_NEAR(tree->insertionSigma(), std::sqrt(var), 1e-12);
+}
+
+TEST_F(ClockTreeTest, SkewOrdering) {
+  const auto tree = buildClockTree(result_->design, *lib_, *stat_);
+  ASSERT_TRUE(tree.has_value());
+  // Sibling sinks share everything but the leaf buffer; worst pairs share
+  // nothing below the root driver.
+  EXPECT_LE(tree->siblingSkewSigma(), tree->worstSkewSigma() + 1e-12);
+  EXPECT_GT(tree->siblingSkewSigma(), 0.0);
+}
+
+TEST_F(ClockTreeTest, SmallerFanoutMeansMoreBuffersAndLevels) {
+  ClockTreeConfig wide;
+  wide.maxFanout = 32;
+  ClockTreeConfig narrow;
+  narrow.maxFanout = 4;
+  const auto a = buildClockTree(result_->design, *lib_, *stat_, nullptr, wide);
+  const auto b =
+      buildClockTree(result_->design, *lib_, *stat_, nullptr, narrow);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GT(b->bufferCount(), a->bufferCount());
+  EXPECT_GE(b->levels.size(), a->levels.size());
+}
+
+TEST_F(ClockTreeTest, TunedWindowsChangeBufferSelection) {
+  // A tight sigma ceiling restricts the buffers' allowed load windows; the
+  // tree must still build (smaller groups / larger buffers) and its leaf
+  // sigma must not get worse.
+  const auto baseline = buildClockTree(result_->design, *lib_, *stat_);
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      *stat_,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.005));
+  const auto tuned =
+      buildClockTree(result_->design, *lib_, *stat_, &constraints);
+  ASSERT_TRUE(baseline.has_value());
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_LE(tuned->levels.front().delaySigma,
+            baseline->levels.front().delaySigma + 1e-12);
+}
+
+TEST_F(ClockTreeTest, NoSequentialsNoTree) {
+  netlist::Design comb("comb");
+  netlist::NetlistBuilder b(comb);
+  b.outputPort("z", b.inv(b.inputPort("a")));
+  // Bind the single inverter.
+  comb.bindCell(0, lib_->findCell("IV_1"));
+  EXPECT_FALSE(buildClockTree(comb, *lib_, *stat_).has_value());
+}
+
+TEST_F(ClockTreeTest, AllBuffersUnusableNoTree) {
+  tuning::LibraryConstraints constraints;
+  for (const liberty::Cell* cell : lib_->cells()) {
+    if (cell->function() == liberty::CellFunction::kClkBuf ||
+        cell->function() == liberty::CellFunction::kBuf) {
+      constraints.markUnusable(cell->name());
+    }
+  }
+  EXPECT_FALSE(
+      buildClockTree(result_->design, *lib_, *stat_, &constraints).has_value());
+}
+
+}  // namespace
+}  // namespace sct::clocktree

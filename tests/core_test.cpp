@@ -1,0 +1,166 @@
+// Integration tests of the end-to-end tuning flow (paper sections II-VII)
+// on a scaled-down microcontroller: baseline vs tuned synthesis, sigma
+// reduction, sweep bookkeeping and measurement consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flow.hpp"
+
+namespace sct::core {
+namespace {
+
+/// Small-but-real flow config: reduced MCU and characterization grid so the
+/// whole integration suite stays fast.
+FlowConfig smallConfig() {
+  FlowConfig config;
+  config.characterization.slewAxis = {0.002, 0.05, 0.2, 0.6};
+  config.characterization.loadFractions = {0.01, 0.1, 0.4, 1.0};
+  config.mcLibraryCount = 25;
+  config.mcu.registers = 8;
+  config.mcu.readPorts = 2;
+  config.mcu.bankedRegisters = 1;
+  config.mcu.macUnits = 1;
+  config.mcu.macWidth = 8;
+  config.mcu.timers = 1;
+  config.mcu.dmaChannels = 1;
+  config.mcu.gpioWidth = 16;
+  config.mcu.cacheTagEntries = 16;
+  config.mcu.decodeOutputs = 64;
+  config.mcu.interruptSources = 8;
+  return config;
+}
+
+class FlowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { flow_ = new TuningFlow(smallConfig()); }
+  static void TearDownTestSuite() {
+    delete flow_;
+    flow_ = nullptr;
+  }
+  static TuningFlow* flow_;
+};
+
+TuningFlow* FlowTest::flow_ = nullptr;
+
+TEST_F(FlowTest, ArtifactsAreLazyAndStable) {
+  const liberty::Library& lib1 = flow_->nominalLibrary();
+  const liberty::Library& lib2 = flow_->nominalLibrary();
+  EXPECT_EQ(&lib1, &lib2);
+  EXPECT_EQ(lib1.size(), 304u);
+  const statlib::StatLibrary& stat = flow_->statLibrary();
+  EXPECT_EQ(stat.size(), 304u);
+  EXPECT_EQ(stat.sampleCount(), 25u);
+  const netlist::Design& subject = flow_->subject();
+  EXPECT_GT(subject.gateCount(), 1000u);
+  EXPECT_EQ(subject.validate(), "");
+}
+
+TEST_F(FlowTest, BaselineMeasurementIsConsistent) {
+  const DesignMeasurement baseline = flow_->synthesizeBaseline(8.0);
+  ASSERT_TRUE(baseline.success());
+  EXPECT_GT(baseline.area(), 0.0);
+  EXPECT_GT(baseline.sigma(), 0.0);
+  EXPECT_EQ(baseline.clockPeriod, 8.0);
+  EXPECT_FALSE(baseline.paths.empty());
+  EXPECT_EQ(baseline.design.paths, baseline.paths.size());
+
+  // Eq. (11) consistency between the records and the aggregate.
+  double varSum = 0.0;
+  for (const PathRecord& record : baseline.paths) {
+    varSum += record.sigma * record.sigma;
+    EXPECT_GE(record.depth, 0u);
+    EXPECT_GE(record.mean, 0.0);
+  }
+  EXPECT_NEAR(baseline.design.sigma, std::sqrt(varSum),
+              1e-9 * baseline.design.sigma);
+}
+
+TEST_F(FlowTest, PathPopulationShape) {
+  const DesignMeasurement baseline = flow_->synthesizeBaseline(8.0);
+  std::size_t deepest = 0;
+  std::size_t shortCount = 0;
+  for (const PathRecord& record : baseline.paths) {
+    deepest = std::max(deepest, record.depth);
+    if (record.depth <= 4) ++shortCount;
+  }
+  // Even the reduced MCU keeps deep arithmetic paths and a large short-path
+  // population (the paper's "about one third" observation).
+  EXPECT_GT(deepest, 20u);
+  EXPECT_GT(shortCount, baseline.paths.size() / 5);
+}
+
+TEST_F(FlowTest, SigmaCeilingTuningReducesSigma) {
+  const DesignMeasurement baseline = flow_->synthesizeBaseline(8.0);
+  const DesignMeasurement tuned = flow_->synthesizeTuned(
+      8.0,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.01));
+  ASSERT_TRUE(baseline.success());
+  ASSERT_TRUE(tuned.success());
+  EXPECT_LT(tuned.sigma(), baseline.sigma());
+}
+
+TEST_F(FlowTest, TuneProducesConstraints) {
+  const tuning::LibraryConstraints constraints = flow_->tune(
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  EXPECT_GT(constraints.size(), 250u);
+}
+
+TEST_F(FlowTest, TracePathsMatchesMeasurementPaths) {
+  const DesignMeasurement baseline = flow_->synthesizeBaseline(8.0);
+  const auto paths = flow_->tracePaths(baseline.synthesis, 8.0);
+  EXPECT_EQ(paths.size(), baseline.paths.size());
+}
+
+TEST_F(FlowTest, SweepMethodComputesRelativeMetrics) {
+  const DesignMeasurement baseline = flow_->synthesizeBaseline(8.0);
+  const auto points = flow_->sweepMethod(tuning::TuningMethod::kSigmaCeiling,
+                                         8.0, baseline);
+  ASSERT_EQ(points.size(), 4u);  // Table 2 ceiling sweep
+  for (const auto& point : points) {
+    EXPECT_EQ(point.method, tuning::TuningMethod::kSigmaCeiling);
+    if (point.measurement.success()) {
+      const double expected =
+          100.0 * (baseline.sigma() - point.measurement.sigma()) /
+          baseline.sigma();
+      EXPECT_NEAR(point.sigmaReductionPct, expected, 1e-9);
+    }
+  }
+  // The strictest ceiling must restrict at least as much as the loosest.
+  EXPECT_GE(points.back().sigmaReductionPct, points.front().sigmaReductionPct);
+}
+
+TEST_F(FlowTest, BestUnderAreaCapRespectsCap) {
+  std::vector<TuningFlow::SweepPoint> points(3);
+  points[0].sigmaReductionPct = 50.0;
+  points[0].areaIncreasePct = 20.0;  // above cap
+  points[0].measurement.synthesis.timingMet = true;
+  points[0].measurement.synthesis.legal = true;
+  points[1].sigmaReductionPct = 30.0;
+  points[1].areaIncreasePct = 5.0;
+  points[1].measurement.synthesis.timingMet = true;
+  points[1].measurement.synthesis.legal = true;
+  points[2].sigmaReductionPct = 40.0;
+  points[2].areaIncreasePct = 8.0;
+  points[2].measurement.synthesis.timingMet = false;  // failed run
+  points[2].measurement.synthesis.legal = true;
+
+  const auto* best = TuningFlow::bestUnderAreaCap(points, 10.0);
+  ASSERT_NE(best, nullptr);
+  EXPECT_DOUBLE_EQ(best->sigmaReductionPct, 30.0);
+  EXPECT_EQ(TuningFlow::bestUnderAreaCap(points, 1.0), nullptr);
+}
+
+TEST_F(FlowTest, MeasurementIsDeterministic) {
+  const DesignMeasurement a = flow_->synthesizeBaseline(6.0);
+  const DesignMeasurement b = flow_->synthesizeBaseline(6.0);
+  EXPECT_EQ(a.sigma(), b.sigma());
+  EXPECT_EQ(a.area(), b.area());
+  EXPECT_EQ(a.paths.size(), b.paths.size());
+}
+
+}  // namespace
+}  // namespace sct::core

@@ -1,0 +1,131 @@
+// Fuzz-style property sweeps on random DAG netlists: every generated
+// design must validate, synthesize, analyze, simulate, round-trip through
+// Verilog and survive tuning-constrained synthesis without structural
+// damage. Runs across many seeds via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/random.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/verilog_io.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    chr_ = new charlib::Characterizer(test::makeSmallCharacterizer());
+    lib_ = new liberty::Library(
+        chr_->characterizeNominal(charlib::ProcessCorner::typical()));
+    const auto mcLibs =
+        chr_->characterizeMonteCarlo(charlib::ProcessCorner::typical(), 12, 4);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(mcLibs));
+    constraints_ = new tuning::LibraryConstraints(tuning::tuneLibrary(
+        *stat_,
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        0.015)));
+  }
+  static void TearDownTestSuite() {
+    delete constraints_;
+    delete stat_;
+    delete lib_;
+    delete chr_;
+    constraints_ = nullptr;
+    stat_ = nullptr;
+    lib_ = nullptr;
+    chr_ = nullptr;
+  }
+  static netlist::RandomDagConfig configFor(std::uint64_t seed) {
+    netlist::RandomDagConfig config;
+    config.seed = seed;
+    config.primaryInputs = 4 + seed % 13;
+    config.gates = 100 + (seed * 37) % 400;
+    config.flipFlops = 4 + seed % 29;
+    config.primaryOutputs = 2 + seed % 7;
+    return config;
+  }
+  static charlib::Characterizer* chr_;
+  static liberty::Library* lib_;
+  static statlib::StatLibrary* stat_;
+  static tuning::LibraryConstraints* constraints_;
+};
+
+charlib::Characterizer* FuzzTest::chr_ = nullptr;
+liberty::Library* FuzzTest::lib_ = nullptr;
+statlib::StatLibrary* FuzzTest::stat_ = nullptr;
+tuning::LibraryConstraints* FuzzTest::constraints_ = nullptr;
+
+TEST_P(FuzzTest, GeneratedDesignIsValid) {
+  const netlist::Design d = netlist::generateRandomDag(configFor(GetParam()));
+  EXPECT_EQ(d.validate(), "");
+  EXPECT_GT(d.gateCount(), 50u);
+}
+
+TEST_P(FuzzTest, SimulatesWithoutUndefinedBehaviour) {
+  const netlist::Design d = netlist::generateRandomDag(configFor(GetParam()));
+  netlist::Simulator sim(d);
+  sim.reset();
+  for (std::size_t i = 0;; ++i) {
+    const std::string name = "in[" + std::to_string(i) + "]";
+    bool found = false;
+    for (const netlist::Port& port : d.ports()) {
+      if (port.name == name) {
+        sim.setInput(name, (GetParam() >> (i % 17) & 1) != 0);
+        found = true;
+      }
+    }
+    if (!found) break;
+  }
+  for (int cycle = 0; cycle < 3; ++cycle) sim.step();
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, SynthesizesAndStaysConsistent) {
+  const netlist::Design subject =
+      netlist::generateRandomDag(configFor(GetParam()));
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 10.0;
+  const synth::SynthesisResult result = synth.run(subject, clock);
+  EXPECT_EQ(result.design.validate(), "");
+  for (const auto& inst : result.design.instances()) {
+    if (inst.alive) EXPECT_NE(inst.cell, nullptr);
+  }
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  EXPECT_TRUE(sta.analyze());
+}
+
+TEST_P(FuzzTest, ConstrainedSynthesisRespectsWindows) {
+  const netlist::Design subject =
+      netlist::generateRandomDag(configFor(GetParam()));
+  const synth::Synthesizer synth(*lib_, constraints_);
+  sta::ClockSpec clock;
+  clock.period = 12.0;
+  const synth::SynthesisResult result = synth.run(subject, clock);
+  EXPECT_EQ(result.design.validate(), "");
+  if (result.success()) {
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+TEST_P(FuzzTest, VerilogRoundTripPreservesStructure) {
+  const netlist::Design original =
+      netlist::generateRandomDag(configFor(GetParam()));
+  const netlist::Design back =
+      netlist::readVerilogFromString(netlist::writeVerilogToString(original));
+  EXPECT_EQ(back.gateCount(), original.gateCount());
+  EXPECT_EQ(back.ports().size(), original.ports().size());
+  EXPECT_EQ(back.validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace sct

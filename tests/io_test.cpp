@@ -1,0 +1,300 @@
+// Tests for the serialization layers added around the core flow:
+// statistical-library text format, tuned-constraint files (round trip +
+// synthesis script export) and structural Verilog.
+
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/mcu.hpp"
+#include "netlist/verilog_io.hpp"
+#include "statlib/stat_io.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "tuning/constraints_io.hpp"
+
+namespace sct {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chr_ = new charlib::Characterizer(test::makeSmallCharacterizer());
+    lib_ = new liberty::Library(
+        chr_->characterizeNominal(charlib::ProcessCorner::typical()));
+    const auto mcLibs =
+        chr_->characterizeMonteCarlo(charlib::ProcessCorner::typical(), 12, 5);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(mcLibs));
+  }
+  static void TearDownTestSuite() {
+    delete stat_;
+    delete lib_;
+    delete chr_;
+    stat_ = nullptr;
+    lib_ = nullptr;
+    chr_ = nullptr;
+  }
+  static charlib::Characterizer* chr_;
+  static liberty::Library* lib_;
+  static statlib::StatLibrary* stat_;
+};
+
+charlib::Characterizer* IoTest::chr_ = nullptr;
+liberty::Library* IoTest::lib_ = nullptr;
+statlib::StatLibrary* IoTest::stat_ = nullptr;
+
+// ------------------------------------------------------------ stat_io ----
+
+TEST_F(IoTest, StatLibraryRoundTripPreservesTables) {
+  const std::string text = statlib::writeStatLibraryToString(*stat_);
+  const statlib::StatLibrary back = statlib::readStatLibraryFromString(text);
+  EXPECT_EQ(back.name(), stat_->name());
+  EXPECT_EQ(back.size(), stat_->size());
+  EXPECT_EQ(back.sampleCount(), stat_->sampleCount());
+  for (const statlib::StatCell* original : stat_->cells()) {
+    const statlib::StatCell* parsed = back.findCell(original->name());
+    ASSERT_NE(parsed, nullptr) << original->name();
+    EXPECT_EQ(parsed->function(), original->function());
+    EXPECT_DOUBLE_EQ(parsed->driveStrength(), original->driveStrength());
+    EXPECT_DOUBLE_EQ(parsed->area(), original->area());
+    ASSERT_EQ(parsed->arcs().size(), original->arcs().size());
+    for (std::size_t a = 0; a < original->arcs().size(); ++a) {
+      const statlib::StatArc& oa = original->arcs()[a];
+      const statlib::StatArc& pa = parsed->arcs()[a];
+      EXPECT_EQ(pa.relatedPin, oa.relatedPin);
+      EXPECT_EQ(pa.outputPin, oa.outputPin);
+      EXPECT_EQ(pa.rise.mean(), oa.rise.mean());
+      EXPECT_EQ(pa.rise.sigma(), oa.rise.sigma());
+      EXPECT_EQ(pa.fall.mean(), oa.fall.mean());
+      EXPECT_EQ(pa.fall.sigma(), oa.fall.sigma());
+    }
+  }
+}
+
+TEST_F(IoTest, StatLibrarySecondRoundTripIdentical) {
+  const std::string once = statlib::writeStatLibraryToString(*stat_);
+  const std::string twice = statlib::writeStatLibraryToString(
+      statlib::readStatLibraryFromString(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(IoTest, StatLibraryTuningAgreesAfterRoundTrip) {
+  // Tuning the re-parsed library must produce the same constraints.
+  const statlib::StatLibrary back = statlib::readStatLibraryFromString(
+      statlib::writeStatLibraryToString(*stat_));
+  const auto config =
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02);
+  const auto a = tuning::tuneLibrary(*stat_, config);
+  const auto b = tuning::tuneLibrary(back, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, constraint] : a.cells()) {
+    const auto wa = a.window(name, "Z");
+    const auto wb = b.window(name, "Z");
+    ASSERT_EQ(wa.has_value(), wb.has_value()) << name;
+    if (wa) {
+      EXPECT_DOUBLE_EQ(wa->maxLoad, wb->maxLoad) << name;
+      EXPECT_DOUBLE_EQ(wa->maxSlew, wb->maxSlew) << name;
+    }
+  }
+}
+
+TEST_F(IoTest, StatLibraryRejectsGarbage) {
+  EXPECT_THROW((void)statlib::readStatLibraryFromString("library (x) {}\n"),
+               liberty::ParseError);
+  EXPECT_THROW((void)statlib::readStatLibraryFromString(
+                   "stat_library (x) {\n cell (A) {\n  function : INV ;\n"
+                   "  arc (A Z) {\n  }\n }\n}\n"),
+               liberty::ParseError);
+}
+
+TEST_F(IoTest, CharacterizedLibraryRoundTripsSetupLut) {
+  const std::string text = liberty::writeLibraryToString(*lib_);
+  const liberty::Library back = liberty::readLibraryFromString(text);
+  const liberty::Cell* original = lib_->findCell("FD1_2");
+  const liberty::Cell* parsed = back.findCell("FD1_2");
+  ASSERT_NE(original, nullptr);
+  ASSERT_NE(parsed, nullptr);
+  ASSERT_FALSE(original->setupLut().empty());
+  EXPECT_EQ(parsed->setupLut(), original->setupLut());
+  // Slew-dependent lookups agree after the round trip.
+  EXPECT_DOUBLE_EQ(parsed->setupTime(0.3, 0.05),
+                   original->setupTime(0.3, 0.05));
+  // Combinational cells carry no setup table.
+  EXPECT_TRUE(back.findCell("IV_1")->setupLut().empty());
+}
+
+// ----------------------------------------------------- constraints_io ----
+
+TEST_F(IoTest, ConstraintsRoundTrip) {
+  const auto config =
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kCellLoadSlope,
+                                      0.03);
+  const tuning::LibraryConstraints original =
+      tuning::tuneLibrary(*stat_, config);
+  const tuning::LibraryConstraints back = tuning::readConstraintsFromString(
+      tuning::writeConstraintsToString(original));
+  ASSERT_EQ(back.size(), original.size());
+  EXPECT_EQ(back.unusableCellCount(), original.unusableCellCount());
+  for (const auto& [name, constraint] : original.cells()) {
+    EXPECT_EQ(back.cellUsable(name), original.cellUsable(name)) << name;
+    for (const auto& [pin, window] : constraint.pinWindows) {
+      const auto w = back.window(name, pin);
+      ASSERT_TRUE(w.has_value()) << name << "/" << pin;
+      EXPECT_DOUBLE_EQ(w->minSlew, window.minSlew);
+      EXPECT_DOUBLE_EQ(w->maxSlew, window.maxSlew);
+      EXPECT_DOUBLE_EQ(w->minLoad, window.minLoad);
+      EXPECT_DOUBLE_EQ(w->maxLoad, window.maxLoad);
+    }
+  }
+}
+
+TEST_F(IoTest, ConstraintsRoundTripPreservesUnusable) {
+  tuning::LibraryConstraints original;
+  original.markUnusable("IV_1");
+  tuning::CellConstraint ok;
+  ok.sigmaThreshold = 0.02;
+  ok.pinWindows.emplace("Z", tuning::PinWindow{0.0, 0.4, 0.0, 0.05});
+  original.setCell("IV_4", std::move(ok));
+
+  const tuning::LibraryConstraints back = tuning::readConstraintsFromString(
+      tuning::writeConstraintsToString(original));
+  EXPECT_FALSE(back.cellUsable("IV_1"));
+  EXPECT_TRUE(back.cellUsable("IV_4"));
+  EXPECT_TRUE(back.allows("IV_4", "Z", 0.2, 0.01));
+  EXPECT_FALSE(back.allows("IV_4", "Z", 0.5, 0.01));
+}
+
+TEST_F(IoTest, SynthesisScriptMentionsEveryBound) {
+  tuning::LibraryConstraints constraints;
+  constraints.markUnusable("IV_0P5");
+  tuning::CellConstraint c;
+  c.pinWindows.emplace("Z", tuning::PinWindow{0.0, 0.2, 0.001, 0.03});
+  constraints.setCell("IV_4", std::move(c));
+  const std::string script =
+      tuning::writeSynthesisScriptToString(constraints, "TT1P1V25C");
+  EXPECT_NE(script.find("set_dont_use TT1P1V25C/IV_0P5"), std::string::npos);
+  EXPECT_NE(script.find("set_max_transition 0.2 [get_lib_pins "
+                        "TT1P1V25C/IV_4/Z]"),
+            std::string::npos);
+  EXPECT_NE(script.find("set_max_capacitance 0.03"), std::string::npos);
+  EXPECT_NE(script.find("set_min_capacitance 0.001"), std::string::npos);
+}
+
+TEST_F(IoTest, ConstraintsRejectGarbage) {
+  EXPECT_THROW((void)tuning::readConstraintsFromString("cell (x) {}\n"),
+               liberty::ParseError);
+  EXPECT_THROW((void)tuning::readConstraintsFromString(
+                   "constraints (t) {\n cell (A) {\n  bogus : 1 ;\n }\n}\n"),
+               liberty::ParseError);
+}
+
+// --------------------------------------------------------- verilog_io ----
+
+TEST_F(IoTest, VerilogRoundTripUnmapped) {
+  const netlist::Design original = netlist::generateAccumulator(8);
+  const std::string text = netlist::writeVerilogToString(original);
+  const netlist::Design back = netlist::readVerilogFromString(text);
+  EXPECT_EQ(back.name(), original.name());
+  EXPECT_EQ(back.gateCount(), original.gateCount());
+  EXPECT_EQ(back.ports().size(), original.ports().size());
+  EXPECT_EQ(back.validate(), "");
+  // Same op census.
+  std::map<netlist::PrimOp, int> a;
+  std::map<netlist::PrimOp, int> b;
+  for (const auto& inst : original.instances()) {
+    if (inst.alive) ++a[inst.op];
+  }
+  for (const auto& inst : back.instances()) {
+    if (inst.alive) ++b[inst.op];
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(IoTest, VerilogRoundTripMappedDesignPreservesCells) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(8), clock);
+  ASSERT_TRUE(result.success());
+  const std::string text = netlist::writeVerilogToString(result.design);
+  const netlist::Design back = netlist::readVerilogFromString(text, lib_);
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(back.gateCount(), result.design.gateCount());
+  EXPECT_EQ(back.cellUsage(), result.design.cellUsage());
+  EXPECT_NEAR(back.totalArea(), result.design.totalArea(), 1e-9);
+}
+
+TEST_F(IoTest, VerilogMappedRoundTripKeepsTiming) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 6.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(12), clock);
+  ASSERT_TRUE(result.success());
+  const netlist::Design back = netlist::readVerilogFromString(
+      netlist::writeVerilogToString(result.design), lib_);
+  sta::TimingAnalyzer staA(result.design, *lib_, clock);
+  sta::TimingAnalyzer staB(back, *lib_, clock);
+  ASSERT_TRUE(staA.analyze());
+  ASSERT_TRUE(staB.analyze());
+  EXPECT_NEAR(staA.worstSlack(), staB.worstSlack(), 1e-9);
+  EXPECT_EQ(staA.endpoints().size(), staB.endpoints().size());
+}
+
+TEST_F(IoTest, VerilogEscapedIdentifiers) {
+  netlist::Design d("top");
+  netlist::NetlistBuilder b(d);
+  const netlist::NetIndex in = b.inputPort("data[3]");  // needs escaping
+  b.outputPort("out[0]", b.inv(in));
+  const std::string text = netlist::writeVerilogToString(d);
+  EXPECT_NE(text.find("\\data[3] "), std::string::npos);
+  const netlist::Design back = netlist::readVerilogFromString(text);
+  ASSERT_EQ(back.ports().size(), 2u);
+  EXPECT_EQ(back.ports()[0].name, "data[3]");
+}
+
+TEST_F(IoTest, VerilogRejectsUnknownMaster) {
+  const std::string text =
+      "module t (a, z);\n input a;\n output z;\n"
+      " BOGUS_9 u0 (.A(a), .Z(z));\nendmodule\n";
+  EXPECT_THROW((void)netlist::readVerilogFromString(text),
+               netlist::VerilogError);
+}
+
+TEST_F(IoTest, VerilogRejectsMissingPin) {
+  const std::string text =
+      "module t (a, z);\n input a;\n output z;\n"
+      " NAND2 u0 (.A(a), .Z(z));\nendmodule\n";  // missing .B
+  EXPECT_THROW((void)netlist::readVerilogFromString(text),
+               netlist::VerilogError);
+}
+
+TEST_F(IoTest, VerilogRejectsTruncatedFile) {
+  EXPECT_THROW((void)netlist::readVerilogFromString("module t (a);\n input a;\n"),
+               netlist::VerilogError);
+}
+
+TEST_F(IoTest, VerilogMcuRoundTrip) {
+  netlist::McuConfig small;
+  small.registers = 8;
+  small.readPorts = 2;
+  small.timers = 1;
+  small.dmaChannels = 1;
+  small.gpioWidth = 16;
+  small.cacheTagEntries = 0;
+  small.macUnits = 1;
+  small.macWidth = 8;
+  small.bankedRegisters = 1;
+  small.interruptSources = 8;
+  small.decodeOutputs = 64;
+  const netlist::Design original = netlist::generateMcu(small);
+  const netlist::Design back =
+      netlist::readVerilogFromString(netlist::writeVerilogToString(original));
+  EXPECT_EQ(back.gateCount(), original.gateCount());
+  EXPECT_EQ(back.validate(), "");
+}
+
+}  // namespace
+}  // namespace sct

@@ -1,0 +1,359 @@
+// Unit tests for the numeric substrate: RNG, statistics, grids, bilinear
+// interpolation (paper eqs. (2)-(4)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/grid2d.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/statistics.hpp"
+
+namespace sct::numeric {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  // Variance of U(0,1) is 1/12.
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.uniformInt(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(3.0, 0.25));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng childA = parent.fork(1);
+  Rng childB = parent.fork(1);  // same tag, later fork -> different stream
+  EXPECT_NE(childA.next(), childB.next());
+}
+
+TEST(Rng, ForkSameTagSameStateReproducible) {
+  Rng p1(29);
+  Rng p2(29);
+  Rng c1 = p1.fork(99);
+  Rng c2 = p2.fork(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, HashTagStableAndDistinct) {
+  EXPECT_EQ(Rng::hashTag("IV_1"), Rng::hashTag("IV_1"));
+  EXPECT_NE(Rng::hashTag("IV_1"), Rng::hashTag("IV_2"));
+  EXPECT_NE(Rng::hashTag(""), Rng::hashTag("a"));
+}
+
+// --------------------------------------------------------- statistics ----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, ShiftInvarianceOfVariance) {
+  RunningStats a;
+  RunningStats b;
+  const std::vector<double> xs = {0.31, 0.45, 0.12, 0.99, 0.77};
+  for (double x : xs) {
+    a.add(x);
+    b.add(x + 1e6);  // numerically hostile shift
+  }
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs = {0.2, 0.4, 0.9, 1.4};
+  const NormalSummary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.725, 1e-12);
+  EXPECT_NEAR(s.sigma, std::sqrt((0.275625 + 0.105625 + 0.030625 + 0.455625) / 3.0),
+              1e-12);
+}
+
+TEST(NormalSummary, VariabilityIsCoefficientOfVariation) {
+  // Paper Fig. 1: both distributions have variability 0.02 but different
+  // sigma — the reason sigma, not CV, is the tuning metric.
+  const NormalSummary narrow{0.5, 0.01};
+  const NormalSummary wide{5.0, 0.1};
+  EXPECT_DOUBLE_EQ(narrow.variability(), 0.02);
+  EXPECT_DOUBLE_EQ(wide.variability(), 0.02);
+  EXPECT_LT(narrow.sigma, wide.sigma);
+}
+
+TEST(NormalSummary, VariabilityZeroMean) {
+  const NormalSummary s{0.0, 0.1};
+  EXPECT_DOUBLE_EQ(s.variability(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStats) {
+  const std::vector<double> xs = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 0.75);
+}
+
+// --------------------------------------------------------------- grid ----
+
+TEST(Grid2d, StoresAndRetrieves) {
+  Grid2d g(2, 3, 1.5);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.cols(), 3u);
+  EXPECT_DOUBLE_EQ(g.at(1, 2), 1.5);
+  g.at(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(g.at(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(g.minValue(), -2.0);
+  EXPECT_DOUBLE_EQ(g.maxValue(), 1.5);
+}
+
+TEST(Grid2d, MaxWithTakesEntrywiseMax) {
+  Grid2d a(2, 2, 1.0);
+  Grid2d b(2, 2, 0.0);
+  b.at(0, 1) = 5.0;
+  a.maxWith(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+}
+
+TEST(Axis, StrictlyIncreasingDetection) {
+  EXPECT_TRUE(isStrictlyIncreasing({1.0}));
+  EXPECT_TRUE(isStrictlyIncreasing({1.0, 2.0, 3.0}));
+  EXPECT_FALSE(isStrictlyIncreasing({}));
+  EXPECT_FALSE(isStrictlyIncreasing({1.0, 1.0}));
+  EXPECT_FALSE(isStrictlyIncreasing({2.0, 1.0}));
+}
+
+TEST(Axis, BracketFindsSegment) {
+  const Axis axis = {0.0, 1.0, 2.0, 4.0};
+  EXPECT_EQ(bracket(axis, -1.0), 0u);
+  EXPECT_EQ(bracket(axis, 0.0), 0u);
+  EXPECT_EQ(bracket(axis, 0.5), 0u);
+  EXPECT_EQ(bracket(axis, 1.0), 1u);
+  EXPECT_EQ(bracket(axis, 3.0), 2u);
+  EXPECT_EQ(bracket(axis, 4.0), 2u);  // clamped to last segment
+  EXPECT_EQ(bracket(axis, 9.0), 2u);
+}
+
+// -------------------------------------------------------------- interp ----
+
+class BilinearTest : public ::testing::Test {
+ protected:
+  // f(s, l) = 2 + 3 s + 5 l, exactly bilinear.
+  BilinearTest() : grid_(3, 3) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        grid_.at(r, c) = value(slew_[r], load_[c]);
+      }
+    }
+  }
+  static double value(double s, double l) { return 2.0 + 3.0 * s + 5.0 * l; }
+  Axis slew_ = {0.0, 1.0, 2.0};
+  Axis load_ = {0.0, 10.0, 20.0};
+  Grid2d grid_;
+};
+
+TEST_F(BilinearTest, ExactAtGridPoints) {
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(bilinear(slew_, load_, grid_, slew_[r], load_[c]),
+                       grid_.at(r, c));
+    }
+  }
+}
+
+TEST_F(BilinearTest, ExactForBilinearFunctionInside) {
+  EXPECT_NEAR(bilinear(slew_, load_, grid_, 0.5, 5.0), value(0.5, 5.0), 1e-12);
+  EXPECT_NEAR(bilinear(slew_, load_, grid_, 1.7, 13.0), value(1.7, 13.0),
+              1e-12);
+}
+
+TEST_F(BilinearTest, ClampsOutsideRange) {
+  EXPECT_DOUBLE_EQ(bilinear(slew_, load_, grid_, -5.0, -5.0), value(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(bilinear(slew_, load_, grid_, 99.0, 99.0),
+                   value(2.0, 20.0));
+}
+
+TEST_F(BilinearTest, ExtrapolatesLinearly) {
+  EXPECT_NEAR(bilinear(slew_, load_, grid_, 3.0, 25.0,
+                       EdgePolicy::kExtrapolate),
+              value(3.0, 25.0), 1e-9);
+  EXPECT_NEAR(bilinear(slew_, load_, grid_, -1.0, 5.0,
+                       EdgePolicy::kExtrapolate),
+              value(-1.0, 5.0), 1e-9);
+}
+
+TEST_F(BilinearTest, MatchesPaperEquationSteps) {
+  // Eqs. (2)-(4) computed by hand for S = 0.5, L = 5:
+  //   P1 = 0.5*Q11 + 0.5*Q21 (row i), P2 same on row i+1, X = mix by slew.
+  const double q11 = grid_.at(0, 0);
+  const double q21 = grid_.at(0, 1);
+  const double q12 = grid_.at(1, 0);
+  const double q22 = grid_.at(1, 1);
+  const double p1 = 0.5 * q11 + 0.5 * q21;
+  const double p2 = 0.5 * q12 + 0.5 * q22;
+  const double x = 0.5 * p1 + 0.5 * p2;
+  EXPECT_NEAR(bilinear(slew_, load_, grid_, 0.5, 5.0), x, 1e-12);
+}
+
+TEST(Bilinear, SingleRowFallsBackToLinear) {
+  const Axis slew = {1.0};
+  const Axis load = {0.0, 2.0};
+  Grid2d g(1, 2);
+  g.at(0, 0) = 10.0;
+  g.at(0, 1) = 20.0;
+  EXPECT_DOUBLE_EQ(bilinear(slew, load, g, 99.0, 1.0), 15.0);
+}
+
+TEST(Bilinear, SingleColumnFallsBackToLinear) {
+  const Axis slew = {0.0, 2.0};
+  const Axis load = {1.0};
+  Grid2d g(2, 1);
+  g.at(0, 0) = 10.0;
+  g.at(1, 0) = 30.0;
+  EXPECT_DOUBLE_EQ(bilinear(slew, load, g, 1.0, 99.0), 20.0);
+}
+
+TEST(Bilinear, SinglePointGrid) {
+  Grid2d g(1, 1);
+  g.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(bilinear({1.0}, {1.0}, g, 0.0, 99.0), 7.0);
+}
+
+TEST(Linear, InterpolatesAndClamps) {
+  const Axis axis = {0.0, 1.0, 3.0};
+  const std::vector<double> values = {0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(linear(axis, values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(linear(axis, values, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(linear(axis, values, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(linear(axis, values, 9.0), 30.0);
+  EXPECT_DOUBLE_EQ(linear(axis, values, 9.0, EdgePolicy::kExtrapolate), 90.0);
+}
+
+/// Property sweep: bilinear interpolation of random monotone grids is
+/// monotone along both axes and bounded by grid extremes.
+class BilinearPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BilinearPropertyTest, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  const Axis slew = {0.0, 0.3, 0.7, 1.0};
+  const Axis load = {0.0, 1.0, 4.0, 9.0};
+  Grid2d g(4, 4);
+  // Separable increasing offsets guarantee monotonicity in both directions.
+  std::vector<double> rowOff(4);
+  std::vector<double> colOff(4);
+  for (std::size_t i = 1; i < 4; ++i) {
+    rowOff[i] = rowOff[i - 1] + rng.uniform(0.01, 1.0);
+    colOff[i] = colOff[i - 1] + rng.uniform(0.01, 1.0);
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      g.at(r, c) = rowOff[r] + colOff[c];
+    }
+  }
+  double prev = -1e9;
+  for (double l = 0.0; l <= 9.0; l += 0.37) {
+    const double v = bilinear(slew, load, g, 0.5, l);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, g.minValue() - 1e-12);
+    EXPECT_LE(v, g.maxValue() + 1e-12);
+    prev = v;
+  }
+  prev = -1e9;
+  for (double s = 0.0; s <= 1.0; s += 0.09) {
+    const double v = bilinear(slew, load, g, s, 3.0);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BilinearPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace sct::numeric

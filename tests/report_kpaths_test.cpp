@@ -1,0 +1,190 @@
+// Tests for the k-worst-path enumeration and the timing-report writer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "sta/report.hpp"
+#include "sta/sta.hpp"
+#include "test_helpers.hpp"
+
+namespace sct::sta {
+namespace {
+
+using netlist::Design;
+using netlist::InstIndex;
+using netlist::NetIndex;
+using netlist::NetlistBuilder;
+using netlist::PrimOp;
+
+void bindAll(Design& d, const liberty::Library& lib) {
+  for (std::size_t i = 0; i < d.instanceCount(); ++i) {
+    netlist::Instance& inst = d.instance(static_cast<InstIndex>(i));
+    if (!inst.alive) continue;
+    const liberty::Cell* cell = nullptr;
+    switch (inst.op) {
+      case PrimOp::kInv: cell = lib.findCell("INV_1"); break;
+      case PrimOp::kNand2: cell = lib.findCell("ND2_1"); break;
+      case PrimOp::kBuf: cell = lib.findCell("BF_2"); break;
+      case PrimOp::kDff: cell = lib.findCell("FD1_1"); break;
+      default: FAIL() << "unexpected op";
+    }
+    d.bindCell(static_cast<InstIndex>(i), cell);
+  }
+}
+
+ClockSpec tinyClock(double period = 1.0) {
+  ClockSpec clock;
+  clock.period = period;
+  clock.uncertainty = 0.1;
+  clock.inputSlew = 0.02;
+  return clock;
+}
+
+/// Two reconvergent branches of different depth into one NAND and FF.
+Design makeReconvergent(std::size_t longDepth) {
+  Design d("reconv");
+  NetlistBuilder b(d);
+  const NetIndex in = b.inputPort("din");
+  const NetIndex q = b.dff(in, PrimOp::kDff);
+  NetIndex slow = q;
+  for (std::size_t i = 0; i < longDepth; ++i) slow = b.inv(slow);
+  const NetIndex fast = b.inv(q);
+  const NetIndex z = b.nand2(fast, slow);
+  b.outputPort("dout", b.dff(z, PrimOp::kDff));
+  return d;
+}
+
+const Endpoint& ffEndpoint(const TimingAnalyzer& sta) {
+  const Endpoint* worst = nullptr;
+  for (const Endpoint& ep : sta.endpoints()) {
+    if (ep.instance == netlist::kNoInst) continue;
+    if (worst == nullptr || ep.arrival > worst->arrival) worst = &ep;
+  }
+  EXPECT_NE(worst, nullptr);
+  return *worst;
+}
+
+TEST(KWorstPaths, FirstPathMatchesWorstPath) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = makeReconvergent(4);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  const Endpoint& ep = ffEndpoint(sta);
+  const TimingPath worst = sta.worstPathTo(ep);
+  const auto paths = sta.kWorstPathsTo(ep, 3);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].depth(), worst.depth());
+  EXPECT_NEAR(paths[0].endpoint.arrival, ep.arrival, 1e-12);
+}
+
+TEST(KWorstPaths, ArrivalsAreNonIncreasingAndDistinct) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = makeReconvergent(5);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  const auto paths = sta.kWorstPathsTo(ffEndpoint(sta), 4);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i].endpoint.arrival, paths[i - 1].endpoint.arrival + 1e-12);
+  }
+  // The two branches give different depths.
+  std::set<std::size_t> depths;
+  for (const auto& path : paths) depths.insert(path.depth());
+  EXPECT_GE(depths.size(), 2u);
+}
+
+TEST(KWorstPaths, PathDelaysSumToReportedArrival) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = makeReconvergent(3);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  for (const TimingPath& path : sta.kWorstPathsTo(ffEndpoint(sta), 4)) {
+    double sum = 0.0;
+    for (const PathStep& step : path.steps) sum += step.delay;
+    EXPECT_NEAR(sum, path.endpoint.arrival, 1e-12);
+  }
+}
+
+TEST(KWorstPaths, SinglePathDesignHasExactlyOne) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = test::makeInvChain(4);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  const auto paths = sta.kWorstPathsTo(ffEndpoint(sta), 5);
+  EXPECT_EQ(paths.size(), 1u);  // an inverter chain has one path
+}
+
+TEST(KWorstPaths, WideFaninEnumeratesMany) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d("tree");
+  NetlistBuilder b(d);
+  // Balanced NAND tree over 8 inputs: 8 distinct input-to-root paths.
+  std::vector<NetIndex> level;
+  for (int i = 0; i < 8; ++i) level.push_back(b.inputPort("i" + std::to_string(i)));
+  while (level.size() > 1) {
+    std::vector<NetIndex> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.nand2(level[i], level[i + 1]));
+    }
+    level = std::move(next);
+  }
+  b.outputPort("z", level[0]);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  const Endpoint& ep = sta.endpoints().front();
+  EXPECT_EQ(sta.kWorstPathsTo(ep, 100).size(), 8u);
+}
+
+// ------------------------------------------------------------- report ----
+
+TEST(TimingReport, ContainsAllSections) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = test::makeInvChain(3);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  const std::string report = timingReportToString(d, sta);
+  EXPECT_NE(report.find("timing report"), std::string::npos);
+  EXPECT_NE(report.find("Setup WNS"), std::string::npos);
+  EXPECT_NE(report.find("Hold  WNS"), std::string::npos);
+  EXPECT_NE(report.find("Area by category"), std::string::npos);
+  EXPECT_NE(report.find("slack histogram"), std::string::npos);
+  EXPECT_NE(report.find("Critical path 1"), std::string::npos);
+  EXPECT_NE(report.find("INV_1"), std::string::npos);
+  EXPECT_NE(report.find("Inverter"), std::string::npos);
+}
+
+TEST(TimingReport, RespectsOptions) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = test::makeInvChain(3);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock());
+  ASSERT_TRUE(sta.analyze());
+  ReportOptions options;
+  options.criticalPaths = 1;
+  const std::string report = timingReportToString(d, sta, options);
+  EXPECT_NE(report.find("Critical path 1"), std::string::npos);
+  EXPECT_EQ(report.find("Critical path 2"), std::string::npos);
+}
+
+TEST(TimingReport, ViolatedDesignSaysViolated) {
+  liberty::Library lib = test::makeTinyLibrary();
+  Design d = test::makeInvChain(6);
+  bindAll(d, lib);
+  TimingAnalyzer sta(d, lib, tinyClock(0.2));
+  ASSERT_TRUE(sta.analyze());
+  ASSERT_FALSE(sta.met());
+  const std::string report = timingReportToString(d, sta);
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sct::sta

@@ -1,0 +1,250 @@
+// Tests for the statistical STA extension: Clark's max approximation
+// against Monte Carlo, chain equivalence with the paper's convolution, and
+// reconvergence behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/mcu.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/statistics.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "variation/path_stats.hpp"
+#include "variation/ssta.hpp"
+
+namespace sct::variation {
+namespace {
+
+// ----------------------------------------------------------- Clark max ----
+
+TEST(ClarkMax, MatchesMonteCarloForSeparatedGaussians) {
+  const numeric::NormalSummary x{1.0, 0.1};
+  const numeric::NormalSummary y{2.0, 0.2};
+  const numeric::NormalSummary approx = numeric::clarkMax(x, y);
+  numeric::Rng rng(3);
+  numeric::RunningStats mc;
+  for (int i = 0; i < 200000; ++i) {
+    mc.add(std::max(rng.normal(x.mean, x.sigma), rng.normal(y.mean, y.sigma)));
+  }
+  EXPECT_NEAR(approx.mean, mc.mean(), 0.005);
+  EXPECT_NEAR(approx.sigma, mc.stddev(), 0.005);
+}
+
+TEST(ClarkMax, MatchesMonteCarloForOverlappingGaussians) {
+  const numeric::NormalSummary x{1.0, 0.2};
+  const numeric::NormalSummary y{1.05, 0.15};
+  const numeric::NormalSummary approx = numeric::clarkMax(x, y);
+  numeric::Rng rng(5);
+  numeric::RunningStats mc;
+  for (int i = 0; i < 200000; ++i) {
+    mc.add(std::max(rng.normal(x.mean, x.sigma), rng.normal(y.mean, y.sigma)));
+  }
+  EXPECT_NEAR(approx.mean, mc.mean(), 0.005);
+  EXPECT_NEAR(approx.sigma, mc.stddev(), 0.01);
+}
+
+TEST(ClarkMax, DominantInputPassesThrough) {
+  // When one input is far above the other, max ~= the dominant one.
+  const numeric::NormalSummary lo{0.0, 0.05};
+  const numeric::NormalSummary hi{10.0, 0.2};
+  const numeric::NormalSummary approx = numeric::clarkMax(lo, hi);
+  EXPECT_NEAR(approx.mean, 10.0, 1e-6);
+  EXPECT_NEAR(approx.sigma, 0.2, 1e-6);
+}
+
+TEST(ClarkMax, DeterministicInputs) {
+  const numeric::NormalSummary approx =
+      numeric::clarkMax({1.0, 0.0}, {2.0, 0.0});
+  EXPECT_DOUBLE_EQ(approx.mean, 2.0);
+  EXPECT_DOUBLE_EQ(approx.sigma, 0.0);
+}
+
+TEST(ClarkMax, MaxOfEqualInputsInflatesMean) {
+  // max of two iid N(mu, sigma): mean = mu + sigma/sqrt(pi).
+  const numeric::NormalSummary x{1.0, 0.3};
+  const numeric::NormalSummary approx = numeric::clarkMax(x, x);
+  EXPECT_NEAR(approx.mean, 1.0 + 0.3 / std::sqrt(M_PI), 1e-9);
+  EXPECT_LT(approx.sigma, 0.3);  // variance shrinks under max of iid
+}
+
+TEST(NormalHelpers, CdfAndPdfBasics) {
+  EXPECT_NEAR(numeric::normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(numeric::normalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(numeric::normalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(numeric::normalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(numeric::normalPdf(1.0), numeric::normalPdf(-1.0), 1e-15);
+}
+
+// ----------------------------------------------------------------- SSTA ----
+
+class SstaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chr_ = new charlib::Characterizer(test::makeSmallCharacterizer());
+    lib_ = new liberty::Library(
+        chr_->characterizeNominal(charlib::ProcessCorner::typical()));
+    const auto mcLibs =
+        chr_->characterizeMonteCarlo(charlib::ProcessCorner::typical(), 30, 5);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(mcLibs));
+  }
+  static void TearDownTestSuite() {
+    delete stat_;
+    delete lib_;
+    delete chr_;
+    stat_ = nullptr;
+    lib_ = nullptr;
+    chr_ = nullptr;
+  }
+  static charlib::Characterizer* chr_;
+  static liberty::Library* lib_;
+  static statlib::StatLibrary* stat_;
+};
+
+charlib::Characterizer* SstaTest::chr_ = nullptr;
+liberty::Library* SstaTest::lib_ = nullptr;
+statlib::StatLibrary* SstaTest::stat_ = nullptr;
+
+TEST_F(SstaTest, SingleChainMatchesPathConvolution) {
+  // For a single-path design the SSTA endpoint distribution must equal the
+  // paper's per-path convolution exactly (no max involved).
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult result =
+      synth.run(test::makeInvChain(10), clock);
+  ASSERT_TRUE(result.success());
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  ASSERT_TRUE(sta.analyze());
+
+  const SstaResult ssta = runSsta(result.design, sta, *stat_);
+  const PathStatistics stats(*stat_);
+  const auto paths = sta.endpointWorstPaths();
+
+  for (const SstaEndpoint& ep : ssta.endpoints) {
+    // Find the matching traced path.
+    for (const sta::TimingPath& path : paths) {
+      if (path.endpoint.net != ep.net || path.steps.empty()) continue;
+      // Inverter chains have single-input gates everywhere: no max.
+      const PathStats predicted = stats.pathStats(path);
+      EXPECT_NEAR(ep.arrival.mean, predicted.mean, 1e-9) << ep.name;
+      EXPECT_NEAR(ep.arrival.sigma, predicted.sigma, 1e-9) << ep.name;
+    }
+  }
+}
+
+TEST_F(SstaTest, SstaMeanAtLeastWorstPathMean) {
+  // The statistical max over all paths dominates the worst single path.
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 9.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  ASSERT_TRUE(result.success());
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  ASSERT_TRUE(sta.analyze());
+
+  const SstaResult ssta = runSsta(result.design, sta, *stat_);
+  for (const SstaEndpoint& ep : ssta.endpoints) {
+    // Deterministic STA arrival is built from mean-tracking tables, so the
+    // SSTA mean must not be below it by more than estimator noise.
+    EXPECT_GE(ep.arrival.mean, sta.netArrival(ep.net) * 0.8) << ep.name;
+  }
+}
+
+TEST_F(SstaTest, FailureProbabilitiesAreSane) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec relaxed;
+  relaxed.period = 12.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(12), relaxed);
+  ASSERT_TRUE(result.success());
+  sta::TimingAnalyzer sta(result.design, *lib_, relaxed);
+  ASSERT_TRUE(sta.analyze());
+  const SstaResult ssta = runSsta(result.design, sta, *stat_);
+  // Relaxed clock: essentially no endpoint should fail.
+  EXPECT_LT(ssta.expectedFailures, 1e-6);
+  for (const SstaEndpoint& ep : ssta.endpoints) {
+    EXPECT_GE(ep.failureProbability(), 0.0);
+    EXPECT_LE(ep.failureProbability(), 1.0);
+    EXPECT_GT(ep.slack3Sigma(), 0.0);
+  }
+  // Tight clock: shrink the period until the worst endpoint sits right at
+  // its requirement, so variation pushes it over.
+  double maxArrival = 0.0;
+  for (const sta::Endpoint& ep : sta.endpoints()) {
+    maxArrival = std::max(maxArrival, ep.arrival);
+  }
+  sta::ClockSpec tight = relaxed;
+  tight.period = maxArrival * 0.98 + relaxed.uncertainty;
+  sta::TimingAnalyzer tightSta(result.design, *lib_, tight);
+  ASSERT_TRUE(tightSta.analyze());
+  const SstaResult tightSsta = runSsta(result.design, tightSta, *stat_);
+  EXPECT_GT(tightSsta.expectedFailures, 0.5);
+}
+
+TEST_F(SstaTest, DesignArrivalDominatesEveryEndpoint) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 9.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  ASSERT_TRUE(sta.analyze());
+  const SstaResult ssta = runSsta(result.design, sta, *stat_);
+  for (const SstaEndpoint& ep : ssta.endpoints) {
+    const double normalizedMean =
+        ep.arrival.mean + clock.effectivePeriod() - ep.required;
+    EXPECT_GE(ssta.designArrival.mean, normalizedMean - 1e-9) << ep.name;
+  }
+}
+
+TEST_F(SstaTest, YieldMonotoneInPeriod) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 9.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  ASSERT_TRUE(result.success());
+  // Find the knee: evaluate yield at shrinking periods.
+  sta::TimingAnalyzer probe(result.design, *lib_, clock);
+  ASSERT_TRUE(probe.analyze());
+  double maxArrival = 0.0;
+  for (const sta::Endpoint& ep : probe.endpoints()) {
+    maxArrival = std::max(maxArrival, ep.arrival);
+  }
+  double previousYield = -1.0;
+  for (double factor : {0.90, 0.95, 1.0, 1.05, 1.2}) {
+    sta::ClockSpec swept = clock;
+    swept.period = maxArrival * factor + clock.uncertainty;
+    sta::TimingAnalyzer sta(result.design, *lib_, swept);
+    ASSERT_TRUE(sta.analyze());
+    const SstaResult ssta = runSsta(result.design, sta, *stat_);
+    EXPECT_GE(ssta.timingYield, previousYield);
+    EXPECT_GE(ssta.timingYield, 0.0);
+    EXPECT_LE(ssta.timingYield, 1.0);
+    previousYield = ssta.timingYield;
+  }
+  // Far below the critical delay the yield collapses, far above it is 1.
+  EXPECT_LT(previousYield, 1.0 + 1e-12);
+}
+
+TEST_F(SstaTest, Deterministic) {
+  const synth::Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 9.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(10), clock);
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  ASSERT_TRUE(sta.analyze());
+  const SstaResult a = runSsta(result.design, sta, *stat_);
+  const SstaResult b = runSsta(result.design, sta, *stat_);
+  EXPECT_EQ(a.designArrival.mean, b.designArrival.mean);
+  EXPECT_EQ(a.designArrival.sigma, b.designArrival.sigma);
+}
+
+}  // namespace
+}  // namespace sct::variation

@@ -1,0 +1,238 @@
+// Unit tests for the statistical library (paper section IV, Fig. 2):
+// entry-wise merge of N Monte-Carlo library instances into mean/sigma LUTs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charlib/characterizer.hpp"
+#include "statlib/stat_library.hpp"
+#include "test_helpers.hpp"
+
+namespace sct::statlib {
+namespace {
+
+/// Builds `n` copies of the tiny library whose LUT entries are shifted by a
+/// known per-instance offset, giving closed-form mean/sigma.
+std::vector<liberty::Library> shiftedLibraries(std::size_t n) {
+  std::vector<liberty::Library> libs;
+  for (std::size_t k = 0; k < n; ++k) {
+    liberty::Library lib = test::makeTinyLibrary();
+    const double offset = 0.01 * static_cast<double>(k);
+    for (liberty::Cell* cell : lib.cells()) {
+      for (liberty::TimingArc& arc : cell->arcs()) {
+        for (liberty::Lut* lut :
+             {&arc.riseDelay, &arc.fallDelay}) {
+          for (double& v : lut->values().flat()) v += offset;
+        }
+      }
+    }
+    libs.push_back(std::move(lib));
+  }
+  return libs;
+}
+
+TEST(StatLibrary, MeanAndSigmaMatchClosedForm) {
+  // Offsets 0.00, 0.01, 0.02: mean shift = 0.01, sample sigma = 0.01.
+  const auto libs = shiftedLibraries(3);
+  const StatLibrary stat = buildStatLibrary(libs);
+  EXPECT_EQ(stat.size(), libs[0].size());
+  EXPECT_EQ(stat.sampleCount(), 3u);
+
+  const StatCell* inv = stat.findCell("INV_1");
+  ASSERT_NE(inv, nullptr);
+  const StatArc* arc = inv->findArc("A", "Z");
+  ASSERT_NE(arc, nullptr);
+  const liberty::Lut& nominal =
+      libs[0].findCell("INV_1")->arcs()[0].riseDelay;
+  for (std::size_t r = 0; r < nominal.rows(); ++r) {
+    for (std::size_t c = 0; c < nominal.cols(); ++c) {
+      EXPECT_NEAR(arc->rise.mean().at(r, c), nominal.at(r, c) + 0.01, 1e-12);
+      EXPECT_NEAR(arc->rise.sigma().at(r, c), 0.01, 1e-12);
+    }
+  }
+}
+
+TEST(StatLibrary, SingleInstanceHasZeroSigma) {
+  const auto libs = shiftedLibraries(1);
+  const StatLibrary stat = buildStatLibrary(libs);
+  const StatCell* inv = stat.findCell("INV_4");
+  ASSERT_NE(inv, nullptr);
+  EXPECT_DOUBLE_EQ(inv->arcs()[0].rise.sigma().maxValue(), 0.0);
+}
+
+TEST(StatLibrary, EmptyInputThrows) {
+  EXPECT_THROW((void)buildStatLibrary({}), std::invalid_argument);
+}
+
+TEST(StatLibrary, MissingCellThrows) {
+  std::vector<liberty::Library> libs = shiftedLibraries(2);
+  liberty::Library extra("other");
+  extra.addCell(test::makeSimpleCell("ONLY_1", liberty::CellFunction::kInv,
+                                     1.0, 1.0, 0.001, 0.01, 0.1, 2.0));
+  libs.push_back(std::move(extra));
+  EXPECT_THROW((void)buildStatLibrary(libs), std::invalid_argument);
+}
+
+TEST(StatLibrary, ShapeMismatchThrows) {
+  std::vector<liberty::Library> libs = shiftedLibraries(2);
+  // Rebuild the second library with a different LUT shape for INV_1.
+  liberty::Library odd("odd");
+  for (const liberty::Cell* cell : libs[1].cells()) {
+    if (cell->name() != "INV_1") {
+      liberty::Cell copy = *cell;
+      odd.addCell(std::move(copy));
+      continue;
+    }
+    liberty::Cell weird("INV_1", liberty::CellFunction::kInv, 1.0, 1.0);
+    liberty::TimingArc arc;
+    arc.relatedPin = "A";
+    arc.outputPin = "Z";
+    arc.riseDelay = test::linearLut({0.01, 0.4}, {0.001, 0.05}, 0.01, 0.1, 4.0);
+    arc.fallDelay = arc.riseDelay;
+    arc.riseTransition = arc.riseDelay;
+    arc.fallTransition = arc.riseDelay;
+    weird.addArc(std::move(arc));
+    odd.addCell(std::move(weird));
+  }
+  libs[1] = std::move(odd);
+  EXPECT_THROW((void)buildStatLibrary(libs), std::invalid_argument);
+}
+
+TEST(StatLut, LookupInterpolatesBothSurfaces) {
+  StatLut lut({0.0, 1.0}, {0.0, 2.0});
+  lut.mean().at(0, 0) = 1.0;
+  lut.mean().at(0, 1) = 3.0;
+  lut.mean().at(1, 0) = 2.0;
+  lut.mean().at(1, 1) = 4.0;
+  lut.sigma().at(0, 0) = 0.1;
+  lut.sigma().at(0, 1) = 0.3;
+  lut.sigma().at(1, 0) = 0.2;
+  lut.sigma().at(1, 1) = 0.4;
+  const numeric::NormalSummary mid = lut.lookup(0.5, 1.0);
+  EXPECT_NEAR(mid.mean, 2.5, 1e-12);
+  EXPECT_NEAR(mid.sigma, 0.25, 1e-12);
+}
+
+TEST(StatArc, WorstDelayStatsUsesSlowerEdge) {
+  StatArc arc;
+  arc.rise = StatLut({0.0, 1.0}, {0.0, 1.0});
+  arc.fall = StatLut({0.0, 1.0}, {0.0, 1.0});
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      arc.rise.mean().at(r, c) = 1.0;
+      arc.rise.sigma().at(r, c) = 0.5;
+      arc.fall.mean().at(r, c) = 2.0;  // fall is slower
+      arc.fall.sigma().at(r, c) = 0.1;
+    }
+  }
+  const numeric::NormalSummary worst = arc.worstDelayStats(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(worst.mean, 2.0);
+  EXPECT_DOUBLE_EQ(worst.sigma, 0.1);  // sigma of the chosen edge
+}
+
+TEST(StatCell, MaxSigmaLutTakesWorstOverArcsAndEdges) {
+  const auto libs = shiftedLibraries(3);
+  const StatLibrary stat = buildStatLibrary(libs);
+  const StatCell* nand = stat.findCell("ND2_1");
+  ASSERT_NE(nand, nullptr);
+  ASSERT_EQ(nand->arcs().size(), 2u);
+  const StatLut max = nand->maxSigmaLut();
+  for (std::size_t r = 0; r < max.rows(); ++r) {
+    for (std::size_t c = 0; c < max.cols(); ++c) {
+      double expected = 0.0;
+      for (const StatArc& arc : nand->arcs()) {
+        expected = std::max(expected, arc.rise.sigma().at(r, c));
+        expected = std::max(expected, arc.fall.sigma().at(r, c));
+      }
+      EXPECT_DOUBLE_EQ(max.sigma().at(r, c), expected);
+    }
+  }
+}
+
+TEST(StatCell, OutputPinsDeduplicated) {
+  const auto libs = shiftedLibraries(2);
+  const StatLibrary stat = buildStatLibrary(libs);
+  const StatCell* nand = stat.findCell("ND2_1");
+  ASSERT_NE(nand, nullptr);
+  EXPECT_EQ(nand->outputPins(), std::vector<std::string>{"Z"});
+}
+
+TEST(StatLibrary, StrengthClusters) {
+  const auto libs = shiftedLibraries(2);
+  const StatLibrary stat = buildStatLibrary(libs);
+  const auto clusters = stat.strengthClusters();
+  EXPECT_EQ(clusters.at(1.0).size(), 3u);
+  EXPECT_EQ(clusters.at(4.0).size(), 1u);
+  EXPECT_EQ(clusters.at(2.0).size(), 1u);
+}
+
+// ------------------------- integration with the characterizer ------------
+
+class StatFromCharacterizerTest : public ::testing::Test {
+ protected:
+  StatFromCharacterizerTest()
+      : chr_(test::makeSmallCharacterizer()),
+        libs_(chr_.characterizeMonteCarlo(charlib::ProcessCorner::typical(),
+                                          40, 99)),
+        stat_(buildStatLibrary(libs_)) {}
+
+  charlib::Characterizer chr_;
+  std::vector<liberty::Library> libs_;
+  StatLibrary stat_;
+};
+
+TEST_F(StatFromCharacterizerTest, SigmaFollowsPelgromAcrossStrengths) {
+  // Paper Fig. 4: higher drive strength => lower sigma everywhere.
+  const StatLut weak = stat_.findCell("IV_1")->maxSigmaLut();
+  const StatLut strong = stat_.findCell("IV_32")->maxSigmaLut();
+  // Compare at the same table indices (same relative load).
+  for (std::size_t r = 0; r < weak.rows(); ++r) {
+    for (std::size_t c = 0; c < weak.cols(); ++c) {
+      EXPECT_GT(weak.sigma().at(r, c), strong.sigma().at(r, c));
+    }
+  }
+}
+
+TEST_F(StatFromCharacterizerTest, SigmaGrowsWithLoad) {
+  const StatLut lut = stat_.findCell("IV_1")->maxSigmaLut();
+  for (std::size_t r = 0; r < lut.rows(); ++r) {
+    EXPECT_GT(lut.sigma().at(r, lut.cols() - 1), lut.sigma().at(r, 0));
+  }
+}
+
+TEST_F(StatFromCharacterizerTest, SigmaGrowsWithSlewAtHighLoad) {
+  const StatLut lut = stat_.findCell("IV_1")->maxSigmaLut();
+  const std::size_t lastCol = lut.cols() - 1;
+  EXPECT_GT(lut.sigma().at(lut.rows() - 1, lastCol), lut.sigma().at(0, lastCol));
+}
+
+TEST_F(StatFromCharacterizerTest, MeanTracksNominal) {
+  const liberty::Library nominal =
+      chr_.characterizeNominal(charlib::ProcessCorner::typical());
+  const liberty::Lut& nom = nominal.findCell("ND2_2")->arcs()[0].riseDelay;
+  const StatArc* arc = stat_.findCell("ND2_2")->findArc("A", "Z");
+  ASSERT_NE(arc, nullptr);
+  for (std::size_t r = 0; r < nom.rows(); ++r) {
+    for (std::size_t c = 0; c < nom.cols(); ++c) {
+      // 40 samples: the mean should track the nominal within a few sigma of
+      // the mean estimator.
+      const double tolerance =
+          5.0 * arc->rise.sigma().at(r, c) / std::sqrt(40.0) + 1e-9;
+      EXPECT_NEAR(arc->rise.mean().at(r, c), nom.at(r, c), tolerance);
+    }
+  }
+}
+
+TEST_F(StatFromCharacterizerTest, SigmaRatioMatchesPelgromPrediction) {
+  // localSigma(IV_1) / localSigma(IV_4) = 2; the delay sigma at the same
+  // table index is dominated by the drive term, so the ratio carries over
+  // approximately.
+  const StatLut s1 = stat_.findCell("IV_1")->maxSigmaLut();
+  const StatLut s4 = stat_.findCell("IV_4")->maxSigmaLut();
+  const double ratio = s1.sigma().at(2, 3) / s4.sigma().at(2, 3);
+  EXPECT_NEAR(ratio, 2.0, 0.5);
+}
+
+}  // namespace
+}  // namespace sct::statlib

@@ -1,0 +1,430 @@
+// Unit and integration tests for the synthesis substrate: decomposition
+// rewrites, technology mapping, gate sizing, buffering, window legalization
+// and the min-period search protocol.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/mcu.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/decompose.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct::synth {
+namespace {
+
+using netlist::Design;
+using netlist::InstIndex;
+using netlist::NetIndex;
+using netlist::NetlistBuilder;
+using netlist::PrimOp;
+
+/// Usable-op predicate allowing only the listed ops.
+OpUsable only(std::set<PrimOp> ops) {
+  return [ops = std::move(ops)](PrimOp op) { return ops.contains(op); };
+}
+
+std::map<PrimOp, std::size_t> opCensus(const Design& d) {
+  std::map<PrimOp, std::size_t> census;
+  for (const auto& inst : d.instances()) {
+    if (inst.alive) ++census[inst.op];
+  }
+  return census;
+}
+
+// ----------------------------------------------------------- decompose ----
+
+TEST(Decompose, And2IntoNandInv) {
+  Design d("t");
+  NetlistBuilder b(d);
+  const NetIndex z = b.and2(b.inputPort("a"), b.inputPort("b"));
+  b.outputPort("z", z);
+  ASSERT_TRUE(decomposeInstance(d, 0, only({PrimOp::kNand2, PrimOp::kInv})));
+  EXPECT_EQ(d.validate(), "");
+  const auto census = opCensus(d);
+  EXPECT_EQ(census.at(PrimOp::kNand2), 1u);
+  EXPECT_EQ(census.at(PrimOp::kInv), 1u);
+  EXPECT_FALSE(census.contains(PrimOp::kAnd2));
+  // The original output net must now be driven by the new logic.
+  EXPECT_NE(d.net(z).driver, netlist::kNoInst);
+}
+
+TEST(Decompose, XorIntoNandNetwork) {
+  Design d("t");
+  NetlistBuilder b(d);
+  const NetIndex z = b.xor2(b.inputPort("a"), b.inputPort("b"));
+  b.outputPort("z", z);
+  ASSERT_TRUE(decomposeInstance(d, 0, only({PrimOp::kNand2})));
+  EXPECT_EQ(d.validate(), "");
+  EXPECT_EQ(opCensus(d).at(PrimOp::kNand2), 4u);
+}
+
+TEST(Decompose, Mux2IntoNands) {
+  Design d("t");
+  NetlistBuilder b(d);
+  const NetIndex z =
+      b.mux2(b.inputPort("d0"), b.inputPort("d1"), b.inputPort("s"));
+  b.outputPort("z", z);
+  ASSERT_TRUE(
+      decomposeInstance(d, 0, only({PrimOp::kNand2, PrimOp::kInv})));
+  EXPECT_EQ(d.validate(), "");
+  const auto census = opCensus(d);
+  EXPECT_EQ(census.at(PrimOp::kNand2), 3u);
+  EXPECT_EQ(census.at(PrimOp::kInv), 1u);
+}
+
+TEST(Decompose, FullAdderBothOutputsDriven) {
+  Design d("t");
+  NetlistBuilder b(d);
+  auto [s, co] =
+      b.fullAdder(b.inputPort("a"), b.inputPort("b"), b.inputPort("ci"));
+  b.outputPort("s", s);
+  b.outputPort("co", co);
+  ASSERT_TRUE(decomposeInstance(
+      d, 0, only({PrimOp::kXor2, PrimOp::kAnd2, PrimOp::kOr2})));
+  EXPECT_EQ(d.validate(), "");
+  EXPECT_NE(d.net(s).driver, netlist::kNoInst);
+  EXPECT_NE(d.net(co).driver, netlist::kNoInst);
+  const auto census = opCensus(d);
+  EXPECT_EQ(census.at(PrimOp::kXor2), 2u);
+  EXPECT_EQ(census.at(PrimOp::kAnd2), 2u);
+  EXPECT_EQ(census.at(PrimOp::kOr2), 1u);
+}
+
+TEST(Decompose, DffEIntoMuxAndDff) {
+  Design d("t");
+  NetlistBuilder b(d);
+  const NetIndex q =
+      b.dff(b.inputPort("d"), PrimOp::kDffE, b.inputPort("e"));
+  b.outputPort("q", q);
+  ASSERT_TRUE(decomposeInstance(
+      d, 0, only({PrimOp::kMux2, PrimOp::kDffR})));
+  EXPECT_EQ(d.validate(), "");
+  const auto census = opCensus(d);
+  EXPECT_EQ(census.at(PrimOp::kMux2), 1u);
+  EXPECT_EQ(census.at(PrimOp::kDffR), 1u);
+  // Recirculation: the mux must read the flop output.
+  bool muxReadsQ = false;
+  for (const auto& inst : d.instances()) {
+    if (!inst.alive || inst.op != PrimOp::kMux2) continue;
+    for (NetIndex in : inst.inputs) muxReadsQ |= (in == q);
+  }
+  EXPECT_TRUE(muxReadsQ);
+}
+
+TEST(Decompose, FailsWithoutBaseOpsAndRestores) {
+  Design d("t");
+  NetlistBuilder b(d);
+  const NetIndex z = b.and2(b.inputPort("a"), b.inputPort("b"));
+  b.outputPort("z", z);
+  EXPECT_FALSE(decomposeInstance(d, 0, only({PrimOp::kXor2})));
+  // Design restored: the AND2 instance is alive again and valid.
+  EXPECT_EQ(d.validate(), "");
+  EXPECT_EQ(opCensus(d).at(PrimOp::kAnd2), 1u);
+}
+
+TEST(Decompose, SequentialBaseOpsNotDecomposable) {
+  EXPECT_FALSE(isDecomposable(PrimOp::kDff));
+  EXPECT_FALSE(isDecomposable(PrimOp::kDffR));
+  EXPECT_FALSE(isDecomposable(PrimOp::kConst0));
+  EXPECT_TRUE(isDecomposable(PrimOp::kDffE));
+  EXPECT_TRUE(isDecomposable(PrimOp::kFullAdder));
+}
+
+TEST(Decompose, DecomposeUnusableRewritesWholeDesign) {
+  Design d = netlist::generateAccumulator(8);
+  const auto before = opCensus(d);
+  ASSERT_TRUE(before.contains(PrimOp::kFullAdder));
+  ASSERT_TRUE(before.contains(PrimOp::kMux2));
+  // Only a base set is "usable": everything else must be rewritten.
+  const long rewritten = decomposeUnusable(
+      d, only({PrimOp::kInv, PrimOp::kNand2, PrimOp::kNor2, PrimOp::kDffR,
+               PrimOp::kConst0, PrimOp::kConst1}));
+  EXPECT_GT(rewritten, 0);
+  EXPECT_EQ(d.validate(), "");
+  for (const auto& [op, count] : opCensus(d)) {
+    EXPECT_TRUE(op == PrimOp::kInv || op == PrimOp::kNand2 ||
+                op == PrimOp::kNor2 || op == PrimOp::kDffR ||
+                op == PrimOp::kConst0 || op == PrimOp::kConst1)
+        << netlist::toString(op);
+  }
+}
+
+// ----------------------------------------------------------- synthesis ----
+
+class SynthesisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chr_ = new charlib::Characterizer(test::makeSmallCharacterizer());
+    lib_ = new liberty::Library(
+        chr_->characterizeNominal(charlib::ProcessCorner::typical()));
+    const auto mcLibs =
+        chr_->characterizeMonteCarlo(charlib::ProcessCorner::typical(), 25, 7);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(mcLibs));
+  }
+  static void TearDownTestSuite() {
+    delete stat_;
+    delete lib_;
+    delete chr_;
+    stat_ = nullptr;
+    lib_ = nullptr;
+    chr_ = nullptr;
+  }
+  static charlib::Characterizer* chr_;
+  static liberty::Library* lib_;
+  static statlib::StatLibrary* stat_;
+};
+
+charlib::Characterizer* SynthesisTest::chr_ = nullptr;
+liberty::Library* SynthesisTest::lib_ = nullptr;
+statlib::StatLibrary* SynthesisTest::stat_ = nullptr;
+
+TEST_F(SynthesisTest, FamiliesSortedAndComplete) {
+  const Synthesizer synth(*lib_);
+  const auto& invs = synth.family(PrimOp::kInv);
+  ASSERT_EQ(invs.size(), 19u);
+  for (std::size_t i = 1; i < invs.size(); ++i) {
+    EXPECT_LT(invs[i - 1]->driveStrength(), invs[i]->driveStrength());
+  }
+  EXPECT_EQ(synth.family(PrimOp::kFullAdder).size(), 20u);
+  EXPECT_EQ(synth.family(PrimOp::kConst0).size(), 1u);
+}
+
+TEST_F(SynthesisTest, MapsEveryInstance) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 5.0;
+  const SynthesisResult result =
+      synth.run(netlist::generateAccumulator(8), clock);
+  for (const auto& inst : result.design.instances()) {
+    if (inst.alive) EXPECT_NE(inst.cell, nullptr);
+  }
+  EXPECT_EQ(result.design.validate(), "");
+}
+
+TEST_F(SynthesisTest, MeetsRelaxedTiming) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  EXPECT_TRUE(result.timingMet);
+  EXPECT_TRUE(result.legal);
+  EXPECT_GT(result.worstSlack, 0.0);
+  EXPECT_GT(result.area, 0.0);
+}
+
+TEST_F(SynthesisTest, FailsImpossibleTiming) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 0.35;  // uncertainty 0.3 leaves 0.05 ns for logic
+  const SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  EXPECT_FALSE(result.timingMet);
+  EXPECT_FALSE(result.success());
+}
+
+TEST_F(SynthesisTest, DeterministicAcrossRuns) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 2.0;
+  const Design subject = netlist::generateAccumulator(16);
+  const SynthesisResult a = synth.run(subject, clock);
+  const SynthesisResult b = synth.run(subject, clock);
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.worstSlack, b.worstSlack);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.buffersInserted, b.buffersInserted);
+  EXPECT_EQ(a.cellUsage(), b.cellUsage());
+}
+
+TEST_F(SynthesisTest, FanoutIsBounded) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 6.0;
+  SynthesisOptions options;
+  options.maxFanout = 8;
+  netlist::McuConfig small;
+  small.registers = 8;
+  small.timers = 1;
+  small.dmaChannels = 0;
+  small.gpioWidth = 16;
+  small.cacheTagEntries = 0;
+  small.macUnits = 0;
+  small.bankedRegisters = 1;
+  small.interruptSources = 8;
+  const SynthesisResult result =
+      synth.run(netlist::generateMcu(small), clock, options);
+  EXPECT_TRUE(result.timingMet);
+  for (const auto& net : result.design.nets()) {
+    EXPECT_LE(net.sinks.size(), 8u) << net.name;
+  }
+  EXPECT_GT(result.buffersInserted, 0u);
+}
+
+TEST_F(SynthesisTest, TighterTimingCostsArea) {
+  const Synthesizer synth(*lib_);
+  const Design subject = netlist::generateAccumulator(24);
+  sta::ClockSpec relaxed;
+  relaxed.period = 9.0;
+  sta::ClockSpec tight;
+  tight.period = 2.2;
+  const SynthesisResult relaxedResult = synth.run(subject, relaxed);
+  const SynthesisResult tightResult = synth.run(subject, tight);
+  ASSERT_TRUE(relaxedResult.timingMet);
+  if (tightResult.timingMet) {
+    EXPECT_GE(tightResult.area, relaxedResult.area);
+  }
+}
+
+TEST_F(SynthesisTest, MinPeriodBisectionBrackets) {
+  const Synthesizer synth(*lib_);
+  const Design subject = netlist::generateAccumulator(12);
+  sta::ClockSpec clock;
+  const auto minPeriod = synth.findMinPeriod(subject, clock, 0.3, 12.0, 0.05);
+  ASSERT_TRUE(minPeriod.has_value());
+  // Feasible at the returned period...
+  clock.period = *minPeriod;
+  EXPECT_TRUE(synth.run(subject, clock).success());
+  // ...and infeasible noticeably below it.
+  clock.period = *minPeriod - 0.3;
+  EXPECT_FALSE(synth.run(subject, clock).success());
+}
+
+TEST_F(SynthesisTest, MinPeriodNulloptWhenHiInfeasible) {
+  const Synthesizer synth(*lib_);
+  const Design subject = netlist::generateAccumulator(16);
+  sta::ClockSpec clock;
+  EXPECT_FALSE(
+      synth.findMinPeriod(subject, clock, 0.1, 0.35, 0.05).has_value());
+}
+
+TEST_F(SynthesisTest, RespectsTunedWindows) {
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      *stat_,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  const Synthesizer synth(*lib_, &constraints);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  ASSERT_TRUE(result.success());
+
+  // Verify every mapped instance operates inside its window.
+  sta::TimingAnalyzer sta(result.design, *lib_, clock);
+  ASSERT_TRUE(sta.analyze());
+  for (std::size_t i = 0; i < result.design.instanceCount(); ++i) {
+    const auto& inst = result.design.instance(static_cast<InstIndex>(i));
+    if (!inst.alive || inst.cell == nullptr) continue;
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const auto window = constraints.window(
+          inst.cell->name(), sta::outputPinName(inst, slot));
+      if (!window) continue;
+      const double load = sta.netLoad(inst.outputs[slot]);
+      EXPECT_LE(load, window->maxLoad * (1 + 1e-9))
+          << inst.name << " (" << inst.cell->name() << ")";
+      if (!netlist::isSequential(inst.op)) {
+        for (NetIndex in : inst.inputs) {
+          EXPECT_LE(sta.netSlew(in), window->maxSlew * (1 + 1e-9))
+              << inst.name;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SynthesisTest, UnusableFamiliesForceDecomposition) {
+  // Build constraints that kill the whole MUX2 family.
+  tuning::LibraryConstraints constraints;
+  for (const liberty::Cell* cell : lib_->cells()) {
+    if (cell->function() == liberty::CellFunction::kMux2) {
+      constraints.markUnusable(cell->name());
+    }
+  }
+  const Synthesizer synth(*lib_, &constraints);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const SynthesisResult result =
+      synth.run(netlist::generateAccumulator(8), clock);
+  ASSERT_TRUE(result.success());
+  EXPECT_GT(result.decomposed, 0u);
+  for (const auto& inst : result.design.instances()) {
+    if (inst.alive) {
+      EXPECT_NE(inst.op, PrimOp::kMux2);
+    }
+  }
+}
+
+TEST_F(SynthesisTest, RelaxedUsesSmallerCellsThanTight) {
+  const Synthesizer synth(*lib_);
+  const Design subject = netlist::generateAccumulator(24);
+  sta::ClockSpec relaxed;
+  relaxed.period = 9.0;
+  sta::ClockSpec tight;
+  tight.period = 2.2;
+  auto meanStrength = [](const SynthesisResult& r) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& inst : r.design.instances()) {
+      if (inst.alive && inst.cell != nullptr) {
+        sum += inst.cell->driveStrength();
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const SynthesisResult r = synth.run(subject, relaxed);
+  const SynthesisResult t = synth.run(subject, tight);
+  if (t.timingMet) {
+    EXPECT_LE(meanStrength(r), meanStrength(t) + 1e-9);
+  }
+}
+
+TEST_F(SynthesisTest, RebindDesignSwapsCorners) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  SynthesisResult result = synth.run(netlist::generateAccumulator(8), clock);
+  ASSERT_TRUE(result.success());
+
+  const liberty::Library slow =
+      chr_->characterizeNominal(charlib::ProcessCorner::slow());
+  netlist::Design design = result.design;
+  ASSERT_TRUE(rebindDesign(design, slow));
+  // Cells keep their names but now point into the slow library.
+  for (const auto& inst : design.instances()) {
+    if (!inst.alive || inst.cell == nullptr) continue;
+    EXPECT_EQ(inst.cell, slow.findCell(inst.cell->name()));
+  }
+  // Slow-corner arrivals exceed typical ones.
+  sta::TimingAnalyzer fastSta(result.design, *lib_, clock);
+  sta::TimingAnalyzer slowSta(design, slow, clock);
+  ASSERT_TRUE(fastSta.analyze());
+  ASSERT_TRUE(slowSta.analyze());
+  EXPECT_LT(fastSta.worstSlack() + 0.05, slowSta.clock().period);  // sanity
+  EXPECT_GT(slowSta.criticalPath().endpoint.arrival,
+            fastSta.criticalPath().endpoint.arrival * 1.2);
+}
+
+TEST_F(SynthesisTest, RebindDesignFailsOnMissingCell) {
+  const Synthesizer synth(*lib_);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  SynthesisResult result = synth.run(netlist::generateAccumulator(8), clock);
+  liberty::Library sparse("sparse");
+  netlist::Design design = result.design;
+  EXPECT_FALSE(rebindDesign(design, sparse));
+  // Untouched: still bound into the original library.
+  for (const auto& inst : design.instances()) {
+    if (inst.alive) EXPECT_NE(inst.cell, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace sct::synth

@@ -1,0 +1,187 @@
+// Property sweeps (TEST_P) over the synthesis and tuning pipelines:
+// invariants that must hold at every clock period, tuning parameter and
+// design seed — the cross-cutting guarantees the individual unit tests
+// can't cover point-wise.
+
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "netlist/mcu.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct {
+namespace {
+
+/// Shared slow-to-build fixtures (characterized library + stat library).
+class PropertyBase {
+ public:
+  static charlib::Characterizer& characterizer() {
+    static charlib::Characterizer chr = test::makeSmallCharacterizer();
+    return chr;
+  }
+  static liberty::Library& library() {
+    static liberty::Library lib =
+        characterizer().characterizeNominal(charlib::ProcessCorner::typical());
+    return lib;
+  }
+  static statlib::StatLibrary& statLibrary() {
+    static statlib::StatLibrary stat = statlib::buildStatLibrary(
+        characterizer().characterizeMonteCarlo(charlib::ProcessCorner::typical(),
+                                               20, 31));
+    return stat;
+  }
+};
+
+// ------------------------------------------------ synthesis invariants ----
+
+class SynthesisPeriodSweep : public ::testing::TestWithParam<double>,
+                             public PropertyBase {};
+
+TEST_P(SynthesisPeriodSweep, InvariantsHoldAtEveryPeriod) {
+  const double period = GetParam();
+  const synth::Synthesizer synth(library());
+  sta::ClockSpec clock;
+  clock.period = period;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(20, 3), clock);
+
+  // Structural invariants regardless of timing success.
+  EXPECT_EQ(result.design.validate(), "");
+  for (const auto& inst : result.design.instances()) {
+    if (inst.alive) EXPECT_NE(inst.cell, nullptr);
+  }
+  EXPECT_GT(result.area, 0.0);
+
+  // Fanout bound.
+  synth::SynthesisOptions options;
+  for (const auto& net : result.design.nets()) {
+    EXPECT_LE(net.sinks.size(), options.maxFanout);
+  }
+
+  // Reported status matches a fresh STA of the produced design.
+  sta::TimingAnalyzer sta(result.design, library(), clock);
+  ASSERT_TRUE(sta.analyze());
+  EXPECT_NEAR(sta.worstSlack(), result.worstSlack, 1e-9);
+  EXPECT_EQ(sta.met(), result.timingMet);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SynthesisPeriodSweep,
+                         ::testing::Values(1.2, 1.8, 2.6, 4.0, 6.5, 10.0));
+
+class SynthesisSeedSweep : public ::testing::TestWithParam<std::uint64_t>,
+                           public PropertyBase {};
+
+TEST_P(SynthesisSeedSweep, EveryGeneratedDesignSynthesizes) {
+  // Different control-logic seeds produce different subject graphs; all of
+  // them must map, legalize and close timing at a relaxed clock.
+  const synth::Synthesizer synth(library());
+  sta::ClockSpec clock;
+  clock.period = 9.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16, GetParam()), clock);
+  EXPECT_TRUE(result.success()) << "seed " << GetParam();
+  EXPECT_EQ(result.design.validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisSeedSweep,
+                         ::testing::Values(1, 2, 3, 7, 11, 42, 1234));
+
+// ---------------------------------------------------- tuning invariants ----
+
+class CeilingSweep : public ::testing::TestWithParam<double>,
+                     public PropertyBase {};
+
+TEST_P(CeilingSweep, WindowsAreAcceptableRegions) {
+  // Every window produced by a ceiling must contain only entries whose
+  // sigma is below the ceiling (the defining property of the restriction).
+  const double ceiling = GetParam();
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      statLibrary(),
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      ceiling));
+  for (const statlib::StatCell* cell : statLibrary().cells()) {
+    if (cell->arcs().empty()) continue;
+    const auto window = constraints.window(cell->name(), "Z");
+    if (!window || window->maxLoad < window->minLoad) continue;
+    const statlib::StatLut lut = cell->maxSigmaLutForPin("Z");
+    if (lut.empty()) continue;
+    for (std::size_t r = 0; r < lut.rows(); ++r) {
+      for (std::size_t c = 0; c < lut.cols(); ++c) {
+        if (window->allows(lut.slewAxis()[r], lut.loadAxis()[c])) {
+          EXPECT_LE(lut.sigma().at(r, c), ceiling + 1e-12)
+              << cell->name() << " (" << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CeilingSweep, WindowAreaShrinksWithCeiling) {
+  // The accepted-rectangle area is monotone in the threshold (a tighter
+  // ceiling accepts a subset of entries).
+  const double ceiling = GetParam();
+  const auto tight = tuning::tuneLibrary(
+      statLibrary(),
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      ceiling));
+  const auto loose = tuning::tuneLibrary(
+      statLibrary(),
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      ceiling * 2.0));
+  for (const statlib::StatCell* cell : statLibrary().cells()) {
+    if (cell->arcs().empty()) continue;
+    const statlib::StatLut lut = cell->maxSigmaLutForPin("Z");
+    if (lut.empty()) continue;
+    auto rectCells = [&](const tuning::LibraryConstraints& c) {
+      const auto w = c.window(cell->name(), "Z");
+      if (!w || w->maxLoad < w->minLoad) return std::size_t{0};
+      std::size_t n = 0;
+      for (std::size_t r = 0; r < lut.rows(); ++r) {
+        for (std::size_t col = 0; col < lut.cols(); ++col) {
+          if (w->allows(lut.slewAxis()[r], lut.loadAxis()[col])) ++n;
+        }
+      }
+      return n;
+    };
+    EXPECT_LE(rectCells(tight), rectCells(loose)) << cell->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ceilings, CeilingSweep,
+                         ::testing::Values(0.04, 0.02, 0.01, 0.005));
+
+class MethodSweep
+    : public ::testing::TestWithParam<tuning::TuningMethod>,
+      public PropertyBase {};
+
+TEST_P(MethodSweep, ConstrainedSynthesisStaysLegal) {
+  // Any method at its mid sweep value must either fail cleanly or produce a
+  // fully legal, window-respecting design.
+  const tuning::TuningMethod method = GetParam();
+  const double value = tuning::sweepValues(method)[2];
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      statLibrary(), tuning::TuningConfig::forMethod(method, value));
+  const synth::Synthesizer synth(library(), &constraints);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult result =
+      synth.run(netlist::generateAccumulator(16), clock);
+  EXPECT_EQ(result.design.validate(), "");
+  if (result.success()) {
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MethodSweep,
+    ::testing::Values(tuning::TuningMethod::kCellStrengthLoadSlope,
+                      tuning::TuningMethod::kCellStrengthSlewSlope,
+                      tuning::TuningMethod::kCellLoadSlope,
+                      tuning::TuningMethod::kCellSlewSlope,
+                      tuning::TuningMethod::kSigmaCeiling));
+
+}  // namespace
+}  // namespace sct

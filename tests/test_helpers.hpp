@@ -1,0 +1,140 @@
+#pragma once
+// Shared fixtures for the test suite: tiny hand-built libraries and designs
+// with arithmetic simple enough to verify timing and statistics by hand.
+
+#include <memory>
+
+#include "charlib/characterizer.hpp"
+#include "liberty/library.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sct::test {
+
+/// A LUT whose value is base + slewCoef*slew + loadCoef*load — exactly
+/// bilinear, so interpolation is exact and arithmetic is checkable by hand.
+inline liberty::Lut linearLut(numeric::Axis slew, numeric::Axis load,
+                              double base, double slewCoef, double loadCoef) {
+  liberty::Lut lut(slew, load);
+  for (std::size_t r = 0; r < slew.size(); ++r) {
+    for (std::size_t c = 0; c < load.size(); ++c) {
+      lut.at(r, c) = base + slewCoef * slew[r] + loadCoef * load[c];
+    }
+  }
+  return lut;
+}
+
+inline numeric::Axis tinySlewAxis() { return {0.01, 0.1, 0.4}; }
+inline numeric::Axis tinyLoadAxis() { return {0.001, 0.01, 0.05}; }
+
+/// Combinational cell with one output Z and `inputs` input pins A, B, ...;
+/// all four tables are the same linear LUT.
+inline liberty::Cell makeSimpleCell(const std::string& name,
+                                    liberty::CellFunction function,
+                                    double strength, double area,
+                                    double inputCap, double base,
+                                    double slewCoef, double loadCoef) {
+  liberty::Cell cell(name, function, strength, area);
+  const auto& traits = liberty::traits(function);
+  const auto inputNames = liberty::dataInputNames(function);
+  for (std::size_t i = 0; i < traits.numDataInputs; ++i) {
+    liberty::Pin pin;
+    pin.name = std::string(inputNames[i]);
+    pin.direction = liberty::PinDirection::kInput;
+    pin.capacitance = inputCap;
+    cell.addPin(std::move(pin));
+  }
+  liberty::Pin out;
+  out.name = "Z";
+  out.direction = liberty::PinDirection::kOutput;
+  out.maxCapacitance = 0.06 * strength;
+  cell.addPin(std::move(out));
+  for (std::size_t i = 0; i < traits.numDataInputs; ++i) {
+    liberty::TimingArc arc;
+    arc.relatedPin = std::string(inputNames[i]);
+    arc.outputPin = "Z";
+    arc.riseDelay = linearLut(tinySlewAxis(), tinyLoadAxis(), base, slewCoef,
+                              loadCoef);
+    arc.fallDelay = arc.riseDelay;
+    arc.riseTransition = linearLut(tinySlewAxis(), tinyLoadAxis(), base * 0.5,
+                                   slewCoef * 0.5, loadCoef * 1.5);
+    arc.fallTransition = arc.riseTransition;
+    cell.addArc(std::move(arc));
+  }
+  return cell;
+}
+
+/// DFF with D, CP inputs, Q output and a linear clk->Q arc.
+inline liberty::Cell makeDffCell(const std::string& name, double strength,
+                                 double area, double inputCap, double base,
+                                 double slewCoef, double loadCoef,
+                                 double setup) {
+  liberty::Cell cell(name, liberty::CellFunction::kDff, strength, area);
+  cell.setSetupTime(setup);
+  cell.setHoldTime(0.01);
+  liberty::Pin d;
+  d.name = "D";
+  d.direction = liberty::PinDirection::kInput;
+  d.capacitance = inputCap;
+  cell.addPin(std::move(d));
+  liberty::Pin cp;
+  cp.name = "CP";
+  cp.direction = liberty::PinDirection::kInput;
+  cp.capacitance = inputCap;
+  cp.isClock = true;
+  cell.addPin(std::move(cp));
+  liberty::Pin q;
+  q.name = "Q";
+  q.direction = liberty::PinDirection::kOutput;
+  q.maxCapacitance = 0.06 * strength;
+  cell.addPin(std::move(q));
+  liberty::TimingArc arc;
+  arc.relatedPin = "CP";
+  arc.outputPin = "Q";
+  arc.riseDelay =
+      linearLut(tinySlewAxis(), tinyLoadAxis(), base, slewCoef, loadCoef);
+  arc.fallDelay = arc.riseDelay;
+  arc.riseTransition = linearLut(tinySlewAxis(), tinyLoadAxis(), base * 0.5,
+                                 slewCoef * 0.5, loadCoef * 1.5);
+  arc.fallTransition = arc.riseTransition;
+  cell.addArc(std::move(arc));
+  return cell;
+}
+
+/// Minimal library: INV_1/INV_4, NAND2_1, BUF_2, DFF_1 with linear tables.
+inline liberty::Library makeTinyLibrary() {
+  liberty::Library lib("tiny");
+  lib.addCell(makeSimpleCell("INV_1", liberty::CellFunction::kInv, 1.0, 1.0,
+                             0.001, 0.010, 0.1, 4.0));
+  lib.addCell(makeSimpleCell("INV_4", liberty::CellFunction::kInv, 4.0, 2.5,
+                             0.004, 0.010, 0.1, 1.0));
+  lib.addCell(makeSimpleCell("ND2_1", liberty::CellFunction::kNand2, 1.0, 1.4,
+                             0.0013, 0.014, 0.12, 4.4));
+  lib.addCell(makeSimpleCell("BF_2", liberty::CellFunction::kBuf, 2.0, 2.0,
+                             0.0011, 0.020, 0.05, 2.0));
+  lib.addCell(makeDffCell("FD1_1", 1.0, 4.0, 0.0012, 0.030, 0.08, 4.0, 0.04));
+  return lib;
+}
+
+/// Small characterizer with a reduced grid (fast tests).
+inline charlib::Characterizer makeSmallCharacterizer() {
+  charlib::CharacterizationConfig config;
+  config.slewAxis = {0.002, 0.05, 0.2, 0.6};
+  config.loadFractions = {0.01, 0.1, 0.4, 1.0};
+  return charlib::Characterizer(config);
+}
+
+/// Chain of `depth` inverters between two flip-flops; returns the design.
+///   FF -> INV -> INV -> ... -> FF
+inline netlist::Design makeInvChain(std::size_t depth) {
+  netlist::Design design("chain");
+  netlist::NetlistBuilder b(design);
+  const netlist::NetIndex in = b.inputPort("din");
+  netlist::NetIndex node = b.dff(in, netlist::PrimOp::kDff);
+  for (std::size_t i = 0; i < depth; ++i) node = b.inv(node);
+  const netlist::NetIndex q = b.dff(node, netlist::PrimOp::kDff);
+  b.outputPort("dout", q);
+  return design;
+}
+
+}  // namespace sct::test

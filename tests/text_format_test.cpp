@@ -1,0 +1,113 @@
+// Unit tests for the shared Liberty-dialect lexer and for the wire-load
+// model added to the STA boundary conditions.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/text_format.hpp"
+#include "sta/sta.hpp"
+
+namespace sct {
+namespace {
+
+using liberty::text::Lexer;
+using liberty::text::Line;
+
+std::vector<Line> lexAll(const std::string& text) {
+  std::istringstream in(text);
+  Lexer lexer(in);
+  std::vector<Line> lines;
+  while (auto line = lexer.next()) lines.push_back(*line);
+  return lines;
+}
+
+TEST(Lexer, KeyValueLine) {
+  const auto lines = lexAll("voltage : 1.1 ;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].head, "voltage");
+  ASSERT_EQ(lines[0].values.size(), 1u);
+  EXPECT_EQ(lines[0].values[0], "1.1");
+  EXPECT_FALSE(lines[0].opensBlock);
+}
+
+TEST(Lexer, MultiValueLine) {
+  const auto lines = lexAll("index_1 : 0.1 0.2 0.3 ;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].values.size(), 3u);
+}
+
+TEST(Lexer, BlockWithArgument) {
+  const auto lines = lexAll("cell (IV_1) {\n}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].head, "cell");
+  EXPECT_EQ(lines[0].arg, "IV_1");
+  EXPECT_TRUE(lines[0].opensBlock);
+  EXPECT_TRUE(lines[1].closesBlock);
+}
+
+TEST(Lexer, ArrowArgumentPreserved) {
+  const auto lines = lexAll("timing (A -> Z) {\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].arg, "A -> Z");
+}
+
+TEST(Lexer, CommentsAndBlankLinesSkipped) {
+  const auto lines = lexAll("// header\n\n  // indented comment\nx : 1 ;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].head, "x");
+  EXPECT_EQ(lines[0].number, 4u);  // line numbers track the raw file
+}
+
+TEST(Lexer, TrailingCommentStripped) {
+  const auto lines = lexAll("x : 2 ; // note\n");
+  ASSERT_EQ(lines.size(), 1u);
+  ASSERT_EQ(lines[0].values.size(), 1u);
+  EXPECT_EQ(lines[0].values[0], "2");
+}
+
+TEST(Lexer, UnterminatedParenThrows) {
+  std::istringstream in("cell (IV_1 {\n");
+  Lexer lexer(in);
+  EXPECT_THROW((void)lexer.next(), liberty::ParseError);
+}
+
+TEST(Lexer, HelpersValidateNumbers) {
+  const auto lines = lexAll("x : 1.5 ;\ny : a b ;\n");
+  EXPECT_DOUBLE_EQ(liberty::text::singleValue(lines[0]), 1.5);
+  EXPECT_THROW((void)liberty::text::singleValue(lines[1]),
+               liberty::ParseError);
+  EXPECT_THROW((void)liberty::text::axisValues(lines[1]),
+               liberty::ParseError);
+}
+
+// ------------------------------------------------------ wire-load model ----
+
+TEST(WireLoadModel, ZeroFanoutIsZero) {
+  EXPECT_DOUBLE_EQ(sta::WireLoadModel::medium().netCap(0), 0.0);
+}
+
+TEST(WireLoadModel, DefaultMatchesLegacyPerSinkModel) {
+  const sta::WireLoadModel def{};
+  EXPECT_DOUBLE_EQ(def.netCap(1), 0.0015);
+  EXPECT_DOUBLE_EQ(def.netCap(4), 0.006);
+}
+
+TEST(WireLoadModel, PresetsAreOrdered) {
+  for (std::size_t fanout : {1u, 4u, 16u}) {
+    EXPECT_LT(sta::WireLoadModel::small().netCap(fanout),
+              sta::WireLoadModel::medium().netCap(fanout));
+    EXPECT_LT(sta::WireLoadModel::medium().netCap(fanout),
+              sta::WireLoadModel::large().netCap(fanout));
+  }
+}
+
+TEST(WireLoadModel, QuadraticTermGrowsSuperlinearly) {
+  const sta::WireLoadModel large = sta::WireLoadModel::large();
+  const double perSink4 = large.netCap(4) / 4.0;
+  const double perSink16 = large.netCap(16) / 16.0;
+  EXPECT_GT(perSink16, perSink4);
+}
+
+}  // namespace
+}  // namespace sct

@@ -1,0 +1,408 @@
+// Unit tests for the tuning core: slope tables (eqs. 12-13), binary LUTs,
+// largest-rectangle extraction (Algorithm 1, Fig. 6), threshold extraction
+// (section VI.B) and per-pin LUT restriction (section VI.C).
+
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "numeric/rng.hpp"
+#include "statlib/stat_library.hpp"
+#include "test_helpers.hpp"
+#include "tuning/methods.hpp"
+#include "tuning/rectangle.hpp"
+#include "tuning/restriction.hpp"
+#include "tuning/slope.hpp"
+
+namespace sct::tuning {
+namespace {
+
+// -------------------------------------------------------------- slope ----
+
+TEST(Slope, NormalizedPositions) {
+  const auto pos = normalizedPositions({1.0, 2.0, 5.0});
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_DOUBLE_EQ(pos[0], 0.0);
+  EXPECT_DOUBLE_EQ(pos[1], 0.25);
+  EXPECT_DOUBLE_EQ(pos[2], 1.0);
+}
+
+TEST(Slope, SlewSlopeFirstRowZero) {
+  numeric::Grid2d q(3, 2);
+  q.at(0, 0) = 1.0;
+  q.at(1, 0) = 2.0;
+  q.at(2, 0) = 4.0;
+  const auto slope = slewSlopeTable(q, {0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(slope.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(slope.at(1, 0), (2.0 - 1.0) / 0.5);
+  EXPECT_DOUBLE_EQ(slope.at(2, 0), (4.0 - 2.0) / 0.5);
+}
+
+TEST(Slope, LoadSlopeFirstColumnZero) {
+  numeric::Grid2d q(2, 3);
+  q.at(0, 0) = 1.0;
+  q.at(0, 1) = 1.5;
+  q.at(0, 2) = 3.0;
+  const auto slope = loadSlopeTable(q, {0.0, 0.25, 1.0});
+  EXPECT_DOUBLE_EQ(slope.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(slope.at(0, 1), 0.5 / 0.25);
+  EXPECT_DOUBLE_EQ(slope.at(0, 2), 1.5 / 0.75);
+}
+
+TEST(Slope, NegativeSlopesPreserved) {
+  numeric::Grid2d q(1, 3);
+  q.at(0, 0) = 2.0;
+  q.at(0, 1) = 1.0;
+  q.at(0, 2) = 3.0;
+  const auto slope = loadSlopeTable(q, {0.0, 0.5, 1.0});
+  EXPECT_LT(slope.at(0, 1), 0.0);
+  EXPECT_GT(slope.at(0, 2), 0.0);
+}
+
+// ---------------------------------------------------------- binary lut ----
+
+TEST(BinaryLut, ThresholdBelowIsInclusive) {
+  numeric::Grid2d g(1, 3);
+  g.at(0, 0) = 0.5;
+  g.at(0, 1) = 1.0;
+  g.at(0, 2) = 1.5;
+  const BinaryLut b = BinaryLut::thresholdBelow(g, 1.0);
+  EXPECT_TRUE(b.test(0, 0));
+  EXPECT_TRUE(b.test(0, 1));
+  EXPECT_FALSE(b.test(0, 2));
+  EXPECT_EQ(b.countOnes(), 2u);
+}
+
+TEST(BinaryLut, AndCombines) {
+  BinaryLut a(2, 2, true);
+  BinaryLut b(2, 2, true);
+  a.set(0, 1, false);
+  b.set(1, 0, false);
+  const BinaryLut c = a.andWith(b);
+  EXPECT_TRUE(c.test(0, 0));
+  EXPECT_FALSE(c.test(0, 1));
+  EXPECT_FALSE(c.test(1, 0));
+  EXPECT_TRUE(c.test(1, 1));
+}
+
+// ----------------------------------------------------------- rectangle ----
+
+BinaryLut fromStrings(const std::vector<std::string>& rows) {
+  BinaryLut lut(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      lut.set(r, c, rows[r][c] == '1');
+    }
+  }
+  return lut;
+}
+
+TEST(Rectangle, FullTable) {
+  const BinaryLut lut(3, 4, true);
+  const auto rect = largestRectangle(lut);
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_EQ(*rect, (Rect{0, 0, 2, 3}));
+  EXPECT_EQ(rect->area(), 12u);
+}
+
+TEST(Rectangle, EmptyTableGivesNothing) {
+  const BinaryLut lut(3, 3, false);
+  EXPECT_FALSE(largestRectangle(lut).has_value());
+  EXPECT_FALSE(largestRectangleReference(lut).has_value());
+}
+
+TEST(Rectangle, SingleOne) {
+  BinaryLut lut(3, 3, false);
+  lut.set(1, 2, true);
+  const auto rect = largestRectangle(lut);
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_EQ(*rect, (Rect{1, 2, 1, 2}));
+}
+
+TEST(Rectangle, Fig6LikeShape) {
+  // A flat region near the origin with a high-sigma far corner, like Fig. 6.
+  const BinaryLut lut = fromStrings({
+      "111110",
+      "111100",
+      "111100",
+      "110000",
+      "100000",
+  });
+  const auto rect = largestRectangle(lut);
+  ASSERT_TRUE(rect.has_value());
+  // Largest all-ones rectangle: rows 0-2 x cols 0-3 (12 cells).
+  EXPECT_EQ(*rect, (Rect{0, 0, 2, 3}));
+}
+
+TEST(Rectangle, TieBreakPrefersOriginSide) {
+  // Two disjoint 2x2 rectangles; the one closer to the origin (smaller
+  // column) must win, mirroring Algorithm 1's loop order.
+  const BinaryLut lut = fromStrings({
+      "110011",
+      "110011",
+  });
+  const auto rect = largestRectangle(lut);
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_EQ(*rect, (Rect{0, 0, 1, 1}));
+}
+
+TEST(Rectangle, TieBreakColumnBeforeRow) {
+  // Algorithm 1 iterates ll_x (column) in the outermost loop, so a
+  // same-area candidate with smaller column start wins even if its row
+  // start is larger.
+  const BinaryLut lut = fromStrings({
+      "0011",
+      "1100",
+      "1100",
+      "0011",
+  });
+  const auto fast = largestRectangle(lut);
+  const auto ref = largestRectangleReference(lut);
+  ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(*fast, *ref);
+  EXPECT_EQ(fast->colLo, 0u);
+  EXPECT_EQ(fast->rowLo, 1u);
+}
+
+TEST(Rectangle, TallVersusWide) {
+  const BinaryLut lut = fromStrings({
+      "111000",
+      "111000",
+      "110000",
+      "110000",
+      "110000",
+  });
+  // Tall 5x2 = 10 beats wide 2x3 = 6.
+  const auto rect = largestRectangle(lut);
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_EQ(*rect, (Rect{0, 0, 4, 1}));
+}
+
+/// Property: the fast implementation returns exactly the reference result
+/// (same rectangle, not merely same area) on random tables.
+class RectanglePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RectanglePropertyTest, FastMatchesReference) {
+  numeric::Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t rows = 1 + rng.uniformInt(8);
+    const std::size_t cols = 1 + rng.uniformInt(8);
+    const double density = rng.uniform(0.2, 0.95);
+    BinaryLut lut(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        lut.set(r, c, rng.uniform() < density);
+      }
+    }
+    const auto fast = largestRectangle(lut);
+    const auto ref = largestRectangleReference(lut);
+    ASSERT_EQ(fast.has_value(), ref.has_value());
+    if (fast) {
+      EXPECT_EQ(*fast, *ref) << "trial " << trial << " (" << rows << "x"
+                             << cols << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectanglePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --------------------------------------------------------------- config ----
+
+TEST(TuningConfig, DefaultsMatchTable2) {
+  const TuningConfig def;
+  EXPECT_DOUBLE_EQ(def.loadSlopeBound, 1.0);
+  EXPECT_DOUBLE_EQ(def.slewSlopeBound, 0.06);
+  EXPECT_DOUBLE_EQ(def.sigmaCeiling, 100.0);
+}
+
+TEST(TuningConfig, ForMethodSetsOnlySweptParameter) {
+  const TuningConfig load =
+      TuningConfig::forMethod(TuningMethod::kCellLoadSlope, 0.03);
+  EXPECT_DOUBLE_EQ(load.loadSlopeBound, 0.03);
+  EXPECT_DOUBLE_EQ(load.slewSlopeBound, 0.06);
+  EXPECT_DOUBLE_EQ(load.sigmaCeiling, 100.0);
+
+  const TuningConfig slew =
+      TuningConfig::forMethod(TuningMethod::kCellStrengthSlewSlope, 0.01);
+  EXPECT_DOUBLE_EQ(slew.slewSlopeBound, 0.01);
+  EXPECT_DOUBLE_EQ(slew.loadSlopeBound, 1.0);
+
+  const TuningConfig ceil =
+      TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.02);
+  EXPECT_DOUBLE_EQ(ceil.sigmaCeiling, 0.02);
+}
+
+TEST(TuningConfig, SweepValuesMatchTable2) {
+  const auto slope = sweepValues(TuningMethod::kCellLoadSlope);
+  ASSERT_EQ(slope.size(), 4u);
+  EXPECT_DOUBLE_EQ(slope[0], 1.0);
+  EXPECT_DOUBLE_EQ(slope[3], 0.01);
+  const auto ceiling = sweepValues(TuningMethod::kSigmaCeiling);
+  ASSERT_EQ(ceiling.size(), 4u);
+  EXPECT_DOUBLE_EQ(ceiling[0], 0.04);
+  EXPECT_DOUBLE_EQ(ceiling[3], 0.01);
+}
+
+TEST(TuningConfig, ClusteringFlag) {
+  EXPECT_TRUE(clustersByStrength(TuningMethod::kCellStrengthLoadSlope));
+  EXPECT_TRUE(clustersByStrength(TuningMethod::kCellStrengthSlewSlope));
+  EXPECT_FALSE(clustersByStrength(TuningMethod::kCellLoadSlope));
+  EXPECT_FALSE(clustersByStrength(TuningMethod::kCellSlewSlope));
+  EXPECT_FALSE(clustersByStrength(TuningMethod::kSigmaCeiling));
+}
+
+// --------------------------------------------- thresholds & restriction ----
+
+class TuningLibraryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    charlib::Characterizer chr = test::makeSmallCharacterizer();
+    const auto libs =
+        chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 30, 42);
+    stat_ = new statlib::StatLibrary(statlib::buildStatLibrary(libs));
+  }
+  static void TearDownTestSuite() {
+    delete stat_;
+    stat_ = nullptr;
+  }
+  static statlib::StatLibrary* stat_;
+};
+
+statlib::StatLibrary* TuningLibraryTest::stat_ = nullptr;
+
+TEST_F(TuningLibraryTest, DefaultConfigIsUnrestrictive) {
+  // Defaults (load 1, slew 0.06, ceiling 100) must leave every cell usable
+  // with a full-range window.
+  const LibraryConstraints constraints = tuneLibrary(*stat_, TuningConfig{});
+  EXPECT_EQ(constraints.unusableCellCount(), 0u);
+  const statlib::StatCell* inv = stat_->findCell("IV_1");
+  const auto window = constraints.window("IV_1", "Z");
+  ASSERT_TRUE(window.has_value());
+  const statlib::StatLut lut = inv->maxSigmaLut();
+  EXPECT_DOUBLE_EQ(window->maxLoad, lut.loadAxis().back());
+  EXPECT_DOUBLE_EQ(window->maxSlew, lut.slewAxis().back());
+  EXPECT_DOUBLE_EQ(window->minLoad, 0.0);
+  EXPECT_DOUBLE_EQ(window->minSlew, 0.0);
+}
+
+TEST_F(TuningLibraryTest, SigmaCeilingShrinksWindows) {
+  const LibraryConstraints loose = tuneLibrary(
+      *stat_, TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.04));
+  const LibraryConstraints tight = tuneLibrary(
+      *stat_, TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.01));
+  // Windows shrink monotonically with the ceiling for weak cells.
+  const auto wl = loose.window("IV_0P5", "Z");
+  const auto wt = tight.window("IV_0P5", "Z");
+  ASSERT_TRUE(wl.has_value());
+  ASSERT_TRUE(wt.has_value());
+  EXPECT_LE(wt->maxLoad, wl->maxLoad);
+  EXPECT_LE(wt->maxSlew, wl->maxSlew);
+  EXPECT_LT(wt->maxLoad, stat_->findCell("IV_0P5")->maxSigmaLut().loadAxis().back());
+}
+
+TEST_F(TuningLibraryTest, StrongCellsLessRestrictedThanWeak) {
+  const LibraryConstraints constraints = tuneLibrary(
+      *stat_, TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.02));
+  const auto weak = constraints.window("IV_1", "Z");
+  const auto strong = constraints.window("IV_32", "Z");
+  ASSERT_TRUE(weak.has_value());
+  ASSERT_TRUE(strong.has_value());
+  // Relative to each cell's own range, the strong cell keeps more.
+  const double weakFrac =
+      weak->maxLoad / stat_->findCell("IV_1")->maxSigmaLut().loadAxis().back();
+  const double strongFrac =
+      strong->maxLoad /
+      stat_->findCell("IV_32")->maxSigmaLut().loadAxis().back();
+  EXPECT_GE(strongFrac, weakFrac);
+}
+
+TEST_F(TuningLibraryTest, WindowAllowsChecksBothDimensions) {
+  PinWindow w{0.0, 0.2, 0.001, 0.01};
+  EXPECT_TRUE(w.allows(0.1, 0.005));
+  EXPECT_FALSE(w.allows(0.3, 0.005));  // slew too high
+  EXPECT_FALSE(w.allows(0.1, 0.02));   // load too high
+  EXPECT_FALSE(w.allows(0.1, 0.0005)); // load below window
+}
+
+TEST_F(TuningLibraryTest, UnconstrainedCellHasNoWindow) {
+  const LibraryConstraints constraints = tuneLibrary(
+      *stat_, TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.02));
+  // Tie cells have no arcs and therefore no constraint entry.
+  EXPECT_FALSE(constraints.window("TIEH_1", "Z").has_value());
+  EXPECT_TRUE(constraints.cellUsable("TIEH_1"));
+  EXPECT_TRUE(constraints.allows("TIEH_1", "Z", 1.0, 1.0));
+}
+
+TEST_F(TuningLibraryTest, ImpossibleCeilingMakesCellsUnusable) {
+  const LibraryConstraints constraints = tuneLibrary(
+      *stat_, TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 1e-6));
+  EXPECT_GT(constraints.unusableCellCount(), 200u);
+  EXPECT_FALSE(constraints.cellUsable("IV_1"));
+  // Unusable cell: window allows nothing.
+  const auto w = constraints.window("IV_1", "Z");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(w->allows(0.0, 0.0));
+}
+
+TEST_F(TuningLibraryTest, StrengthClusteringSharesThreshold) {
+  const TuningConfig config =
+      TuningConfig::forMethod(TuningMethod::kCellStrengthLoadSlope, 0.03);
+  const auto thresholds = extractThresholds(*stat_, config);
+  // One threshold per drive strength, not per cell.
+  EXPECT_LT(thresholds.size(), 30u);
+  EXPECT_TRUE(thresholds.contains("strength_6"));
+  EXPECT_TRUE(thresholds.contains("strength_0P5"));
+}
+
+TEST_F(TuningLibraryTest, PerCellClusteringHasOneThresholdPerCell) {
+  const TuningConfig config =
+      TuningConfig::forMethod(TuningMethod::kCellLoadSlope, 0.03);
+  const auto thresholds = extractThresholds(*stat_, config);
+  // All timed cells (302 of 304; tie cells have no arcs).
+  EXPECT_EQ(thresholds.size(), 302u);
+  EXPECT_TRUE(thresholds.contains("IV_1"));
+}
+
+TEST_F(TuningLibraryTest, CeilingThresholdPassesThrough) {
+  const TuningConfig config =
+      TuningConfig::forMethod(TuningMethod::kSigmaCeiling, 0.0321);
+  const auto thresholds = extractThresholds(*stat_, config);
+  for (const auto& [name, t] : thresholds) {
+    EXPECT_DOUBLE_EQ(t.sigmaThreshold, 0.0321);
+  }
+}
+
+TEST_F(TuningLibraryTest, TighterLoadSlopeBoundLowersThresholds) {
+  const auto loose = extractThresholds(
+      *stat_, TuningConfig::forMethod(TuningMethod::kCellLoadSlope, 1.0));
+  const auto tight = extractThresholds(
+      *stat_, TuningConfig::forMethod(TuningMethod::kCellLoadSlope, 0.01));
+  double looseSum = 0.0;
+  double tightSum = 0.0;
+  for (const auto& [name, t] : loose) looseSum += t.sigmaThreshold;
+  for (const auto& [name, t] : tight) tightSum += t.sigmaThreshold;
+  EXPECT_LT(tightSum, looseSum);
+}
+
+TEST_F(TuningLibraryTest, RestrictPinWindowCornersMatchRectangle) {
+  const statlib::StatCell* cell = stat_->findCell("IV_0P5");
+  ASSERT_NE(cell, nullptr);
+  const statlib::StatLut lut = cell->maxSigmaLutForPin("Z");
+  const double threshold = 0.02;
+  const auto window = restrictPin(*cell, "Z", threshold);
+  ASSERT_TRUE(window.has_value());
+  const BinaryLut acceptable = BinaryLut::thresholdBelow(lut.sigma(), threshold);
+  const auto rect = largestRectangle(acceptable);
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_DOUBLE_EQ(window->maxLoad, lut.loadAxis()[rect->colHi]);
+  EXPECT_DOUBLE_EQ(window->maxSlew, lut.slewAxis()[rect->rowHi]);
+}
+
+TEST_F(TuningLibraryTest, RestrictPinOnMissingPinIsNull) {
+  const statlib::StatCell* cell = stat_->findCell("IV_1");
+  EXPECT_FALSE(restrictPin(*cell, "NOPE", 0.02).has_value());
+}
+
+}  // namespace
+}  // namespace sct::tuning

@@ -1,0 +1,267 @@
+// sctune — command-line driver for the library-tuning flow.
+//
+// Subcommands (artifacts are the repository's text formats, so stages can
+// run in separate invocations, like the tool hand-offs in the paper):
+//
+//   sctune characterize --out lib.lib [--corner TT|SS|FF] [--mc N --seed S
+//                        --stat-out stat.slib]
+//   sctune generate     --design mcu|dsp|accumulator --out design.v
+//   sctune tune         --stat stat.slib --method <name> --value <v>
+//                        --out constraints.txt [--script constraints.tcl]
+//   sctune synth        --lib lib.lib --design <name|netlist.v>
+//                        --period <ns> [--constraints c.txt] [--out out.v]
+//   sctune report       --lib lib.lib --stat stat.slib
+//                        --netlist out.v --period <ns>
+//
+// Methods: strength-load, strength-slew, cell-load, cell-slew,
+//          sigma-ceiling.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "charlib/characterizer.hpp"
+#include "core/flow.hpp"
+#include "sta/report.hpp"
+#include "netlist/dsp.hpp"
+#include "netlist/verilog_io.hpp"
+#include "statlib/stat_io.hpp"
+#include "tuning/constraints_io.hpp"
+#include "variation/path_stats.hpp"
+#include "variation/ssta.hpp"
+
+namespace {
+
+using namespace sct;
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - 2) % 2 != 0) {
+      throw std::runtime_error("flags must come in '--name value' pairs");
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::optional(it->second) : std::nullopt;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::runtime_error("missing required flag --" + key);
+    return *v;
+  }
+  [[nodiscard]] double requireDouble(const std::string& key) const {
+    return std::stod(require(key));
+  }
+  [[nodiscard]] std::uint64_t getUint(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << contents;
+  std::printf("wrote %s (%.1f KB)\n", path.c_str(),
+              static_cast<double>(contents.size()) / 1024.0);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+charlib::ProcessCorner cornerByName(const std::string& name) {
+  if (name == "TT") return charlib::ProcessCorner::typical();
+  if (name == "SS") return charlib::ProcessCorner::slow();
+  if (name == "FF") return charlib::ProcessCorner::fast();
+  throw std::runtime_error("unknown corner '" + name + "' (TT/SS/FF)");
+}
+
+tuning::TuningMethod methodByName(const std::string& name) {
+  if (name == "strength-load") return tuning::TuningMethod::kCellStrengthLoadSlope;
+  if (name == "strength-slew") return tuning::TuningMethod::kCellStrengthSlewSlope;
+  if (name == "cell-load") return tuning::TuningMethod::kCellLoadSlope;
+  if (name == "cell-slew") return tuning::TuningMethod::kCellSlewSlope;
+  if (name == "sigma-ceiling") return tuning::TuningMethod::kSigmaCeiling;
+  throw std::runtime_error("unknown method '" + name + "'");
+}
+
+netlist::Design designByName(const std::string& name,
+                             const liberty::Library* library) {
+  if (name == "mcu") return netlist::generateMcu();
+  if (name == "dsp") return netlist::generateDsp();
+  if (name == "accumulator") return netlist::generateAccumulator(16);
+  // Otherwise: a structural Verilog file.
+  std::ifstream in(name);
+  if (!in) throw std::runtime_error("no built-in design or file '" + name + "'");
+  return netlist::readVerilog(in, library);
+}
+
+int cmdCharacterize(const Args& args) {
+  const charlib::Characterizer characterizer;
+  const auto corner = cornerByName(args.get("corner").value_or("TT"));
+  const liberty::Library library = characterizer.characterizeNominal(corner);
+  writeFile(args.require("out"), liberty::writeLibraryToString(library));
+  if (const auto statOut = args.get("stat-out")) {
+    const std::size_t n = args.getUint("mc", 50);
+    const std::uint64_t seed = args.getUint("seed", 2014);
+    std::printf("characterizing %zu Monte-Carlo library instances...\n", n);
+    const auto instances = characterizer.characterizeMonteCarlo(corner, n, seed);
+    const statlib::StatLibrary stat = statlib::buildStatLibrary(instances);
+    writeFile(*statOut, statlib::writeStatLibraryToString(stat));
+  }
+  return 0;
+}
+
+int cmdGenerate(const Args& args) {
+  const netlist::Design design = designByName(args.require("design"), nullptr);
+  std::printf("generated '%s': %zu gates\n", design.name().c_str(),
+              design.gateCount());
+  writeFile(args.require("out"), netlist::writeVerilogToString(design));
+  return 0;
+}
+
+int cmdTune(const Args& args) {
+  const statlib::StatLibrary stat =
+      statlib::readStatLibraryFromString(readFile(args.require("stat")));
+  const tuning::TuningConfig config = tuning::TuningConfig::forMethod(
+      methodByName(args.require("method")), args.requireDouble("value"));
+  const tuning::LibraryConstraints constraints =
+      tuning::tuneLibrary(stat, config);
+  std::printf("tuned %zu cells (%zu unusable)\n", constraints.size(),
+              constraints.unusableCellCount());
+  writeFile(args.require("out"), tuning::writeConstraintsToString(constraints));
+  if (const auto script = args.get("script")) {
+    writeFile(*script,
+              tuning::writeSynthesisScriptToString(constraints, stat.name()));
+  }
+  return 0;
+}
+
+int cmdSynth(const Args& args) {
+  const liberty::Library library =
+      liberty::readLibraryFromString(readFile(args.require("lib")));
+  std::optional<tuning::LibraryConstraints> constraints;
+  if (const auto path = args.get("constraints")) {
+    constraints = tuning::readConstraintsFromString(readFile(*path));
+  }
+  const netlist::Design subject =
+      designByName(args.require("design"), nullptr);
+  sta::ClockSpec clock;
+  clock.period = args.requireDouble("period");
+  const synth::Synthesizer synthesizer(
+      library, constraints ? &*constraints : nullptr);
+  const synth::SynthesisResult result = synthesizer.run(subject, clock);
+  std::printf("synthesis: %s | wns %+.4f ns | area %.0f um^2 | %zu gates | "
+              "%zu buffers | %zu resizes\n",
+              result.success() ? "MET" : "FAILED", result.worstSlack,
+              result.area, result.design.gateCount(), result.buffersInserted,
+              result.resizes);
+  if (const auto out = args.get("out")) {
+    writeFile(*out, netlist::writeVerilogToString(result.design));
+  }
+  return result.success() ? 0 : 2;
+}
+
+int cmdReport(const Args& args) {
+  const liberty::Library library =
+      liberty::readLibraryFromString(readFile(args.require("lib")));
+  const statlib::StatLibrary stat =
+      statlib::readStatLibraryFromString(readFile(args.require("stat")));
+  std::ifstream netIn(args.require("netlist"));
+  if (!netIn) throw std::runtime_error("cannot open netlist");
+  const netlist::Design design = netlist::readVerilog(netIn, &library);
+  sta::ClockSpec clock;
+  clock.period = args.requireDouble("period");
+  sta::TimingAnalyzer sta(design, library, clock);
+  if (!sta.analyze()) throw std::runtime_error("timing analysis failed");
+
+  const auto paths = sta.endpointWorstPaths();
+  const variation::PathStatistics stats(stat);
+  const variation::DesignStats designStats = stats.designStats(paths);
+  const variation::SstaResult ssta = variation::runSsta(design, sta, stat);
+
+  std::printf("design %s @ %.3f ns\n", design.name().c_str(), clock.period);
+  std::printf("  gates %zu, area %.0f um^2\n", design.gateCount(),
+              design.totalArea());
+  std::printf("  setup: wns %+.4f ns (%s); hold: %+.4f ns (%s)\n",
+              sta.worstSlack(), sta.met() ? "met" : "VIOLATED",
+              sta.worstHoldSlack(), sta.holdMet() ? "met" : "VIOLATED");
+  std::printf("  per-path statistics (paper eq. 11): design sigma %.4f ns "
+              "over %zu endpoint paths\n",
+              designStats.sigma, designStats.paths);
+  std::printf("  SSTA: critical delay %.4f +- %.4f ns, expected failing "
+              "endpoints %.3g, timing yield %.4f\n",
+              ssta.designArrival.mean, ssta.designArrival.sigma,
+              ssta.expectedFailures, ssta.timingYield);
+  if (const auto reportOut = args.get("out")) {
+    std::ofstream file(*reportOut);
+    if (!file) throw std::runtime_error("cannot open " + *reportOut);
+    sta::writeTimingReport(file, design, sta);
+    std::printf("wrote full timing report to %s\n", reportOut->c_str());
+  } else {
+    std::printf("\n");
+    std::ostringstream report;
+    sta::writeTimingReport(report, design, sta);
+    std::fputs(report.str().c_str(), stdout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "sctune — standard cell library tuning for variability tolerant "
+      "designs\n\n"
+      "usage: sctune <command> [--flag value ...]\n\n"
+      "commands:\n"
+      "  characterize  --out lib.lib [--corner TT] [--mc 50 --seed 2014\n"
+      "                --stat-out stat.slib]\n"
+      "  generate      --design mcu|dsp|accumulator --out design.v\n"
+      "  tune          --stat stat.slib --method sigma-ceiling --value 0.02\n"
+      "                --out constraints.txt [--script constraints.tcl]\n"
+      "  synth         --lib lib.lib --design <name|file.v> --period <ns>\n"
+      "                [--constraints c.txt] [--out mapped.v]\n"
+      "  report        --lib lib.lib --stat stat.slib --netlist mapped.v\n"
+      "                --period <ns> [--out report.txt]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "characterize") return cmdCharacterize(args);
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "tune") return cmdTune(args);
+    if (command == "synth") return cmdSynth(args);
+    if (command == "report") return cmdReport(args);
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
