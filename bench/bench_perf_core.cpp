@@ -1,11 +1,16 @@
 // Performance microbenchmarks (google-benchmark) of the computational
 // kernels: bilinear interpolation, largest-rectangle extraction (reference
 // vs production), statistical-library construction, full-design STA and
-// Monte-Carlo path simulation.
+// Monte-Carlo path simulation. The four parallelized kernels (MC
+// characterization, stat-library merge, tuning, path MC) carry a "threads"
+// argument: 0 is the serial fallback, N pins the pool to N workers. Outputs
+// are bit-identical across the thread axis; only wall-clock changes.
+// scripts/run_benchmarks.sh turns a run into BENCH_perf.json.
 
 #include <benchmark/benchmark.h>
 
 #include "charlib/characterizer.hpp"
+#include "parallel/parallel.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/mcu.hpp"
 #include "numeric/interp.hpp"
@@ -84,16 +89,38 @@ void BM_CharacterizeLibrary(benchmark::State& state) {
 }
 BENCHMARK(BM_CharacterizeLibrary);
 
+// Thread counts exercised by the threaded kernel variants: serial fallback,
+// then powers of two up to a typical desktop core count.
+#define SCT_THREAD_ARGS ->ArgName("threads")->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+
+void BM_CharacterizeMonteCarlo(benchmark::State& state) {
+  const charlib::Characterizer chr(smallCharConfig());
+  parallel::setThreadCount(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 50, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_CharacterizeMonteCarlo) SCT_THREAD_ARGS;
+
 void BM_BuildStatLibrary(benchmark::State& state) {
   const charlib::Characterizer chr(smallCharConfig());
   const auto libs = chr.characterizeMonteCarlo(
       charlib::ProcessCorner::typical(),
       static_cast<std::size_t>(state.range(0)), 5);
+  parallel::setThreadCount(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(statlib::buildStatLibrary(libs));
   }
 }
-BENCHMARK(BM_BuildStatLibrary)->Arg(10)->Arg(25);
+BENCHMARK(BM_BuildStatLibrary)
+    ->ArgNames({"libs", "threads"})
+    ->Args({10, 0})
+    ->Args({25, 0})
+    ->Args({25, 2})
+    ->Args({25, 4})
+    ->Args({25, 8});
 
 void BM_TuneLibrary(benchmark::State& state) {
   const charlib::Characterizer chr(smallCharConfig());
@@ -103,11 +130,12 @@ void BM_TuneLibrary(benchmark::State& state) {
   const auto config =
       tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
                                       0.02);
+  parallel::setThreadCount(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(tuning::tuneLibrary(stat, config));
   }
 }
-BENCHMARK(BM_TuneLibrary);
+BENCHMARK(BM_TuneLibrary) SCT_THREAD_ARGS;
 
 void BM_FullDesignSta(benchmark::State& state) {
   static const charlib::Characterizer chr(smallCharConfig());
@@ -165,12 +193,13 @@ void BM_MonteCarloPath(benchmark::State& state) {
   const variation::PathMonteCarlo mc(chr);
   variation::PathMcConfig config;
   config.trials = 200;
+  parallel::setThreadCount(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(mc.simulate(*longest, config));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
 }
-BENCHMARK(BM_MonteCarloPath);
+BENCHMARK(BM_MonteCarloPath) SCT_THREAD_ARGS;
 
 void BM_Ssta(benchmark::State& state) {
   static const charlib::Characterizer chr(smallCharConfig());

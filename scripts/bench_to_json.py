@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark JSON output into the repo's BENCH_perf.json
+record: benchmark name -> ns/op, plus the thread count encoded in the
+benchmark name (".../threads:N") and the git revision, so the performance
+trajectory of the tuned kernels is tracked across commits.
+
+Usage: bench_to_json.py <google-benchmark-json> <output-json>
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def git_rev():
+    cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        rev = (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=cwd,
+                stderr=subprocess.DEVNULL,
+            )
+            .decode()
+            .strip()
+        )
+        dirty = subprocess.check_output(
+            ["git", "status", "--porcelain"], cwd=cwd, stderr=subprocess.DEVNULL
+        ).strip()
+        return rev + "-dirty" if dirty else rev
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def threads_of(name):
+    """Thread count from a ".../threads:N" benchmark name; None if absent."""
+    for part in name.split("/")[1:]:
+        if part.startswith("threads:"):
+            try:
+                return int(part.split(":", 1)[1])
+            except ValueError:
+                return None
+    return None
+
+
+def convert(raw):
+    records = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+        records.append(
+            {
+                "name": bench["name"],
+                "ns_per_op": bench["real_time"] * scale,
+                "cpu_ns_per_op": bench["cpu_time"] * scale,
+                "threads": threads_of(bench["name"]),
+                "iterations": bench.get("iterations"),
+            }
+        )
+    context = raw.get("context", {})
+    return {
+        "git_rev": git_rev(),
+        "date": context.get("date"),
+        "host_cpus": context.get("num_cpus"),
+        "benchmarks": records,
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+    out = convert(raw)
+    with open(sys.argv[2], "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(out['benchmarks'])} records to {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the perf microbenchmarks and records BENCH_perf.json
+# (benchmark name -> ns/op, thread count, git rev) at the repo root, so the
+# performance trajectory of the parallelized kernels is tracked per commit.
+#
+#   scripts/run_benchmarks.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR     build tree to use                (default: build)
+#   BENCH_FILTER  --benchmark_filter regex         (default: all benchmarks)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_perf.json}"
+RAW="$(mktemp /tmp/bench_raw.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_perf_core -j >/dev/null
+
+"$BUILD_DIR/bench/bench_perf_core" \
+  --benchmark_format=json \
+  ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
+  > "$RAW"
+
+python3 scripts/bench_to_json.py "$RAW" "$OUT"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/parallel.hpp"
+
 namespace sct::charlib {
 
 using liberty::CellFunction;
@@ -224,12 +226,11 @@ liberty::Library Characterizer::characterizeSample(
 
 std::vector<liberty::Library> Characterizer::characterizeMonteCarlo(
     const ProcessCorner& corner, std::size_t n, std::uint64_t seed) const {
-  std::vector<liberty::Library> libraries;
-  libraries.reserve(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    libraries.push_back(characterizeSample(corner, seed, k));
-  }
-  return libraries;
+  // Instance k is seeded purely from (seed, k), so the samples are
+  // order-independent and the map is bit-identical for any thread count.
+  return parallel::parallelMap(
+      n, [&](std::size_t k) { return characterizeSample(corner, seed, k); },
+      /*grain=*/1);
 }
 
 }  // namespace sct::charlib

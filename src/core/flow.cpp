@@ -2,10 +2,16 @@
 
 #include <utility>
 
+#include "parallel/thread_pool.hpp"
+
 namespace sct::core {
 
 TuningFlow::TuningFlow(FlowConfig config)
-    : config_(std::move(config)), characterizer_(config_.characterization) {}
+    : config_(std::move(config)), characterizer_(config_.characterization) {
+  if (config_.threads >= 0) {
+    parallel::setThreadCount(static_cast<std::size_t>(config_.threads));
+  }
+}
 
 const liberty::Library& TuningFlow::nominalLibrary() {
   if (!nominal_) {

@@ -27,6 +27,11 @@ struct FlowConfig {
   sta::ClockSpec clock{};  ///< period is overridden per experiment
   synth::SynthesisOptions synthesis{};
   double rho = 0.0;  ///< pairwise cell correlation in path convolution
+  /// Worker threads for the parallel stages (characterization, stat-library
+  /// merge, tuning, path MC): -1 keeps the process-wide setting (SCT_THREADS
+  /// or hardware concurrency), 0 forces serial, N pins the pool size.
+  /// Results are bit-identical for every setting.
+  int threads = -1;
 };
 
 /// Per-endpoint worst-path record used by the path-population figures.

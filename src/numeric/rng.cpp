@@ -83,6 +83,16 @@ Rng Rng::fork(std::uint64_t tag) noexcept {
   return Rng(splitmix64(mixed));
 }
 
+Rng Rng::child(std::uint64_t tag) const noexcept {
+  // Collapse the state words and the tag through splitmix64; no state word
+  // is modified, so siblings child(a), child(b) are pure functions of
+  // (state, a) and (state, b).
+  std::uint64_t mixed = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 27) ^
+                        rotl(state_[3], 41);
+  mixed ^= tag * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL;
+  return Rng(splitmix64(mixed));
+}
+
 std::uint64_t Rng::hashTag(std::string_view text) noexcept {
   // FNV-1a 64-bit.
   std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -35,8 +35,18 @@ class Rng {
   double normal(double mean, double sigma) noexcept;
 
   /// Derives an independent child stream. The tag decorrelates children
-  /// forked from the same parent state.
+  /// forked from the same parent state. Advances the parent, so the child
+  /// depends on how often the parent was used before the fork.
   Rng fork(std::uint64_t tag) noexcept;
+
+  /// Counter-based derivation: a child stream that depends only on the
+  /// parent's *current* state and the tag, without advancing the parent.
+  /// child(t) on a freshly-seeded parent is therefore a pure function of
+  /// (seed, t) — the property the parallel Monte-Carlo loops rely on to make
+  /// any execution order (including concurrent) draw identical values.
+  /// Distinct tags give decorrelated streams; calling child() twice with the
+  /// same tag returns the same stream.
+  [[nodiscard]] Rng child(std::uint64_t tag) const noexcept;
 
   /// Stable 64-bit hash of a string, usable as a fork tag.
   static std::uint64_t hashTag(std::string_view text) noexcept;

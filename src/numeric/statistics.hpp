@@ -21,10 +21,17 @@ struct NormalSummary {
   }
 };
 
-/// Numerically stable running mean/variance (Welford).
+/// Numerically stable running mean/variance (Welford). Two accumulators
+/// over disjoint sample halves can be combined with merge() (Chan et al.'s
+/// parallel update), which is what the chunked parallel reductions use.
 class RunningStats {
  public:
   void add(double x) noexcept;
+
+  /// Folds another accumulator in, as if its samples had been add()ed here.
+  /// Mean and variance match the single-stream result to floating-point
+  /// rounding; count/min/max match exactly.
+  void merge(const RunningStats& other) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }

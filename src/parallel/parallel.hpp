@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic data-parallel primitives over the global thread pool
+// (thread_pool.hpp). Design contract shared by all three:
+//
+//   * Work is split into chunks whose boundaries depend only on the problem
+//     size (never on the thread count), and per-chunk results are combined
+//     in ascending chunk order on the calling thread. Together with
+//     order-independent per-index work (e.g. counter-based RNG streams, one
+//     output slot per index) this makes every primitive produce bit-identical
+//     results for any thread count, including the serial fallback (0).
+//   * Exceptions thrown by the body are rethrown on the calling thread.
+//   * Nested parallel regions execute inline on the worker (no deadlock, no
+//     oversubscription).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace sct::parallel {
+
+/// Chunk size used when the caller does not specify a grain: fixed so chunk
+/// boundaries are a pure function of n, splitting into at most kMaxChunks
+/// pieces but never below kMinGrain indices per chunk.
+[[nodiscard]] constexpr std::size_t defaultGrain(std::size_t n) noexcept {
+  constexpr std::size_t kMaxChunks = 64;
+  constexpr std::size_t kMinGrain = 16;
+  const std::size_t grain = (n + kMaxChunks - 1) / kMaxChunks;
+  return grain < kMinGrain ? kMinGrain : grain;
+}
+
+/// Calls fn(i) for every i in [0, n). fn must not touch state shared across
+/// indices without its own synchronization; writing to index-owned slots is
+/// the intended pattern.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  if (n == 0) return;
+  const std::size_t g = grain != 0 ? grain : defaultGrain(n);
+  const std::size_t chunks = (n + g - 1) / g;
+  detail::runChunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * g;
+    const std::size_t hi = lo + g < n ? lo + g : n;
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Maps fn over [0, n) into a vector with out[i] == fn(i); the element order
+/// matches the serial loop regardless of execution order.
+template <typename Fn>
+[[nodiscard]] auto parallelMap(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  std::vector<std::optional<T>> slots(n);
+  parallelFor(
+      n, [&](std::size_t i) { slots[i].emplace(fn(i)); }, grain);
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// Chunked reduction: each chunk folds its indices into a fresh copy of
+/// `init` via accum(acc, i); partials are then merged left-to-right in chunk
+/// order via merge(acc, partial). Because chunk boundaries are fixed by
+/// (n, grain) alone, the floating-point combination order — and therefore
+/// the result, bit for bit — is identical for any thread count.
+template <typename T, typename AccumFn, typename MergeFn>
+[[nodiscard]] T parallelReduce(std::size_t n, T init, AccumFn&& accum,
+                               MergeFn&& merge, std::size_t grain = 0) {
+  if (n == 0) return init;
+  const std::size_t g = grain != 0 ? grain : defaultGrain(n);
+  const std::size_t chunks = (n + g - 1) / g;
+  std::vector<std::optional<T>> partials(chunks);
+  detail::runChunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * g;
+    const std::size_t hi = lo + g < n ? lo + g : n;
+    T acc = init;
+    for (std::size_t i = lo; i < hi; ++i) accum(acc, i);
+    partials[c].emplace(std::move(acc));
+  });
+  T result = std::move(*partials.front());
+  for (std::size_t c = 1; c < chunks; ++c) {
+    merge(result, *partials[c]);
+  }
+  return result;
+}
+
+}  // namespace sct::parallel

@@ -1,0 +1,174 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace sct::parallel {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+std::size_t hardwareThreads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<std::size_t>(hw) : 0;  // 1 core: stay serial
+}
+
+struct GlobalPool {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t threads = 0;
+  bool resolved = false;
+};
+
+GlobalPool& globalPool() {
+  static GlobalPool instance;
+  return instance;
+}
+
+std::size_t resolveLocked(GlobalPool& g) {
+  if (!g.resolved) {
+    const char* env = std::getenv("SCT_THREADS");
+    g.threads = parseThreadSpec(env != nullptr ? env : "", hardwareThreads());
+    g.resolved = true;
+  }
+  return g.threads;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::onWorkerThread() noexcept { return t_on_worker_thread; }
+
+void ThreadPool::workerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t threadCount() {
+  GlobalPool& g = globalPool();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  return resolveLocked(g);
+}
+
+void setThreadCount(std::size_t n) {
+  GlobalPool& g = globalPool();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.resolved && g.threads == n) return;
+  g.pool.reset();  // join existing workers before resizing
+  g.threads = n;
+  g.resolved = true;
+}
+
+std::size_t parseThreadSpec(std::string_view spec,
+                            std::size_t fallback) noexcept {
+  if (spec.empty() || spec == "auto") return fallback;
+  if (spec == "serial") return 0;
+  std::size_t value = 0;
+  for (char ch : spec) {
+    if (ch < '0' || ch > '9') return fallback;
+    value = value * 10 + static_cast<std::size_t>(ch - '0');
+  }
+  return value;
+}
+
+namespace detail {
+
+void runChunks(std::size_t chunks,
+               const std::function<void(std::size_t)>& chunkFn) {
+  if (chunks == 0) return;
+
+  std::size_t workers = 0;
+  ThreadPool* pool = nullptr;
+  if (chunks > 1 && !ThreadPool::onWorkerThread()) {
+    GlobalPool& g = globalPool();
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    workers = resolveLocked(g);
+    if (workers > 0) {
+      if (!g.pool) g.pool = std::make_unique<ThreadPool>(workers);
+      pool = g.pool.get();
+    }
+  }
+
+  if (pool == nullptr) {
+    for (std::size_t c = 0; c < chunks; ++c) chunkFn(c);
+    return;
+  }
+
+  // Shared work-claiming state: chunk *contents* are fixed by the caller, so
+  // which thread claims which chunk never affects results, only wall-clock.
+  struct Region {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mutex
+  };
+  auto region = std::make_shared<Region>();
+
+  auto drive = [region, chunks, &chunkFn] {
+    for (;;) {
+      const std::size_t c = region->next.fetch_add(1);
+      if (c >= chunks) break;
+      try {
+        chunkFn(c);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(region->mutex);
+        if (!region->error) region->error = std::current_exception();
+      }
+      if (region->done.fetch_add(1) + 1 == chunks) {
+        const std::lock_guard<std::mutex> lock(region->mutex);
+        region->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers, chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) pool->submit(drive);
+  drive();  // the calling thread works too
+
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->cv.wait(lock,
+                  [&] { return region->done.load() == chunks; });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace detail
+
+}  // namespace sct::parallel

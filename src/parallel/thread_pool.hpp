@@ -1,0 +1,83 @@
+#pragma once
+// Lazily-initialized global worker pool behind the parallelFor/parallelMap/
+// parallelReduce primitives (parallel.hpp). The pool is an implementation
+// detail: nothing outside src/parallel should need to talk to it directly.
+//
+// Sizing: the first parallel region reads SCT_THREADS (0 or "serial" forces
+// the serial fallback, absent/auto uses the hardware concurrency);
+// setThreadCount() overrides both at any time. Thread count only affects
+// wall-clock time — every primitive is specified to produce results that are
+// bit-identical for any thread count, including 0.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace sct::parallel {
+
+/// Fixed-size worker pool with a shared FIFO task queue. Construction spawns
+/// the workers; destruction drains nothing — callers must not enqueue work
+/// they do not wait for.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workerCount() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for any worker to pick up.
+  void submit(std::function<void()> task);
+
+  /// True when called from one of this pool's worker threads (used to run
+  /// nested parallel regions inline instead of deadlocking on the queue).
+  [[nodiscard]] static bool onWorkerThread() noexcept;
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Number of worker threads parallel regions may use; 0 means serial
+/// execution on the calling thread. Resolved lazily from SCT_THREADS (or the
+/// hardware concurrency) on first call.
+[[nodiscard]] std::size_t threadCount();
+
+/// Overrides the thread count; 0 forces the serial fallback (the mode the
+/// determinism tests pin one side of their comparison to). Tears down and
+/// re-creates the pool as needed. Not safe to call from inside a parallel
+/// region.
+void setThreadCount(std::size_t n);
+
+/// Parses an SCT_THREADS-style spec: "" / "auto" -> fallback, "serial" -> 0,
+/// otherwise a base-10 count (invalid text -> fallback). Exposed for tests.
+[[nodiscard]] std::size_t parseThreadSpec(std::string_view spec,
+                                          std::size_t fallback) noexcept;
+
+namespace detail {
+
+/// Runs chunkFn(c) for every c in [0, chunks) across the pool (the calling
+/// thread participates). Exceptions are captured and the first one (lowest
+/// observed) is rethrown on the caller after all chunks finished. Runs
+/// serially when the pool is disabled, the region is nested inside a worker,
+/// or chunks <= 1.
+void runChunks(std::size_t chunks,
+               const std::function<void(std::size_t)>& chunkFn);
+
+}  // namespace detail
+
+}  // namespace sct::parallel

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "numeric/interp.hpp"
+#include "parallel/parallel.hpp"
 
 namespace sct::statlib {
 
@@ -158,19 +159,30 @@ StatLibrary buildStatLibrary(std::span<const liberty::Library> libraries) {
   const liberty::Library& ref = libraries.front();
   StatLibrary out(ref.name() + "_stat");
   out.setSampleCount(libraries.size());
-  for (const liberty::Cell* refCell : ref.cells()) {
-    StatCell cell(refCell->name(), refCell->function(),
-                  refCell->driveStrength(), refCell->area());
-    for (const liberty::TimingArc& refArc : refCell->arcs()) {
-      StatArc arc;
-      arc.relatedPin = refArc.relatedPin;
-      arc.outputPin = refArc.outputPin;
-      arc.rise = mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true);
-      arc.fall = mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false);
-      cell.addArc(std::move(arc));
-    }
-    out.addCell(std::move(cell));
-  }
+  // One task per cell; each task runs the exact serial entry-wise reduction
+  // of Fig. 2 for its own cell, so the merged tables do not depend on the
+  // thread count. Cells are re-attached in reference order afterwards.
+  const std::vector<const liberty::Cell*> refCells = ref.cells();
+  std::vector<StatCell> merged = parallel::parallelMap(
+      refCells.size(),
+      [&](std::size_t i) {
+        const liberty::Cell* refCell = refCells[i];
+        StatCell cell(refCell->name(), refCell->function(),
+                      refCell->driveStrength(), refCell->area());
+        for (const liberty::TimingArc& refArc : refCell->arcs()) {
+          StatArc arc;
+          arc.relatedPin = refArc.relatedPin;
+          arc.outputPin = refArc.outputPin;
+          arc.rise =
+              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true);
+          arc.fall =
+              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false);
+          cell.addArc(std::move(arc));
+        }
+        return cell;
+      },
+      /*grain=*/4);
+  for (StatCell& cell : merged) out.addCell(std::move(cell));
   return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "liberty/function.hpp"
+#include "parallel/parallel.hpp"
 #include "tuning/slope.hpp"
 
 namespace sct::tuning {
@@ -128,19 +130,35 @@ std::map<std::string, ClusterThreshold> extractThresholds(
     clusters[clusterNameFor(*cell, config)].push_back(cell);
   }
 
+  // The sigma-ceiling method uses the ceiling as the threshold on its own
+  // (section VI.B); slope methods extract it from the cluster LUT. Clusters
+  // are independent, so extraction fans out one task per cluster; results
+  // land in a name-keyed map, which is order-insensitive by construction.
+  std::vector<const std::pair<const std::string,
+                              std::vector<const statlib::StatCell*>>*>
+      ordered;
+  ordered.reserve(clusters.size());
+  for (const auto& entry : clusters) ordered.push_back(&entry);
+
+  std::vector<ClusterThreshold> extracted = parallel::parallelMap(
+      ordered.size(),
+      [&](std::size_t i) {
+        const auto& [name, members] = *ordered[i];
+        if (config.method == TuningMethod::kSigmaCeiling) {
+          ClusterThreshold t;
+          t.clusterName = name;
+          t.sigmaThreshold = config.sigmaCeiling;
+          return t;
+        }
+        return extractForCluster(name, clusterEquivalentSigma(members),
+                                 config);
+      },
+      /*grain=*/4);
+
   std::map<std::string, ClusterThreshold> out;
-  for (const auto& [name, members] : clusters) {
-    // The sigma-ceiling method uses the ceiling as the threshold on its own
-    // (section VI.B); slope methods extract it from the cluster LUT.
-    if (config.method == TuningMethod::kSigmaCeiling) {
-      ClusterThreshold t;
-      t.clusterName = name;
-      t.sigmaThreshold = config.sigmaCeiling;
-      out.emplace(name, std::move(t));
-      continue;
-    }
-    out.emplace(name,
-                extractForCluster(name, clusterEquivalentSigma(members), config));
+  for (ClusterThreshold& t : extracted) {
+    std::string name = t.clusterName;
+    out.emplace(std::move(name), std::move(t));
   }
   return out;
 }
@@ -165,28 +183,49 @@ std::optional<PinWindow> restrictPin(const statlib::StatCell& cell,
 LibraryConstraints tuneLibrary(const statlib::StatLibrary& library,
                                const TuningConfig& config) {
   const auto thresholds = extractThresholds(library, config);
-  LibraryConstraints constraints;
+
+  // Per-cell restriction is independent work: fan out one task per cell and
+  // fold the results back in library order (the constraint map is keyed by
+  // cell name anyway, so insertion order never shows).
+  std::vector<const statlib::StatCell*> cells;
   for (const statlib::StatCell* cell : library.cells()) {
     if (cell->arcs().empty()) continue;  // tie cells: unconstrained
-    const auto thresholdIt = thresholds.find(clusterNameFor(*cell, config));
-    assert(thresholdIt != thresholds.end());
-    const double threshold = thresholdIt->second.sigmaThreshold;
+    cells.push_back(cell);
+  }
 
+  struct CellOutcome {
+    bool usable = false;
     CellConstraint constraint;
-    constraint.sigmaThreshold = threshold;
-    bool allPinsUsable = true;
-    for (const std::string& pin : cell->outputPins()) {
-      std::optional<PinWindow> window = restrictPin(*cell, pin, threshold);
-      if (!window) {
-        allPinsUsable = false;
-        break;
-      }
-      constraint.pinWindows.emplace(pin, *window);
-    }
-    if (!allPinsUsable) {
-      constraints.markUnusable(cell->name());
+  };
+  std::vector<CellOutcome> outcomes = parallel::parallelMap(
+      cells.size(),
+      [&](std::size_t i) {
+        const statlib::StatCell& cell = *cells[i];
+        const auto thresholdIt = thresholds.find(clusterNameFor(cell, config));
+        assert(thresholdIt != thresholds.end());
+        const double threshold = thresholdIt->second.sigmaThreshold;
+
+        CellOutcome outcome;
+        outcome.constraint.sigmaThreshold = threshold;
+        outcome.usable = true;
+        for (const std::string& pin : cell.outputPins()) {
+          std::optional<PinWindow> window = restrictPin(cell, pin, threshold);
+          if (!window) {
+            outcome.usable = false;
+            break;
+          }
+          outcome.constraint.pinWindows.emplace(pin, *window);
+        }
+        return outcome;
+      },
+      /*grain=*/4);
+
+  LibraryConstraints constraints;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!outcomes[i].usable) {
+      constraints.markUnusable(cells[i]->name());
     } else {
-      constraints.setCell(cell->name(), std::move(constraint));
+      constraints.setCell(cells[i]->name(), std::move(outcomes[i].constraint));
     }
   }
   return constraints;

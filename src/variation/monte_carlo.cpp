@@ -2,55 +2,94 @@
 
 #include <cassert>
 
+#include "parallel/parallel.hpp"
+
 namespace sct::variation {
+
+std::vector<ResolvedPathStep> PathMonteCarlo::resolvePath(
+    const sta::TimingPath& path) const {
+  const charlib::SpecRegistry& specs = characterizer_.specs();
+  std::vector<ResolvedPathStep> out;
+  out.reserve(path.steps.size());
+  for (const sta::PathStep& step : path.steps) {
+    assert(step.cell != nullptr && step.arc != nullptr);
+    ResolvedPathStep resolved;
+    resolved.spec = specs.find(step.cell->name());
+    assert(resolved.spec != nullptr && "path cell missing from catalogue");
+    // The worst edge used by the setup analysis is the rise edge (its skew
+    // factor is the larger one), matching TimingArc::worstDelay.
+    resolved.arcFactor = charlib::arcDelayFactor(step.cell->function(),
+                                                 step.arc->relatedPin,
+                                                 step.arc->outputPin,
+                                                 /*rise=*/true);
+    resolved.inputSlew = step.inputSlew;
+    resolved.load = step.load;
+    out.push_back(resolved);
+  }
+  return out;
+}
+
+double PathMonteCarlo::evaluateResolved(
+    const std::vector<ResolvedPathStep>& steps,
+    const charlib::ProcessCorner& corner, double globalFactor,
+    numeric::Rng* localRng) const {
+  const charlib::DelayModel& model = characterizer_.model();
+  double total = 0.0;
+  for (const ResolvedPathStep& step : steps) {
+    charlib::LocalDeltas deltas;
+    if (localRng != nullptr) deltas = model.drawLocal(*step.spec, *localRng);
+    const double base =
+        model.delay(*step.spec, step.inputSlew, step.load, deltas,
+                    corner.delayFactor, globalFactor);
+    total += base * step.arcFactor;
+  }
+  return total;
+}
 
 double PathMonteCarlo::evaluateOnce(const sta::TimingPath& path,
                                     const charlib::ProcessCorner& corner,
                                     double globalFactor,
                                     numeric::Rng* localRng) const {
-  const charlib::DelayModel& model = characterizer_.model();
-  const charlib::SpecRegistry& specs = characterizer_.specs();
-  double total = 0.0;
-  for (const sta::PathStep& step : path.steps) {
-    assert(step.cell != nullptr && step.arc != nullptr);
-    const charlib::CellSpec* spec = specs.find(step.cell->name());
-    assert(spec != nullptr && "path cell missing from catalogue");
-    charlib::LocalDeltas deltas;
-    if (localRng != nullptr) deltas = model.drawLocal(*spec, *localRng);
-    const double base = model.delay(*spec, step.inputSlew, step.load, deltas,
-                                    corner.delayFactor, globalFactor);
-    // The worst edge used by the setup analysis is the rise edge (its skew
-    // factor is the larger one), matching TimingArc::worstDelay.
-    total += base * charlib::arcDelayFactor(step.cell->function(),
-                                            step.arc->relatedPin,
-                                            step.arc->outputPin,
-                                            /*rise=*/true);
-  }
-  return total;
+  return evaluateResolved(resolvePath(path), corner, globalFactor, localRng);
 }
 
 PathMcResult PathMonteCarlo::simulate(const sta::TimingPath& path,
                                       const PathMcConfig& config) const {
   const charlib::DelayModel& model = characterizer_.model();
-  numeric::Rng master(config.seed);
-  numeric::Rng globalRng = master.fork(numeric::Rng::hashTag("global"));
-  numeric::Rng localRng = master.fork(numeric::Rng::hashTag("local"));
+  const std::vector<ResolvedPathStep> steps = resolvePath(path);
+  const numeric::Rng master(config.seed);
+  const std::uint64_t globalTag = numeric::Rng::hashTag("global");
+  const std::uint64_t localTag = numeric::Rng::hashTag("local");
 
   PathMcResult result;
-  result.samples.reserve(config.trials);
-  numeric::RunningStats stats;
-  for (std::size_t t = 0; t < config.trials; ++t) {
-    // One global factor per trial ("die"), shared by all cells of the path;
-    // local draws are fresh per cell instance. Draw the global deviate even
-    // when disabled so local-only and global+local runs stay sample-aligned.
+  result.samples.resize(config.trials);
+  parallel::parallelFor(config.trials, [&](std::size_t t) {
+    // Trial t's generators depend only on (seed, t): one per-die global
+    // stream and one local-mismatch stream, derived without touching shared
+    // state. Drawing the global deviate even when disabled keeps local-only
+    // and global+local runs sample-aligned (same local draws either way —
+    // here automatic, since the streams are independent).
+    const numeric::Rng trial = master.child(t);
+    numeric::Rng globalRng = trial.child(globalTag);
+    numeric::Rng localRng = trial.child(localTag);
     const double globalDraw = model.drawGlobalFactor(globalRng);
     const double globalFactor = config.includeGlobal ? globalDraw : 1.0;
-    const double sample = evaluateOnce(
-        path, config.corner, globalFactor,
-        config.includeLocal ? &localRng : nullptr);
-    stats.add(sample);
-    result.samples.push_back(sample);
-  }
+    result.samples[t] =
+        evaluateResolved(steps, config.corner, globalFactor,
+                         config.includeLocal ? &localRng : nullptr);
+  });
+
+  // Fixed-grain chunked reduction: summary is bit-identical for any thread
+  // count (see parallelReduce contract).
+  const numeric::RunningStats stats =
+      parallel::parallelReduce(
+          result.samples.size(), numeric::RunningStats{},
+          [&](numeric::RunningStats& acc, std::size_t i) {
+            acc.add(result.samples[i]);
+          },
+          [](numeric::RunningStats& acc, const numeric::RunningStats& other) {
+            acc.merge(other);
+          });
   result.summary = stats.summary();
   return result;
 }

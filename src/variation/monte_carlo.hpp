@@ -4,6 +4,10 @@
 // model with fresh local mismatch draws per trial, optionally adding a
 // shared per-die global factor, at any process corner. This substitutes the
 // paper's transistor-level Monte Carlo on extracted data paths.
+//
+// Trials are embarrassingly parallel: trial t draws from counter-based RNG
+// streams derived purely from (config.seed, t) — see Rng::child — so the
+// sample vector and summary are bit-identical for any thread count.
 
 #include <cstdint>
 #include <vector>
@@ -29,16 +33,37 @@ struct PathMcResult {
   std::vector<double> samples;
 };
 
+/// One path step with everything the delay model needs pre-resolved:
+/// catalogue spec and deterministic arc factor are looked up once per path
+/// instead of once per trial.
+struct ResolvedPathStep {
+  const charlib::CellSpec* spec = nullptr;
+  double arcFactor = 1.0;  ///< arcDelayFactor of the step's worst (rise) edge
+  double inputSlew = 0.0;
+  double load = 0.0;
+};
+
 class PathMonteCarlo {
  public:
   explicit PathMonteCarlo(const charlib::Characterizer& characterizer)
       : characterizer_(characterizer) {}
+
+  /// Resolves the per-step specs and arc factors of a path once, for reuse
+  /// across trials.
+  [[nodiscard]] std::vector<ResolvedPathStep> resolvePath(
+      const sta::TimingPath& path) const;
 
   /// One deterministic path delay evaluation for a single trial's draws.
   [[nodiscard]] double evaluateOnce(const sta::TimingPath& path,
                                     const charlib::ProcessCorner& corner,
                                     double globalFactor,
                                     numeric::Rng* localRng) const;
+
+  /// Same evaluation over a pre-resolved path (the per-trial hot loop).
+  [[nodiscard]] double evaluateResolved(
+      const std::vector<ResolvedPathStep>& steps,
+      const charlib::ProcessCorner& corner, double globalFactor,
+      numeric::Rng* localRng) const;
 
   /// Full Monte-Carlo run on a path.
   [[nodiscard]] PathMcResult simulate(const sta::TimingPath& path,

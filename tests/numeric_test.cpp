@@ -143,6 +143,69 @@ TEST(RunningStats, ShiftInvarianceOfVariance) {
   EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
 }
 
+TEST(RunningStats, MergeMatchesSingleStream) {
+  // Split a sample at every possible point: merged halves must reproduce the
+  // single-stream mean/sigma (to rounding) and count/min/max exactly.
+  Rng rng(99);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = rng.normal(3.0, 0.7);
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{128},
+                            xs.size() - 1, xs.size()}) {
+    RunningStats left;
+    RunningStats right;
+    for (std::size_t i = 0; i < split; ++i) left.add(xs[i]);
+    for (std::size_t i = split; i < xs.size(); ++i) right.add(xs[i]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  }
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  const RunningStats copy = s;
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), copy.count());
+  EXPECT_DOUBLE_EQ(s.mean(), copy.mean());
+  EXPECT_DOUBLE_EQ(s.variance(), copy.variance());
+  empty.merge(copy);
+  EXPECT_EQ(empty.count(), copy.count());
+  EXPECT_DOUBLE_EQ(empty.mean(), copy.mean());
+  EXPECT_DOUBLE_EQ(empty.variance(), copy.variance());
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 2.0);
+}
+
+TEST(Rng, ChildIsPureFunctionOfStateAndTag) {
+  const Rng parent(42);
+  Rng a = parent.child(7);
+  Rng b = parent.child(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  // Deriving a child does not advance the parent.
+  Rng untouched(42);
+  Rng p = parent;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(p.next(), untouched.next());
+}
+
+TEST(Rng, ChildTagsDecorrelate) {
+  const Rng parent(42);
+  Rng a = parent.child(1);
+  Rng b = parent.child(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
 TEST(Summarize, MatchesRunningStats) {
   const std::vector<double> xs = {0.2, 0.4, 0.9, 1.4};
   const NormalSummary s = summarize(xs);

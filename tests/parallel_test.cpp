@@ -1,0 +1,309 @@
+// Tests for the parallel execution layer: primitive correctness (coverage,
+// ordering, exceptions, nesting) and the determinism contract — serial and
+// multi-threaded runs of the Monte-Carlo characterization, stat-library
+// merge, library tuning and path Monte Carlo must agree bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "charlib/characterizer.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/statistics.hpp"
+#include "parallel/parallel.hpp"
+#include "statlib/stat_library.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesis.hpp"
+#include "test_helpers.hpp"
+#include "tuning/restriction.hpp"
+#include "variation/monte_carlo.hpp"
+
+namespace sct {
+namespace {
+
+/// Restores the previous thread count when a test scope ends so suites do
+/// not leak pool configuration into each other.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) : previous_(parallel::threadCount()) {
+    parallel::setThreadCount(n);
+  }
+  ~ScopedThreads() { parallel::setThreadCount(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+// ------------------------------------------------------------ primitives ----
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    const ScopedThreads scope(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel::parallelFor(hits.size(),
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  const ScopedThreads scope(4);
+  bool touched = false;
+  parallel::parallelFor(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  const ScopedThreads scope(4);
+  EXPECT_THROW(
+      parallel::parallelFor(
+          100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  const ScopedThreads scope(4);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  parallel::parallelFor(
+      64,
+      [&](std::size_t outer) {
+        parallel::parallelFor(16, [&](std::size_t inner) {
+          hits[outer * 16 + inner].fetch_add(1);
+        });
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMap, PreservesElementOrder) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{8}}) {
+    const ScopedThreads scope(threads);
+    const std::vector<std::size_t> out = parallel::parallelMap(
+        500, [](std::size_t i) { return i * i; }, /*grain=*/3);
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  std::vector<double> xs(10000);
+  numeric::Rng rng(3);
+  for (double& x : xs) x = rng.normal(1.0, 0.25);
+
+  auto reduce = [&] {
+    return parallel::parallelReduce(
+        xs.size(), numeric::RunningStats{},
+        [&](numeric::RunningStats& acc, std::size_t i) { acc.add(xs[i]); },
+        [](numeric::RunningStats& acc, const numeric::RunningStats& other) {
+          acc.merge(other);
+        });
+  };
+  const ScopedThreads serial(0);
+  const numeric::RunningStats a = reduce();
+  {
+    const ScopedThreads threaded(8);
+    const numeric::RunningStats b = reduce();
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());  // exact: identical combination order
+    EXPECT_EQ(a.stddev(), b.stddev());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+}
+
+TEST(ThreadSpec, ParsesEnvironmentValues) {
+  EXPECT_EQ(parallel::parseThreadSpec("", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("auto", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("serial", 6), 0u);
+  EXPECT_EQ(parallel::parseThreadSpec("0", 6), 0u);
+  EXPECT_EQ(parallel::parseThreadSpec("12", 6), 12u);
+  EXPECT_EQ(parallel::parseThreadSpec("not-a-number", 6), 6u);
+}
+
+// ----------------------------------------------------------- determinism ----
+
+/// Shared fixtures characterized once per thread-count under test.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static charlib::Characterizer characterizer() {
+    return test::makeSmallCharacterizer();
+  }
+
+  static bool lutsEqual(const liberty::Lut& a, const liberty::Lut& b) {
+    if (!a.sameShape(b)) return false;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        if (a.at(r, c) != b.at(r, c)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST_F(ParallelDeterminismTest, MonteCarloLibrariesBitIdentical) {
+  const charlib::Characterizer chr = characterizer();
+  const auto run = [&] {
+    return chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 12,
+                                      7);
+  };
+  std::vector<liberty::Library> serial;
+  {
+    const ScopedThreads scope(1);
+    serial = run();
+  }
+  const ScopedThreads scope(8);
+  const std::vector<liberty::Library> threaded = run();
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].name(), threaded[k].name());
+    const auto cellsA = serial[k].cells();
+    const auto cellsB = threaded[k].cells();
+    ASSERT_EQ(cellsA.size(), cellsB.size());
+    for (std::size_t i = 0; i < cellsA.size(); ++i) {
+      ASSERT_EQ(cellsA[i]->arcs().size(), cellsB[i]->arcs().size());
+      for (std::size_t a = 0; a < cellsA[i]->arcs().size(); ++a) {
+        EXPECT_TRUE(lutsEqual(cellsA[i]->arcs()[a].riseDelay,
+                              cellsB[i]->arcs()[a].riseDelay));
+        EXPECT_TRUE(lutsEqual(cellsA[i]->arcs()[a].fallDelay,
+                              cellsB[i]->arcs()[a].fallDelay));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, StatLibraryBitIdentical) {
+  const charlib::Characterizer chr = characterizer();
+  const auto build = [&] {
+    const auto libs =
+        chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 10, 11);
+    return statlib::buildStatLibrary(libs);
+  };
+  const ScopedThreads serialScope(1);
+  const statlib::StatLibrary serial = build();
+  parallel::setThreadCount(8);
+  const statlib::StatLibrary threaded = build();
+
+  const auto cellsA = serial.cells();
+  const auto cellsB = threaded.cells();
+  ASSERT_EQ(cellsA.size(), cellsB.size());
+  for (std::size_t i = 0; i < cellsA.size(); ++i) {
+    EXPECT_EQ(cellsA[i]->name(), cellsB[i]->name());
+    ASSERT_EQ(cellsA[i]->arcs().size(), cellsB[i]->arcs().size());
+    for (std::size_t a = 0; a < cellsA[i]->arcs().size(); ++a) {
+      const statlib::StatArc& arcA = cellsA[i]->arcs()[a];
+      const statlib::StatArc& arcB = cellsB[i]->arcs()[a];
+      for (std::size_t r = 0; r < arcA.rise.rows(); ++r) {
+        for (std::size_t c = 0; c < arcA.rise.cols(); ++c) {
+          EXPECT_EQ(arcA.rise.mean().at(r, c), arcB.rise.mean().at(r, c));
+          EXPECT_EQ(arcA.rise.sigma().at(r, c), arcB.rise.sigma().at(r, c));
+          EXPECT_EQ(arcA.fall.mean().at(r, c), arcB.fall.mean().at(r, c));
+          EXPECT_EQ(arcA.fall.sigma().at(r, c), arcB.fall.sigma().at(r, c));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, TuningWindowsBitIdentical) {
+  const charlib::Characterizer chr = characterizer();
+  const auto libs =
+      chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 10, 13);
+  const statlib::StatLibrary stat = statlib::buildStatLibrary(libs);
+
+  for (const tuning::TuningMethod method :
+       {tuning::TuningMethod::kSigmaCeiling,
+        tuning::TuningMethod::kCellStrengthLoadSlope,
+        tuning::TuningMethod::kCellSlewSlope}) {
+    const tuning::TuningConfig config =
+        tuning::TuningConfig::forMethod(method, 0.02);
+    const ScopedThreads serialScope(1);
+    const tuning::LibraryConstraints serial =
+        tuning::tuneLibrary(stat, config);
+    parallel::setThreadCount(8);
+    const tuning::LibraryConstraints threaded =
+        tuning::tuneLibrary(stat, config);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    auto itA = serial.cells().begin();
+    auto itB = threaded.cells().begin();
+    for (; itA != serial.cells().end(); ++itA, ++itB) {
+      EXPECT_EQ(itA->first, itB->first);
+      EXPECT_EQ(itA->second.sigmaThreshold, itB->second.sigmaThreshold);
+      ASSERT_EQ(itA->second.pinWindows.size(), itB->second.pinWindows.size());
+      auto winA = itA->second.pinWindows.begin();
+      auto winB = itB->second.pinWindows.begin();
+      for (; winA != itA->second.pinWindows.end(); ++winA, ++winB) {
+        EXPECT_EQ(winA->first, winB->first);
+        EXPECT_EQ(winA->second.minSlew, winB->second.minSlew);
+        EXPECT_EQ(winA->second.maxSlew, winB->second.maxSlew);
+        EXPECT_EQ(winA->second.minLoad, winB->second.minLoad);
+        EXPECT_EQ(winA->second.maxLoad, winB->second.maxLoad);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, PathMonteCarloBitIdentical) {
+  const charlib::Characterizer chr = characterizer();
+  const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  const synth::Synthesizer synth(lib);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult result =
+      synth.run(test::makeInvChain(12), clock);
+  ASSERT_TRUE(result.success());
+  sta::TimingAnalyzer sta(result.design, lib, clock);
+  ASSERT_TRUE(sta.analyze());
+  const auto paths = sta.endpointWorstPaths();
+  const sta::TimingPath* longest = &paths.front();
+  for (const auto& p : paths) {
+    if (p.depth() > longest->depth()) longest = &p;
+  }
+
+  const variation::PathMonteCarlo mc(chr);
+  variation::PathMcConfig config;
+  config.trials = 300;
+  config.seed = 2014;
+  for (const bool includeGlobal : {false, true}) {
+    config.includeGlobal = includeGlobal;
+    const ScopedThreads serialScope(1);
+    const variation::PathMcResult serial = mc.simulate(*longest, config);
+    parallel::setThreadCount(8);
+    const variation::PathMcResult threaded = mc.simulate(*longest, config);
+    EXPECT_EQ(serial.samples, threaded.samples);
+    EXPECT_EQ(serial.summary.mean, threaded.summary.mean);
+    EXPECT_EQ(serial.summary.sigma, threaded.summary.sigma);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, SerialFallbackMatchesThreaded) {
+  // threads = 0 (no pool at all) must agree with every pooled configuration.
+  const charlib::Characterizer chr = characterizer();
+  const auto build = [&] {
+    const auto libs =
+        chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 6, 29);
+    const statlib::StatLibrary stat = statlib::buildStatLibrary(libs);
+    const auto constraints = tuning::tuneLibrary(
+        stat,
+        tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                        0.02));
+    return constraints.size();
+  };
+  const ScopedThreads scope(0);
+  const std::size_t serial = build();
+  for (std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+    parallel::setThreadCount(threads);
+    EXPECT_EQ(build(), serial);
+  }
+}
+
+}  // namespace
+}  // namespace sct

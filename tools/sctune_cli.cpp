@@ -23,9 +23,11 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "charlib/characterizer.hpp"
 #include "core/flow.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sta/report.hpp"
 #include "netlist/dsp.hpp"
 #include "netlist/verilog_io.hpp"
@@ -242,7 +244,9 @@ int usage() {
       "  synth         --lib lib.lib --design <name|file.v> --period <ns>\n"
       "                [--constraints c.txt] [--out mapped.v]\n"
       "  report        --lib lib.lib --stat stat.slib --netlist mapped.v\n"
-      "                --period <ns> [--out report.txt]\n");
+      "                --period <ns> [--out report.txt]\n\n"
+      "every command accepts --threads <N|serial|auto> (default: the\n"
+      "SCT_THREADS environment variable); results do not depend on it\n");
   return 1;
 }
 
@@ -253,6 +257,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv);
+    // Worker-pool size for the parallelized kernels. The flag takes
+    // precedence over SCT_THREADS; results are identical either way.
+    if (const auto threads = args.get("threads")) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      parallel::setThreadCount(
+          parallel::parseThreadSpec(*threads, hw > 1 ? hw : 0));
+    }
     if (command == "characterize") return cmdCharacterize(args);
     if (command == "generate") return cmdGenerate(args);
     if (command == "tune") return cmdTune(args);
