@@ -46,8 +46,10 @@ int main() {
         std::pair{"long", std::size_t{57}}}) {
     const sta::TimingPath* path = pickByDepth(paths, target);
     if (path == nullptr) continue;
+    const std::string endpointLabel =
+        sta::endpointName(baseline.synthesis.design, path->endpoint);
     std::printf("\n%s path: %zu cells (endpoint %s)\n", label, path->depth(),
-                path->endpoint.name.c_str());
+                endpointLabel.c_str());
     std::printf("%8s %12s %12s %14s %14s\n", "corner", "mean [ns]",
                 "sigma [ns]", "mean/typ", "sigma/typ");
     bench::printRule();

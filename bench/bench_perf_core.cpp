@@ -166,6 +166,98 @@ void BM_FullDesignSta(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDesignSta);
 
+// Shared mapped MCU for the synthesis-loop benchmarks (built once).
+const synth::SynthesisResult& mappedMcu(const liberty::Library& lib) {
+  static const synth::SynthesisResult result = [&] {
+    synth::Synthesizer synth(lib);
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    sta::ClockSpec c;
+    c.period = 8.0;
+    return synth.run(netlist::generateMcu(small), c);
+  }();
+  return result;
+}
+
+void BM_SynthesisOptimize(benchmark::State& state) {
+  // The whole mapping + optimization flow at MCU size; incremental=0 forces
+  // a full re-analysis per optimization pass (the pre-incremental
+  // behaviour), incremental=1 uses the notify/update API.
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  static const netlist::Design subject = [] {
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    return netlist::generateMcu(small);
+  }();
+  const synth::Synthesizer synth(lib);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  synth::SynthesisOptions options;
+  options.incrementalSta = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.run(subject, clock, options));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(subject.gateCount()));
+}
+BENCHMARK(BM_SynthesisOptimize)->ArgName("incremental")->Arg(0)->Arg(1);
+
+void BM_IncrementalSta(benchmark::State& state) {
+  // Steady-state cost of one sizing move: rebind a cell, notify, update.
+  // Compare against BM_FullDesignSta — the from-scratch analysis of the
+  // same design — for the per-move speedup.
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  static netlist::Design design = mappedMcu(lib).design;
+  static const synth::Synthesizer synth(lib);
+
+  // A mid-levelization instance whose function family has ≥2 members; the
+  // iteration toggles it between the weakest and strongest sibling.
+  static const netlist::InstIndex victim = [] {
+    netlist::InstIndex pick = netlist::kNoInst;
+    for (netlist::InstIndex i = 0; i < design.instanceCount(); ++i) {
+      const auto& inst = design.instance(i);
+      if (!inst.alive || inst.cell == nullptr) continue;
+      if (netlist::isSequential(inst.op)) continue;
+      if (synth.family(inst.op).size() >= 2) pick = i;
+    }
+    return pick;
+  }();
+  if (victim == netlist::kNoInst) {
+    state.SkipWithError("no swappable instance in the mapped MCU");
+    return;
+  }
+  const auto& family = synth.family(design.instance(victim).op);
+
+  sta::TimingAnalyzer analyzer(design, lib, clock);
+  analyzer.analyze();
+  bool strong = false;
+  for (auto _ : state) {
+    design.bindCell(victim, strong ? family.back() : family.front());
+    strong = !strong;
+    analyzer.notifyCellSwap(victim);
+    benchmark::DoNotOptimize(analyzer.update());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IncrementalSta);
+
 void BM_MonteCarloPath(benchmark::State& state) {
   static const charlib::Characterizer chr(smallCharConfig());
   static const liberty::Library lib =

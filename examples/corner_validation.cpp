@@ -48,9 +48,10 @@ int main() {
     std::printf("no critical path found\n");
     return 1;
   }
+  const std::string endpointLabel =
+      sta::endpointName(tuned.synthesis.design, critical->endpoint);
   std::printf("critical path: %zu cells into %s (slack %+.3f ns)\n",
-              critical->depth(), critical->endpoint.name.c_str(),
-              critical->slack());
+              critical->depth(), endpointLabel.c_str(), critical->slack());
 
   const variation::PathMonteCarlo mc(flow.characterizer());
   variation::PathMcConfig mcConfig;

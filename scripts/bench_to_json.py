@@ -1,8 +1,17 @@
 #!/usr/bin/env python3
 """Converts google-benchmark JSON output into the repo's BENCH_perf.json
 record: benchmark name -> ns/op, plus the thread count encoded in the
-benchmark name (".../threads:N") and the git revision, so the performance
-trajectory of the tuned kernels is tracked across commits.
+benchmark name (".../threads:N") and the git revision.
+
+The output file keeps a per-revision *history* instead of a single snapshot:
+
+    {"runs": [{"git_rev": ..., "date": ..., "benchmarks": [...]}, ...]}
+
+Each invocation appends one run entry (or replaces the entry of the same
+git revision, so re-running on a dirty tree doesn't grow the file), which
+tracks the performance trajectory of the tuned kernels across commits. A
+legacy single-snapshot file (the pre-history flat schema) is migrated into
+the first history entry on the next run.
 
 Usage: bench_to_json.py <google-benchmark-json> <output-json>
 """
@@ -71,16 +80,37 @@ def convert(raw):
     }
 
 
+def load_history(path):
+    """Existing run history at `path`; migrates the legacy flat schema."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            existing = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
+        return existing["runs"]
+    if isinstance(existing, dict) and "benchmarks" in existing:
+        return [existing]  # legacy single-snapshot file
+    return []
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     with open(sys.argv[1]) as f:
         raw = json.load(f)
-    out = convert(raw)
+    run = convert(raw)
+    runs = [r for r in load_history(sys.argv[2]) if r.get("git_rev") != run["git_rev"]]
+    runs.append(run)
     with open(sys.argv[2], "w") as f:
-        json.dump(out, f, indent=2)
+        json.dump({"runs": runs}, f, indent=2)
         f.write("\n")
-    print(f"wrote {len(out['benchmarks'])} records to {sys.argv[2]}")
+    print(
+        f"wrote {len(run['benchmarks'])} records for {run['git_rev']} "
+        f"to {sys.argv[2]} ({len(runs)} revision(s) in history)"
+    )
 
 
 if __name__ == "__main__":

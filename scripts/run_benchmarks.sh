@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Builds and runs the perf microbenchmarks and records BENCH_perf.json
-# (benchmark name -> ns/op, thread count, git rev) at the repo root, so the
-# performance trajectory of the parallelized kernels is tracked per commit.
+# Builds and runs the perf microbenchmarks and appends a per-revision entry
+# to BENCH_perf.json (benchmark name -> ns/op, thread count, git rev) at the
+# repo root, so the performance trajectory of the tuned kernels is tracked
+# across commits instead of overwritten.
 #
 #   scripts/run_benchmarks.sh [output.json]
 #
 # Environment:
 #   BUILD_DIR     build tree to use                (default: build)
+#   BUILD_TYPE    CMAKE_BUILD_TYPE for the tree    (default: keep configured)
 #   BENCH_FILTER  --benchmark_filter regex         (default: all benchmarks)
 set -euo pipefail
 
@@ -16,7 +18,7 @@ OUT="${1:-BENCH_perf.json}"
 RAW="$(mktemp /tmp/bench_raw.XXXXXX.json)"
 trap 'rm -f "$RAW"' EXIT
 
-cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake -B "$BUILD_DIR" -S . ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
 cmake --build "$BUILD_DIR" --target bench_perf_core -j >/dev/null
 
 "$BUILD_DIR/bench/bench_perf_core" \

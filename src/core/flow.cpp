@@ -93,7 +93,7 @@ DesignMeasurement TuningFlow::measure(synth::SynthesisResult result,
     record.sigma = ps.sigma;
     record.arrival = path.endpoint.arrival;
     record.slack = path.endpoint.slack;
-    record.endpoint = path.endpoint.name;
+    record.endpoint = analyzer.endpointName(path.endpoint);
     out.paths.push_back(std::move(record));
   }
   return out;

@@ -16,12 +16,37 @@ double Cell::inputCapacitance(std::string_view pin) const noexcept {
              : 0.0;
 }
 
-std::vector<const TimingArc*> Cell::arcsTo(std::string_view outputPin) const {
-  std::vector<const TimingArc*> out;
-  for (const TimingArc& arc : arcs_) {
-    if (arc.outputPin == outputPin) out.push_back(&arc);
+const Cell::DerivedIndex& Cell::index() const {
+  if (index_ == nullptr) {
+    auto idx = std::make_unique<DerivedIndex>();
+    for (const Pin& pin : pins_) {
+      (pin.direction == PinDirection::kInput ? idx->inputPins
+                                             : idx->outputPins)
+          .push_back(&pin);
+    }
+    for (const TimingArc& arc : arcs_) {
+      auto group = idx->fanout.begin();
+      for (; group != idx->fanout.end(); ++group) {
+        if (group->first == arc.outputPin) break;
+      }
+      if (group == idx->fanout.end()) {
+        idx->fanout.emplace_back(arc.outputPin,
+                                 std::vector<const TimingArc*>{});
+        group = std::prev(idx->fanout.end());
+      }
+      group->second.push_back(&arc);
+    }
+    index_ = std::move(idx);
   }
-  return out;
+  return *index_;
+}
+
+std::span<const TimingArc* const> Cell::fanoutArcs(
+    std::string_view outputPin) const {
+  for (const auto& [pin, arcs] : index().fanout) {
+    if (pin == outputPin) return arcs;
+  }
+  return {};
 }
 
 const TimingArc* Cell::findArc(std::string_view relatedPin,
@@ -32,20 +57,10 @@ const TimingArc* Cell::findArc(std::string_view relatedPin,
   return nullptr;
 }
 
-std::vector<const Pin*> Cell::inputPins() const {
-  std::vector<const Pin*> out;
-  for (const Pin& pin : pins_) {
-    if (pin.direction == PinDirection::kInput) out.push_back(&pin);
-  }
-  return out;
-}
+std::span<const Pin* const> Cell::inputPins() const { return index().inputPins; }
 
-std::vector<const Pin*> Cell::outputPins() const {
-  std::vector<const Pin*> out;
-  for (const Pin& pin : pins_) {
-    if (pin.direction == PinDirection::kOutput) out.push_back(&pin);
-  }
-  return out;
+std::span<const Pin* const> Cell::outputPins() const {
+  return index().outputPins;
 }
 
 }  // namespace sct::liberty

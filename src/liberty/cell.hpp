@@ -3,9 +3,12 @@
 // arc holds the four LUTs of a related-pin/output-pin pair (rise/fall delay
 // and rise/fall output transition), exactly the tables the tuner restricts.
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "liberty/function.hpp"
@@ -58,6 +61,37 @@ class Cell {
         drive_strength_(driveStrength),
         area_(area) {}
 
+  // The derived pin/arc index (see below) holds pointers into pins_/arcs_;
+  // copies must not share it. Moves keep the heap buffers, so the index
+  // stays valid and travels with the cell.
+  Cell(const Cell& other)
+      : name_(other.name_),
+        function_(other.function_),
+        drive_strength_(other.drive_strength_),
+        area_(other.area_),
+        setup_time_(other.setup_time_),
+        hold_time_(other.hold_time_),
+        setup_lut_(other.setup_lut_),
+        pins_(other.pins_),
+        arcs_(other.arcs_) {}
+  Cell& operator=(const Cell& other) {
+    if (this == &other) return *this;
+    name_ = other.name_;
+    function_ = other.function_;
+    drive_strength_ = other.drive_strength_;
+    area_ = other.area_;
+    setup_time_ = other.setup_time_;
+    hold_time_ = other.hold_time_;
+    setup_lut_ = other.setup_lut_;
+    pins_ = other.pins_;
+    arcs_ = other.arcs_;
+    index_.reset();
+    return *this;
+  }
+  Cell(Cell&&) noexcept = default;
+  Cell& operator=(Cell&&) noexcept = default;
+  ~Cell() = default;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] CellFunction function() const noexcept { return function_; }
   [[nodiscard]] double driveStrength() const noexcept { return drive_strength_; }
@@ -90,28 +124,53 @@ class Cell {
   void setHoldTime(double t) noexcept { hold_time_ = t; }
 
   [[nodiscard]] const std::vector<Pin>& pins() const noexcept { return pins_; }
-  [[nodiscard]] std::vector<Pin>& pins() noexcept { return pins_; }
+  [[nodiscard]] std::vector<Pin>& pins() noexcept {
+    index_.reset();  // caller may mutate through the reference
+    return pins_;
+  }
   [[nodiscard]] const std::vector<TimingArc>& arcs() const noexcept {
     return arcs_;
   }
-  [[nodiscard]] std::vector<TimingArc>& arcs() noexcept { return arcs_; }
+  [[nodiscard]] std::vector<TimingArc>& arcs() noexcept {
+    index_.reset();
+    return arcs_;
+  }
 
-  void addPin(Pin pin) { pins_.push_back(std::move(pin)); }
-  void addArc(TimingArc arc) { arcs_.push_back(std::move(arc)); }
+  void addPin(Pin pin) {
+    index_.reset();
+    pins_.push_back(std::move(pin));
+  }
+  void addArc(TimingArc arc) {
+    index_.reset();
+    arcs_.push_back(std::move(arc));
+  }
 
   [[nodiscard]] const Pin* findPin(std::string_view name) const noexcept;
   /// Input pin capacitance; 0 when the pin does not exist.
   [[nodiscard]] double inputCapacitance(std::string_view pin) const noexcept;
-  /// Arcs driving the given output pin.
-  [[nodiscard]] std::vector<const TimingArc*> arcsTo(
+  /// Arcs driving the given output pin. Cached: built once per cell, so
+  /// report/finalize loops do not allocate.
+  [[nodiscard]] std::span<const TimingArc* const> fanoutArcs(
       std::string_view outputPin) const;
   /// Arc for a specific related-pin/output-pin pair, if present.
   [[nodiscard]] const TimingArc* findArc(std::string_view relatedPin,
                                          std::string_view outputPin) const noexcept;
-  [[nodiscard]] std::vector<const Pin*> inputPins() const;
-  [[nodiscard]] std::vector<const Pin*> outputPins() const;
+  /// Input/output pins in declaration order; cached like fanoutArcs().
+  [[nodiscard]] std::span<const Pin* const> inputPins() const;
+  [[nodiscard]] std::span<const Pin* const> outputPins() const;
 
  private:
+  /// Derived views of pins_/arcs_, built lazily on first query and dropped
+  /// on any mutation. Pointers target the owning cell's vectors (stable
+  /// across moves, rebuilt on copy).
+  struct DerivedIndex {
+    std::vector<const Pin*> inputPins;
+    std::vector<const Pin*> outputPins;
+    /// Arcs grouped per output pin, in arc declaration order.
+    std::vector<std::pair<std::string, std::vector<const TimingArc*>>> fanout;
+  };
+  const DerivedIndex& index() const;
+
   std::string name_;
   CellFunction function_ = CellFunction::kInv;
   double drive_strength_ = 1.0;
@@ -121,6 +180,7 @@ class Cell {
   Lut setup_lut_;  ///< rows: data slew, cols: clock slew; empty = scalar
   std::vector<Pin> pins_;
   std::vector<TimingArc> arcs_;
+  mutable std::unique_ptr<DerivedIndex> index_;
 };
 
 }  // namespace sct::liberty

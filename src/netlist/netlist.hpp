@@ -53,9 +53,59 @@ enum class PrimOp : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view toString(PrimOp op) noexcept;
-[[nodiscard]] std::size_t numInputs(PrimOp op) noexcept;
-[[nodiscard]] std::size_t numOutputs(PrimOp op) noexcept;
-[[nodiscard]] bool isSequential(PrimOp op) noexcept;
+
+// Inline: these predicates sit in every hot loop of levelization, timing
+// propagation and netlist sweeps.
+[[nodiscard]] inline constexpr std::size_t numInputs(PrimOp op) noexcept {
+  switch (op) {
+    case PrimOp::kConst0:
+    case PrimOp::kConst1:
+      return 0;
+    case PrimOp::kInv:
+    case PrimOp::kBuf:
+    case PrimOp::kDff:
+    case PrimOp::kDffR:
+      return 1;
+    case PrimOp::kNand2:
+    case PrimOp::kNand2B:
+    case PrimOp::kNor2:
+    case PrimOp::kNor2B:
+    case PrimOp::kAnd2:
+    case PrimOp::kOr2:
+    case PrimOp::kXor2:
+    case PrimOp::kXnor2:
+    case PrimOp::kHalfAdder:
+    case PrimOp::kDffE:
+      return 2;
+    case PrimOp::kNand3:
+    case PrimOp::kNor3:
+    case PrimOp::kAnd3:
+    case PrimOp::kOr3:
+    case PrimOp::kMux2:
+    case PrimOp::kFullAdder:
+      return 3;
+    case PrimOp::kNand4:
+    case PrimOp::kNor4:
+    case PrimOp::kAnd4:
+    case PrimOp::kOr4:
+      return 4;
+    case PrimOp::kMux4:
+      return 6;
+  }
+  return 0;
+}
+[[nodiscard]] inline constexpr std::size_t numOutputs(PrimOp op) noexcept {
+  switch (op) {
+    case PrimOp::kHalfAdder:
+    case PrimOp::kFullAdder:
+      return 2;
+    default:
+      return 1;
+  }
+}
+[[nodiscard]] inline constexpr bool isSequential(PrimOp op) noexcept {
+  return op == PrimOp::kDff || op == PrimOp::kDffR || op == PrimOp::kDffE;
+}
 /// Natural library function family of the primitive.
 [[nodiscard]] liberty::CellFunction defaultFunction(PrimOp op) noexcept;
 

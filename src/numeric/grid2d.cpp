@@ -1,7 +1,5 @@
 #include "numeric/grid2d.hpp"
 
-#include <algorithm>
-
 namespace sct::numeric {
 
 bool isStrictlyIncreasing(const Axis& axis) noexcept {
@@ -10,14 +8,6 @@ bool isStrictlyIncreasing(const Axis& axis) noexcept {
     if (axis[i] <= axis[i - 1]) return false;
   }
   return true;
-}
-
-std::size_t bracket(const Axis& axis, double x) noexcept {
-  assert(axis.size() >= 2);
-  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
-  if (it == axis.begin()) return 0;
-  std::size_t idx = static_cast<std::size_t>(it - axis.begin()) - 1;
-  return std::min(idx, axis.size() - 2);
 }
 
 }  // namespace sct::numeric

@@ -73,7 +73,14 @@ using Axis = std::vector<double>;
 
 /// Index i such that axis[i] <= x < axis[i+1], clamped to [0, n-2] so the
 /// surrounding segment always exists (callers extrapolate or clamp outside
-/// the axis range). Requires axis.size() >= 2.
-[[nodiscard]] std::size_t bracket(const Axis& axis, double x) noexcept;
+/// the axis range). Requires axis.size() >= 2. Linear scan: library axes
+/// have a handful of breakpoints, where the scan beats a binary search.
+[[nodiscard]] inline std::size_t bracket(const Axis& axis, double x) noexcept {
+  assert(axis.size() >= 2);
+  const std::size_t last = axis.size() - 1;
+  std::size_t i = 1;
+  while (i < last && axis[i] <= x) ++i;
+  return i - 1;
+}
 
 }  // namespace sct::numeric

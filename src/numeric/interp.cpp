@@ -70,4 +70,28 @@ double bilinear(const Axis& slewAxis, const Axis& loadAxis, const Grid2d& grid,
   return p1 * (1.0 - ts) + p2 * ts;
 }
 
+InterpCoords interpCoords(const Axis& slewAxis, const Axis& loadAxis,
+                          double slew, double load,
+                          EdgePolicy policy) noexcept {
+  assert(!slewAxis.empty() && !loadAxis.empty());
+  if (policy == EdgePolicy::kClamp) {
+    slew = clampToAxis(slewAxis, slew);
+    load = clampToAxis(loadAxis, load);
+  }
+  InterpCoords coords;
+  coords.singleRow = slewAxis.size() == 1;
+  coords.singleCol = loadAxis.size() == 1;
+  if (!coords.singleCol) {
+    coords.col = bracket(loadAxis, load);
+    coords.colWeight =
+        segmentRatio(loadAxis[coords.col], loadAxis[coords.col + 1], load);
+  }
+  if (!coords.singleRow) {
+    coords.row = bracket(slewAxis, slew);
+    coords.rowWeight =
+        segmentRatio(slewAxis[coords.row], slewAxis[coords.row + 1], slew);
+  }
+  return coords;
+}
+
 }  // namespace sct::numeric

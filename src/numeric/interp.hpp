@@ -28,4 +28,40 @@ enum class EdgePolicy {
                             double x,
                             EdgePolicy policy = EdgePolicy::kClamp) noexcept;
 
+/// Precomputed bilinear coordinates: the axis brackets and interpolation
+/// weights of one (slew, load) query. Tables characterized on the same
+/// axes (the rise/fall delay and transition tables of one timing arc) can
+/// share a single axis search and reuse the weights for every grid,
+/// which removes the dominant cost of repeated lookups at one operating
+/// point. apply() reproduces bilinear() bit-for-bit.
+struct InterpCoords {
+  std::size_t row = 0;   ///< slew-axis bracket index
+  std::size_t col = 0;   ///< load-axis bracket index
+  double rowWeight = 0;  ///< weight of row+1 along the slew axis
+  double colWeight = 0;  ///< weight of col+1 along the load axis
+  bool singleRow = true; ///< degenerate (size-1) slew axis
+  bool singleCol = true; ///< degenerate (size-1) load axis
+
+  /// Interpolates a grid shaped like the axes the coords were built from.
+  [[nodiscard]] double apply(const Grid2d& grid) const noexcept {
+    if (singleRow && singleCol) return grid.at(0, 0);
+    const auto rowInterp = [&](std::size_t r) {
+      if (singleCol) return grid.at(r, 0);
+      return grid.at(r, col) * (1.0 - colWeight) +
+             grid.at(r, col + 1) * colWeight;
+    };
+    if (singleRow) return rowInterp(0);
+    const double p1 = rowInterp(row);
+    const double p2 = rowInterp(row + 1);
+    return p1 * (1.0 - rowWeight) + p2 * rowWeight;
+  }
+};
+
+/// Resolves the bracket/weight coordinates of (slew, load) on a shared axis
+/// pair. bilinear(a, l, g, s, x) == interpCoords(a, l, s, x).apply(g) for
+/// every grid g characterized on the same axes.
+[[nodiscard]] InterpCoords interpCoords(
+    const Axis& slewAxis, const Axis& loadAxis, double slew, double load,
+    EdgePolicy policy = EdgePolicy::kClamp) noexcept;
+
 }  // namespace sct::numeric

@@ -95,7 +95,8 @@ void writeCriticalPaths(std::ostream& out, const TimingAnalyzer& sta,
   for (std::size_t p = 0; p < count; ++p) {
     const Endpoint& ep = *ranked[p];
     const TimingPath path = sta.worstPathTo(ep);
-    out << "\nCritical path " << (p + 1) << ": " << ep.name << " (slack "
+    out << "\nCritical path " << (p + 1) << ": " << sta.endpointName(ep)
+        << " (slack "
         << ep.slack << " ns, depth " << path.depth() << ")\n";
     out << "  " << std::left << std::setw(12) << "cell" << std::setw(10)
         << "arc" << std::right << std::setw(10) << "incr" << std::setw(10)

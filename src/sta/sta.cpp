@@ -1,9 +1,12 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <queue>
+#include <utility>
 
 namespace sct::sta {
 
@@ -42,29 +45,43 @@ std::string_view outputPinName(const Instance& inst,
 TimingAnalyzer::TimingAnalyzer(const Design& design,
                                const liberty::Library& library,
                                ClockSpec clock)
-    : design_(design), library_(library), clock_(clock) {
-  (void)library_;
+    : design_(design), library_(library), clock_(clock), views_(library) {}
+
+void TimingAnalyzer::refreshInstanceViews() {
+  inst_view_.assign(design_.instanceCount(), nullptr);
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    const Instance& inst = design_.instance(static_cast<InstIndex>(i));
+    if (inst.alive && inst.cell != nullptr) {
+      inst_view_[i] = &views_.of(*inst.cell);
+    }
+  }
+}
+
+double TimingAnalyzer::recomputeNetLoad(NetIndex n) const {
+  const netlist::Net& net = design_.net(n);
+  double load = net.isPrimaryOutput ? clock_.outputLoad : 0.0;
+  std::size_t fanout = 0;
+  for (const netlist::SinkRef& sink : net.sinks) {
+    const Instance& inst = design_.instance(sink.instance);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    load += inst_view_[sink.instance]->inputCap(netlist::isSequential(inst.op),
+                                                sink.inputSlot);
+    ++fanout;
+  }
+  return load + clock_.wireLoad.netCap(fanout);
 }
 
 void TimingAnalyzer::computeLoads() {
   load_.assign(design_.netCount(), 0.0);
   for (NetIndex n = 0; n < design_.netCount(); ++n) {
-    const netlist::Net& net = design_.net(n);
-    double load = net.isPrimaryOutput ? clock_.outputLoad : 0.0;
-    std::size_t fanout = 0;
-    for (const netlist::SinkRef& sink : net.sinks) {
-      const Instance& inst = design_.instance(sink.instance);
-      if (!inst.alive || inst.cell == nullptr) continue;
-      load += inst.cell->inputCapacitance(inputPinName(inst, sink.inputSlot));
-      ++fanout;
-    }
-    load_[n] = load + clock_.wireLoad.netCap(fanout);
+    load_[n] = recomputeNetLoad(n);
   }
 }
 
 bool TimingAnalyzer::levelize() {
   topo_.clear();
   topo_.reserve(design_.instanceCount());
+  level_.assign(design_.instanceCount(), 0);
   std::vector<std::uint32_t> indegree(design_.instanceCount(), 0);
 
   std::size_t combCount = 0;
@@ -76,15 +93,14 @@ bool TimingAnalyzer::levelize() {
                           netlist::numInputs(inst.op) == 0;
     if (!isSource) {
       ++combCount;
+      // Every alive driver gates this instance: sequential launches and tie
+      // cells write their output nets during propagation too, so a gate must
+      // come after all of its drivers, not just the combinational ones.
       std::uint32_t deg = 0;
       for (NetIndex in : inst.inputs) {
         const netlist::Net& net = design_.net(in);
         if (net.driver == kNoInst) continue;
-        const Instance& drv = design_.instance(net.driver);
-        if (drv.alive && !netlist::isSequential(drv.op) &&
-            netlist::numInputs(drv.op) != 0) {
-          ++deg;
-        }
+        if (design_.instance(net.driver).alive) ++deg;
       }
       indegree[i] = deg;
       if (deg == 0) queue.push_back(static_cast<InstIndex>(i));
@@ -108,11 +124,102 @@ bool TimingAnalyzer::levelize() {
             netlist::numInputs(target.op) == 0) {
           continue;
         }
+        level_[sink.instance] =
+            std::max(level_[sink.instance], level_[index] + 1u);
         if (--indegree[sink.instance] == 0) queue.push_back(sink.instance);
       }
     }
   }
   return combProcessed == combCount;
+}
+
+std::uint32_t TimingAnalyzer::computeLevel(const Instance& inst) const {
+  std::uint32_t level = 0;
+  for (NetIndex in : inst.inputs) {
+    const InstIndex d = design_.net(in).driver;
+    if (d == kNoInst) continue;
+    if (!design_.instance(d).alive) continue;
+    level = std::max(level, level_[d] + 1u);
+  }
+  return level;
+}
+
+void TimingAnalyzer::rebuildTopoFromLevels() {
+  topo_.clear();
+  for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
+    if (design_.instance(static_cast<InstIndex>(i)).alive) {
+      topo_.push_back(static_cast<InstIndex>(i));
+    }
+  }
+  std::sort(topo_.begin(), topo_.end(), [&](InstIndex a, InstIndex b) {
+    return level_[a] != level_[b] ? level_[a] < level_[b] : a < b;
+  });
+}
+
+void TimingAnalyzer::evalInstance(InstIndex index,
+                                  std::vector<NetIndex>* changedNets) {
+  const Instance& inst = design_.instance(index);
+  if (!inst.alive || inst.cell == nullptr) return;
+  const CompiledCell* view = inst_view_[index];
+  assert(view != nullptr);
+
+  const auto commit = [&](NetIndex out, double a, double m, double s,
+                          const Pred& p) {
+    const bool changed =
+        a != arrival_[out] || m != min_arrival_[out] || s != slew_[out];
+    arrival_[out] = a;
+    min_arrival_[out] = m;
+    slew_[out] = s;
+    pred_[out] = p;
+    if (changed && changedNets != nullptr) changedNets->push_back(out);
+  };
+
+  if (netlist::numInputs(inst.op) == 0) {
+    // Tie cells: static outputs.
+    for (NetIndex out : inst.outputs) {
+      commit(out, 0.0, 0.0, clock_.inputSlew, Pred{});
+    }
+    return;
+  }
+
+  if (netlist::isSequential(inst.op)) {
+    // Launch: clock -> Q through the precompiled clk->Q arc.
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      const CompiledArc& arc = view->clockArc(slot);
+      assert(arc);
+      const ArcTiming t = arc.evaluate(clock_.clockSlew, load_[out]);
+      const double delay = t.worstDelay * clock_.derateLate;
+      commit(out, delay, t.bestDelay * clock_.derateEarly, t.worstTransition,
+             Pred{index, arc.arc(), 0, delay, clock_.clockSlew});
+    }
+    return;
+  }
+
+  for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+    const NetIndex out = inst.outputs[slot];
+    double bestArrival = -kInf;
+    double earliest = kInf;
+    double worstSlew = 0.0;
+    Pred best;
+    for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+      const CompiledArc& arc = view->arc(i, slot);
+      if (!arc) continue;
+      const NetIndex in = inst.inputs[i];
+      const ArcTiming t = arc.evaluate(slew_[in], load_[out]);
+      const double delay = t.worstDelay * clock_.derateLate;
+      const double cand = arrival_[in] + delay;
+      if (cand > bestArrival) {
+        bestArrival = cand;
+        best = Pred{index, arc.arc(), i, delay, slew_[in]};
+      }
+      earliest = std::min(earliest,
+                          min_arrival_[in] + t.bestDelay * clock_.derateEarly);
+      worstSlew = std::max(worstSlew, t.worstTransition);
+    }
+    assert(best.arc != nullptr);
+    commit(out, bestArrival, earliest, worstSlew, best);
+  }
 }
 
 void TimingAnalyzer::propagateArrivals() {
@@ -130,67 +237,9 @@ void TimingAnalyzer::propagateArrivals() {
   }
 
   for (InstIndex index : topo_) {
-    const Instance& inst = design_.instance(index);
-    assert(inst.cell != nullptr && "STA requires a mapped design");
-
-    if (netlist::numInputs(inst.op) == 0) {
-      // Tie cells: static outputs.
-      for (NetIndex out : inst.outputs) {
-        arrival_[out] = 0.0;
-        slew_[out] = clock_.inputSlew;
-      }
-      continue;
-    }
-
-    if (netlist::isSequential(inst.op)) {
-      // Launch: clock -> Q through the clk->Q arc.
-      for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
-        const NetIndex out = inst.outputs[slot];
-        const liberty::TimingArc* arc =
-            inst.cell->findArc("CP", outputPinName(inst, slot));
-        assert(arc != nullptr);
-        const double delay =
-            arc->worstDelay(clock_.clockSlew, load_[out]) * clock_.derateLate;
-        arrival_[out] = delay;
-        min_arrival_[out] = arc->bestDelay(clock_.clockSlew, load_[out]) *
-                            clock_.derateEarly;
-        slew_[out] = arc->worstTransition(clock_.clockSlew, load_[out]);
-        pred_[out] = Pred{index, arc, 0, delay, clock_.clockSlew};
-      }
-      continue;
-    }
-
-    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
-      const NetIndex out = inst.outputs[slot];
-      double bestArrival = -kInf;
-      double earliest = kInf;
-      double worstSlew = 0.0;
-      Pred best;
-      for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
-        const liberty::TimingArc* arc = inst.cell->findArc(
-            inputPinName(inst, i), outputPinName(inst, slot));
-        if (arc == nullptr) continue;
-        const NetIndex in = inst.inputs[i];
-        const double delay =
-            arc->worstDelay(slew_[in], load_[out]) * clock_.derateLate;
-        const double cand = arrival_[in] + delay;
-        if (cand > bestArrival) {
-          bestArrival = cand;
-          best = Pred{index, arc, i, delay, slew_[in]};
-        }
-        earliest = std::min(earliest,
-                            min_arrival_[in] +
-                                arc->bestDelay(slew_[in], load_[out]) *
-                                    clock_.derateEarly);
-        worstSlew = std::max(
-            worstSlew, arc->worstTransition(slew_[in], load_[out]));
-      }
-      assert(best.arc != nullptr);
-      arrival_[out] = bestArrival;
-      min_arrival_[out] = earliest;
-      slew_[out] = worstSlew;
-      pred_[out] = best;
-    }
+    assert(design_.instance(index).cell != nullptr &&
+           "STA requires a mapped design");
+    evalInstance(index, nullptr);
   }
 }
 
@@ -199,12 +248,15 @@ void TimingAnalyzer::collectEndpoints() {
   worst_slack_ = kInf;
   worst_hold_slack_ = kInf;
   tns_ = 0.0;
+  ep_required_.assign(design_.netCount(), kInf);
 
-  auto finish = [&](Endpoint ep) {
+  auto finish = [&](const Endpoint& ep0) {
+    Endpoint ep = ep0;
     ep.slack = ep.required - ep.arrival;
     worst_slack_ = std::min(worst_slack_, ep.slack);
     if (ep.slack < 0.0) tns_ += ep.slack;
-    endpoints_.push_back(std::move(ep));
+    ep_required_[ep.net] = std::min(ep_required_[ep.net], ep.required);
+    endpoints_.push_back(ep);
   };
 
   for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
@@ -215,7 +267,6 @@ void TimingAnalyzer::collectEndpoints() {
       ep.instance = static_cast<InstIndex>(i);
       ep.inputSlot = slot;
       ep.net = inst.inputs[slot];
-      ep.name = inst.name + "/" + std::string(inputPinName(inst, slot));
       ep.arrival = arrival_[ep.net];
       ep.required = clock_.effectivePeriod() -
                     inst.cell->setupTime(slew_[ep.net], clock_.clockSlew);
@@ -224,60 +275,437 @@ void TimingAnalyzer::collectEndpoints() {
       ep.minArrival = min_arrival_[ep.net];
       ep.holdSlack = ep.minArrival - inst.cell->holdTime();
       worst_hold_slack_ = std::min(worst_hold_slack_, ep.holdSlack);
-      finish(std::move(ep));
+      finish(ep);
     }
   }
-  for (const netlist::Port& port : design_.ports()) {
+  for (std::size_t p = 0; p < design_.ports().size(); ++p) {
+    const netlist::Port& port = design_.ports()[p];
     if (port.direction != netlist::PortDirection::kOutput) continue;
     Endpoint ep;
     ep.net = port.net;
-    ep.name = port.name;
+    ep.port = static_cast<std::uint32_t>(p);
     ep.arrival = arrival_[port.net];
     ep.required = clock_.effectivePeriod();
-    finish(std::move(ep));
+    finish(ep);
   }
   if (endpoints_.empty()) worst_slack_ = 0.0;
 }
 
 void TimingAnalyzer::propagateRequired() {
-  required_.assign(design_.netCount(), kInf);
-  for (const Endpoint& ep : endpoints_) {
-    required_[ep.net] = std::min(required_[ep.net], ep.required);
-  }
+  required_ = ep_required_;
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const Instance& inst = design_.instance(*it);
     if (netlist::isSequential(inst.op) || netlist::numInputs(inst.op) == 0) {
       continue;
     }
+    const CompiledCell* view = inst_view_[*it];
     for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
       const NetIndex out = inst.outputs[slot];
       if (required_[out] == kInf) continue;
       for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
-        const liberty::TimingArc* arc = inst.cell->findArc(
-            inputPinName(inst, i), outputPinName(inst, slot));
-        if (arc == nullptr) continue;
+        const CompiledArc& arc = view->arc(i, slot);
+        if (!arc) continue;
         const NetIndex in = inst.inputs[i];
         const double delay =
-            arc->worstDelay(slew_[in], load_[out]) * clock_.derateLate;
+            arc.worstDelay(slew_[in], load_[out]) * clock_.derateLate;
         required_[in] = std::min(required_[in], required_[out] - delay);
       }
     }
   }
 }
 
+double TimingAnalyzer::recomputeRequired(NetIndex n) const {
+  double r = ep_required_[n];
+  for (const netlist::SinkRef& sink : design_.net(n).sinks) {
+    const Instance& inst = design_.instance(sink.instance);
+    if (!inst.alive || inst.cell == nullptr) continue;
+    if (netlist::isSequential(inst.op) || netlist::numInputs(inst.op) == 0) {
+      continue;
+    }
+    const CompiledCell* view = inst_view_[sink.instance];
+    for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
+      const NetIndex out = inst.outputs[slot];
+      if (required_[out] == kInf) continue;
+      const CompiledArc& arc = view->arc(sink.inputSlot, slot);
+      if (!arc) continue;
+      const double delay =
+          arc.worstDelay(slew_[n], load_[out]) * clock_.derateLate;
+      r = std::min(r, required_[out] - delay);
+    }
+  }
+  return r;
+}
+
 bool TimingAnalyzer::analyze() {
+  pending_.clear();
+  baseline_valid_ = false;
   // A mapped design is a precondition; fail cleanly on unmapped instances
   // (e.g. when synthesis could not find usable cells for every function).
   for (std::size_t i = 0; i < design_.instanceCount(); ++i) {
     const Instance& inst = design_.instance(static_cast<InstIndex>(i));
     if (inst.alive && inst.cell == nullptr) return false;
   }
+  refreshInstanceViews();
   computeLoads();
   if (!levelize()) return false;
   propagateArrivals();
   collectEndpoints();
   propagateRequired();
+  baseline_valid_ = true;
   return true;
+}
+
+void TimingAnalyzer::notifyCellSwap(InstIndex instance) {
+  pending_.push_back(PendingEdit{PendingEdit::Kind::kCellSwap, instance, 0,
+                                 kNoNet});
+}
+
+void TimingAnalyzer::notifyBufferInsert(InstIndex instance) {
+  pending_.push_back(PendingEdit{PendingEdit::Kind::kNewInstance, instance, 0,
+                                 kNoNet});
+}
+
+void TimingAnalyzer::notifyReconnect(InstIndex sink, std::uint32_t slot,
+                                     NetIndex previousNet) {
+  pending_.push_back(
+      PendingEdit{PendingEdit::Kind::kReconnect, sink, slot, previousNet});
+}
+
+bool TimingAnalyzer::update() {
+  if (!baseline_valid_) return analyze();
+  if (pending_.empty()) return true;
+
+  const std::size_t netCount = design_.netCount();
+  const std::size_t instCount = design_.instanceCount();
+
+  // Grow per-net / per-instance state for netlist growth since the baseline;
+  // defaults match the initial values of a full propagation.
+  load_.resize(netCount, 0.0);
+  arrival_.resize(netCount, 0.0);
+  min_arrival_.resize(netCount, 0.0);
+  slew_.resize(netCount, clock_.inputSlew);
+  required_.resize(netCount, kInf);
+  pred_.resize(netCount);
+  level_.resize(instCount, 0);
+  inst_view_.resize(instCount, nullptr);
+
+  // --- classify the recorded edits -----------------------------------------
+  std::vector<std::uint8_t> netTouched(netCount, 0);
+  std::vector<std::uint8_t> instDirty(instCount, 0);
+  std::vector<NetIndex> touchedNets;
+  std::vector<InstIndex> dirtyInsts;
+  std::vector<NetIndex> backwardSeeds;
+  bool structural = false;
+
+  const auto touchNet = [&](NetIndex n) {
+    if (n == kNoNet || n >= netCount || netTouched[n] != 0) return;
+    netTouched[n] = 1;
+    touchedNets.push_back(n);
+  };
+  const auto markDirty = [&](InstIndex i) {
+    if (instDirty[i] != 0) return;
+    instDirty[i] = 1;
+    dirtyInsts.push_back(i);
+  };
+
+  for (const PendingEdit& edit : pending_) {
+    const Instance& inst = design_.instance(edit.instance);
+    if (!inst.alive || inst.cell == nullptr) {
+      // Removed or unmapped mid-flight: outside the incremental contract.
+      return analyze();
+    }
+    switch (edit.kind) {
+      case PendingEdit::Kind::kCellSwap:
+        // New LUTs and input caps: re-evaluate the instance, re-sum the
+        // loads it presents, and redo required times into its inputs.
+        inst_view_[edit.instance] = &views_.of(*inst.cell);
+        for (NetIndex in : inst.inputs) {
+          touchNet(in);
+          backwardSeeds.push_back(in);
+        }
+        markDirty(edit.instance);
+        break;
+      case PendingEdit::Kind::kNewInstance:
+        structural = true;
+        inst_view_[edit.instance] = &views_.of(*inst.cell);
+        for (NetIndex in : inst.inputs) {
+          touchNet(in);
+          backwardSeeds.push_back(in);
+        }
+        for (NetIndex out : inst.outputs) {
+          touchNet(out);
+          backwardSeeds.push_back(out);
+        }
+        markDirty(edit.instance);
+        break;
+      case PendingEdit::Kind::kReconnect:
+        structural = true;
+        touchNet(edit.oldNet);
+        backwardSeeds.push_back(edit.oldNet);
+        if (edit.slot < inst.inputs.size()) {
+          const NetIndex now = inst.inputs[edit.slot];
+          touchNet(now);
+          backwardSeeds.push_back(now);
+        }
+        markDirty(edit.instance);
+        break;
+    }
+  }
+  pending_.clear();
+
+  // --- loads ----------------------------------------------------------------
+  // Fresh sink-order summation per touched net (never +/- deltas, so the
+  // result is bit-identical to computeLoads()). A changed load re-times the
+  // net's driver and invalidates required times into that driver.
+  for (NetIndex n : touchedNets) {
+    const double load = recomputeNetLoad(n);
+    if (load == load_[n]) continue;
+    load_[n] = load;
+    const InstIndex d = design_.net(n).driver;
+    if (d == kNoInst) continue;
+    const Instance& drv = design_.instance(d);
+    if (!drv.alive || drv.cell == nullptr) continue;
+    markDirty(d);
+    for (NetIndex in : drv.inputs) backwardSeeds.push_back(in);
+  }
+
+  // --- levelization splice --------------------------------------------------
+  // Structural edits move instances between levels; relax the affected
+  // region forward to a fixpoint instead of re-running Kahn globally.
+  if (structural) {
+    std::vector<InstIndex> queue(dirtyInsts);
+    std::size_t relaxations = 0;
+    const std::size_t relaxationCap = 16 * instCount + 64;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      if (++relaxations > relaxationCap) {
+        return analyze();  // combinational cycle introduced by edits
+      }
+      const InstIndex index = queue[head];
+      const Instance& inst = design_.instance(index);
+      if (!inst.alive) continue;
+      if (netlist::isSequential(inst.op) || netlist::numInputs(inst.op) == 0) {
+        continue;  // sources stay at level 0
+      }
+      const std::uint32_t level = computeLevel(inst);
+      if (level == level_[index]) continue;
+      level_[index] = level;
+      for (NetIndex out : inst.outputs) {
+        for (const netlist::SinkRef& sink : design_.net(out).sinks) {
+          const Instance& target = design_.instance(sink.instance);
+          if (!target.alive || netlist::isSequential(target.op) ||
+              netlist::numInputs(target.op) == 0) {
+            continue;
+          }
+          queue.push_back(sink.instance);
+        }
+      }
+    }
+  }
+
+  // --- adaptive fallback ----------------------------------------------------
+  // A drain seeded with a large fraction of the design (the first electrical
+  // fix-up pass resizes most gates) pays more in worklist ordering than the
+  // plain level-order sweeps of a full pass. The sweeps reassign every array
+  // entry and are order-independent within a valid topological order, so the
+  // spliced levels stand in for a Kahn re-levelization.
+  if (dirtyInsts.size() * 4 > instCount) {
+    computeLoads();
+    if (structural) rebuildTopoFromLevels();
+    propagateArrivals();
+    collectEndpoints();
+    propagateRequired();
+    return true;
+  }
+
+  // --- forward propagation --------------------------------------------------
+  // Dirty instances seed a level-ordered worklist. Levels strictly increase
+  // along every driver->sink edge, so each instance is evaluated at most
+  // once and always after its relevant fan-in settled; propagation stops
+  // where the (arrival, minArrival, slew) triple is bitwise unchanged.
+  using LevelInst = std::pair<std::uint32_t, InstIndex>;
+  std::priority_queue<LevelInst, std::vector<LevelInst>, std::greater<>> fwd;
+  std::vector<std::uint8_t> inFwd(instCount, 0);
+  const auto enqueueFwd = [&](InstIndex i) {
+    if (inFwd[i] != 0) return;
+    inFwd[i] = 1;
+    fwd.emplace(level_[i], i);
+  };
+  for (InstIndex i : dirtyInsts) enqueueFwd(i);
+
+  std::vector<NetIndex> changedNets;
+  std::vector<std::uint8_t> netForwardChanged(netCount, 0);
+  while (!fwd.empty()) {
+    const InstIndex index = fwd.top().second;
+    fwd.pop();
+    changedNets.clear();
+    evalInstance(index, &changedNets);
+    for (NetIndex out : changedNets) {
+      if (netForwardChanged[out] == 0) {
+        netForwardChanged[out] = 1;
+        backwardSeeds.push_back(out);
+      }
+      for (const netlist::SinkRef& sink : design_.net(out).sinks) {
+        const Instance& target = design_.instance(sink.instance);
+        if (!target.alive || target.cell == nullptr) continue;
+        if (netlist::isSequential(target.op) ||
+            netlist::numInputs(target.op) == 0) {
+          continue;  // endpoint census below picks up the new arrival
+        }
+        enqueueFwd(sink.instance);
+      }
+    }
+  }
+
+  // --- endpoint census ------------------------------------------------------
+  // O(endpoints) and allocation-free (no name strings); recomputing all
+  // endpoint slacks keeps the WNS/TNS aggregates exact under any edit.
+  collectEndpoints();
+
+  // --- backward required ----------------------------------------------------
+  // Seeds: nets whose forward triple changed, inputs of re-timed or
+  // re-compiled instances, and both sides of every reconnect. Nets drain in
+  // decreasing driver-level order, so each net is recomputed at most once,
+  // after all of its sinks' output nets settled.
+  using LevelNet = std::pair<std::uint32_t, NetIndex>;
+  std::priority_queue<LevelNet, std::vector<LevelNet>, std::less<>> bwd;
+  std::vector<std::uint8_t> inBwd(netCount, 0);
+  const auto netLevel = [&](NetIndex n) -> std::uint32_t {
+    const InstIndex d = design_.net(n).driver;
+    return d == kNoInst ? 0u : level_[d] + 1u;
+  };
+  const auto enqueueBwd = [&](NetIndex n) {
+    if (n == kNoNet || n >= netCount || inBwd[n] != 0) return;
+    inBwd[n] = 1;
+    bwd.emplace(netLevel(n), n);
+  };
+  for (NetIndex n : backwardSeeds) enqueueBwd(n);
+
+  while (!bwd.empty()) {
+    const NetIndex n = bwd.top().second;
+    bwd.pop();
+    const double r = recomputeRequired(n);
+    if (r == required_[n]) continue;
+    required_[n] = r;
+    const InstIndex d = design_.net(n).driver;
+    if (d == kNoInst) continue;
+    const Instance& drv = design_.instance(d);
+    if (!drv.alive || netlist::isSequential(drv.op) ||
+        netlist::numInputs(drv.op) == 0) {
+      continue;
+    }
+    for (NetIndex in : drv.inputs) enqueueBwd(in);
+  }
+
+  if (structural) rebuildTopoFromLevels();
+  return true;
+}
+
+std::string endpointName(const Design& design, const Endpoint& endpoint) {
+  if (endpoint.instance != kNoInst) {
+    const Instance& inst = design.instance(endpoint.instance);
+    return inst.name + "/" +
+           std::string(inputPinName(inst, endpoint.inputSlot));
+  }
+  if (endpoint.port < design.ports().size()) {
+    return design.ports()[endpoint.port].name;
+  }
+  return "PO";
+}
+
+std::string TimingAnalyzer::endpointName(const Endpoint& endpoint) const {
+  return sta::endpointName(design_, endpoint);
+}
+
+bool TimingAnalyzer::crossCheckEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SCT_STA_CHECK");
+    return v != nullptr && v[0] == '1';
+  }();
+  return enabled;
+}
+
+namespace {
+
+std::string describeDiff(const char* what, std::size_t index, double got,
+                         double want) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s[%zu]: incremental=%.17g reference=%.17g",
+                what, index, got, want);
+  return buf;
+}
+
+}  // namespace
+
+std::string TimingAnalyzer::diffAgainstReference() const {
+  TimingAnalyzer ref(design_, library_, clock_);
+  if (!ref.analyze()) return "reference analyze() failed";
+
+  const auto diffVec = [](const char* what, const std::vector<double>& got,
+                          const std::vector<double>& want) -> std::string {
+    if (got.size() != want.size()) {
+      return std::string(what) + ": size mismatch";
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != want[i]) return describeDiff(what, i, got[i], want[i]);
+    }
+    return {};
+  };
+
+  std::string d;
+  if (!(d = diffVec("load", load_, ref.load_)).empty()) return d;
+  if (!(d = diffVec("arrival", arrival_, ref.arrival_)).empty()) return d;
+  if (!(d = diffVec("minArrival", min_arrival_, ref.min_arrival_)).empty()) {
+    return d;
+  }
+  if (!(d = diffVec("slew", slew_, ref.slew_)).empty()) return d;
+  if (!(d = diffVec("required", required_, ref.required_)).empty()) return d;
+
+  if (pred_.size() != ref.pred_.size()) return "pred: size mismatch";
+  for (std::size_t i = 0; i < pred_.size(); ++i) {
+    if (pred_[i].instance != ref.pred_[i].instance ||
+        pred_[i].inputSlot != ref.pred_[i].inputSlot ||
+        pred_[i].delay != ref.pred_[i].delay ||
+        pred_[i].inputSlew != ref.pred_[i].inputSlew) {
+      return describeDiff("pred.delay", i, pred_[i].delay, ref.pred_[i].delay);
+    }
+  }
+
+  if (endpoints_.size() != ref.endpoints_.size()) {
+    return "endpoints: size mismatch";
+  }
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const Endpoint& a = endpoints_[i];
+    const Endpoint& b = ref.endpoints_[i];
+    if (a.instance != b.instance || a.inputSlot != b.inputSlot ||
+        a.net != b.net || a.port != b.port) {
+      return "endpoints[" + std::to_string(i) + "]: identity mismatch";
+    }
+    if (a.arrival != b.arrival) {
+      return describeDiff("endpoint.arrival", i, a.arrival, b.arrival);
+    }
+    if (a.required != b.required) {
+      return describeDiff("endpoint.required", i, a.required, b.required);
+    }
+    if (a.slack != b.slack) {
+      return describeDiff("endpoint.slack", i, a.slack, b.slack);
+    }
+    if (a.minArrival != b.minArrival) {
+      return describeDiff("endpoint.minArrival", i, a.minArrival,
+                          b.minArrival);
+    }
+    if (a.holdSlack != b.holdSlack) {
+      return describeDiff("endpoint.holdSlack", i, a.holdSlack, b.holdSlack);
+    }
+  }
+  if (worst_slack_ != ref.worst_slack_) {
+    return describeDiff("worstSlack", 0, worst_slack_, ref.worst_slack_);
+  }
+  if (tns_ != ref.tns_) return describeDiff("tns", 0, tns_, ref.tns_);
+  if (worst_hold_slack_ != ref.worst_hold_slack_) {
+    return describeDiff("worstHoldSlack", 0, worst_hold_slack_,
+                        ref.worst_hold_slack_);
+  }
+  return {};
 }
 
 TimingPath TimingAnalyzer::worstPathTo(const Endpoint& endpoint) const {

@@ -4,6 +4,13 @@
 // against the clock constraint, and worst-path extraction per endpoint.
 // Single-valued worst-case (max of rise/fall) analysis, one ideal clock —
 // the same abstraction level as the paper's setup study.
+//
+// Two update modes share one result state:
+//  - analyze(): from-scratch reference analysis.
+//  - notifyCellSwap()/notifyBufferInsert()/notifyReconnect() + update():
+//    edits are recorded as they happen and drained in one incremental pass
+//    that re-propagates only through the affected cone (see DESIGN.md §9).
+//    update() produces state bit-identical to analyze().
 
 #include <cstdint>
 #include <limits>
@@ -12,6 +19,7 @@
 
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
+#include "sta/timing_view.hpp"
 
 namespace sct::sta {
 
@@ -61,11 +69,14 @@ struct ClockSpec {
 };
 
 /// A setup endpoint: a sequential data/enable input or a primary output.
+/// Diagnostic names are not stored (reports build them on demand via
+/// TimingAnalyzer::endpointName()) so per-pass endpoint collection does not
+/// allocate strings.
 struct Endpoint {
   netlist::InstIndex instance = netlist::kNoInst;  ///< kNoInst => primary out
   std::uint32_t inputSlot = 0;  ///< input slot on the instance
   netlist::NetIndex net = netlist::kNoNet;  ///< the endpoint's data net
-  std::string name;             ///< diagnostic label
+  std::uint32_t port = UINT32_MAX;  ///< port index for primary-out endpoints
   double arrival = 0.0;         ///< latest (setup) arrival
   double required = 0.0;
   double slack = 0.0;           ///< setup slack
@@ -98,6 +109,7 @@ struct TimingPath {
 class TimingAnalyzer {
  public:
   /// The design must be fully mapped (every alive instance bound to a cell).
+  /// Compiled timing views for every library cell are built here, once.
   TimingAnalyzer(const netlist::Design& design, const liberty::Library& library,
                  ClockSpec clock);
 
@@ -105,13 +117,54 @@ class TimingAnalyzer {
   /// cycle (analysis results are then invalid).
   bool analyze();
 
+  // --- incremental updates ---------------------------------------------------
+  // The owner of the design records edits as it makes them; the records are
+  // drained by the next update() call, which re-propagates arrivals, slews,
+  // loads and required times only through the cones the edits touch. The
+  // notify calls themselves are O(1) — timing state is NOT refreshed until
+  // update(), so between edits the analyzer intentionally reports the
+  // stale pre-edit timing (the sizing passes rank moves against the
+  // start-of-pass snapshot, exactly like repeated full analyze() calls).
+  //
+  // Instance removal has no notify path: structurally removing logic
+  // requires a full analyze().
+
+  /// The instance was re-bound to a different library cell.
+  void notifyCellSwap(netlist::InstIndex instance);
+  /// A new buffer/inverter instance was added and bound; its output nets
+  /// must already be wired. Reconnections of the sinks it now drives are
+  /// reported separately via notifyReconnect().
+  void notifyBufferInsert(netlist::InstIndex instance);
+  /// Input `slot` of `sink` was moved from `previousNet` to its current net.
+  void notifyReconnect(netlist::InstIndex sink, std::uint32_t slot,
+                       netlist::NetIndex previousNet);
+
+  /// Drains recorded edits and brings all results up to date. Bit-identical
+  /// to analyze(); falls back to a full analyze() when there is no valid
+  /// baseline. Returns false on the same failures as analyze().
+  bool update();
+
+  /// True when notify records are pending (update() has work to do).
+  [[nodiscard]] bool hasPendingEdits() const noexcept {
+    return !pending_.empty();
+  }
+
   [[nodiscard]] const ClockSpec& clock() const noexcept { return clock_; }
-  void setClock(const ClockSpec& clock) noexcept { clock_ = clock; }
+  void setClock(const ClockSpec& clock) noexcept {
+    clock_ = clock;
+    baseline_valid_ = false;  // every net annotation depends on the clock
+  }
+
+  /// Compiled timing views (shared registry; also usable by the synthesis
+  /// sizing loop for candidate evaluation).
+  [[nodiscard]] const TimingViewRegistry& views() const noexcept {
+    return views_;
+  }
 
   // --- per-net results -----------------------------------------------------
   // Accessors are bounds-safe: nets created after the last analyze() (e.g.
   // by mid-pass buffer insertion) report neutral defaults until the next
-  // full update.
+  // update.
   [[nodiscard]] double netLoad(netlist::NetIndex net) const noexcept {
     return net < load_.size() ? load_[net] : 0.0;
   }
@@ -139,6 +192,9 @@ class TimingAnalyzer {
   [[nodiscard]] const std::vector<Endpoint>& endpoints() const noexcept {
     return endpoints_;
   }
+  /// Diagnostic label of an endpoint ("inst/D" or the output port name);
+  /// built on demand so timing updates never allocate name strings.
+  [[nodiscard]] std::string endpointName(const Endpoint& endpoint) const;
   [[nodiscard]] double worstSlack() const noexcept { return worst_slack_; }
   [[nodiscard]] double totalNegativeSlack() const noexcept { return tns_; }
   [[nodiscard]] bool met() const noexcept { return worst_slack_ >= 0.0; }
@@ -150,11 +206,21 @@ class TimingAnalyzer {
     return worst_hold_slack_ >= 0.0;
   }
 
-  /// Instances in combinational topological order (valid after analyze()).
+  /// Instances in combinational topological order (valid after analyze() or
+  /// update(); rebuilt by update() after structural edits).
   [[nodiscard]] const std::vector<netlist::InstIndex>& topoOrder()
       const noexcept {
     return topo_;
   }
+
+  // --- verification ----------------------------------------------------------
+  /// True when SCT_STA_CHECK=1 asks for incremental-vs-full cross checks.
+  [[nodiscard]] static bool crossCheckEnabled();
+  /// Compares this analyzer's full result state against a freshly analyzed
+  /// reference on the same design. Returns an empty string on bitwise
+  /// equality, else a description of the first difference. Expensive; meant
+  /// for SCT_STA_CHECK runs and tests.
+  [[nodiscard]] std::string diffAgainstReference() const;
 
   // --- paths ------------------------------------------------------------------
   /// Backtracks the worst path into the endpoint.
@@ -178,28 +244,67 @@ class TimingAnalyzer {
     double inputSlew = 0.0;
   };
 
+  /// One recorded netlist edit, drained by update().
+  struct PendingEdit {
+    enum class Kind : std::uint8_t { kCellSwap, kNewInstance, kReconnect };
+    Kind kind = Kind::kCellSwap;
+    netlist::InstIndex instance = netlist::kNoInst;
+    std::uint32_t slot = 0;                       ///< kReconnect
+    netlist::NetIndex oldNet = netlist::kNoNet;   ///< kReconnect
+  };
+
+  void refreshInstanceViews();
   void computeLoads();
   bool levelize();
   void propagateArrivals();
   void propagateRequired();
   void collectEndpoints();
+  /// Recomputes the output-net annotations (arrival, min arrival, slew,
+  /// pred) of one instance from the current input state. When `changedNets`
+  /// is non-null, output nets whose (arrival, minArrival, slew) triple
+  /// changed bitwise are appended to it.
+  void evalInstance(netlist::InstIndex index,
+                    std::vector<netlist::NetIndex>* changedNets);
+  /// Fresh sink-order load summation of one net (bit-identical to the
+  /// per-net body of computeLoads()).
+  [[nodiscard]] double recomputeNetLoad(netlist::NetIndex net) const;
+  /// Required time of one net from its sinks' current required times
+  /// (bit-identical term set to propagateRequired()).
+  [[nodiscard]] double recomputeRequired(netlist::NetIndex net) const;
+  /// Longest-path level of a combinational instance from its fanin drivers.
+  [[nodiscard]] std::uint32_t computeLevel(const netlist::Instance& inst) const;
+  /// Rebuilds topo_ from level_ (counting sort by (level, index) — a valid
+  /// topological order because levels strictly increase along comb edges).
+  void rebuildTopoFromLevels();
 
   const netlist::Design& design_;
   const liberty::Library& library_;
   ClockSpec clock_;
+  TimingViewRegistry views_;
 
   std::vector<double> load_;
   std::vector<double> arrival_;
   std::vector<double> min_arrival_;
   std::vector<double> slew_;
   std::vector<double> required_;
+  std::vector<double> ep_required_;  ///< min endpoint required per net
   std::vector<Pred> pred_;  ///< winning predecessor per net (path tracing)
   std::vector<netlist::InstIndex> topo_;
+  std::vector<std::uint32_t> level_;  ///< per instance, 0 for sources
+  std::vector<const CompiledCell*> inst_view_;  ///< per instance, bound cell
   std::vector<Endpoint> endpoints_;
   double worst_slack_ = 0.0;
   double tns_ = 0.0;
   double worst_hold_slack_ = 0.0;
+
+  std::vector<PendingEdit> pending_;
+  bool baseline_valid_ = false;  ///< results usable as incremental baseline
 };
+
+/// Diagnostic label of an endpoint ("inst/D" or the output port name),
+/// derived from the design alone — usable without an analyzer instance.
+[[nodiscard]] std::string endpointName(const netlist::Design& design,
+                                       const Endpoint& endpoint);
 
 /// Pin name on the bound cell for an instance input slot (handles the
 /// enable pin of DFFE and the clock-related conventions).

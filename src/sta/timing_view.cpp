@@ -1,0 +1,113 @@
+#include "sta/timing_view.hpp"
+
+#include <algorithm>
+
+#include "liberty/function.hpp"
+
+namespace sct::sta {
+
+namespace {
+
+[[nodiscard]] bool sharesAxes(const liberty::Lut& a,
+                              const liberty::Lut& b) noexcept {
+  return !a.empty() && a.sameShape(b);
+}
+
+}  // namespace
+
+const CompiledArc CompiledCell::kNoArc{};
+
+CompiledArc::CompiledArc(const liberty::TimingArc* arc) : arc_(arc) {
+  if (arc_ == nullptr) return;
+  shared_delay_axes_ = sharesAxes(arc_->riseDelay, arc_->fallDelay);
+  shared_transition_axes_ =
+      sharesAxes(arc_->riseTransition, arc_->fallTransition);
+  shared_axes_ = shared_delay_axes_ && shared_transition_axes_ &&
+                 arc_->riseDelay.sameShape(arc_->riseTransition);
+}
+
+ArcTiming CompiledArc::evaluate(double slew, double load) const noexcept {
+  ArcTiming out;
+  if (!shared_axes_) {
+    out.worstDelay = arc_->worstDelay(slew, load);
+    out.bestDelay = arc_->bestDelay(slew, load);
+    out.worstTransition = arc_->worstTransition(slew, load);
+    return out;
+  }
+  const numeric::InterpCoords coords = numeric::interpCoords(
+      arc_->riseDelay.slewAxis(), arc_->riseDelay.loadAxis(), slew, load);
+  const double rise = coords.apply(arc_->riseDelay.values());
+  const double fall = coords.apply(arc_->fallDelay.values());
+  out.worstDelay = std::max(rise, fall);
+  out.bestDelay = std::min(rise, fall);
+  out.worstTransition = std::max(coords.apply(arc_->riseTransition.values()),
+                                 coords.apply(arc_->fallTransition.values()));
+  return out;
+}
+
+double CompiledArc::worstDelay(double slew, double load) const noexcept {
+  if (!shared_delay_axes_) return arc_->worstDelay(slew, load);
+  const numeric::InterpCoords coords = numeric::interpCoords(
+      arc_->riseDelay.slewAxis(), arc_->riseDelay.loadAxis(), slew, load);
+  return std::max(coords.apply(arc_->riseDelay.values()),
+                  coords.apply(arc_->fallDelay.values()));
+}
+
+double CompiledArc::worstTransition(double slew, double load) const noexcept {
+  if (!shared_transition_axes_) return arc_->worstTransition(slew, load);
+  const numeric::InterpCoords coords =
+      numeric::interpCoords(arc_->riseTransition.slewAxis(),
+                            arc_->riseTransition.loadAxis(), slew, load);
+  return std::max(coords.apply(arc_->riseTransition.values()),
+                  coords.apply(arc_->fallTransition.values()));
+}
+
+CompiledCell::CompiledCell(const liberty::Cell& cell) : cell_(&cell) {
+  const liberty::FunctionTraits& t = liberty::traits(cell.function());
+  const auto inputNames = liberty::dataInputNames(cell.function());
+  const auto outputNames = liberty::outputNames(cell.function());
+  num_inputs_ = t.numDataInputs;
+  num_outputs_ = t.numOutputs;
+
+  arcs_.resize(num_inputs_ * num_outputs_);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    for (std::size_t o = 0; o < num_outputs_; ++o) {
+      arcs_[i * num_outputs_ + o] =
+          CompiledArc(cell.findArc(inputNames[i], outputNames[o]));
+    }
+  }
+  for (std::size_t o = 0; o < num_outputs_ && o < clock_arcs_.size(); ++o) {
+    clock_arcs_[o] = CompiledArc(cell.findArc("CP", outputNames[o]));
+  }
+
+  input_cap_.resize(num_inputs_, 0.0);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    input_cap_[i] = cell.inputCapacitance(inputNames[i]);
+  }
+  seq_input_cap_ = {cell.inputCapacitance("D"), cell.inputCapacitance("E")};
+
+  max_load_.resize(num_outputs_, 0.0);
+  for (std::size_t o = 0; o < num_outputs_; ++o) {
+    if (const liberty::Pin* pin = cell.findPin(outputNames[o])) {
+      max_load_[o] = pin->maxCapacitance;
+    }
+  }
+}
+
+TimingViewRegistry::TimingViewRegistry(const liberty::Library& library) {
+  // Cells compile lazily on first bind — a design uses a small subset of
+  // the library, and analyzers are constructed per synthesis run. Sizing
+  // the table for the library keeps rehashing (and the unique_ptr
+  // addresses, by bucket stability) out of the hot loops.
+  views_.reserve(library.cells().size());
+}
+
+const CompiledCell& TimingViewRegistry::of(const liberty::Cell& cell) const {
+  auto it = views_.find(&cell);
+  if (it == views_.end()) {
+    it = views_.emplace(&cell, std::make_unique<CompiledCell>(cell)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace sct::sta

@@ -1,0 +1,132 @@
+#pragma once
+// Compiled per-cell timing views. At cell-bind time the analyzer interns
+// pin names to slots and precompiles a dense [inputSlot][outputSlot] ->
+// TimingArc table per cell, so the propagation loops never compare pin-name
+// strings. Each compiled arc also knows whether its four LUTs share axes
+// (they do by construction of the characterizer), in which case one axis
+// search yields the interpolation weights for worst delay, best delay and
+// worst transition at a single (slew, load) operating point.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/cell.hpp"
+#include "liberty/library.hpp"
+#include "numeric/interp.hpp"
+
+namespace sct::sta {
+
+/// Worst/best delay and worst transition of one arc at one operating point.
+struct ArcTiming {
+  double worstDelay = 0.0;
+  double bestDelay = 0.0;
+  double worstTransition = 0.0;
+};
+
+/// One timing arc with precompiled evaluation state.
+class CompiledArc {
+ public:
+  CompiledArc() = default;
+  explicit CompiledArc(const liberty::TimingArc* arc);
+
+  [[nodiscard]] const liberty::TimingArc* arc() const noexcept { return arc_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return arc_ != nullptr;
+  }
+
+  /// All three propagation quantities with a single axis search (falls back
+  /// to per-table lookups when the LUTs do not share axes). Bit-identical
+  /// to TimingArc::worstDelay/bestDelay/worstTransition.
+  [[nodiscard]] ArcTiming evaluate(double slew, double load) const noexcept;
+  /// max(rise, fall) delay only — one axis search instead of two.
+  [[nodiscard]] double worstDelay(double slew, double load) const noexcept;
+  [[nodiscard]] double worstTransition(double slew,
+                                       double load) const noexcept;
+
+ private:
+  const liberty::TimingArc* arc_ = nullptr;
+  bool shared_axes_ = false;  ///< all four LUTs on one axis pair
+  bool shared_delay_axes_ = false;
+  bool shared_transition_axes_ = false;
+};
+
+/// Slot-indexed timing view of one bound cell.
+class CompiledCell {
+ public:
+  CompiledCell() = default;
+  explicit CompiledCell(const liberty::Cell& cell);
+
+  [[nodiscard]] const liberty::Cell& cell() const noexcept { return *cell_; }
+
+  /// Arc from combinational data-input slot to output slot (nullptr arc when
+  /// the pair has no arc). Slots follow liberty::dataInputNames /
+  /// outputNames order — the netlist instance slot order for mapped cells.
+  [[nodiscard]] const CompiledArc& arc(std::size_t inputSlot,
+                                       std::size_t outputSlot) const noexcept {
+    if (inputSlot >= num_inputs_ || outputSlot >= num_outputs_) {
+      return kNoArc;
+    }
+    return arcs_[inputSlot * num_outputs_ + outputSlot];
+  }
+  /// Clock-to-output launch arc of sequential cells, per output slot.
+  [[nodiscard]] const CompiledArc& clockArc(
+      std::size_t outputSlot) const noexcept {
+    return outputSlot < clock_arcs_.size() ? clock_arcs_[outputSlot] : kNoArc;
+  }
+
+  /// Input capacitance presented by an instance input slot; seq selects the
+  /// sequential naming (D, E) over the combinational data-input names.
+  [[nodiscard]] double inputCap(bool seq, std::size_t slot) const noexcept {
+    if (seq) {
+      return slot < seq_input_cap_.size() ? seq_input_cap_[slot] : 0.0;
+    }
+    return slot < input_cap_.size() ? input_cap_[slot] : 0.0;
+  }
+
+  /// Liberty max_capacitance of an output slot's pin (0 when unspecified).
+  [[nodiscard]] double maxLoad(std::size_t outputSlot) const noexcept {
+    return outputSlot < max_load_.size() ? max_load_[outputSlot] : 0.0;
+  }
+
+  [[nodiscard]] std::size_t numInputSlots() const noexcept {
+    return num_inputs_;
+  }
+  [[nodiscard]] std::size_t numOutputSlots() const noexcept {
+    return num_outputs_;
+  }
+
+ private:
+  static const CompiledArc kNoArc;
+
+  const liberty::Cell* cell_ = nullptr;
+  std::size_t num_inputs_ = 0;
+  std::size_t num_outputs_ = 0;
+  std::vector<CompiledArc> arcs_;  ///< dense [input][output], row-major
+  std::array<CompiledArc, 2> clock_arcs_{};
+  std::vector<double> input_cap_;      ///< per combinational data slot
+  std::array<double, 2> seq_input_cap_{};  ///< D, E
+  std::vector<double> max_load_;       ///< per output slot (0 = unspecified)
+};
+
+/// Compiled views keyed by cell identity. Cells compile lazily on first
+/// use (bind time); the constructor only reserves table capacity for the
+/// analyzer's library. Cells bound from other libraries (tests, ad-hoc
+/// libraries) work the same way.
+class TimingViewRegistry {
+ public:
+  TimingViewRegistry() = default;
+  explicit TimingViewRegistry(const liberty::Library& library);
+
+  [[nodiscard]] const CompiledCell& of(const liberty::Cell& cell) const;
+
+ private:
+  /// unique_ptr for stable addresses across rehashing.
+  mutable std::unordered_map<const liberty::Cell*,
+                             std::unique_ptr<CompiledCell>>
+      views_;
+};
+
+}  // namespace sct::sta

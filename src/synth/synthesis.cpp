@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <set>
 
@@ -86,11 +88,14 @@ class Session {
     return constraints_->window(cell.name(), pin);
   }
 
-  /// Max load the cell may drive on this output pin (electrical + window).
-  [[nodiscard]] double maxLoadOf(const Cell& cell, std::string_view pin) const {
+  /// Max load the cell may drive on this output slot (electrical + window).
+  /// The electrical limit comes from the compiled view (no pin-name lookup);
+  /// only tuned windows key by pin name.
+  [[nodiscard]] double maxLoadOf(const Cell& cell, std::uint32_t outSlot,
+                                 std::string_view pin) const {
     double limit = kInf;
-    const liberty::Pin* p = cell.findPin(pin);
-    if (p != nullptr && p->maxCapacitance > 0.0) limit = p->maxCapacitance;
+    const double mc = analyzer_.views().of(cell).maxLoad(outSlot);
+    if (mc > 0.0) limit = mc;
     if (const auto w = windowOf(cell, pin)) limit = std::min(limit, w->maxLoad);
     return limit;
   }
@@ -132,24 +137,23 @@ class Session {
   }
 
   /// Worst arc delay of an instance's output at a hypothetical load, with
-  /// current input slews and a hypothetical cell binding.
+  /// current input slews and a hypothetical cell binding. Candidate cells
+  /// are evaluated through their compiled views, so the sizing loop never
+  /// compares pin-name strings.
   [[nodiscard]] double worstDelayAt(const netlist::Instance& inst,
                                     const Cell& cell, std::uint32_t outSlot,
                                     double load) const {
-    const std::string_view outPin = liberty::outputNames(cell.function())[outSlot];
+    const sta::CompiledCell& view = analyzer_.views().of(cell);
     if (netlist::isSequential(inst.op)) {
-      const liberty::TimingArc* arc = cell.findArc("CP", outPin);
-      return arc != nullptr
-                 ? arc->worstDelay(analyzer_.clock().clockSlew, load)
-                 : 0.0;
+      const sta::CompiledArc& arc = view.clockArc(outSlot);
+      return arc ? arc.worstDelay(analyzer_.clock().clockSlew, load) : 0.0;
     }
     double worst = 0.0;
     for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
-      const liberty::TimingArc* arc =
-          cell.findArc(sta::inputPinName(inst, i), outPin);
-      if (arc == nullptr) continue;
+      const sta::CompiledArc& arc = view.arc(i, outSlot);
+      if (!arc) continue;
       worst = std::max(
-          worst, arc->worstDelay(analyzer_.netSlew(inst.inputs[i]), load));
+          worst, arc.worstDelay(analyzer_.netSlew(inst.inputs[i]), load));
     }
     return worst;
   }
@@ -158,22 +162,48 @@ class Session {
                                          const Cell& cell,
                                          std::uint32_t outSlot,
                                          double load) const {
-    const std::string_view outPin = liberty::outputNames(cell.function())[outSlot];
-    double worst = 0.0;
+    const sta::CompiledCell& view = analyzer_.views().of(cell);
     if (netlist::isSequential(inst.op)) {
-      const liberty::TimingArc* arc = cell.findArc("CP", outPin);
-      return arc != nullptr
-                 ? arc->worstTransition(analyzer_.clock().clockSlew, load)
+      const sta::CompiledArc& arc = view.clockArc(outSlot);
+      return arc ? arc.worstTransition(analyzer_.clock().clockSlew, load)
                  : 0.0;
     }
+    double worst = 0.0;
     for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
-      const liberty::TimingArc* arc =
-          cell.findArc(sta::inputPinName(inst, i), outPin);
-      if (arc == nullptr) continue;
-      worst = std::max(worst, arc->worstTransition(
+      const sta::CompiledArc& arc = view.arc(i, outSlot);
+      if (!arc) continue;
+      worst = std::max(worst, arc.worstTransition(
                                   analyzer_.netSlew(inst.inputs[i]), load));
     }
     return worst;
+  }
+
+  /// Worst delay and worst transition of an output slot at one hypothetical
+  /// (cell, load) point. The compiled shared-axis evaluator feeds both
+  /// quantities from a single axis search per arc — half the lookups of
+  /// calling worstDelayAt and worstTransitionAt separately, bit-identical
+  /// results.
+  [[nodiscard]] std::pair<double, double> delayAndTransitionAt(
+      const netlist::Instance& inst, const Cell& cell, std::uint32_t outSlot,
+      double load) const {
+    const sta::CompiledCell& view = analyzer_.views().of(cell);
+    if (netlist::isSequential(inst.op)) {
+      const sta::CompiledArc& arc = view.clockArc(outSlot);
+      if (!arc) return {0.0, 0.0};
+      const sta::ArcTiming t = arc.evaluate(analyzer_.clock().clockSlew, load);
+      return {t.worstDelay, t.worstTransition};
+    }
+    double delay = 0.0;
+    double trans = 0.0;
+    for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
+      const sta::CompiledArc& arc = view.arc(i, outSlot);
+      if (!arc) continue;
+      const sta::ArcTiming t =
+          arc.evaluate(analyzer_.netSlew(inst.inputs[i]), load);
+      delay = std::max(delay, t.worstDelay);
+      trans = std::max(trans, t.worstTransition);
+    }
+    return {delay, trans};
   }
 
   /// Marginal delay per added load of the driver of `net` (0 for primary
@@ -196,7 +226,7 @@ class Session {
     for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
       const std::string_view pin = liberty::outputNames(cell.function())[slot];
       const double load = analyzer_.netLoad(inst.outputs[slot]);
-      if (load > maxLoadOf(cell, pin) || load < minLoadOf(cell, pin)) {
+      if (load > maxLoadOf(cell, slot, pin) || load < minLoadOf(cell, pin)) {
         return false;
       }
       if (!slewsAccepted(inst, cell, pin)) return false;
@@ -210,7 +240,29 @@ class Session {
 
   void resize(InstIndex index, const Cell* cell) {
     design_.bindCell(index, cell);
+    analyzer_.notifyCellSwap(index);
     ++result_.resizes;
+  }
+
+  /// Brings the analyzer up to date at a pass boundary: incrementally
+  /// (draining the edits the previous pass recorded) or from scratch when
+  /// options disable the incremental path. With SCT_STA_CHECK=1 every
+  /// incremental refresh is cross-checked against a fresh full analysis.
+  bool refreshTiming() {
+    const bool ok =
+        options_.incrementalSta ? analyzer_.update() : analyzer_.analyze();
+    if (ok && options_.incrementalSta &&
+        sta::TimingAnalyzer::crossCheckEnabled()) {
+      const std::string diff = analyzer_.diffAgainstReference();
+      if (!diff.empty()) {
+        std::fprintf(stderr,
+                     "SCT_STA_CHECK: incremental STA diverged from full "
+                     "analyze(): %s\n",
+                     diff.c_str());
+        std::abort();
+      }
+    }
+    return ok;
   }
 
   // --- optimization stages -----------------------------------------------
@@ -260,7 +312,7 @@ const Cell* Session::bufferCellFor(double load) const {
   // case the caller falls back to inverter pairs (paper section VII.A).
   const auto& bufs = synth_.family(PrimOp::kBuf);
   for (const Cell* c : bufs) {
-    if (load <= 0.6 * maxLoadOf(*c, "Z") && load >= minLoadOf(*c, "Z")) {
+    if (load <= 0.6 * maxLoadOf(*c, 0, "Z") && load >= minLoadOf(*c, "Z")) {
       return c;
     }
   }
@@ -293,6 +345,8 @@ void Session::splitNet(NetIndex net, std::size_t groups) {
                                                PrimOp::kInv, {mid}, {out});
       design_.bindCell(i1, invFam.front());
       design_.bindCell(i2, invFam.front());
+      analyzer_.notifyBufferInsert(i1);
+      analyzer_.notifyBufferInsert(i2);
       stage = out;
       result_.buffersInserted += 2;
     } else {
@@ -302,11 +356,13 @@ void Session::splitNet(NetIndex net, std::size_t groups) {
       const Cell* bc = bufferCellFor(0.0);
       assert(bc != nullptr);
       design_.bindCell(ib, bc);
+      analyzer_.notifyBufferInsert(ib);
       stage = out;
       ++result_.buffersInserted;
     }
     for (std::size_t s = begin; s < end; ++s) {
       design_.reconnectInput(sinks[s].instance, sinks[s].inputSlot, stage);
+      analyzer_.notifyReconnect(sinks[s].instance, sinks[s].inputSlot, net);
     }
   }
 }
@@ -342,7 +398,7 @@ std::size_t Session::fixElectrical() {
       const double slewLimit = netSlewLimit(out);
       const std::string_view pin = sta::outputPinName(inst, slot);
 
-      const bool loadHigh = load > maxLoadOf(*inst.cell, pin);
+      const bool loadHigh = load > maxLoadOf(*inst.cell, slot, pin);
       const bool loadLow = load < minLoadOf(*inst.cell, pin);
       const bool slewHigh =
           worstTransitionAt(inst, *inst.cell, slot, load) > slewLimit;
@@ -352,7 +408,9 @@ std::size_t Session::fixElectrical() {
       const Cell* best = nullptr;
       for (const Cell* c : fam) {
         const std::string_view cpin = liberty::outputNames(c->function())[slot];
-        if (load > maxLoadOf(*c, cpin) || load < minLoadOf(*c, cpin)) continue;
+        if (load > maxLoadOf(*c, slot, cpin) || load < minLoadOf(*c, cpin)) {
+          continue;
+        }
         if (!slewsAccepted(inst, *c, cpin)) continue;
         if (worstTransitionAt(inst, *c, slot, load) > slewLimit) continue;
         best = c;
@@ -416,9 +474,9 @@ std::size_t Session::improveTiming() {
     double oldTrans = 0.0;
     for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
       const double load = analyzer_.netLoad(inst.outputs[slot]);
-      oldDelay = std::max(oldDelay, worstDelayAt(inst, *inst.cell, slot, load));
-      oldTrans = std::max(oldTrans,
-                          worstTransitionAt(inst, *inst.cell, slot, load));
+      const auto [d, t] = delayAndTransitionAt(inst, *inst.cell, slot, load);
+      oldDelay = std::max(oldDelay, d);
+      oldTrans = std::max(oldTrans, t);
     }
     for (const Cell* c : fam) {
       if (c->driveStrength() <= currentStrength) continue;
@@ -429,8 +487,9 @@ std::size_t Session::improveTiming() {
       for (const liberty::Pin* p : c->inputPins()) newCap += p->capacitance;
       for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
         const double load = analyzer_.netLoad(inst.outputs[slot]);
-        newDelay = std::max(newDelay, worstDelayAt(inst, *c, slot, load));
-        newTrans = std::max(newTrans, worstTransitionAt(inst, *c, slot, load));
+        const auto [d, t] = delayAndTransitionAt(inst, *c, slot, load);
+        newDelay = std::max(newDelay, d);
+        newTrans = std::max(newTrans, t);
       }
       // A sharper output edge also speeds up the downstream stage; weight it
       // with the technology's typical slew-to-delay sensitivity.
@@ -500,7 +559,10 @@ std::size_t Session::recoverArea() {
 void Session::optimize() {
   for (std::size_t pass = 0; pass < options_.maxPasses; ++pass) {
     result_.passes = pass + 1;
-    if (!analyzer_.analyze()) return;  // combinational cycle: give up
+    // Drain the previous pass's edits (or full-analyze when incremental
+    // updates are disabled). Either way every pass starts from timing
+    // state identical to a from-scratch analysis.
+    if (!refreshTiming()) return;  // combinational cycle: give up
     analyzedNets_ = design_.netCount();
 
     std::size_t changes = fixFanout();
@@ -517,7 +579,7 @@ void Session::optimize() {
     }
     if (changes == 0) break;
   }
-  analyzer_.analyze();
+  refreshTiming();
 }
 
 void Session::finalize() {
@@ -535,7 +597,7 @@ void Session::finalize() {
       const NetIndex out = inst.outputs[slot];
       const double load = analyzer_.netLoad(out);
       const std::string_view pin = sta::outputPinName(inst, slot);
-      if (load > maxLoadOf(*inst.cell, pin) * (1.0 + 1e-9)) ++violations;
+      if (load > maxLoadOf(*inst.cell, slot, pin) * (1.0 + 1e-9)) ++violations;
       if (load < minLoadOf(*inst.cell, pin) * (1.0 - 1e-9)) ++violations;
       if (analyzer_.netSlew(out) > netSlewLimit(out) * (1.0 + 1e-9)) {
         ++violations;

@@ -96,7 +96,7 @@ SstaResult runSsta(const netlist::Design& design,
   for (const sta::Endpoint& ep : sta.endpoints()) {
     SstaEndpoint out;
     out.net = ep.net;
-    out.name = ep.name;
+    out.name = sta.endpointName(ep);
     out.arrival = arrival[ep.net];
     out.required = ep.required;
     const double pFail = out.failureProbability();

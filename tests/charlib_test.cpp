@@ -308,8 +308,8 @@ TEST_F(CharacterizerTest, AddersHaveBothOutputs) {
   const liberty::Library lib = chr_.characterizeNominal(ProcessCorner::typical());
   const liberty::Cell* fa = lib.findCell("FA1_2");
   ASSERT_NE(fa, nullptr);
-  EXPECT_EQ(fa->arcsTo("S").size(), 3u);
-  EXPECT_EQ(fa->arcsTo("CO").size(), 3u);
+  EXPECT_EQ(fa->fanoutArcs("S").size(), 3u);
+  EXPECT_EQ(fa->fanoutArcs("CO").size(), 3u);
   // The carry output is the optimized path in real adder cells.
   EXPECT_LT(fa->findArc("A", "CO")->riseDelay.at(0, 0),
             fa->findArc("A", "S")->riseDelay.at(0, 0));

@@ -110,7 +110,7 @@ TEST(Cell, PinAndArcLookup) {
   EXPECT_EQ(cell.findPin("nope"), nullptr);
   EXPECT_DOUBLE_EQ(cell.inputCapacitance("A"), 0.002);
   EXPECT_DOUBLE_EQ(cell.inputCapacitance("Z"), 0.0);  // output pin
-  EXPECT_EQ(cell.arcsTo("Z").size(), 2u);
+  EXPECT_EQ(cell.fanoutArcs("Z").size(), 2u);
   EXPECT_NE(cell.findArc("A", "Z"), nullptr);
   EXPECT_NE(cell.findArc("B", "Z"), nullptr);
   EXPECT_EQ(cell.findArc("Z", "A"), nullptr);

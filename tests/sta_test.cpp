@@ -311,7 +311,7 @@ TEST(Sta, SetupLutMakesRequiredSlewDependent) {
     const double slew = sta.netSlew(ep.net);
     EXPECT_NEAR(ep.required,
                 clock.effectivePeriod() - (0.04 + 0.5 * slew), 1e-12)
-        << ep.name;
+        << sta.endpointName(ep);
   }
 }
 
@@ -342,12 +342,16 @@ TEST(Sta, OcvDeratesScaleArrivals) {
   ASSERT_TRUE(a.analyze());
   ASSERT_TRUE(b.analyze());
   // Max arrivals scale up by exactly the late derate (slews are underated).
-  for (const Endpoint& epA : a.endpoints()) {
-    for (const Endpoint& epB : b.endpoints()) {
-      if (epA.name != epB.name) continue;
-      EXPECT_NEAR(epB.arrival, epA.arrival * 1.10, 1e-12) << epA.name;
-      EXPECT_NEAR(epB.minArrival, epA.minArrival * 0.90, 1e-12) << epA.name;
-    }
+  // Both analyzers enumerate endpoints of the same design in the same
+  // order, so endpoints pair up by index.
+  ASSERT_EQ(a.endpoints().size(), b.endpoints().size());
+  for (std::size_t i = 0; i < a.endpoints().size(); ++i) {
+    const Endpoint& epA = a.endpoints()[i];
+    const Endpoint& epB = b.endpoints()[i];
+    ASSERT_EQ(a.endpointName(epA), b.endpointName(epB));
+    EXPECT_NEAR(epB.arrival, epA.arrival * 1.10, 1e-12) << a.endpointName(epA);
+    EXPECT_NEAR(epB.minArrival, epA.minArrival * 0.90, 1e-12)
+        << a.endpointName(epA);
   }
   // Derating makes hold easier to violate and setup harder to meet.
   EXPECT_LE(b.worstSlack(), a.worstSlack() + 1e-12);
