@@ -9,7 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "charlib/characterizer.hpp"
+#include "core/flow.hpp"
 #include "parallel/parallel.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/mcu.hpp"
@@ -349,6 +353,56 @@ void BM_LogicSimulationStep(benchmark::State& state) {
       static_cast<std::int64_t>(mcu.gateCount()));
 }
 BENCHMARK(BM_LogicSimulationStep);
+
+// Cold vs warm end-to-end flow: the warm variant serves characterization,
+// stat-merge, tuning and synthesis out of the content-addressed artifact
+// store, so the pair measures the resumable-stage speedup directly.
+core::FlowConfig flowBenchConfig(const std::string& cacheDir) {
+  core::FlowConfig config;
+  config.characterization = smallCharConfig();
+  config.mcLibraryCount = 10;
+  config.mcu.registers = 16;
+  config.mcu.timers = 2;
+  config.mcu.dmaChannels = 1;
+  config.mcu.gpioWidth = 32;
+  config.mcu.cacheTagEntries = 32;
+  config.mcu.macUnits = 1;
+  config.cacheDir = cacheDir;
+  return config;
+}
+
+const std::string& flowBenchCacheDir() {
+  static const std::string dir =
+      (std::filesystem::temp_directory_path() / "sct_bench_flow_cache")
+          .string();
+  return dir;
+}
+
+void BM_FlowColdCache(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(flowBenchCacheDir());  // force recompute
+    state.ResumeTiming();
+    core::TuningFlow flow(flowBenchConfig(flowBenchCacheDir()));
+    benchmark::DoNotOptimize(flow.synthesizeBaseline(8.0));
+  }
+  std::filesystem::remove_all(flowBenchCacheDir());
+}
+BENCHMARK(BM_FlowColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_FlowWarmCache(benchmark::State& state) {
+  std::filesystem::remove_all(flowBenchCacheDir());
+  {
+    core::TuningFlow seed(flowBenchConfig(flowBenchCacheDir()));
+    benchmark::DoNotOptimize(seed.synthesizeBaseline(8.0));
+  }
+  for (auto _ : state) {
+    core::TuningFlow flow(flowBenchConfig(flowBenchCacheDir()));
+    benchmark::DoNotOptimize(flow.synthesizeBaseline(8.0));
+  }
+  std::filesystem::remove_all(flowBenchCacheDir());
+}
+BENCHMARK(BM_FlowWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_PatternMapping(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,44 @@
+#pragma once
+// SCTB codecs for the flow's stage artifacts: characterized libraries,
+// statistical libraries, tuned constraint sets, and synthesized netlists
+// (plus the synthesis-result wrapper the flow caches). Encoders are
+// verbatim: every field that can influence downstream results — including
+// net sink *order* and dead instances, which steer STA tie-breaking — is
+// preserved bit-for-bit, so a warm-loaded artifact behaves identically to
+// the freshly computed object. All LUT/axis payloads live in one aligned
+// f64 block per artifact for bulk loading.
+
+#include "artifact/binary_format.hpp"
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "statlib/stat_library.hpp"
+#include "synth/synthesis.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct::artifact {
+
+void encodeLibrary(SctbWriter& writer, const liberty::Library& library);
+[[nodiscard]] liberty::Library decodeLibrary(const SctbReader& reader);
+
+void encodeStatLibrary(SctbWriter& writer, const statlib::StatLibrary& library);
+[[nodiscard]] statlib::StatLibrary decodeStatLibrary(const SctbReader& reader);
+
+void encodeConstraints(SctbWriter& writer,
+                       const tuning::LibraryConstraints& constraints);
+[[nodiscard]] tuning::LibraryConstraints decodeConstraints(
+    const SctbReader& reader);
+
+/// Mapped instances are stored by cell *name*; decode rebinds them against
+/// `library` (may be null for technology-independent designs). A name that
+/// does not resolve, or a decoded design failing Design::validate(), raises
+/// FormatError.
+void encodeDesign(SctbWriter& writer, const netlist::Design& design);
+[[nodiscard]] netlist::Design decodeDesign(const SctbReader& reader,
+                                           const liberty::Library* library);
+
+void encodeSynthesisResult(SctbWriter& writer,
+                           const synth::SynthesisResult& result);
+[[nodiscard]] synth::SynthesisResult decodeSynthesisResult(
+    const SctbReader& reader, const liberty::Library* library);
+
+}  // namespace sct::artifact

@@ -1,0 +1,121 @@
+#include "artifact/hash.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sct::artifact {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void appendHex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(v >> shift) & 0xF]);
+  }
+}
+
+int hexValue(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  std::string out;
+  out.reserve(32);
+  appendHex64(out, hi);
+  appendHex64(out, lo);
+  return out;
+}
+
+std::optional<Digest> Digest::fromHex(std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  Digest d;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const int v = hexValue(text[i]);
+    if (v < 0) return std::nullopt;
+    std::uint64_t& word = i < 16 ? d.hi : d.lo;
+    word = (word << 4) | static_cast<std::uint64_t>(v);
+  }
+  return d;
+}
+
+Hasher& Hasher::bytes(std::span<const std::byte> data) noexcept {
+  for (std::byte b : data) {
+    state_ ^= static_cast<unsigned char>(b);
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+namespace {
+
+// One distinct tag byte per feeder: a u32 can never hash equal to four u8s,
+// independent of the values fed.
+enum FeedTag : std::uint8_t {
+  kTagU8 = 0xA1,
+  kTagU32 = 0xA2,
+  kTagU64 = 0xA3,
+  kTagF64 = 0xA4,
+  kTagStr = 0xA5,
+  kTagF64Span = 0xA6,
+};
+
+}  // namespace
+
+Hasher& Hasher::u8(std::uint8_t v) noexcept {
+  const std::byte buf[2] = {std::byte{kTagU8}, std::byte{v}};
+  return bytes(buf);
+}
+
+Hasher& Hasher::u32(std::uint32_t v) noexcept {
+  std::byte buf[5] = {std::byte{kTagU32}};
+  for (int i = 0; i < 4; ++i) buf[i + 1] = std::byte((v >> (8 * i)) & 0xFF);
+  return bytes(buf);
+}
+
+Hasher& Hasher::u64(std::uint64_t v) noexcept {
+  std::byte buf[9] = {std::byte{kTagU64}};
+  for (int i = 0; i < 8; ++i) buf[i + 1] = std::byte((v >> (8 * i)) & 0xFF);
+  return bytes(buf);
+}
+
+Hasher& Hasher::f64(double v) noexcept {
+  const std::byte tag{kTagF64};
+  bytes({&tag, 1});
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Hasher& Hasher::str(std::string_view s) noexcept {
+  const std::byte tag{kTagStr};
+  bytes({&tag, 1});
+  u64(s.size());
+  return bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+Hasher& Hasher::f64span(std::span<const double> values) noexcept {
+  const std::byte tag{kTagF64Span};
+  bytes({&tag, 1});
+  u64(values.size());
+  for (double v : values) f64(v);
+  return *this;
+}
+
+Digest Hasher::digest() const noexcept {
+  return Digest{static_cast<std::uint64_t>(state_ >> 64),
+                static_cast<std::uint64_t>(state_)};
+}
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<unsigned char>(b);
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sct::artifact

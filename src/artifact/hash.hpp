@@ -1,0 +1,63 @@
+#pragma once
+// Canonical content hashing for the artifact store. Stage artifacts are
+// addressed by a digest of their *inputs* (library/process configuration,
+// seeds, tuning parameters, schema version), so a cache entry can never be
+// served for inputs that differ in any bit. The hash is a 128-bit FNV-1a
+// over an explicitly little-endian byte encoding: digests are stable across
+// runs, processes and machines, which is what makes the on-disk store
+// shareable.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sct::artifact {
+
+/// 128-bit content digest, printed as 32 lowercase hex characters.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] std::string hex() const;
+  /// Parses a 32-char hex digest (the store's file stem); nullopt when
+  /// malformed.
+  [[nodiscard]] static std::optional<Digest> fromHex(std::string_view text);
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+};
+
+/// Incremental FNV-1a/128 hasher with typed, length-prefixed feeders so
+/// adjacent fields can never alias each other ("ab"+"c" != "a"+"bc").
+class Hasher {
+ public:
+  Hasher& bytes(std::span<const std::byte> data) noexcept;
+  Hasher& u8(std::uint8_t v) noexcept;
+  Hasher& u32(std::uint32_t v) noexcept;
+  Hasher& u64(std::uint64_t v) noexcept;
+  /// Exact bit pattern of the double (canonical: -0.0 and NaN payloads are
+  /// preserved, two values hash equal iff they are bit-identical).
+  Hasher& f64(double v) noexcept;
+  Hasher& str(std::string_view s) noexcept;  ///< length-prefixed
+  Hasher& f64span(std::span<const double> values) noexcept;  ///< length-prefixed
+
+  [[nodiscard]] Digest digest() const noexcept;
+
+ private:
+  unsigned __int128 state_ = kOffsetBasis;
+
+  // FNV-1a 128-bit parameters.
+  static constexpr unsigned __int128 kOffsetBasis =
+      (static_cast<unsigned __int128>(0x6c62272e07bb0142ULL) << 64) |
+      0x62b821756295c58dULL;
+  static constexpr unsigned __int128 kPrime =
+      (static_cast<unsigned __int128>(0x0000000001000000ULL) << 64) | 0x13bULL;
+};
+
+/// One-shot convenience: 64-bit FNV-1a over a byte range (the per-section
+/// checksum of the SCTB container).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+}  // namespace sct::artifact

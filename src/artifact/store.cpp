@@ -1,0 +1,166 @@
+#include "artifact/store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#define SCT_GETPID _getpid
+#else
+#include <unistd.h>
+#define SCT_GETPID getpid
+#endif
+
+namespace sct::artifact {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isEntryFile(const fs::directory_entry& entry) {
+  return entry.is_regular_file() && entry.path().extension() == ".sctb" &&
+         Digest::fromHex(entry.path().stem().string()).has_value();
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec || !fs::is_directory(root_)) {
+    throw std::runtime_error("artifact store: cannot use directory '" +
+                             root_.string() + "'");
+  }
+}
+
+fs::path ArtifactStore::pathFor(const Digest& key) const {
+  const std::string hex = key.hex();
+  return root_ / hex.substr(0, 2) / (hex + ".sctb");
+}
+
+std::optional<SctbReader> ArtifactStore::open(const Digest& key) {
+  const fs::path path = pathFor(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    SctbReader reader = SctbReader::fromFile(path.string());
+    ++stats_.hits;
+    stats_.bytesRead += reader.fileSize();
+    // LRU clock for gc(): a hit makes the entry "recently used".
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return reader;
+  } catch (const FormatError&) {
+    // Cannot trust the entry: evict it and fall back to recompute.
+    fs::remove(path, ec);
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::publish(const Digest& key, const SctbWriter& writer) {
+  const fs::path path = pathFor(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("artifact store: cannot create '" +
+                             path.parent_path().string() + "'");
+  }
+  const std::vector<std::byte> bytes = writer.finish();
+  const fs::path temp =
+      path.parent_path() /
+      (".tmp-" + std::to_string(SCT_GETPID()) + "-" +
+       std::to_string(temp_counter_++) + ".sctb");
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("artifact store: cannot write '" +
+                               temp.string() + "'");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw std::runtime_error("artifact store: short write on '" +
+                               temp.string() + "'");
+    }
+  }
+  // rename() within one directory is atomic: readers see the old entry,
+  // no entry, or the complete new entry — never a partial file.
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    throw std::runtime_error("artifact store: cannot publish '" +
+                             path.string() + "'");
+  }
+  ++stats_.stores;
+  stats_.bytesWritten += bytes.size();
+}
+
+std::pair<std::size_t, std::uint64_t> ArtifactStore::diskUsage() const {
+  std::size_t files = 0;
+  std::uint64_t bytes = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (isEntryFile(*it)) {
+      ++files;
+      bytes += it->file_size(ec);
+    }
+  }
+  return {files, bytes};
+}
+
+GcResult ArtifactStore::gc(const GcPolicy& policy) {
+  struct Entry {
+    fs::path path;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!isEntryFile(*it)) continue;
+    Entry entry;
+    entry.path = it->path();
+    entry.bytes = it->file_size(ec);
+    entry.mtime = it->last_write_time(ec);
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+
+  const auto now = fs::file_time_type::clock::now();
+  std::uint64_t totalBytes = 0;
+  for (const Entry& entry : entries) totalBytes += entry.bytes;
+
+  GcResult result;
+  for (const Entry& entry : entries) {
+    const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+        now - entry.mtime);
+    const bool tooOld =
+        policy.maxAgeSeconds > 0 &&
+        age.count() > static_cast<std::int64_t>(policy.maxAgeSeconds);
+    // Oldest-first eviction until everything still on disk fits the budget.
+    const bool overBudget = policy.maxBytes > 0 &&
+                            totalBytes - result.bytesRemoved > policy.maxBytes;
+    if (tooOld || overBudget) {
+      if (fs::remove(entry.path, ec) && !ec) {
+        ++result.filesRemoved;
+        result.bytesRemoved += entry.bytes;
+      }
+    } else {
+      ++result.filesKept;
+      result.bytesKept += entry.bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace sct::artifact

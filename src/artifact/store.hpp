@@ -1,0 +1,78 @@
+#pragma once
+// Content-addressed on-disk artifact store. Entries are SCTB containers
+// named by the digest of their stage *inputs* (root/ab/<digest>.sctb, the
+// two-char fan-out keeps directories small). Publication is atomic
+// (temp-file-then-rename), so concurrent producers and readers only ever
+// observe absent or complete entries; a corrupt or truncated entry is
+// detected by the SCTB checksums, evicted, and reported as a miss — the
+// flow then recomputes, it never returns wrong data.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "artifact/binary_format.hpp"
+#include "artifact/hash.hpp"
+
+namespace sct::artifact {
+
+/// Counters of one store's lifetime (per process; persisted nowhere).
+struct StoreStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t corrupt = 0;  ///< entries evicted after failing validation
+  std::size_t stores = 0;   ///< successful publish() calls
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+};
+
+/// Eviction policy for gc(): 0 means "no bound" for either field.
+struct GcPolicy {
+  std::uint64_t maxBytes = 0;     ///< keep newest entries under this total
+  std::uint64_t maxAgeSeconds = 0;  ///< drop entries older than this
+};
+
+struct GcResult {
+  std::size_t filesRemoved = 0;
+  std::size_t filesKept = 0;
+  std::uint64_t bytesRemoved = 0;
+  std::uint64_t bytesKept = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Creates the root directory when absent; throws std::runtime_error
+  /// when the path exists but is not a directory or cannot be created.
+  explicit ArtifactStore(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+  [[nodiscard]] std::filesystem::path pathFor(const Digest& key) const;
+
+  /// Validated reader for a cached entry; nullopt on miss. A file that
+  /// fails validation is removed and counted as corrupt (also a miss).
+  /// Hits refresh the entry's mtime, which gc() uses as its LRU clock.
+  [[nodiscard]] std::optional<SctbReader> open(const Digest& key);
+
+  /// Atomically publishes a finished artifact under its key. Overwrites any
+  /// existing entry (same key => same contents by construction).
+  void publish(const Digest& key, const SctbWriter& writer);
+
+  [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
+
+  /// Number of entries and total payload bytes currently on disk.
+  [[nodiscard]] std::pair<std::size_t, std::uint64_t> diskUsage() const;
+
+  /// Evicts entries per policy: age bound first, then oldest-first until
+  /// the byte bound holds.
+  GcResult gc(const GcPolicy& policy);
+
+ private:
+  std::filesystem::path root_;
+  StoreStats stats_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace sct::artifact

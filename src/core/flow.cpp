@@ -1,34 +1,224 @@
 #include "core/flow.hpp"
 
+#include <cstdio>
+#include <optional>
 #include <utility>
 
+#include "artifact/codecs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sct::core {
+
+namespace {
+
+// ---- canonical stage-input hashing (DESIGN.md §10) -----------------------
+// Every field that can influence a stage result is fed through the typed,
+// length-prefixed Hasher interface; adding a field to any of these structs
+// must be mirrored here (or bump artifact::kSchemaVersion, which is always
+// part of the key via TuningFlow::flowHasher).
+
+void hashCharacterization(artifact::Hasher& h,
+                          const charlib::CharacterizationConfig& config) {
+  const charlib::TechnologyParams& t = config.tech;
+  h.f64(t.rUnit)
+      .f64(t.cInUnit)
+      .f64(t.tau)
+      .f64(t.slewSens)
+      .f64(t.slewSensLoadBoost)
+      .f64(t.slewSensLoadKnee)
+      .f64(t.overload)
+      .f64(t.transIntrinsic)
+      .f64(t.transDrive)
+      .f64(t.transLeak)
+      .f64(t.maxLoadPerStrength)
+      .f64(t.areaUnit)
+      .f64(t.personalitySpread);
+  const charlib::VariationParams& v = config.variation;
+  h.f64(v.pelgrom)
+      .f64(v.intrinsicFraction)
+      .f64(v.slewFraction)
+      .f64(v.globalSigma);
+  h.f64span(config.slewAxis).f64span(config.loadFractions);
+}
+
+void hashCorner(artifact::Hasher& h, const charlib::ProcessCorner& corner) {
+  h.str(corner.process)
+      .f64(corner.voltage)
+      .f64(corner.temperature)
+      .f64(corner.delayFactor);
+}
+
+void hashMcu(artifact::Hasher& h, const netlist::McuConfig& mcu) {
+  h.u64(mcu.width)
+      .u64(mcu.registers)
+      .u64(mcu.readPorts)
+      .u64(mcu.bankedRegisters)
+      .u64(mcu.macWidth)
+      .u64(mcu.macUnits)
+      .u64(mcu.timers)
+      .u64(mcu.dmaChannels)
+      .u64(mcu.gpioWidth)
+      .u64(mcu.cacheTagEntries)
+      .u64(mcu.cacheTagBits)
+      .u64(mcu.decodeOutputs)
+      .u64(mcu.decodeDepth)
+      .u64(mcu.interruptSources)
+      .u64(mcu.seed);
+}
+
+void hashClock(artifact::Hasher& h, const sta::ClockSpec& clock) {
+  h.f64(clock.period)
+      .f64(clock.uncertainty)
+      .f64(clock.clockSlew)
+      .f64(clock.inputSlew)
+      .f64(clock.inputDelay)
+      .f64(clock.outputLoad)
+      .f64(clock.wireLoad.capBase)
+      .f64(clock.wireLoad.capPerFanout)
+      .f64(clock.wireLoad.capQuadratic)
+      .f64(clock.derateLate)
+      .f64(clock.derateEarly);
+}
+
+void hashSynthesisOptions(artifact::Hasher& h,
+                          const synth::SynthesisOptions& options) {
+  h.u64(options.maxPasses)
+      .u64(options.maxFanout)
+      .f64(options.maxSlew)
+      .f64(options.areaRecoveryMargin);
+  // incrementalSta is bit-identical to the full analysis by contract, so it
+  // does not enter the key: either setting may serve the other's artifact.
+}
+
+void hashTuning(artifact::Hasher& h, const tuning::TuningConfig& config) {
+  h.u8(static_cast<std::uint8_t>(config.method))
+      .f64(config.loadSlopeBound)
+      .f64(config.slewSlopeBound)
+      .f64(config.sigmaCeiling);
+}
+
+/// Consult-then-compute wrapper around one pipeline stage: a validated cache
+/// hit short-circuits `compute`; a decode failure (checksums fine but the
+/// payload is semantically unusable, e.g. a stale cell name) falls through
+/// to recompute-and-republish, never to wrong data.
+template <class T, class ComputeFn, class EncodeFn, class DecodeFn>
+T cachedStage(artifact::ArtifactStore* store, const artifact::Digest& key,
+              ComputeFn&& compute, EncodeFn&& encode, DecodeFn&& decode) {
+  if (store != nullptr) {
+    if (std::optional<artifact::SctbReader> reader = store->open(key)) {
+      try {
+        return decode(*reader);
+      } catch (const artifact::FormatError&) {
+      }
+    }
+  }
+  T value = compute();
+  if (store != nullptr) {
+    artifact::SctbWriter writer;
+    encode(writer, value);
+    store->publish(key, writer);
+  }
+  return value;
+}
+
+}  // namespace
 
 TuningFlow::TuningFlow(FlowConfig config)
     : config_(std::move(config)), characterizer_(config_.characterization) {
   if (config_.threads >= 0) {
     parallel::setThreadCount(static_cast<std::size_t>(config_.threads));
   }
+  if (!config_.cacheDir.empty()) {
+    try {
+      store_ = std::make_unique<artifact::ArtifactStore>(config_.cacheDir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sct: artifact cache disabled: %s\n", error.what());
+    }
+  }
+}
+
+artifact::Hasher TuningFlow::flowHasher() const {
+  artifact::Hasher h;
+  h.str("sct-flow").u32(artifact::kSchemaVersion);
+  hashCharacterization(h, config_.characterization);
+  hashCorner(h, charlib::ProcessCorner::typical());
+  return h;
+}
+
+artifact::Digest TuningFlow::nominalKey() const {
+  artifact::Hasher h = flowHasher();
+  h.str("stage:nominal");
+  return h.digest();
+}
+
+artifact::Digest TuningFlow::statKey() const {
+  artifact::Hasher h = flowHasher();
+  h.str("stage:stat").u64(config_.mcLibraryCount).u64(config_.mcSeed);
+  return h.digest();
+}
+
+artifact::Digest TuningFlow::tuneKey(const tuning::TuningConfig& config) const {
+  artifact::Hasher h = flowHasher();
+  h.str("stage:tune").u64(config_.mcLibraryCount).u64(config_.mcSeed);
+  hashTuning(h, config);
+  return h.digest();
+}
+
+artifact::Digest TuningFlow::synthKey(double period,
+                                      const tuning::TuningConfig* config) const {
+  artifact::Hasher h = flowHasher();
+  h.str("stage:synth");
+  hashMcu(h, config_.mcu);
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  hashClock(h, clock);
+  hashSynthesisOptions(h, config_.synthesis);
+  if (config != nullptr) {
+    h.u8(1).u64(config_.mcLibraryCount).u64(config_.mcSeed);
+    hashTuning(h, *config);
+  } else {
+    h.u8(0);
+  }
+  return h.digest();
 }
 
 const liberty::Library& TuningFlow::nominalLibrary() {
   if (!nominal_) {
-    nominal_ = std::make_unique<liberty::Library>(
-        characterizer_.characterizeNominal(charlib::ProcessCorner::typical()));
+    nominal_ = std::make_unique<liberty::Library>(cachedStage<liberty::Library>(
+        store_.get(), nominalKey(),
+        [&] {
+          return characterizer_.characterizeNominal(
+              charlib::ProcessCorner::typical());
+        },
+        [](artifact::SctbWriter& writer, const liberty::Library& library) {
+          artifact::encodeLibrary(writer, library);
+        },
+        [](const artifact::SctbReader& reader) {
+          return artifact::decodeLibrary(reader);
+        }));
   }
   return *nominal_;
 }
 
 const statlib::StatLibrary& TuningFlow::statLibrary() {
   if (!stat_) {
-    const std::vector<liberty::Library> instances =
-        characterizer_.characterizeMonteCarlo(charlib::ProcessCorner::typical(),
-                                              config_.mcLibraryCount,
-                                              config_.mcSeed);
     stat_ = std::make_unique<statlib::StatLibrary>(
-        statlib::buildStatLibrary(instances));
+        cachedStage<statlib::StatLibrary>(
+            store_.get(), statKey(),
+            [&] {
+              const std::vector<liberty::Library> instances =
+                  characterizer_.characterizeMonteCarlo(
+                      charlib::ProcessCorner::typical(),
+                      config_.mcLibraryCount, config_.mcSeed);
+              return statlib::buildStatLibrary(instances);
+            },
+            [](artifact::SctbWriter& writer,
+               const statlib::StatLibrary& library) {
+              artifact::encodeStatLibrary(writer, library);
+            },
+            [](const artifact::SctbReader& reader) {
+              return artifact::decodeStatLibrary(reader);
+            }));
   }
   return *stat_;
 }
@@ -42,23 +232,47 @@ const netlist::Design& TuningFlow::subject() {
 }
 
 tuning::LibraryConstraints TuningFlow::tune(const tuning::TuningConfig& config) {
-  return tuning::tuneLibrary(statLibrary(), config);
+  return cachedStage<tuning::LibraryConstraints>(
+      store_.get(), tuneKey(config),
+      [&] { return tuning::tuneLibrary(statLibrary(), config); },
+      [](artifact::SctbWriter& writer,
+         const tuning::LibraryConstraints& constraints) {
+        artifact::encodeConstraints(writer, constraints);
+      },
+      [](const artifact::SctbReader& reader) {
+        return artifact::decodeConstraints(reader);
+      });
+}
+
+synth::SynthesisResult TuningFlow::synthesizeCached(
+    double period, const tuning::TuningConfig* config) {
+  const liberty::Library& library = nominalLibrary();
+  return cachedStage<synth::SynthesisResult>(
+      store_.get(), synthKey(period, config),
+      [&] {
+        std::optional<tuning::LibraryConstraints> constraints;
+        if (config != nullptr) constraints.emplace(tune(*config));
+        synth::Synthesizer synthesizer(
+            library, constraints ? &*constraints : nullptr);
+        sta::ClockSpec clock = config_.clock;
+        clock.period = period;
+        return synthesizer.run(subject(), clock, config_.synthesis);
+      },
+      [](artifact::SctbWriter& writer, const synth::SynthesisResult& result) {
+        artifact::encodeSynthesisResult(writer, result);
+      },
+      [&library](const artifact::SctbReader& reader) {
+        return artifact::decodeSynthesisResult(reader, &library);
+      });
 }
 
 DesignMeasurement TuningFlow::synthesizeBaseline(double period) {
-  synth::Synthesizer synthesizer(nominalLibrary());
-  sta::ClockSpec clock = config_.clock;
-  clock.period = period;
-  return measure(synthesizer.run(subject(), clock, config_.synthesis), period);
+  return measure(synthesizeCached(period, nullptr), period);
 }
 
 DesignMeasurement TuningFlow::synthesizeTuned(
     double period, const tuning::TuningConfig& config) {
-  const tuning::LibraryConstraints constraints = tune(config);
-  synth::Synthesizer synthesizer(nominalLibrary(), &constraints);
-  sta::ClockSpec clock = config_.clock;
-  clock.period = period;
-  return measure(synthesizer.run(subject(), clock, config_.synthesis), period);
+  return measure(synthesizeCached(period, &config), period);
 }
 
 std::vector<sta::TimingPath> TuningFlow::tracePaths(

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
 #include "netlist/mcu.hpp"
 #include "statlib/stat_library.hpp"
@@ -32,6 +33,13 @@ struct FlowConfig {
   /// or hardware concurrency), 0 forces serial, N pins the pool size.
   /// Results are bit-identical for every setting.
   int threads = -1;
+  /// Root of the content-addressed artifact cache; empty disables caching.
+  /// Each pipeline stage (characterize, merge, tune, synthesize) consults
+  /// the store before computing and skips to a warm SCTB load on a hit.
+  /// Keys hash all stage inputs (characterization config, MC count + seed,
+  /// tuning parameters, subject/clock/synthesis options, schema version),
+  /// so warm results are bit-identical to a cold run by construction.
+  std::string cacheDir{};
 };
 
 /// Per-endpoint worst-path record used by the path-population figures.
@@ -111,9 +119,34 @@ class TuningFlow {
   [[nodiscard]] static const SweepPoint* bestUnderAreaCap(
       std::span<const SweepPoint> points, double maxAreaIncreasePct = 10.0);
 
+  /// Artifact store backing the resumable stages; nullptr when caching is
+  /// disabled (empty cacheDir, or a cache directory that could not be
+  /// created — the flow then degrades to always computing).
+  [[nodiscard]] artifact::ArtifactStore* cache() noexcept {
+    return store_.get();
+  }
+  [[nodiscard]] const artifact::ArtifactStore* cache() const noexcept {
+    return store_.get();
+  }
+
  private:
+  // ---- stage cache keys (see DESIGN.md §10 for the derivation rules) -----
+  [[nodiscard]] artifact::Hasher flowHasher() const;
+  [[nodiscard]] artifact::Digest nominalKey() const;
+  [[nodiscard]] artifact::Digest statKey() const;
+  [[nodiscard]] artifact::Digest tuneKey(
+      const tuning::TuningConfig& config) const;
+  [[nodiscard]] artifact::Digest synthKey(
+      double period, const tuning::TuningConfig* config) const;
+
+  /// Shared cached-synthesis stage behind synthesizeBaseline/synthesizeTuned
+  /// (config == nullptr means the untuned baseline library).
+  synth::SynthesisResult synthesizeCached(double period,
+                                          const tuning::TuningConfig* config);
+
   FlowConfig config_;
   charlib::Characterizer characterizer_;
+  std::unique_ptr<artifact::ArtifactStore> store_;
   std::unique_ptr<liberty::Library> nominal_;
   std::unique_ptr<statlib::StatLibrary> stat_;
   std::unique_ptr<netlist::Design> subject_;

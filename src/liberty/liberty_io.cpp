@@ -13,9 +13,6 @@
 namespace sct::liberty {
 namespace {
 
-// max_digits10: guarantees exact double round-trips through text.
-constexpr int kPrecision = 17;
-
 void writeAxis(std::ostream& out, std::string_view key,
                const numeric::Axis& axis, int indent) {
   out << std::string(static_cast<std::size_t>(indent), ' ') << key << " :";
@@ -210,7 +207,7 @@ Cell readCell(Lexer& lexer, const std::string& name) {
 }  // namespace
 
 void writeLibrary(std::ostream& out, const Library& library) {
-  out << std::setprecision(kPrecision);
+  text::canonicalPrecision(out);
   out << "library (" << library.name() << ") {\n";
   const OperatingConditions& oc = library.conditions();
   out << "  operating_conditions {\n"

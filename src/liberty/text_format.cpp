@@ -1,6 +1,8 @@
 #include "liberty/text_format.hpp"
 
+#include <charconv>
 #include <istream>
+#include <ostream>
 #include <sstream>
 
 namespace sct::liberty::text {
@@ -67,15 +69,25 @@ Line Lexer::parse(const std::string& textLine) const {
   return line;
 }
 
+std::ostream& canonicalPrecision(std::ostream& out) {
+  out.precision(kDoublePrecision);
+  return out;
+}
+
+std::optional<double> parseDouble(std::string_view token) {
+  double value = 0.0;
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
 double toDouble(const Line& line, const std::string& token) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument(token);
-    return v;
-  } catch (const std::exception&) {
+  const std::optional<double> value = parseDouble(token);
+  if (!value) {
     throw ParseError(line.number, "expected number, got '" + token + "'");
   }
+  return *value;
 }
 
 double singleValue(const Line& line) {

@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "liberty/liberty_io.hpp"  // ParseError
@@ -38,6 +39,19 @@ class Lexer {
   std::istream& in_;
   std::size_t line_no_ = 0;
 };
+
+/// max_digits10 of double — the precision every text serializer writes at,
+/// so values round-trip exactly. One definition shared by the library,
+/// stat-library and constraints writers.
+inline constexpr int kDoublePrecision = 17;
+
+/// Sets the canonical full-precision float formatting on a serializer
+/// stream; returns the stream for chaining.
+std::ostream& canonicalPrecision(std::ostream& out);
+
+/// Strict, locale-independent parse of a whole token as a double; nullopt
+/// unless the entire token is one floating literal.
+[[nodiscard]] std::optional<double> parseDouble(std::string_view token);
 
 /// Strict double parse; throws ParseError referencing the line on failure.
 [[nodiscard]] double toDouble(const Line& line, const std::string& token);

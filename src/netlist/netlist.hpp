@@ -164,6 +164,24 @@ class Design {
                         std::vector<NetIndex> outputs);
   void addPort(std::string name, PortDirection direction, NetIndex net);
 
+  // --- verbatim restore (deserializers) -----------------------------------
+  /// Appends a fully-specified instance WITHOUT wiring net connectivity.
+  /// Only for deserializers that restore nets_ (including sink order, which
+  /// steers timing tie-breaking) verbatim themselves; the result should be
+  /// checked with validate().
+  InstIndex addInstanceRaw(Instance instance) {
+    instances_.push_back(std::move(instance));
+    return static_cast<InstIndex>(instances_.size() - 1);
+  }
+  /// Fresh-name counter, exposed so a restored design continues unique
+  /// net/instance numbering exactly where the original stopped.
+  [[nodiscard]] std::uint64_t nameCounter() const noexcept {
+    return name_counter_;
+  }
+  void setNameCounter(std::uint64_t counter) noexcept {
+    name_counter_ = counter;
+  }
+
   // --- surgery (used by buffering / decomposition / sizing) --------------
   /// Reconnects one input slot to a different net, updating sink lists.
   void reconnectInput(InstIndex instance, std::uint32_t slot, NetIndex net);

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -102,8 +103,22 @@ std::size_t parseThreadSpec(std::string_view spec,
   if (spec == "serial") return 0;
   std::size_t value = 0;
   for (char ch : spec) {
-    if (ch < '0' || ch > '9') return fallback;
+    if (ch < '0' || ch > '9') {
+      std::fprintf(stderr,
+                   "sct: ignoring invalid thread spec '%.*s' "
+                   "(want a count, 'serial' or 'auto'); using %zu\n",
+                   static_cast<int>(spec.size()), spec.data(), fallback);
+      return fallback;
+    }
     value = value * 10 + static_cast<std::size_t>(ch - '0');
+    if (value > kMaxThreadSpec) {
+      std::fprintf(stderr,
+                   "sct: thread spec '%.*s' out of range (max %zu); "
+                   "using %zu\n",
+                   static_cast<int>(spec.size()), spec.data(), kMaxThreadSpec,
+                   fallback);
+      return fallback;
+    }
   }
   return value;
 }

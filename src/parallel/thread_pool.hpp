@@ -63,8 +63,14 @@ class ThreadPool {
 /// region.
 void setThreadCount(std::size_t n);
 
+/// Largest accepted thread-spec count; anything above it is treated as
+/// invalid input (a typo or overflow), not as a request for 10^19 workers.
+inline constexpr std::size_t kMaxThreadSpec = 4096;
+
 /// Parses an SCT_THREADS-style spec: "" / "auto" -> fallback, "serial" -> 0,
-/// otherwise a base-10 count (invalid text -> fallback). Exposed for tests.
+/// otherwise a base-10 count. Garbage text or a count above kMaxThreadSpec
+/// (including would-be u64 overflow) warns on stderr and returns the
+/// fallback. Exposed for tests.
 [[nodiscard]] std::size_t parseThreadSpec(std::string_view spec,
                                           std::size_t fallback) noexcept;
 

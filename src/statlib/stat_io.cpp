@@ -18,8 +18,6 @@ using liberty::text::Line;
 using liberty::text::singleValue;
 using liberty::text::toDouble;
 
-constexpr int kPrecision = 17;
-
 void writeAxis(std::ostream& out, std::string_view key,
                const numeric::Axis& axis, const std::string& pad) {
   out << pad << key << " :";
@@ -163,7 +161,7 @@ StatCell readCell(Lexer& lexer, const std::string& name) {
 }  // namespace
 
 void writeStatLibrary(std::ostream& out, const StatLibrary& library) {
-  out << std::setprecision(kPrecision);
+  liberty::text::canonicalPrecision(out);
   out << "stat_library (" << library.name() << ") {\n";
   out << "  samples : " << library.sampleCount() << " ;\n";
   for (const StatCell* cell : library.cells()) {

@@ -1,0 +1,393 @@
+// Tests for the SCTB binary container, the stage codecs (round-trip
+// fidelity down to the serialized-text level) and the content-addressed
+// artifact store (publication atomicity, corruption handling, gc).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "artifact/binary_format.hpp"
+#include "artifact/codecs.hpp"
+#include "artifact/hash.hpp"
+#include "artifact/store.hpp"
+#include "charlib/characterizer.hpp"
+#include "liberty/liberty_io.hpp"
+#include "netlist/mcu.hpp"
+#include "netlist/verilog_io.hpp"
+#include "statlib/stat_io.hpp"
+#include "synth/synthesis.hpp"
+#include "tuning/constraints_io.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct {
+namespace {
+
+namespace fs = std::filesystem;
+using artifact::Digest;
+using artifact::FormatError;
+using artifact::Hasher;
+using artifact::SctbReader;
+using artifact::SctbWriter;
+
+charlib::CharacterizationConfig tinyConfig() {
+  charlib::CharacterizationConfig config;
+  config.slewAxis = {0.002, 0.05, 0.4};
+  config.loadFractions = {0.01, 0.2, 1.0};
+  return config;
+}
+
+liberty::Library tinyLibrary() {
+  return charlib::Characterizer(tinyConfig())
+      .characterizeNominal(charlib::ProcessCorner::typical());
+}
+
+statlib::StatLibrary tinyStatLibrary() {
+  const charlib::Characterizer characterizer(tinyConfig());
+  return statlib::buildStatLibrary(characterizer.characterizeMonteCarlo(
+      charlib::ProcessCorner::typical(), 4, 99));
+}
+
+/// Temp directory wiped on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* stem)
+      : path(fs::temp_directory_path() / stem) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+// -------------------------------------------------------------- hashing ----
+
+TEST(Digest, HexRoundTrip) {
+  const Digest d{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+  const auto back = Digest::fromHex(d.hex());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(Digest, FromHexRejectsMalformedInput) {
+  EXPECT_FALSE(Digest::fromHex("").has_value());
+  EXPECT_FALSE(Digest::fromHex("0123").has_value());
+  EXPECT_FALSE(
+      Digest::fromHex("0123456789abcdeffedcba987654321g").has_value());
+  EXPECT_FALSE(
+      Digest::fromHex("0123456789abcdeffedcba98765432100").has_value());
+}
+
+TEST(Hasher, TypedFeedersDoNotAlias) {
+  // Length prefixes keep adjacent strings from aliasing each other.
+  Hasher a, b;
+  a.str("ab").str("c");
+  b.str("a").str("bc");
+  EXPECT_FALSE(a.digest() == b.digest());
+
+  Hasher c, d;
+  c.u8(1).u8(0).u8(0).u8(0);
+  d.u32(1);
+  EXPECT_FALSE(c.digest() == d.digest());
+}
+
+TEST(Hasher, DeterministicAcrossInstances) {
+  Hasher a, b;
+  for (Hasher* h : {&a, &b}) {
+    h->str("stage").u64(50).f64(2.41).f64span(std::vector<double>{1.0, 2.0});
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_FALSE(a.digest() == Hasher().digest());
+}
+
+// ----------------------------------------------------- container basics ----
+
+TEST(Sctb, WriterReaderRoundTripsScalars) {
+  SctbWriter writer;
+  writer.beginSection("scalars");
+  writer.u8(7);
+  writer.u32(0xdeadbeef);
+  writer.u64(1ULL << 60);
+  writer.f64(-0.0);
+  writer.boolean(true);
+  writer.str("hello SCTB");
+  writer.beginSection("bulk");
+  const std::vector<double> values{1.5, -2.25, 3.125, 0.0, 5e300};
+  writer.f64span(values);
+
+  const SctbReader reader = SctbReader::fromBytes(writer.finish());
+  EXPECT_EQ(reader.schemaVersion(), artifact::kSchemaVersion);
+  EXPECT_EQ(reader.sectionCount(), 2u);
+  EXPECT_TRUE(reader.hasSection("scalars"));
+  EXPECT_FALSE(reader.hasSection("missing"));
+  EXPECT_THROW((void)reader.section("missing"), FormatError);
+
+  SctbReader::Cursor cursor = reader.section("scalars");
+  EXPECT_EQ(cursor.u8(), 7u);
+  EXPECT_EQ(cursor.u32(), 0xdeadbeefu);
+  EXPECT_EQ(cursor.u64(), 1ULL << 60);
+  const double negZero = cursor.f64();
+  EXPECT_EQ(negZero, 0.0);
+  EXPECT_TRUE(std::signbit(negZero));
+  EXPECT_TRUE(cursor.boolean());
+  EXPECT_EQ(cursor.str(), "hello SCTB");
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_THROW((void)cursor.u8(), FormatError);  // reads past the end throw
+
+  SctbReader::Cursor bulk = reader.section("bulk");
+  const std::span<const double> span = bulk.f64span();
+  ASSERT_EQ(span.size(), values.size());
+  // Zero-copy contract: the span aliases 8-byte-aligned reader storage.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(span.data()) % 8, 0u);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(span[i], values[i]);
+}
+
+TEST(Sctb, RejectsBadMagic) {
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.u8(1);
+  std::vector<std::byte> bytes = writer.finish();
+  bytes[0] = std::byte{'X'};
+  EXPECT_THROW((void)SctbReader::fromBytes(bytes), FormatError);
+}
+
+TEST(Sctb, RejectsWrongSchemaVersion) {
+  SctbWriter writer(artifact::kSchemaVersion + 1);
+  writer.beginSection("s");
+  writer.u8(1);
+  EXPECT_THROW((void)SctbReader::fromBytes(writer.finish()), FormatError);
+}
+
+TEST(Sctb, RejectsCorruptPayload) {
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.str("payload under checksum");
+  std::vector<std::byte> bytes = writer.finish();
+  bytes.back() ^= std::byte{0x01};  // flip one payload bit
+  EXPECT_THROW((void)SctbReader::fromBytes(bytes), FormatError);
+}
+
+TEST(Sctb, RejectsTruncationAtEveryBoundary) {
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.f64span(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<std::byte> bytes = writer.finish();
+  // Header cut, table cut and payload cut must all be detected.
+  for (const std::size_t keep : {std::size_t{3}, std::size_t{15},
+                                 std::size_t{17}, bytes.size() - 1}) {
+    EXPECT_THROW(
+        (void)SctbReader::fromBytes(std::span(bytes.data(), keep)),
+        FormatError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Sctb, FromFileMatchesFromBytes) {
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.str("disk");
+  writer.f64span(std::vector<double>{4.0, 5.0});
+  const std::vector<std::byte> bytes = writer.finish();
+
+  TempDir dir("sct_artifact_file_test");
+  fs::create_directories(dir.path);
+  const fs::path file = dir.path / "x.sctb";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  const SctbReader reader = SctbReader::fromFile(file.string());
+  SctbReader::Cursor cursor = reader.section("s");
+  EXPECT_EQ(cursor.str(), "disk");
+  EXPECT_EQ(reader.fileSize(), bytes.size());
+  EXPECT_THROW((void)SctbReader::fromFile((dir.path / "nope.sctb").string()),
+               FormatError);
+}
+
+// ------------------------------------------------------- codec fidelity ----
+
+TEST(Codecs, LibraryRoundTripsToIdenticalText) {
+  const liberty::Library library = tinyLibrary();
+  SctbWriter writer;
+  artifact::encodeLibrary(writer, library);
+  const liberty::Library back =
+      artifact::decodeLibrary(SctbReader::fromBytes(writer.finish()));
+  // The text serializer prints at max_digits10, so equal text means every
+  // double survived bit-for-bit.
+  EXPECT_EQ(liberty::writeLibraryToString(back),
+            liberty::writeLibraryToString(library));
+}
+
+TEST(Codecs, StatLibraryRoundTripsToIdenticalText) {
+  const statlib::StatLibrary library = tinyStatLibrary();
+  SctbWriter writer;
+  artifact::encodeStatLibrary(writer, library);
+  const statlib::StatLibrary back =
+      artifact::decodeStatLibrary(SctbReader::fromBytes(writer.finish()));
+  EXPECT_EQ(back.sampleCount(), library.sampleCount());
+  EXPECT_EQ(statlib::writeStatLibraryToString(back),
+            statlib::writeStatLibraryToString(library));
+}
+
+TEST(Codecs, ConstraintsRoundTripToIdenticalText) {
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      tinyStatLibrary(),
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  SctbWriter writer;
+  artifact::encodeConstraints(writer, constraints);
+  const tuning::LibraryConstraints back =
+      artifact::decodeConstraints(SctbReader::fromBytes(writer.finish()));
+  EXPECT_EQ(back.size(), constraints.size());
+  EXPECT_EQ(tuning::writeConstraintsToString(back),
+            tuning::writeConstraintsToString(constraints));
+}
+
+TEST(Codecs, UnboundDesignRoundTripsVerbatim) {
+  netlist::Design design = netlist::generateAccumulator(8, 5);
+  (void)design.freshName("n");  // advance the counter past zero
+  SctbWriter writer;
+  artifact::encodeDesign(writer, design);
+  netlist::Design back =
+      artifact::decodeDesign(SctbReader::fromBytes(writer.finish()), nullptr);
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(netlist::writeVerilogToString(back),
+            netlist::writeVerilogToString(design));
+  // The fresh-name counter continues exactly where the original stopped.
+  EXPECT_EQ(back.nameCounter(), design.nameCounter());
+  EXPECT_EQ(back.freshName("n"), design.freshName("n"));
+}
+
+TEST(Codecs, SynthesisResultRoundTripsAgainstLibrary) {
+  const liberty::Library library = tinyLibrary();
+  const synth::Synthesizer synthesizer(library);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult result =
+      synthesizer.run(netlist::generateAccumulator(8, 5), clock);
+
+  SctbWriter writer;
+  artifact::encodeSynthesisResult(writer, result);
+  const std::vector<std::byte> bytes = writer.finish();
+  const synth::SynthesisResult back =
+      artifact::decodeSynthesisResult(SctbReader::fromBytes(bytes), &library);
+
+  EXPECT_EQ(back.timingMet, result.timingMet);
+  EXPECT_EQ(back.legal, result.legal);
+  EXPECT_EQ(back.worstSlack, result.worstSlack);
+  EXPECT_EQ(back.tns, result.tns);
+  EXPECT_EQ(back.area, result.area);
+  EXPECT_EQ(back.passes, result.passes);
+  EXPECT_EQ(back.buffersInserted, result.buffersInserted);
+  EXPECT_EQ(back.resizes, result.resizes);
+  EXPECT_EQ(back.design.validate(), "");
+  EXPECT_EQ(netlist::writeVerilogToString(back.design),
+            netlist::writeVerilogToString(result.design));
+  // Mapped instances reference cells of the passed library by address.
+  for (const netlist::Instance& inst : back.design.instances()) {
+    if (inst.cell != nullptr) {
+      EXPECT_EQ(inst.cell, library.findCell(inst.cell->name()));
+    }
+  }
+  // A mapped design cannot be rebound without a library: decode must fail
+  // loudly instead of silently dropping the bindings.
+  EXPECT_THROW(
+      (void)artifact::decodeSynthesisResult(SctbReader::fromBytes(bytes),
+                                            nullptr),
+      FormatError);
+}
+
+// ---------------------------------------------------------------- store ----
+
+TEST(ArtifactStore, PublishOpenAndMissAccounting) {
+  TempDir dir("sct_store_test");
+  artifact::ArtifactStore store(dir.path / "store");
+
+  const Digest key{1, 2};
+  EXPECT_FALSE(store.open(key).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.str("cached");
+  store.publish(key, writer);
+  EXPECT_EQ(store.stats().stores, 1u);
+  EXPECT_TRUE(fs::exists(store.pathFor(key)));
+
+  auto reader = store.open(key);
+  ASSERT_TRUE(reader.has_value());
+  SctbReader::Cursor cursor = reader->section("s");
+  EXPECT_EQ(cursor.str(), "cached");
+  EXPECT_EQ(store.stats().hits, 1u);
+
+  const auto [files, bytes] = store.diskUsage();
+  EXPECT_EQ(files, 1u);
+  EXPECT_GT(bytes, 0u);
+  // No stray temp files survive publication.
+  for (const auto& entry : fs::recursive_directory_iterator(store.root())) {
+    if (entry.is_regular_file()) {
+      EXPECT_EQ(entry.path().extension(), ".sctb");
+      EXPECT_NE(entry.path().filename().string().find('.'), 0u);
+    }
+  }
+}
+
+TEST(ArtifactStore, CorruptEntryIsEvictedAndReportedAsMiss) {
+  TempDir dir("sct_store_corrupt_test");
+  artifact::ArtifactStore store(dir.path / "store");
+  const Digest key{3, 4};
+  SctbWriter writer;
+  writer.beginSection("s");
+  writer.u64(42);
+  store.publish(key, writer);
+
+  {
+    // Truncate the published file: checksum/structure validation must fail.
+    std::ofstream out(store.pathFor(key), std::ios::binary | std::ios::trunc);
+    out << "SCTBgarbage";
+  }
+  EXPECT_FALSE(store.open(key).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_FALSE(fs::exists(store.pathFor(key)));  // evicted
+
+  // The flow's degrade path: recompute and republish under the same key.
+  store.publish(key, writer);
+  EXPECT_TRUE(store.open(key).has_value());
+}
+
+TEST(ArtifactStore, GcEnforcesByteBudgetOldestFirst) {
+  TempDir dir("sct_store_gc_test");
+  artifact::ArtifactStore store(dir.path / "store");
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SctbWriter writer;
+    writer.beginSection("s");
+    writer.f64span(std::vector<double>(64, static_cast<double>(i)));
+    store.publish(Digest{i, i}, writer);
+  }
+  const auto [filesBefore, bytesBefore] = store.diskUsage();
+  ASSERT_EQ(filesBefore, 4u);
+
+  // A budget of roughly half the store must evict some but not all entries.
+  artifact::GcPolicy policy;
+  policy.maxBytes = bytesBefore / 2;
+  const artifact::GcResult result = store.gc(policy);
+  EXPECT_GT(result.filesRemoved, 0u);
+  EXPECT_GT(result.filesKept, 0u);
+  EXPECT_LE(result.bytesKept, policy.maxBytes);
+  const auto [filesAfter, bytesAfter] = store.diskUsage();
+  EXPECT_EQ(filesAfter, result.filesKept);
+  EXPECT_EQ(bytesAfter, result.bytesKept);
+
+  // maxBytes = 1 clears the store entirely.
+  policy.maxBytes = 1;
+  (void)store.gc(policy);
+  EXPECT_EQ(store.diskUsage().first, 0u);
+}
+
+}  // namespace
+}  // namespace sct

@@ -127,6 +127,23 @@ TEST(ThreadSpec, ParsesEnvironmentValues) {
   EXPECT_EQ(parallel::parseThreadSpec("not-a-number", 6), 6u);
 }
 
+TEST(ThreadSpec, RejectsGarbageAndOverflow) {
+  // Garbage of every shape falls back instead of silently mis-parsing.
+  EXPECT_EQ(parallel::parseThreadSpec("-4", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("+4", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("4.5", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec(" 8", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("8 ", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("0x10", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("12cores", 6), 6u);
+  // Counts beyond any sane pool size — including values that would overflow
+  // the accumulating u64 — are treated as invalid, not as huge requests.
+  EXPECT_EQ(parallel::parseThreadSpec("4096", 6), parallel::kMaxThreadSpec);
+  EXPECT_EQ(parallel::parseThreadSpec("4097", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("99999999999999999999999999", 6), 6u);
+  EXPECT_EQ(parallel::parseThreadSpec("18446744073709551616", 6), 6u);
+}
+
 // ----------------------------------------------------------- determinism ----
 
 /// Shared fixtures characterized once per thread-count under test.

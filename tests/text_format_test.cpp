@@ -81,6 +81,35 @@ TEST(Lexer, HelpersValidateNumbers) {
                liberty::ParseError);
 }
 
+// -------------------------------------------------- shared float helpers ----
+
+TEST(FloatHelpers, ParseDoubleAcceptsWholeTokensOnly) {
+  using liberty::text::parseDouble;
+  EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parseDouble("-0.25e-3").value(), -0.25e-3);
+  EXPECT_DOUBLE_EQ(parseDouble("0").value(), 0.0);
+  EXPECT_FALSE(parseDouble("").has_value());
+  EXPECT_FALSE(parseDouble("1.5x").has_value());
+  EXPECT_FALSE(parseDouble(" 1.5").has_value());
+  EXPECT_FALSE(parseDouble("1.5 ").has_value());
+  EXPECT_FALSE(parseDouble("abc").has_value());
+}
+
+TEST(FloatHelpers, CanonicalPrecisionRoundTripsExactly) {
+  // The shared precision is max_digits10: any double printed at it must
+  // parse back bit-identically (the property all three serializers rely on).
+  for (double v : {1.0 / 3.0, 0.1, 6.02214076e23, 4.9e-324, -123.456789}) {
+    std::ostringstream out;
+    liberty::text::canonicalPrecision(out) << v;
+    const auto back = liberty::text::parseDouble(out.str());
+    ASSERT_TRUE(back.has_value()) << out.str();
+    EXPECT_EQ(*back, v) << out.str();
+  }
+  std::ostringstream out;
+  liberty::text::canonicalPrecision(out);
+  EXPECT_EQ(out.precision(), liberty::text::kDoublePrecision);
+}
+
 // ------------------------------------------------------ wire-load model ----
 
 TEST(WireLoadModel, ZeroFanoutIsZero) {

@@ -12,19 +12,34 @@
 //                        --period <ns> [--constraints c.txt] [--out out.v]
 //   sctune report       --lib lib.lib --stat stat.slib
 //                        --netlist out.v --period <ns>
+//   sctune flow         --period <ns> [--method <name> --value <v>]
+//                        [--profile small|full] [--cache-dir DIR | --no-cache]
+//                        [--cache-stats] [--report out.txt]
+//   sctune cache stats  --cache-dir DIR
+//   sctune cache gc     --cache-dir DIR [--max-bytes N] [--max-age seconds]
 //
 // Methods: strength-load, strength-slew, cell-load, cell-slew,
 //          sigma-ceiling.
+//
+// `flow` runs the whole pipeline in-process on top of the content-addressed
+// artifact store (SCT_CACHE_DIR is the --cache-dir default): a warm rerun
+// loads every stage artifact instead of recomputing, and its --report file
+// is byte-identical to the cold run's.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
 #include "core/flow.hpp"
 #include "parallel/thread_pool.hpp"
@@ -40,21 +55,32 @@ namespace {
 
 using namespace sct;
 
-/// Minimal --flag value parser.
+/// Minimal --flag value parser. Flags listed in `booleanFlags` take no
+/// value operand; `start` skips the command (and subcommand) words.
 class Args {
  public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+  Args(int argc, char** argv, int start = 2,
+       std::vector<std::string> booleanFlags = {}) {
+    for (int i = start; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
       }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - 2) % 2 != 0) {
-      throw std::runtime_error("flags must come in '--name value' pairs");
+      const std::string name = argv[i] + 2;
+      if (std::find(booleanFlags.begin(), booleanFlags.end(), name) !=
+          booleanFlags.end()) {
+        values_[name] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::runtime_error("flag --" + name + " needs a value");
+      }
+      values_[name] = argv[++i];
     }
   }
 
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto it = values_.find(key);
     return it != values_.end() ? std::optional(it->second) : std::nullopt;
@@ -230,6 +256,142 @@ int cmdReport(const Args& args) {
   return 0;
 }
 
+// ---- resumable flow + cache maintenance ----------------------------------
+
+/// Full-precision round-trippable double rendering for the deterministic
+/// flow report (compared byte-for-byte between cold and warm runs).
+std::string fmt17(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+std::filesystem::path cacheRoot(const Args& args) {
+  if (const auto dir = args.get("cache-dir")) return *dir;
+  if (const char* env = std::getenv("SCT_CACHE_DIR")) return env;
+  throw std::runtime_error("need --cache-dir (or the SCT_CACHE_DIR variable)");
+}
+
+core::FlowConfig makeFlowConfig(const Args& args) {
+  core::FlowConfig config;
+  const std::string profile = args.get("profile").value_or("full");
+  if (profile == "small") {
+    // Shrunk grid/subject for smoke runs; same shape as the full pipeline.
+    config.characterization.slewAxis = {0.002, 0.05, 0.2, 0.6};
+    config.characterization.loadFractions = {0.01, 0.1, 0.4, 1.0};
+    config.mcLibraryCount = 10;
+    config.mcu.registers = 8;
+    config.mcu.readPorts = 2;
+    config.mcu.bankedRegisters = 1;
+    config.mcu.macUnits = 1;
+    config.mcu.macWidth = 8;
+    config.mcu.timers = 1;
+    config.mcu.dmaChannels = 1;
+    config.mcu.gpioWidth = 16;
+    config.mcu.cacheTagEntries = 16;
+    config.mcu.decodeOutputs = 64;
+    config.mcu.interruptSources = 8;
+  } else if (profile != "full") {
+    throw std::runtime_error("unknown profile '" + profile + "' (small/full)");
+  }
+  config.mcLibraryCount = args.getUint("mc", config.mcLibraryCount);
+  config.mcSeed = args.getUint("seed", config.mcSeed);
+  if (!args.has("no-cache")) {
+    if (const auto dir = args.get("cache-dir")) {
+      config.cacheDir = *dir;
+    } else if (const char* env = std::getenv("SCT_CACHE_DIR")) {
+      config.cacheDir = env;
+    }
+  }
+  return config;
+}
+
+int cmdFlow(const Args& args) {
+  core::TuningFlow flow(makeFlowConfig(args));
+  const double period = args.requireDouble("period");
+
+  std::optional<tuning::TuningConfig> tuningConfig;
+  if (const auto method = args.get("method")) {
+    tuningConfig = tuning::TuningConfig::forMethod(methodByName(*method),
+                                                   args.requireDouble("value"));
+  }
+  const core::DesignMeasurement m =
+      tuningConfig ? flow.synthesizeTuned(period, *tuningConfig)
+                   : flow.synthesizeBaseline(period);
+
+  std::printf("flow: %s | wns %+.4f ns | area %.0f um^2 | %zu gates | "
+              "design sigma %.4f ns over %zu paths\n",
+              m.success() ? "MET" : "FAILED", m.synthesis.worstSlack, m.area(),
+              m.synthesis.design.gateCount(), m.sigma(), m.paths.size());
+
+  std::ostringstream report;
+  report << "flow-report v1\n";
+  report << "design " << m.synthesis.design.name() << " period "
+         << fmt17(period) << "\n";
+  report << "synthesis met " << m.synthesis.timingMet << " legal "
+         << m.synthesis.legal << " wns " << fmt17(m.synthesis.worstSlack)
+         << " tns " << fmt17(m.synthesis.tns) << " area "
+         << fmt17(m.synthesis.area) << "\n";
+  report << "gates " << m.synthesis.design.gateCount() << " buffers "
+         << m.synthesis.buffersInserted << " resizes " << m.synthesis.resizes
+         << " decomposed " << m.synthesis.decomposed << "\n";
+  report << "design-sigma " << fmt17(m.sigma()) << " paths " << m.paths.size()
+         << "\n";
+  if (tuningConfig) {
+    const tuning::LibraryConstraints constraints = flow.tune(*tuningConfig);
+    artifact::Hasher hasher;
+    hasher.str(tuning::writeConstraintsToString(constraints));
+    report << "constraints " << constraints.size() << " unusable "
+           << constraints.unusableCellCount() << " digest "
+           << hasher.digest().hex() << "\n";
+  }
+  for (const core::PathRecord& p : m.paths) {
+    report << "path " << p.endpoint << " depth " << p.depth << " mean "
+           << fmt17(p.mean) << " sigma " << fmt17(p.sigma) << " arrival "
+           << fmt17(p.arrival) << " slack " << fmt17(p.slack) << "\n";
+  }
+  if (const auto out = args.get("report")) writeFile(*out, report.str());
+
+  if (args.has("cache-stats")) {
+    if (const artifact::ArtifactStore* store = flow.cache()) {
+      const artifact::StoreStats& s = store->stats();
+      const auto [files, bytes] = store->diskUsage();
+      std::printf(
+          "cache %s: %zu hits, %zu misses, %zu corrupt, %zu stores; "
+          "%.1f KB read, %.1f KB written; %zu entries / %.1f KB on disk\n",
+          store->root().c_str(), s.hits, s.misses, s.corrupt, s.stores,
+          static_cast<double>(s.bytesRead) / 1024.0,
+          static_cast<double>(s.bytesWritten) / 1024.0, files,
+          static_cast<double>(bytes) / 1024.0);
+    } else {
+      std::printf("cache: disabled\n");
+    }
+  }
+  return m.success() ? 0 : 2;
+}
+
+int cmdCacheStats(const Args& args) {
+  const artifact::ArtifactStore store(cacheRoot(args));
+  const auto [files, bytes] = store.diskUsage();
+  std::printf("cache %s: %zu entries, %.1f KB\n", store.root().c_str(), files,
+              static_cast<double>(bytes) / 1024.0);
+  return 0;
+}
+
+int cmdCacheGc(const Args& args) {
+  artifact::ArtifactStore store(cacheRoot(args));
+  artifact::GcPolicy policy;
+  policy.maxBytes = args.getUint("max-bytes", 0);
+  policy.maxAgeSeconds = args.getUint("max-age", 0);
+  const artifact::GcResult r = store.gc(policy);
+  std::printf(
+      "cache gc %s: removed %zu entries (%.1f KB), kept %zu (%.1f KB)\n",
+      store.root().c_str(), r.filesRemoved,
+      static_cast<double>(r.bytesRemoved) / 1024.0, r.filesKept,
+      static_cast<double>(r.bytesKept) / 1024.0);
+  return 0;
+}
+
 int usage() {
   std::printf(
       "sctune — standard cell library tuning for variability tolerant "
@@ -244,7 +406,15 @@ int usage() {
       "  synth         --lib lib.lib --design <name|file.v> --period <ns>\n"
       "                [--constraints c.txt] [--out mapped.v]\n"
       "  report        --lib lib.lib --stat stat.slib --netlist mapped.v\n"
-      "                --period <ns> [--out report.txt]\n\n"
+      "                --period <ns> [--out report.txt]\n"
+      "  flow          --period <ns> [--method <m> --value <v>]\n"
+      "                [--profile small|full] [--mc N --seed S]\n"
+      "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
+      "                [--report report.txt]\n"
+      "  cache stats   --cache-dir DIR\n"
+      "  cache gc      --cache-dir DIR [--max-bytes N] [--max-age seconds]\n\n"
+      "flow and cache default --cache-dir to SCT_CACHE_DIR; warm flow reruns\n"
+      "load every stage artifact and are bit-identical to cold runs.\n"
       "every command accepts --threads <N|serial|auto> (default: the\n"
       "SCT_THREADS environment variable); results do not depend on it\n");
   return 1;
@@ -254,9 +424,20 @@ int usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string command = argv[1];
+  std::string command = argv[1];
+  int start = 2;
+  if (command == "cache") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "cache needs a subcommand (stats|gc)\n\n");
+      return usage();
+    }
+    command = std::string("cache ") + argv[2];
+    start = 3;
+  }
   try {
-    const Args args(argc, argv);
+    std::vector<std::string> booleans;
+    if (command == "flow") booleans = {"no-cache", "cache-stats"};
+    const Args args(argc, argv, start, std::move(booleans));
     // Worker-pool size for the parallelized kernels. The flag takes
     // precedence over SCT_THREADS; results are identical either way.
     if (const auto threads = args.get("threads")) {
@@ -269,6 +450,9 @@ int main(int argc, char** argv) {
     if (command == "tune") return cmdTune(args);
     if (command == "synth") return cmdSynth(args);
     if (command == "report") return cmdReport(args);
+    if (command == "flow") return cmdFlow(args);
+    if (command == "cache stats") return cmdCacheStats(args);
+    if (command == "cache gc") return cmdCacheGc(args);
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     return usage();
   } catch (const std::exception& e) {
