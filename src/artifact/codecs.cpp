@@ -462,4 +462,34 @@ synth::SynthesisResult decodeSynthesisResult(const SctbReader& reader,
   return result;
 }
 
+// ----------------------------------------------------------- lint report --
+
+void encodeLintReport(SctbWriter& writer, const lint::LintReport& report) {
+  writer.beginSection("lintreport");
+  writer.u64(report.size());
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    writer.str(d.ruleId);
+    writer.u8(static_cast<std::uint8_t>(d.severity));
+    writer.str(d.objectPath);
+    writer.str(d.message);
+  }
+}
+
+lint::LintReport decodeLintReport(const SctbReader& reader) {
+  SctbReader::Cursor cursor = reader.section("lintreport");
+  const std::uint64_t count = cursor.u64();
+  lint::LintReport report;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    lint::Diagnostic d;
+    d.ruleId = cursor.str();
+    const std::uint8_t severity = cursor.u8();
+    if (severity > 2) throw FormatError("lint severity out of range");
+    d.severity = static_cast<lint::Severity>(severity);
+    d.objectPath = cursor.str();
+    d.message = cursor.str();
+    report.add(std::move(d));
+  }
+  return report;
+}
+
 }  // namespace sct::artifact

@@ -10,6 +10,7 @@
 
 #include "artifact/binary_format.hpp"
 #include "liberty/library.hpp"
+#include "lint/diagnostic.hpp"
 #include "netlist/netlist.hpp"
 #include "statlib/stat_library.hpp"
 #include "synth/synthesis.hpp"
@@ -40,5 +41,10 @@ void encodeSynthesisResult(SctbWriter& writer,
                            const synth::SynthesisResult& result);
 [[nodiscard]] synth::SynthesisResult decodeSynthesisResult(
     const SctbReader& reader, const liberty::Library* library);
+
+/// Lint reports are cached keyed by subject digest + rule-pack version, so
+/// warm flows skip re-linting unchanged stage inputs (DESIGN.md §11).
+void encodeLintReport(SctbWriter& writer, const lint::LintReport& report);
+[[nodiscard]] lint::LintReport decodeLintReport(const SctbReader& reader);
 
 }  // namespace sct::artifact

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "artifact/codecs.hpp"
@@ -124,7 +127,9 @@ T cachedStage(artifact::ArtifactStore* store, const artifact::Digest& key,
 }  // namespace
 
 TuningFlow::TuningFlow(FlowConfig config)
-    : config_(std::move(config)), characterizer_(config_.characterization) {
+    : config_(std::move(config)),
+      characterizer_(config_.characterization),
+      linter_(lint::LintEngine::withAllRules()) {
   if (config_.threads >= 0) {
     parallel::setThreadCount(static_cast<std::size_t>(config_.threads));
   }
@@ -184,25 +189,34 @@ artifact::Digest TuningFlow::synthKey(double period,
 
 const liberty::Library& TuningFlow::nominalLibrary() {
   if (!nominal_) {
-    nominal_ = std::make_unique<liberty::Library>(cachedStage<liberty::Library>(
-        store_.get(), nominalKey(),
-        [&] {
-          return characterizer_.characterizeNominal(
-              charlib::ProcessCorner::typical());
-        },
-        [](artifact::SctbWriter& writer, const liberty::Library& library) {
-          artifact::encodeLibrary(writer, library);
-        },
-        [](const artifact::SctbReader& reader) {
-          return artifact::decodeLibrary(reader);
-        }));
+    auto library = std::make_unique<liberty::Library>(
+        cachedStage<liberty::Library>(
+            store_.get(), nominalKey(),
+            [&] {
+              return characterizer_.characterizeNominal(
+                  charlib::ProcessCorner::typical());
+            },
+            [](artifact::SctbWriter& writer, const liberty::Library& lib) {
+              artifact::encodeLibrary(writer, lib);
+            },
+            [](const artifact::SctbReader& reader) {
+              return artifact::decodeLibrary(reader);
+            }));
+    // Gate before the member is set: a failed gate leaves the flow without a
+    // nominal library, so a retried call re-lints instead of serving the
+    // tainted artifact.
+    lint::LintSubject subject;
+    subject.library = library.get();
+    lintGate("nominal", nominalKey(), subject,
+             lint::packBit(lint::RulePack::kLiberty));
+    nominal_ = std::move(library);
   }
   return *nominal_;
 }
 
 const statlib::StatLibrary& TuningFlow::statLibrary() {
   if (!stat_) {
-    stat_ = std::make_unique<statlib::StatLibrary>(
+    auto library = std::make_unique<statlib::StatLibrary>(
         cachedStage<statlib::StatLibrary>(
             store_.get(), statKey(),
             [&] {
@@ -213,35 +227,109 @@ const statlib::StatLibrary& TuningFlow::statLibrary() {
               return statlib::buildStatLibrary(instances);
             },
             [](artifact::SctbWriter& writer,
-               const statlib::StatLibrary& library) {
-              artifact::encodeStatLibrary(writer, library);
+               const statlib::StatLibrary& lib) {
+              artifact::encodeStatLibrary(writer, lib);
             },
             [](const artifact::SctbReader& reader) {
               return artifact::decodeStatLibrary(reader);
             }));
+    if (config_.lintMode != LintMode::kOff) {
+      lint::LintSubject subject;
+      subject.statLibrary = library.get();
+      // Grid cross-checks need the nominal library; resolving it here keeps
+      // the gate's reference consistent with what synthesis will use.
+      subject.referenceLibrary = &nominalLibrary();
+      lintGate("stat", statKey(), subject,
+               lint::packBit(lint::RulePack::kStatLib));
+    }
+    stat_ = std::move(library);
   }
   return *stat_;
 }
 
 const netlist::Design& TuningFlow::subject() {
   if (!subject_) {
-    subject_ = std::make_unique<netlist::Design>(
-        netlist::generateMcu(config_.mcu));
+    auto design =
+        std::make_unique<netlist::Design>(netlist::generateMcu(config_.mcu));
+    artifact::Hasher h = flowHasher();
+    h.str("stage:subject");
+    hashMcu(h, config_.mcu);
+    lint::LintSubject subject;
+    subject.design = design.get();
+    lintGate("subject", h.digest(), subject,
+             lint::packBit(lint::RulePack::kNetlist));
+    subject_ = std::move(design);
   }
   return *subject_;
 }
 
 tuning::LibraryConstraints TuningFlow::tune(const tuning::TuningConfig& config) {
-  return cachedStage<tuning::LibraryConstraints>(
-      store_.get(), tuneKey(config),
-      [&] { return tuning::tuneLibrary(statLibrary(), config); },
-      [](artifact::SctbWriter& writer,
-         const tuning::LibraryConstraints& constraints) {
-        artifact::encodeConstraints(writer, constraints);
+  tuning::LibraryConstraints constraints =
+      cachedStage<tuning::LibraryConstraints>(
+          store_.get(), tuneKey(config),
+          [&] { return tuning::tuneLibrary(statLibrary(), config); },
+          [](artifact::SctbWriter& writer,
+             const tuning::LibraryConstraints& value) {
+            artifact::encodeConstraints(writer, value);
+          },
+          [](const artifact::SctbReader& reader) {
+            return artifact::decodeConstraints(reader);
+          });
+  if (config_.lintMode != LintMode::kOff) {
+    lint::LintSubject subject;
+    subject.constraints = &constraints;
+    subject.referenceLibrary = &nominalLibrary();
+    lintGate("tune", tuneKey(config), subject,
+             lint::packBit(lint::RulePack::kConstraints));
+  }
+  return constraints;
+}
+
+void TuningFlow::lintGate(std::string_view stageName,
+                          const artifact::Digest& stageKey,
+                          const lint::LintSubject& subject,
+                          lint::RulePackMask packs) {
+  if (config_.lintMode == LintMode::kOff) return;
+  // Lint-result cache key: subject identity (the stage's own artifact key)
+  // + rule-pack version, so a rule change invalidates every cached report.
+  artifact::Hasher h;
+  h.str("sct-lint")
+      .u32(artifact::kSchemaVersion)
+      .u32(lint::kRulePackVersion)
+      .str(stageName)
+      .u64(stageKey.hi)
+      .u64(stageKey.lo)
+      .u8(packs);
+  const lint::LintReport report = cachedStage<lint::LintReport>(
+      store_.get(), h.digest(), [&] { return linter_.run(subject, packs); },
+      [](artifact::SctbWriter& writer, const lint::LintReport& value) {
+        artifact::encodeLintReport(writer, value);
       },
       [](const artifact::SctbReader& reader) {
-        return artifact::decodeConstraints(reader);
+        return artifact::decodeLintReport(reader);
       });
+  if (report.empty()) return;
+  if (report.hasErrors() && config_.lintMode == LintMode::kError) {
+    constexpr std::size_t kMaxShown = 10;
+    std::ostringstream message;
+    message << "lint gate failed at stage '" << stageName
+            << "': " << report.summary();
+    std::size_t shown = 0;
+    for (const lint::Diagnostic& d : report.diagnostics()) {
+      if (d.severity != lint::Severity::kError) continue;
+      if (shown == kMaxShown) {
+        message << "\n  ... (" << (report.errorCount() - shown) << " more)";
+        break;
+      }
+      ++shown;
+      message << "\n  [" << d.ruleId << "] " << d.objectPath << ": "
+              << d.message;
+    }
+    throw std::runtime_error(message.str());
+  }
+  std::fprintf(stderr, "sct: lint[%.*s]: %s\n",
+               static_cast<int>(stageName.size()), stageName.data(),
+               report.summary().c_str());
 }
 
 synth::SynthesisResult TuningFlow::synthesizeCached(

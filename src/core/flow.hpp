@@ -12,6 +12,7 @@
 
 #include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
+#include "lint/engine.hpp"
 #include "netlist/mcu.hpp"
 #include "statlib/stat_library.hpp"
 #include "synth/synthesis.hpp"
@@ -19,6 +20,14 @@
 #include "variation/path_stats.hpp"
 
 namespace sct::core {
+
+/// How the flow treats lint findings on its stage inputs (DESIGN.md §11).
+/// kError fails fast (throws) on error-severity findings before the tainted
+/// artifact feeds a downstream stage; kWarn reports everything to stderr but
+/// never stops; kOff skips linting entirely — flow *results* are identical
+/// across all three settings for clean inputs, since the gate only ever
+/// reads the artifacts.
+enum class LintMode : std::uint8_t { kError = 0, kWarn = 1, kOff = 2 };
 
 struct FlowConfig {
   charlib::CharacterizationConfig characterization{};
@@ -40,6 +49,9 @@ struct FlowConfig {
   /// tuning parameters, subject/clock/synthesis options, schema version),
   /// so warm results are bit-identical to a cold run by construction.
   std::string cacheDir{};
+  /// Lint gate over each stage's input artifact. Lint reports are cached in
+  /// the artifact store keyed by subject digest + lint::kRulePackVersion.
+  LintMode lintMode = LintMode::kError;
 };
 
 /// Per-endpoint worst-path record used by the path-population figures.
@@ -144,8 +156,17 @@ class TuningFlow {
   synth::SynthesisResult synthesizeCached(double period,
                                           const tuning::TuningConfig* config);
 
+  /// Runs the selected rule packs over `subject` before a stage consumes it
+  /// (cached by `stageKey` + rule-pack version). Throws std::runtime_error
+  /// on error-severity findings in LintMode::kError; prints a one-line
+  /// summary to stderr in kWarn (and for warning-only reports in kError);
+  /// no-op in kOff.
+  void lintGate(std::string_view stageName, const artifact::Digest& stageKey,
+                const lint::LintSubject& subject, lint::RulePackMask packs);
+
   FlowConfig config_;
   charlib::Characterizer characterizer_;
+  lint::LintEngine linter_;
   std::unique_ptr<artifact::ArtifactStore> store_;
   std::unique_ptr<liberty::Library> nominal_;
   std::unique_ptr<statlib::StatLibrary> stat_;

@@ -1,0 +1,208 @@
+// Constraints rule pack: sanity of tuned per-pin slew/load windows (paper
+// section VI.C). An inverted window allows nothing and silently makes a cell
+// unusable; windows outside a pin's characterized LUT range mean the tuner
+// and the library disagree about the tables; and windows that dodge every
+// characterized breakpoint make the largest-rectangle result suspect.
+
+#include <cmath>
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace sct::lint {
+namespace {
+
+using tuning::CellConstraint;
+using tuning::PinWindow;
+
+constexpr double kTolerance = 1e-12;
+
+std::string pinPath(const std::string& cell, const std::string& pin) {
+  return "constraints/" + cell + "/" + pin;
+}
+
+/// Axes of the first arc driving `pin`; nullptr when the cell or pin has no
+/// characterized tables to compare against.
+const liberty::TimingArc* referenceArc(const liberty::Library* library,
+                                       const std::string& cellName,
+                                       const std::string& pinName) {
+  if (library == nullptr) return nullptr;
+  const liberty::Cell* cell = library->findCell(cellName);
+  if (cell == nullptr) return nullptr;
+  const auto arcs = cell->fanoutArcs(pinName);
+  return arcs.empty() ? nullptr : arcs.front();
+}
+
+class WindowInvertedRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.window.inverted";
+  }
+  RulePack pack() const noexcept override { return RulePack::kConstraints; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "pin windows must not be empty or inverted";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    for (const auto& [cellName, constraint] : subject.constraints->cells()) {
+      for (const auto& [pinName, window] : constraint.pinWindows) {
+        if (window.minSlew > window.maxSlew) {
+          emit(report, pinPath(cellName, pinName),
+               "slew window is inverted (" + std::to_string(window.minSlew) +
+                   " > " + std::to_string(window.maxSlew) + ")");
+        }
+        if (window.minLoad > window.maxLoad) {
+          emit(report, pinPath(cellName, pinName),
+               "load window is inverted (" + std::to_string(window.minLoad) +
+                   " > " + std::to_string(window.maxLoad) + ")");
+        }
+        if (!std::isfinite(window.minSlew) || !std::isfinite(window.maxSlew) ||
+            !std::isfinite(window.minLoad) || !std::isfinite(window.maxLoad)) {
+          emit(report, pinPath(cellName, pinName),
+               "window bound is non-finite");
+        }
+      }
+    }
+  }
+};
+
+class WindowRangeRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.window.out-of-range";
+  }
+  RulePack pack() const noexcept override { return RulePack::kConstraints; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "pin windows must lie inside the characterized LUT range";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    for (const auto& [cellName, constraint] : subject.constraints->cells()) {
+      for (const auto& [pinName, window] : constraint.pinWindows) {
+        const liberty::TimingArc* arc =
+            referenceArc(subject.referenceLibrary, cellName, pinName);
+        if (arc == nullptr) continue;  // cst.unknown-cell reports these
+        checkAxis(report, cellName, pinName, "slew", window.minSlew,
+                  window.maxSlew, arc->riseDelay.slewAxis());
+        checkAxis(report, cellName, pinName, "load", window.minLoad,
+                  window.maxLoad, arc->riseDelay.loadAxis());
+      }
+    }
+  }
+
+ private:
+  void checkAxis(LintReport& report, const std::string& cell,
+                 const std::string& pin, const char* axisName, double lo,
+                 double hi, const numeric::Axis& axis) const {
+    if (axis.empty()) return;
+    // A window may start below the first breakpoint (0 means "from the
+    // table origin"), but negative bounds or bounds beyond the last
+    // breakpoint are outside anything the library characterized.
+    if (lo < -kTolerance) {
+      emit(report, pinPath(cell, pin),
+           std::string(axisName) + " window starts at negative " +
+               std::to_string(lo));
+    }
+    if (hi > axis.back() + kTolerance) {
+      emit(report, pinPath(cell, pin),
+           std::string(axisName) + " window extends to " + std::to_string(hi) +
+               " beyond the characterized range (max " +
+               std::to_string(axis.back()) + ")");
+    } else if (lo > axis.back() + kTolerance) {
+      emit(report, pinPath(cell, pin),
+           std::string(axisName) + " window starts at " + std::to_string(lo) +
+               " beyond the characterized range (max " +
+               std::to_string(axis.back()) + ")");
+    }
+  }
+};
+
+class WindowNoPointRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.window.no-grid-point";
+  }
+  RulePack pack() const noexcept override { return RulePack::kConstraints; }
+  Severity severity() const noexcept override { return Severity::kWarning; }
+  std::string_view description() const noexcept override {
+    return "pin windows should contain at least one characterized point";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    for (const auto& [cellName, constraint] : subject.constraints->cells()) {
+      for (const auto& [pinName, window] : constraint.pinWindows) {
+        if (window.minSlew > window.maxSlew ||
+            window.minLoad > window.maxLoad) {
+          continue;  // cst.window.inverted reports these
+        }
+        const liberty::TimingArc* arc =
+            referenceArc(subject.referenceLibrary, cellName, pinName);
+        if (arc == nullptr) continue;
+        const bool slewHit = axisHit(window.minSlew, window.maxSlew,
+                                     arc->riseDelay.slewAxis());
+        const bool loadHit = axisHit(window.minLoad, window.maxLoad,
+                                     arc->riseDelay.loadAxis());
+        if (slewHit && loadHit) continue;
+        emit(report, pinPath(cellName, pinName),
+             std::string("window excludes every characterized ") +
+                 (slewHit ? "load" : "slew") + " breakpoint");
+      }
+    }
+  }
+
+ private:
+  static bool axisHit(double lo, double hi, const numeric::Axis& axis) {
+    for (double v : axis) {
+      if (v >= lo - kTolerance && v <= hi + kTolerance) return true;
+    }
+    return false;
+  }
+};
+
+class UnknownConstraintTargetRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "cst.unknown-cell"; }
+  RulePack pack() const noexcept override { return RulePack::kConstraints; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "constraints must reference existing library cells and pins";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const liberty::Library* library = subject.referenceLibrary;
+    if (library == nullptr) return;
+    for (const auto& [cellName, constraint] : subject.constraints->cells()) {
+      const liberty::Cell* cell = library->findCell(cellName);
+      if (cell == nullptr) {
+        emit(report, "constraints/" + cellName,
+             "constraint references unknown cell (library '" +
+                 library->name() + "')");
+        continue;
+      }
+      for (const auto& [pinName, window] : constraint.pinWindows) {
+        (void)window;
+        const liberty::Pin* pin = cell->findPin(pinName);
+        if (pin == nullptr) {
+          emit(report, pinPath(cellName, pinName),
+               "constraint references unknown pin");
+        } else if (pin->direction != liberty::PinDirection::kOutput) {
+          emit(report, pinPath(cellName, pinName),
+               "constrained pin is not an output pin");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void registerConstraintsRules(LintEngine& engine) {
+  engine.add(std::make_unique<WindowInvertedRule>());
+  engine.add(std::make_unique<WindowRangeRule>());
+  engine.add(std::make_unique<WindowNoPointRule>());
+  engine.add(std::make_unique<UnknownConstraintTargetRule>());
+}
+
+}  // namespace sct::lint

@@ -1,0 +1,57 @@
+#include "lint/diagnostic.hpp"
+
+namespace sct::lint {
+
+std::string_view toString(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+std::string_view sarifLevel(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "note";
+  }
+  return "none";
+}
+
+void LintReport::add(Diagnostic diagnostic) {
+  switch (diagnostic.severity) {
+    case Severity::kError: ++errors_; break;
+    case Severity::kWarning: ++warnings_; break;
+    case Severity::kInfo: ++infos_; break;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+  errors_ += other.errors_;
+  warnings_ += other.warnings_;
+  infos_ += other.infos_;
+}
+
+bool LintReport::hasRule(std::string_view ruleId) const noexcept {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.ruleId == ruleId) return true;
+  }
+  return false;
+}
+
+std::string LintReport::summary() const {
+  auto plural = [](std::size_t n, const char* stem) {
+    return std::to_string(n) + " " + stem + (n == 1 ? "" : "s");
+  };
+  std::string out = plural(errors_, "error");
+  out += ", " + plural(warnings_, "warning");
+  if (infos_ != 0) out += ", " + plural(infos_, "info");
+  return out;
+}
+
+}  // namespace sct::lint

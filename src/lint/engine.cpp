@@ -1,0 +1,39 @@
+#include "lint/engine.hpp"
+
+namespace sct::lint {
+
+std::string_view toString(RulePack pack) noexcept {
+  switch (pack) {
+    case RulePack::kLiberty: return "liberty";
+    case RulePack::kStatLib: return "statlib";
+    case RulePack::kNetlist: return "netlist";
+    case RulePack::kConstraints: return "constraints";
+  }
+  return "?";
+}
+
+void LintEngine::add(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+LintEngine LintEngine::withAllRules() {
+  LintEngine engine;
+  registerLibertyRules(engine);
+  registerStatLibRules(engine);
+  registerNetlistRules(engine);
+  registerConstraintsRules(engine);
+  return engine;
+}
+
+LintReport LintEngine::run(const LintSubject& subject,
+                           RulePackMask packs) const {
+  LintReport report;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    if ((packs & packBit(rule->pack())) == 0) continue;
+    if (!subject.carries(rule->pack())) continue;
+    rule->run(subject, report);
+  }
+  return report;
+}
+
+}  // namespace sct::lint

@@ -1,0 +1,53 @@
+#pragma once
+// The lint engine: a registry of rules executed over a LintSubject into a
+// LintReport (DESIGN.md §11). Adding a rule = subclass Rule in the matching
+// *_rules.cpp, append it in that pack's register function, and bump
+// kRulePackVersion so cached lint results are invalidated.
+
+#include <memory>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace sct::lint {
+
+/// Version of the rule set; part of every cached lint-report key, so a rule
+/// change can never be masked by a stale cache entry.
+inline constexpr std::uint32_t kRulePackVersion = 1;
+
+class LintEngine {
+ public:
+  LintEngine() = default;
+
+  // Rules are identity objects owned by the engine.
+  LintEngine(LintEngine&&) noexcept = default;
+  LintEngine& operator=(LintEngine&&) noexcept = default;
+  LintEngine(const LintEngine&) = delete;
+  LintEngine& operator=(const LintEngine&) = delete;
+
+  void add(std::unique_ptr<Rule> rule);
+
+  /// Engine with every built-in rule pack registered.
+  [[nodiscard]] static LintEngine withAllRules();
+
+  /// Runs every registered rule whose pack is selected by `packs` AND whose
+  /// artifact the subject carries; rules execute in registration order.
+  [[nodiscard]] LintReport run(const LintSubject& subject,
+                               RulePackMask packs = kAllPacks) const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules()
+      const noexcept {
+    return rules_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+// Pack registration (each defined in its *_rules.cpp).
+void registerLibertyRules(LintEngine& engine);
+void registerStatLibRules(LintEngine& engine);
+void registerNetlistRules(LintEngine& engine);
+void registerConstraintsRules(LintEngine& engine);
+
+}  // namespace sct::lint

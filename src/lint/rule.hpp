@@ -1,0 +1,88 @@
+#pragma once
+// The rule side of the lint engine: a LintSubject bundles the artifacts a
+// run may inspect, a Rule is one named check over one artifact kind, and
+// rules are grouped into packs matching the flow's stage inputs (liberty,
+// statlib, netlist, constraints). Rules are stateless const objects; all
+// findings go through the LintReport passed to run().
+
+#include <string_view>
+
+#include "lint/diagnostic.hpp"
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "statlib/stat_library.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct::lint {
+
+/// Rule packs, one per flow-stage input kind. A rule belongs to exactly one
+/// pack and only runs when the subject carries that pack's artifact.
+enum class RulePack : std::uint8_t {
+  kLiberty = 0,
+  kStatLib = 1,
+  kNetlist = 2,
+  kConstraints = 3,
+};
+
+[[nodiscard]] std::string_view toString(RulePack pack) noexcept;
+
+/// Bitmask over RulePack for selecting which packs an engine run executes.
+using RulePackMask = std::uint8_t;
+[[nodiscard]] inline constexpr RulePackMask packBit(RulePack pack) noexcept {
+  return static_cast<RulePackMask>(1u << static_cast<std::uint8_t>(pack));
+}
+inline constexpr RulePackMask kAllPacks = 0x0f;
+
+/// What a lint run inspects. Primary artifacts (library, statLibrary,
+/// design, constraints) select which packs run; referenceLibrary is
+/// cross-check context (the nominal library) used by statlib, netlist and
+/// constraints rules when present — those checks degrade gracefully to
+/// skipped when it is null.
+struct LintSubject {
+  const liberty::Library* library = nullptr;
+  const statlib::StatLibrary* statLibrary = nullptr;
+  const netlist::Design* design = nullptr;
+  const tuning::LibraryConstraints* constraints = nullptr;
+  const liberty::Library* referenceLibrary = nullptr;
+
+  [[nodiscard]] bool carries(RulePack pack) const noexcept {
+    switch (pack) {
+      case RulePack::kLiberty: return library != nullptr;
+      case RulePack::kStatLib: return statLibrary != nullptr;
+      case RulePack::kNetlist: return design != nullptr;
+      case RulePack::kConstraints: return constraints != nullptr;
+    }
+    return false;
+  }
+};
+
+/// One named static check. Implementations live in the per-pack rule
+/// translation units and are registered through the engine's pack
+/// registration functions (see engine.hpp: "how to add a rule").
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable dotted identifier, e.g. "lib.axis.order". Rule ids are part of
+  /// the CI contract (SARIF ruleId) and must never be renamed casually.
+  [[nodiscard]] virtual std::string_view id() const noexcept = 0;
+  [[nodiscard]] virtual RulePack pack() const noexcept = 0;
+  [[nodiscard]] virtual Severity severity() const noexcept = 0;
+  /// One-line human description (SARIF shortDescription).
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Inspects the subject and appends findings. Only called when the
+  /// subject carries the rule's pack. Must not throw on any subject a
+  /// parser or builder can produce — lint runs before everything else.
+  virtual void run(const LintSubject& subject, LintReport& report) const = 0;
+
+ protected:
+  /// Emission helper stamping the rule's id and severity.
+  void emit(LintReport& report, std::string objectPath,
+            std::string message) const {
+    report.add(Diagnostic{std::string(id()), severity(), std::move(objectPath),
+                          std::move(message)});
+  }
+};
+
+}  // namespace sct::lint

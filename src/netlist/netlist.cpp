@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace sct::netlist {
 
@@ -80,16 +81,54 @@ NetIndex Design::addNet(std::string name) {
 InstIndex Design::addInstance(std::string name, PrimOp op,
                               std::vector<NetIndex> inputs,
                               std::vector<NetIndex> outputs) {
-  assert(inputs.size() == numInputs(op));
-  assert(outputs.size() == numOutputs(op));
+  // Validated with thrown errors (not just assert) so corrupt wiring — a
+  // multi-driven net, a mis-sized connection list, a dangling net index — is
+  // rejected in release builds too, at the call that introduces it rather
+  // than deep inside levelization or timing propagation.
+  if (inputs.size() != numInputs(op)) {
+    throw std::invalid_argument("instance '" + name + "': " +
+                                std::to_string(inputs.size()) +
+                                " inputs, op needs " +
+                                std::to_string(numInputs(op)));
+  }
+  if (outputs.size() != numOutputs(op)) {
+    throw std::invalid_argument("instance '" + name + "': " +
+                                std::to_string(outputs.size()) +
+                                " outputs, op needs " +
+                                std::to_string(numOutputs(op)));
+  }
+  for (const NetIndex net : inputs) {
+    if (net >= nets_.size()) {
+      throw std::invalid_argument("instance '" + name +
+                                  "': input net index out of range");
+    }
+  }
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const NetIndex net = outputs[i];
+    if (net >= nets_.size()) {
+      throw std::invalid_argument("instance '" + name +
+                                  "': output net index out of range");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (outputs[j] == net) {
+        throw std::invalid_argument("instance '" + name + "': net '" +
+                                    nets_[net].name +
+                                    "' connected to two output slots");
+      }
+    }
+    if (nets_[net].driver != kNoInst) {
+      throw std::invalid_argument(
+          "instance '" + name + "': net '" + nets_[net].name +
+          "' is already driven by instance '" +
+          instances_[nets_[net].driver].name + "'");
+    }
+  }
   const auto index = static_cast<InstIndex>(instances_.size());
   for (std::uint32_t slot = 0; slot < inputs.size(); ++slot) {
-    assert(inputs[slot] < nets_.size());
     nets_[inputs[slot]].sinks.push_back({index, slot});
   }
   for (std::uint32_t slot = 0; slot < outputs.size(); ++slot) {
     Net& net = nets_[outputs[slot]];
-    assert(net.driver == kNoInst && "net already driven");
     net.driver = index;
     net.driverSlot = slot;
   }

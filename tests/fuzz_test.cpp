@@ -1,11 +1,19 @@
 // Fuzz-style property sweeps on random DAG netlists: every generated
 // design must validate, synthesize, analyze, simulate, round-trip through
 // Verilog and survive tuning-constrained synthesis without structural
-// damage. Runs across many seeds via TEST_P.
+// damage. The lint engine rides along as an oracle: it must never crash on
+// anything a parser or generator produces, stay silent on known-good
+// artifacts, and flag every design that Design::validate() rejects. Runs
+// across many seeds via TEST_P.
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <random>
+
 #include "charlib/characterizer.hpp"
+#include "lint/engine.hpp"
+#include "lint/report_io.hpp"
 #include "netlist/random.hpp"
 #include "netlist/simulate.hpp"
 #include "netlist/verilog_io.hpp"
@@ -122,6 +130,73 @@ TEST_P(FuzzTest, VerilogRoundTripPreservesStructure) {
   EXPECT_EQ(back.gateCount(), original.gateCount());
   EXPECT_EQ(back.ports().size(), original.ports().size());
   EXPECT_EQ(back.validate(), "");
+}
+
+TEST_P(FuzzTest, LintStaysSilentOnCleanArtifacts) {
+  const netlist::Design d = netlist::generateRandomDag(configFor(GetParam()));
+  const lint::LintEngine engine = lint::LintEngine::withAllRules();
+  lint::LintSubject subject;
+  subject.library = lib_;
+  subject.statLibrary = stat_;
+  subject.design = &d;
+  subject.constraints = constraints_;
+  subject.referenceLibrary = lib_;
+  const lint::LintReport report = engine.run(subject);
+  EXPECT_FALSE(report.hasErrors()) << lint::writeTextToString(report);
+}
+
+TEST_P(FuzzTest, LintSurvivesMutatedVerilogAndGatekeepsValidate) {
+  const netlist::Design original =
+      netlist::generateRandomDag(configFor(GetParam()));
+  const std::string text = netlist::writeVerilogToString(original);
+  const lint::LintEngine engine = lint::LintEngine::withAllRules();
+  std::mt19937_64 rng(GetParam() * 7919 + 17);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Chunk-deletion mutation of the Verilog text.
+    std::string mutated = text;
+    const std::size_t pos = rng() % mutated.size();
+    const std::size_t len = 1 + rng() % 64;
+    mutated.erase(pos, std::min(len, mutated.size() - pos));
+    std::optional<netlist::Design> parsed;
+    try {
+      parsed.emplace(netlist::readVerilogFromString(mutated));
+    } catch (const std::exception&) {
+      continue;  // the parser rejected the mutation; nothing to lint
+    }
+    // Whatever the parser accepted, lint must process without crashing...
+    lint::LintSubject subject;
+    subject.design = &*parsed;
+    const lint::LintReport report = engine.run(subject);
+    // ...and must never pass a design the structural validator rejects.
+    if (!parsed->validate().empty()) {
+      EXPECT_TRUE(report.hasErrors())
+          << "validate() rejects what lint passed:\n"
+          << lint::writeTextToString(report);
+    }
+  }
+}
+
+TEST_P(FuzzTest, LintFlagsRawWiringCorruption) {
+  netlist::Design d = netlist::generateRandomDag(configFor(GetParam()));
+  // Raw-insert a rogue second driver onto the first driven net, the way a
+  // buggy deserializer would (addInstance itself now throws on this).
+  std::optional<netlist::NetIndex> victim;
+  for (netlist::NetIndex n = 0; n < d.netCount(); ++n) {
+    if (d.net(n).driver != netlist::kNoInst) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.has_value());
+  d.addInstanceRaw(netlist::Instance{
+      "rogue", netlist::PrimOp::kInv, nullptr, {*victim}, {*victim}, true});
+  ASSERT_NE(d.validate(), "");
+  lint::LintSubject subject;
+  subject.design = &d;
+  const lint::LintReport report =
+      lint::LintEngine::withAllRules().run(subject);
+  EXPECT_TRUE(report.hasErrors());
+  EXPECT_TRUE(report.hasRule("net.multi-driver"));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,

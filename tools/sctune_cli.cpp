@@ -12,9 +12,12 @@
 //                        --period <ns> [--constraints c.txt] [--out out.v]
 //   sctune report       --lib lib.lib --stat stat.slib
 //                        --netlist out.v --period <ns>
+//   sctune lint         <artifact> [--type lib|stat|netlist|constraints]
+//                        [--ref nominal.lib] [--json | --sarif] [--out file]
 //   sctune flow         --period <ns> [--method <name> --value <v>]
 //                        [--profile small|full] [--cache-dir DIR | --no-cache]
-//                        [--cache-stats] [--report out.txt]
+//                        [--cache-stats] [--lint-mode error|warn|off]
+//                        [--report out.txt]
 //   sctune cache stats  --cache-dir DIR
 //   sctune cache gc     --cache-dir DIR [--max-bytes N] [--max-age seconds]
 //
@@ -42,6 +45,8 @@
 #include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
 #include "core/flow.hpp"
+#include "lint/engine.hpp"
+#include "lint/report_io.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sta/report.hpp"
 #include "netlist/dsp.hpp"
@@ -79,7 +84,7 @@ class Args {
   }
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return values_.count(key) != 0;
+    return values_.contains(key);
   }
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto it = values_.find(key);
@@ -256,6 +261,81 @@ int cmdReport(const Args& args) {
   return 0;
 }
 
+// ---- lint ----------------------------------------------------------------
+
+/// `sctune lint <artifact>`: parse one text artifact, run the matching rule
+/// pack(s), and render the report as text (default), JSON or SARIF. Exit
+/// code 0 = no error-severity findings, 3 = errors found; parse failures
+/// report through the generic error path (exit 1).
+int cmdLint(const std::string& path, const Args& args) {
+  std::string type;
+  if (const auto explicitType = args.get("type")) {
+    type = *explicitType;
+  } else {
+    const std::string ext = std::filesystem::path(path).extension().string();
+    if (ext == ".lib") type = "lib";
+    else if (ext == ".slib") type = "stat";
+    else if (ext == ".v") type = "netlist";
+    else if (ext == ".txt" || ext == ".constraints") type = "constraints";
+    else {
+      throw std::runtime_error(
+          "cannot infer artifact type of '" + path +
+          "'; pass --type lib|stat|netlist|constraints");
+    }
+  }
+
+  // Optional nominal library for the cross-checking rules (stat grids,
+  // netlist cell binding, constraint targets/ranges).
+  std::optional<liberty::Library> reference;
+  if (const auto refPath = args.get("ref")) {
+    reference.emplace(liberty::readLibraryFromString(readFile(*refPath)));
+  }
+
+  std::optional<liberty::Library> library;
+  std::optional<statlib::StatLibrary> stat;
+  std::optional<netlist::Design> design;
+  std::optional<tuning::LibraryConstraints> constraints;
+  lint::LintSubject subject;
+  subject.referenceLibrary = reference ? &*reference : nullptr;
+  if (type == "lib") {
+    library.emplace(liberty::readLibraryFromString(readFile(path)));
+    subject.library = &*library;
+  } else if (type == "stat") {
+    stat.emplace(statlib::readStatLibraryFromString(readFile(path)));
+    subject.statLibrary = &*stat;
+  } else if (type == "netlist") {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    design.emplace(netlist::readVerilog(in, subject.referenceLibrary));
+    subject.design = &*design;
+  } else if (type == "constraints") {
+    constraints.emplace(tuning::readConstraintsFromString(readFile(path)));
+    subject.constraints = &*constraints;
+  } else {
+    throw std::runtime_error("unknown --type '" + type +
+                             "' (lib|stat|netlist|constraints)");
+  }
+
+  const lint::LintEngine engine = lint::LintEngine::withAllRules();
+  const lint::LintReport report = engine.run(subject);
+
+  std::string rendered;
+  if (args.has("sarif")) {
+    rendered = lint::writeSarifToString(report, &engine);
+  } else if (args.has("json")) {
+    rendered = lint::writeJsonToString(report);
+  } else {
+    rendered = lint::writeTextToString(report);
+  }
+  if (const auto out = args.get("out")) {
+    writeFile(*out, rendered);
+    std::printf("lint: %s\n", report.summary().c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return report.hasErrors() ? 3 : 0;
+}
+
 // ---- resumable flow + cache maintenance ----------------------------------
 
 /// Full-precision round-trippable double rendering for the deterministic
@@ -296,6 +376,17 @@ core::FlowConfig makeFlowConfig(const Args& args) {
   }
   config.mcLibraryCount = args.getUint("mc", config.mcLibraryCount);
   config.mcSeed = args.getUint("seed", config.mcSeed);
+  const std::string lintMode = args.get("lint-mode").value_or("error");
+  if (lintMode == "error") {
+    config.lintMode = core::LintMode::kError;
+  } else if (lintMode == "warn") {
+    config.lintMode = core::LintMode::kWarn;
+  } else if (lintMode == "off") {
+    config.lintMode = core::LintMode::kOff;
+  } else {
+    throw std::runtime_error("unknown --lint-mode '" + lintMode +
+                             "' (error/warn/off)");
+  }
   if (!args.has("no-cache")) {
     if (const auto dir = args.get("cache-dir")) {
       config.cacheDir = *dir;
@@ -407,10 +498,14 @@ int usage() {
       "                [--constraints c.txt] [--out mapped.v]\n"
       "  report        --lib lib.lib --stat stat.slib --netlist mapped.v\n"
       "                --period <ns> [--out report.txt]\n"
+      "  lint          <artifact> [--type lib|stat|netlist|constraints]\n"
+      "                [--ref nominal.lib] [--json | --sarif] [--out file]\n"
+      "                (type inferred from .lib/.slib/.v/.txt; exit 3 when\n"
+      "                 error-severity findings exist)\n"
       "  flow          --period <ns> [--method <m> --value <v>]\n"
       "                [--profile small|full] [--mc N --seed S]\n"
       "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
-      "                [--report report.txt]\n"
+      "                [--lint-mode error|warn|off] [--report report.txt]\n"
       "  cache stats   --cache-dir DIR\n"
       "  cache gc      --cache-dir DIR [--max-bytes N] [--max-age seconds]\n\n"
       "flow and cache default --cache-dir to SCT_CACHE_DIR; warm flow reruns\n"
@@ -426,6 +521,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string command = argv[1];
   int start = 2;
+  std::string lintPath;
+  if (command == "lint") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "lint needs an artifact file operand\n\n");
+      return usage();
+    }
+    lintPath = argv[2];
+    start = 3;
+  }
   if (command == "cache") {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
       std::fprintf(stderr, "cache needs a subcommand (stats|gc)\n\n");
@@ -437,6 +541,7 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> booleans;
     if (command == "flow") booleans = {"no-cache", "cache-stats"};
+    if (command == "lint") booleans = {"json", "sarif"};
     const Args args(argc, argv, start, std::move(booleans));
     // Worker-pool size for the parallelized kernels. The flag takes
     // precedence over SCT_THREADS; results are identical either way.
@@ -450,6 +555,7 @@ int main(int argc, char** argv) {
     if (command == "tune") return cmdTune(args);
     if (command == "synth") return cmdSynth(args);
     if (command == "report") return cmdReport(args);
+    if (command == "lint") return cmdLint(lintPath, args);
     if (command == "flow") return cmdFlow(args);
     if (command == "cache stats") return cmdCacheStats(args);
     if (command == "cache gc") return cmdCacheGc(args);
