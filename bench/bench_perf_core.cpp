@@ -14,6 +14,8 @@
 
 #include "charlib/characterizer.hpp"
 #include "core/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/mcu.hpp"
@@ -403,6 +405,32 @@ void BM_FlowWarmCache(benchmark::State& state) {
   std::filesystem::remove_all(flowBenchCacheDir());
 }
 BENCHMARK(BM_FlowWarmCache)->Unit(benchmark::kMillisecond);
+
+// Observability overhead pair (DESIGN.md §12): the same uncached flow with
+// everything off vs tracing + metrics on. The CI obs-overhead job fails if
+// the traced variant regresses more than the budget over the off variant.
+void BM_FlowObsOff(benchmark::State& state) {
+  obs::setTracingEnabled(false);
+  obs::setMetricsEnabled(false);
+  for (auto _ : state) {
+    core::TuningFlow flow(flowBenchConfig(""));
+    benchmark::DoNotOptimize(flow.synthesizeBaseline(8.0));
+  }
+}
+BENCHMARK(BM_FlowObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_FlowTraced(benchmark::State& state) {
+  obs::setTracingEnabled(true);
+  obs::setMetricsEnabled(true);
+  for (auto _ : state) {
+    core::TuningFlow flow(flowBenchConfig(""));
+    benchmark::DoNotOptimize(flow.synthesizeBaseline(8.0));
+    obs::clearTrace();
+  }
+  obs::setTracingEnabled(false);
+  obs::setMetricsEnabled(false);
+}
+BENCHMARK(BM_FlowTraced)->Unit(benchmark::kMillisecond);
 
 void BM_PatternMapping(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Observability overhead gate: runs the BM_FlowObsOff / BM_FlowTraced pair
+# (the same uncached flow with observability off vs tracing + metrics on)
+# and fails when the traced variant is more than BUDGET_PCT slower. Each
+# variant runs REPS repetitions and the minimum wall-clock is compared —
+# min-of-N is the standard noise filter for CI timing gates — plus a small
+# absolute grace so micro-runs on loaded shared runners don't flake.
+#
+#   scripts/check_obs_overhead.sh
+#
+# Environment:
+#   BUILD_DIR     build tree to use          (default: build-obs)
+#   BUDGET_PCT    allowed regression in %    (default: 10)
+#   GRACE_MS      absolute grace in ms       (default: 5)
+#   REPS          repetitions per variant    (default: 5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-obs}"
+BUDGET_PCT="${BUDGET_PCT:-10}"
+GRACE_MS="${GRACE_MS:-5}"
+REPS="${REPS:-5}"
+RAW="$(mktemp /tmp/obs_overhead.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_perf_core -j >/dev/null
+
+"$BUILD_DIR/bench/bench_perf_core" \
+  --benchmark_filter='BM_FlowObsOff|BM_FlowTraced' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_format=json \
+  > "$RAW"
+
+python3 - "$RAW" "$BUDGET_PCT" "$GRACE_MS" <<'EOF'
+import json, sys
+
+raw, budget_pct, grace_ms = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+with open(raw) as f:
+    doc = json.load(f)
+
+def min_ms(prefix):
+    times = [b["real_time"] for b in doc["benchmarks"]
+             if b["name"].startswith(prefix) and b.get("run_type") != "aggregate"]
+    if not times:
+        sys.exit(f"no timings for {prefix} in {raw}")
+    # benchmark time_unit is ms for these (Unit(kMillisecond)).
+    return min(times)
+
+off = min_ms("BM_FlowObsOff")
+traced = min_ms("BM_FlowTraced")
+limit = off * (1.0 + budget_pct / 100.0) + grace_ms
+overhead_pct = 100.0 * (traced - off) / off
+print(f"obs-off   min {off:.2f} ms")
+print(f"traced    min {traced:.2f} ms  ({overhead_pct:+.1f}%)")
+print(f"limit         {limit:.2f} ms  (budget {budget_pct:.0f}% + {grace_ms:.0f} ms grace)")
+if traced > limit:
+    sys.exit(f"FAIL: instrumented flow regressed past the {budget_pct:.0f}% budget")
+print("OK: observability overhead within budget")
+EOF

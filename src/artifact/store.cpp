@@ -7,6 +7,9 @@
 #include <string>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #ifdef _WIN32
 #include <process.h>
 #define SCT_GETPID _getpid
@@ -25,6 +28,32 @@ bool isEntryFile(const fs::directory_entry& entry) {
          Digest::fromHex(entry.path().stem().string()).has_value();
 }
 
+/// Process-wide mirror of the per-store StoreStats (DESIGN.md §12): the
+/// metrics snapshot aggregates over every store the process opened.
+struct StoreMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& corrupt;
+  obs::Counter& stores;
+  obs::Counter& bytesRead;
+  obs::Counter& bytesWritten;
+  obs::Counter& gcFilesEvicted;
+  obs::Counter& gcBytesEvicted;
+
+  static StoreMetrics& get() {
+    static StoreMetrics instance{
+        obs::MetricsRegistry::global().counter("artifact.hits"),
+        obs::MetricsRegistry::global().counter("artifact.misses"),
+        obs::MetricsRegistry::global().counter("artifact.corrupt"),
+        obs::MetricsRegistry::global().counter("artifact.stores"),
+        obs::MetricsRegistry::global().counter("artifact.bytes_read"),
+        obs::MetricsRegistry::global().counter("artifact.bytes_written"),
+        obs::MetricsRegistry::global().counter("artifact.gc.files_evicted"),
+        obs::MetricsRegistry::global().counter("artifact.gc.bytes_evicted")};
+    return instance;
+  }
+};
+
 }  // namespace
 
 ArtifactStore::ArtifactStore(fs::path root) : root_(std::move(root)) {
@@ -42,16 +71,20 @@ fs::path ArtifactStore::pathFor(const Digest& key) const {
 }
 
 std::optional<SctbReader> ArtifactStore::open(const Digest& key) {
+  SCT_TRACE_SPAN("artifact.open");
   const fs::path path = pathFor(key);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
     ++stats_.misses;
+    StoreMetrics::get().misses.inc();
     return std::nullopt;
   }
   try {
     SctbReader reader = SctbReader::fromFile(path.string());
     ++stats_.hits;
     stats_.bytesRead += reader.fileSize();
+    StoreMetrics::get().hits.inc();
+    StoreMetrics::get().bytesRead.add(reader.fileSize());
     // LRU clock for gc(): a hit makes the entry "recently used".
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return reader;
@@ -60,11 +93,14 @@ std::optional<SctbReader> ArtifactStore::open(const Digest& key) {
     fs::remove(path, ec);
     ++stats_.corrupt;
     ++stats_.misses;
+    StoreMetrics::get().corrupt.inc();
+    StoreMetrics::get().misses.inc();
     return std::nullopt;
   }
 }
 
 void ArtifactStore::publish(const Digest& key, const SctbWriter& writer) {
+  SCT_TRACE_SPAN("artifact.publish");
   const fs::path path = pathFor(key);
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
@@ -100,6 +136,8 @@ void ArtifactStore::publish(const Digest& key, const SctbWriter& writer) {
   }
   ++stats_.stores;
   stats_.bytesWritten += bytes.size();
+  StoreMetrics::get().stores.inc();
+  StoreMetrics::get().bytesWritten.add(bytes.size());
 }
 
 std::pair<std::size_t, std::uint64_t> ArtifactStore::diskUsage() const {
@@ -117,6 +155,7 @@ std::pair<std::size_t, std::uint64_t> ArtifactStore::diskUsage() const {
 }
 
 GcResult ArtifactStore::gc(const GcPolicy& policy) {
+  SCT_TRACE_SPAN("artifact.gc");
   struct Entry {
     fs::path path;
     std::uint64_t bytes = 0;
@@ -160,6 +199,8 @@ GcResult ArtifactStore::gc(const GcPolicy& policy) {
       result.bytesKept += entry.bytes;
     }
   }
+  StoreMetrics::get().gcFilesEvicted.add(result.filesRemoved);
+  StoreMetrics::get().gcBytesEvicted.add(result.bytesRemoved);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
 
 namespace sct::charlib {
@@ -205,6 +207,7 @@ liberty::Library Characterizer::characterizeWith(const ProcessCorner& corner,
 
 liberty::Library Characterizer::characterizeNominal(
     const ProcessCorner& corner) const {
+  SCT_TRACE_SPAN("charlib.nominal");
   liberty::OperatingConditions oc{corner.process, corner.voltage,
                                   corner.temperature};
   return characterizeWith(corner, oc.cornerName(), /*seed=*/0,
@@ -226,10 +229,29 @@ liberty::Library Characterizer::characterizeSample(
 
 std::vector<liberty::Library> Characterizer::characterizeMonteCarlo(
     const ProcessCorner& corner, std::size_t n, std::uint64_t seed) const {
+  SCT_TRACE_SPAN("charlib.mc");
+  // Per-instance wall-clock distribution (DESIGN.md §12). Bounds in ms.
+  static constexpr double kSampleMsBounds[] = {0.5, 1, 2, 5, 10, 25, 50, 100};
+  static obs::Counter& sampleCount =
+      obs::MetricsRegistry::global().counter("charlib.mc.samples");
+  static obs::Histogram& sampleMs = obs::MetricsRegistry::global().histogram(
+      "charlib.mc.sample_ms", kSampleMsBounds);
   // Instance k is seeded purely from (seed, k), so the samples are
   // order-independent and the map is bit-identical for any thread count.
   return parallel::parallelMap(
-      n, [&](std::size_t k) { return characterizeSample(corner, seed, k); },
+      n,
+      [&](std::size_t k) {
+        SCT_TRACE_SPAN("charlib.mc.sample");
+        const bool timed = obs::metricsEnabled();
+        const std::uint64_t start = timed ? obs::monotonicNanos() : 0;
+        liberty::Library sample = characterizeSample(corner, seed, k);
+        if (timed) {
+          sampleCount.inc();
+          sampleMs.observe(
+              static_cast<double>(obs::monotonicNanos() - start) / 1e6);
+        }
+        return sample;
+      },
       /*grain=*/1);
 }
 

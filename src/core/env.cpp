@@ -1,0 +1,59 @@
+#include "core/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sct::env {
+
+std::optional<std::string> get(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::optional<std::string>(value) : std::nullopt;
+}
+
+std::size_t parseSize(std::string_view what, std::string_view value,
+                      std::size_t fallback, std::size_t max) noexcept {
+  if (value.empty()) return fallback;
+  std::size_t parsed = 0;
+  for (const char ch : value) {
+    if (ch < '0' || ch > '9') {
+      std::fprintf(stderr,
+                   "sct: ignoring invalid %.*s '%.*s' "
+                   "(want a non-negative count); using %zu\n",
+                   static_cast<int>(what.size()), what.data(),
+                   static_cast<int>(value.size()), value.data(), fallback);
+      return fallback;
+    }
+    const std::size_t digit = static_cast<std::size_t>(ch - '0');
+    // Overflow-safe accumulate: reject before the multiply can wrap.
+    if (parsed > max / 10 || parsed * 10 > max - digit) {
+      std::fprintf(stderr,
+                   "sct: %.*s '%.*s' out of range (max %zu); using %zu\n",
+                   static_cast<int>(what.size()), what.data(),
+                   static_cast<int>(value.size()), value.data(), max,
+                   fallback);
+      return fallback;
+    }
+    parsed = parsed * 10 + digit;
+  }
+  return parsed;
+}
+
+bool parseFlag(std::string_view what, std::string_view value,
+               bool fallback) noexcept {
+  if (value.empty()) return fallback;
+  if (value == "1" || value == "true" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off" || value == "no") {
+    return false;
+  }
+  std::fprintf(stderr,
+               "sct: ignoring invalid %.*s '%.*s' (want 1/0, true/false, "
+               "on/off or yes/no); using %s\n",
+               static_cast<int>(what.size()), what.data(),
+               static_cast<int>(value.size()), value.data(),
+               fallback ? "true" : "false");
+  return fallback;
+}
+
+}  // namespace sct::env

@@ -1,0 +1,38 @@
+#pragma once
+// Shared environment-variable parsing with warn-and-fallback semantics.
+// Every SCT_* variable goes through these helpers (SCT_THREADS via
+// parallel::parseThreadSpec, SCT_STA_CHECK, SCT_CACHE_DIR, SCT_TRACE,
+// SCT_METRICS), so garbage input degrades the same way everywhere: one
+// stderr warning naming the setting, then the documented fallback —
+// never an exception, never silent acceptance.
+//
+// Lives in src/core but builds as its own dependency-free target
+// (sct_env), so low layers like src/parallel can use it without pulling
+// in the flow facade.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sct::env {
+
+/// Raw environment lookup; nullopt when the variable is unset.
+[[nodiscard]] std::optional<std::string> get(const char* name);
+
+/// Parses a non-negative base-10 count. Strict: digits only (no sign,
+/// whitespace, hex or suffixes). Empty falls back silently; garbage or a
+/// value above `max` (including u64 overflow) warns on stderr — naming
+/// `what`, e.g. "SCT_THREADS" or "thread spec" — and returns `fallback`.
+[[nodiscard]] std::size_t parseSize(
+    std::string_view what, std::string_view value, std::size_t fallback,
+    std::size_t max = std::numeric_limits<std::size_t>::max()) noexcept;
+
+/// Parses a boolean flag: "1"/"true"/"on"/"yes" and "0"/"false"/"off"/"no"
+/// (case-sensitive, the spellings users actually type). Empty falls back
+/// silently; anything else warns on stderr and returns `fallback`.
+[[nodiscard]] bool parseFlag(std::string_view what, std::string_view value,
+                             bool fallback) noexcept;
+
+}  // namespace sct::env

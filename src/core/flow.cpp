@@ -4,10 +4,13 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <utility>
 
 #include "artifact/codecs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sct::core {
@@ -104,24 +107,45 @@ void hashTuning(artifact::Hasher& h, const tuning::TuningConfig& config) {
 /// hit short-circuits `compute`; a decode failure (checksums fine but the
 /// payload is semantically unusable, e.g. a stale cell name) falls through
 /// to recompute-and-republish, never to wrong data.
+///
+/// `stageName` must be a string literal (e.g. "flow.stage.nominal"): it names
+/// the trace span and prefixes the per-stage instruments
+/// `<stage>.{probes,hits,misses,stores,ns}` that the CLI's per-stage table
+/// reads back out of the metrics snapshot.
 template <class T, class ComputeFn, class EncodeFn, class DecodeFn>
-T cachedStage(artifact::ArtifactStore* store, const artifact::Digest& key,
-              ComputeFn&& compute, EncodeFn&& encode, DecodeFn&& decode) {
+T cachedStage(artifact::ArtifactStore* store, const char* stageName,
+              const artifact::Digest& key, ComputeFn&& compute,
+              EncodeFn&& encode, DecodeFn&& decode) {
+  obs::TraceSpan span(stageName);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::string prefix(stageName);
+  obs::Counter& durationNs = registry.counter(prefix + ".ns");
+  const bool timed = obs::metricsEnabled();
+  const std::uint64_t start = timed ? obs::monotonicNanos() : 0;
+  const auto finish = [&](T value) {
+    if (timed) durationNs.add(obs::monotonicNanos() - start);
+    return value;
+  };
   if (store != nullptr) {
+    registry.counter(prefix + ".probes").inc();
     if (std::optional<artifact::SctbReader> reader = store->open(key)) {
       try {
-        return decode(*reader);
+        T value = decode(*reader);
+        registry.counter(prefix + ".hits").inc();
+        return finish(std::move(value));
       } catch (const artifact::FormatError&) {
       }
     }
+    registry.counter(prefix + ".misses").inc();
   }
   T value = compute();
   if (store != nullptr) {
     artifact::SctbWriter writer;
     encode(writer, value);
     store->publish(key, writer);
+    registry.counter(prefix + ".stores").inc();
   }
-  return value;
+  return finish(std::move(value));
 }
 
 }  // namespace
@@ -191,7 +215,7 @@ const liberty::Library& TuningFlow::nominalLibrary() {
   if (!nominal_) {
     auto library = std::make_unique<liberty::Library>(
         cachedStage<liberty::Library>(
-            store_.get(), nominalKey(),
+            store_.get(), "flow.stage.nominal", nominalKey(),
             [&] {
               return characterizer_.characterizeNominal(
                   charlib::ProcessCorner::typical());
@@ -218,7 +242,7 @@ const statlib::StatLibrary& TuningFlow::statLibrary() {
   if (!stat_) {
     auto library = std::make_unique<statlib::StatLibrary>(
         cachedStage<statlib::StatLibrary>(
-            store_.get(), statKey(),
+            store_.get(), "flow.stage.stat", statKey(),
             [&] {
               const std::vector<liberty::Library> instances =
                   characterizer_.characterizeMonteCarlo(
@@ -249,6 +273,7 @@ const statlib::StatLibrary& TuningFlow::statLibrary() {
 
 const netlist::Design& TuningFlow::subject() {
   if (!subject_) {
+    SCT_TRACE_SPAN("flow.stage.subject");
     auto design =
         std::make_unique<netlist::Design>(netlist::generateMcu(config_.mcu));
     artifact::Hasher h = flowHasher();
@@ -266,7 +291,7 @@ const netlist::Design& TuningFlow::subject() {
 tuning::LibraryConstraints TuningFlow::tune(const tuning::TuningConfig& config) {
   tuning::LibraryConstraints constraints =
       cachedStage<tuning::LibraryConstraints>(
-          store_.get(), tuneKey(config),
+          store_.get(), "flow.stage.tune", tuneKey(config),
           [&] { return tuning::tuneLibrary(statLibrary(), config); },
           [](artifact::SctbWriter& writer,
              const tuning::LibraryConstraints& value) {
@@ -301,7 +326,8 @@ void TuningFlow::lintGate(std::string_view stageName,
       .u64(stageKey.lo)
       .u8(packs);
   const lint::LintReport report = cachedStage<lint::LintReport>(
-      store_.get(), h.digest(), [&] { return linter_.run(subject, packs); },
+      store_.get(), "flow.stage.lint", h.digest(),
+      [&] { return linter_.run(subject, packs); },
       [](artifact::SctbWriter& writer, const lint::LintReport& value) {
         artifact::encodeLintReport(writer, value);
       },
@@ -336,7 +362,7 @@ synth::SynthesisResult TuningFlow::synthesizeCached(
     double period, const tuning::TuningConfig* config) {
   const liberty::Library& library = nominalLibrary();
   return cachedStage<synth::SynthesisResult>(
-      store_.get(), synthKey(period, config),
+      store_.get(), "flow.stage.synth", synthKey(period, config),
       [&] {
         std::optional<tuning::LibraryConstraints> constraints;
         if (config != nullptr) constraints.emplace(tune(*config));
@@ -374,6 +400,7 @@ std::vector<sta::TimingPath> TuningFlow::tracePaths(
 
 DesignMeasurement TuningFlow::measure(synth::SynthesisResult result,
                                       double period) {
+  SCT_TRACE_SPAN("flow.measure");
   DesignMeasurement out;
   out.clockPeriod = period;
   out.synthesis = std::move(result);

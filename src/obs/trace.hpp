@@ -1,0 +1,115 @@
+#pragma once
+// Low-overhead span tracer (DESIGN.md §12). Instrumented code opens spans
+// with the SCT_TRACE_SPAN(name) RAII macro; each thread records completed
+// spans into its own fixed-capacity ring buffer, so the hot path is one
+// relaxed atomic load when tracing is off and two steady_clock reads plus
+// one (uncontended) buffer append when it is on. Span *names must be
+// string literals* (the buffer stores the pointer, never a copy).
+//
+// Nesting is explicit: every span carries the depth at which it opened on
+// its thread, and spans on one thread are strictly LIFO, so the exported
+// intervals are always well-formed (asserted by tests/obs_test.cpp).
+// writeChromeTrace() renders a snapshot as Chrome "X" complete events —
+// loadable directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing may never change results: spans only read clocks and write to
+// trace-private buffers, and everything here is a no-op branch when
+// disabled (the default).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sct::obs {
+
+/// One completed span. `name` points at the static string the span was
+/// opened with; times are nanoseconds since the process trace epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t startNs = 0;
+  std::uint64_t durNs = 0;
+  std::uint32_t tid = 0;    ///< stable per-thread id (registration order)
+  std::uint32_t depth = 0;  ///< nesting depth at open, 0 = top level
+};
+
+/// Spans each thread retains; older spans are overwritten ring-style and
+/// counted as dropped. 64Ki events * 32 B = 2 MiB per traced thread.
+inline constexpr std::size_t kTraceRingCapacity = 1u << 16;
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+/// Nanoseconds since the process trace epoch (steady clock).
+[[nodiscard]] std::uint64_t nowNs() noexcept;
+/// Opens a span on this thread: returns its depth and bumps the counter.
+[[nodiscard]] std::uint32_t enterSpan() noexcept;
+/// Records a completed span on this thread's ring and closes the nesting
+/// level opened by the matching enterSpan().
+void exitSpan(const char* name, std::uint64_t startNs,
+              std::uint32_t depth) noexcept;
+}  // namespace detail
+
+/// Hot-path check, inlined everywhere a span opens.
+[[nodiscard]] inline bool tracingEnabled() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds since the process trace epoch, for call sites that time an
+/// interval into a metrics counter/histogram without opening a span.
+[[nodiscard]] inline std::uint64_t monotonicNanos() noexcept {
+  return detail::nowNs();
+}
+void setTracingEnabled(bool on) noexcept;
+
+/// All completed spans currently retained, plus how many were overwritten.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;  ///< sorted by (tid, startNs, depth)
+  std::uint64_t dropped = 0;
+};
+
+/// Copies every thread's retained spans. Safe to call while other threads
+/// keep tracing; spans still open when the snapshot is taken are absent.
+[[nodiscard]] TraceSnapshot traceSnapshot();
+
+/// Discards all retained spans and the dropped count (open spans on other
+/// threads still record on close). Test/bench helper.
+void clearTrace() noexcept;
+
+/// Renders a snapshot as a Chrome-trace / Perfetto JSON document ("X"
+/// complete events, microsecond timestamps). Deterministic given the same
+/// snapshot: events are emitted in snapshot order with fixed formatting.
+void writeChromeTrace(std::ostream& out, const TraceSnapshot& snapshot);
+
+/// RAII span. Opening captures the enabled flag, so a span records if and
+/// only if tracing was on when it opened.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (tracingEnabled()) {
+      name_ = name;
+      depth_ = detail::enterSpan();
+      start_ = detail::nowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) detail::exitSpan(name_, start_, depth_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#define SCT_OBS_CONCAT2(a, b) a##b
+#define SCT_OBS_CONCAT(a, b) SCT_OBS_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (or otherwise outlive the tracer).
+#define SCT_TRACE_SPAN(name) \
+  ::sct::obs::TraceSpan SCT_OBS_CONCAT(sctTraceSpan_, __LINE__)(name)
+// NOLINTEND(cppcoreguidelines-macro-usage)
+
+}  // namespace sct::obs

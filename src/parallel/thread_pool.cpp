@@ -1,11 +1,15 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "core/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sct::parallel {
 
@@ -32,8 +36,8 @@ GlobalPool& globalPool() {
 
 std::size_t resolveLocked(GlobalPool& g) {
   if (!g.resolved) {
-    const char* env = std::getenv("SCT_THREADS");
-    g.threads = parseThreadSpec(env != nullptr ? env : "", hardwareThreads());
+    const std::string spec = env::get("SCT_THREADS").value_or("");
+    g.threads = parseThreadSpec(spec, hardwareThreads());
     g.resolved = true;
   }
   return g.threads;
@@ -44,7 +48,7 @@ std::size_t resolveLocked(GlobalPool& g) {
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -67,18 +71,42 @@ void ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::onWorkerThread() noexcept { return t_on_worker_thread; }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t workerIndex) {
   t_on_worker_thread = true;
+  // Per-worker utilization split (DESIGN.md §12): busy = executing tasks,
+  // idle = parked on the queue. Registered per worker index, so pool
+  // rebuilds keep accumulating into the same instruments.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::string prefix =
+      "parallel.worker." + std::to_string(workerIndex) + ".";
+  obs::Counter& busyNs = registry.counter(prefix + "busy_ns");
+  obs::Counter& idleNs = registry.counter(prefix + "idle_ns");
+  obs::Counter& allBusyNs = registry.counter("parallel.workers.busy_ns");
+  obs::Counter& allIdleNs = registry.counter("parallel.workers.idle_ns");
   for (;;) {
     std::function<void()> task;
     {
+      const bool timed = obs::metricsEnabled();
+      const std::uint64_t waitStart = timed ? obs::monotonicNanos() : 0;
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (timed) {
+        const std::uint64_t waited = obs::monotonicNanos() - waitStart;
+        idleNs.add(waited);
+        allIdleNs.add(waited);
+      }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const bool timed = obs::metricsEnabled();
+    const std::uint64_t runStart = timed ? obs::monotonicNanos() : 0;
     task();
+    if (timed) {
+      const std::uint64_t ran = obs::monotonicNanos() - runStart;
+      busyNs.add(ran);
+      allBusyNs.add(ran);
+    }
   }
 }
 
@@ -101,26 +129,7 @@ std::size_t parseThreadSpec(std::string_view spec,
                             std::size_t fallback) noexcept {
   if (spec.empty() || spec == "auto") return fallback;
   if (spec == "serial") return 0;
-  std::size_t value = 0;
-  for (char ch : spec) {
-    if (ch < '0' || ch > '9') {
-      std::fprintf(stderr,
-                   "sct: ignoring invalid thread spec '%.*s' "
-                   "(want a count, 'serial' or 'auto'); using %zu\n",
-                   static_cast<int>(spec.size()), spec.data(), fallback);
-      return fallback;
-    }
-    value = value * 10 + static_cast<std::size_t>(ch - '0');
-    if (value > kMaxThreadSpec) {
-      std::fprintf(stderr,
-                   "sct: thread spec '%.*s' out of range (max %zu); "
-                   "using %zu\n",
-                   static_cast<int>(spec.size()), spec.data(), kMaxThreadSpec,
-                   fallback);
-      return fallback;
-    }
-  }
-  return value;
+  return env::parseSize("thread spec", spec, fallback, kMaxThreadSpec);
 }
 
 namespace detail {
@@ -128,6 +137,19 @@ namespace detail {
 void runChunks(std::size_t chunks,
                const std::function<void(std::size_t)>& chunkFn) {
   if (chunks == 0) return;
+  // One-time registration; afterwards each region costs two relaxed
+  // fetch_adds (or the disabled-branch inside Counter::add).
+  static obs::Counter& regionCount =
+      obs::MetricsRegistry::global().counter("parallel.regions");
+  static obs::Counter& chunkCount =
+      obs::MetricsRegistry::global().counter("parallel.chunks");
+  static obs::Counter& serialRegionCount =
+      obs::MetricsRegistry::global().counter("parallel.serial_regions");
+  static obs::Counter& taskCount =
+      obs::MetricsRegistry::global().counter("parallel.tasks");
+  SCT_TRACE_SPAN("parallel.region");
+  regionCount.inc();
+  chunkCount.add(chunks);
 
   std::size_t workers = 0;
   ThreadPool* pool = nullptr;
@@ -142,7 +164,11 @@ void runChunks(std::size_t chunks,
   }
 
   if (pool == nullptr) {
-    for (std::size_t c = 0; c < chunks; ++c) chunkFn(c);
+    serialRegionCount.inc();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      SCT_TRACE_SPAN("parallel.chunk");
+      chunkFn(c);
+    }
     return;
   }
 
@@ -162,6 +188,7 @@ void runChunks(std::size_t chunks,
       const std::size_t c = region->next.fetch_add(1);
       if (c >= chunks) break;
       try {
+        SCT_TRACE_SPAN("parallel.chunk");
         chunkFn(c);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(region->mutex);
@@ -175,6 +202,7 @@ void runChunks(std::size_t chunks,
   };
 
   const std::size_t helpers = std::min(workers, chunks - 1);
+  taskCount.add(helpers);
   for (std::size_t i = 0; i < helpers; ++i) pool->submit(drive);
   drive();  // the calling thread works too
 

@@ -43,7 +43,7 @@ class ThreadPool {
   [[nodiscard]] static bool onWorkerThread() noexcept;
 
  private:
-  void workerLoop();
+  void workerLoop(std::size_t workerIndex);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <queue>
 #include <utility>
+
+#include "core/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sct::sta {
 
@@ -20,7 +23,37 @@ using netlist::PrimOp;
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+
+/// Incremental-STA worklist instrumentation (DESIGN.md §12): how big the
+/// dirty seed sets are and how far the convergence sweeps actually reach.
+/// Pure write-only observability — never read back by the analysis.
+struct StaMetrics {
+  obs::Counter& analyzeCalls;
+  obs::Counter& updateCalls;
+  obs::Counter& fullFallbacks;  ///< update() bailed to a from-scratch pass
+  obs::Counter& fullSweeps;     ///< adaptive large-batch full-sweep path
+  obs::Histogram& dirtyInstances;
+  obs::Histogram& forwardEvals;
+  obs::Histogram& backwardEvals;
+
+  static StaMetrics& get() {
+    static constexpr double kWorklistBounds[] = {1,    4,    16,   64,
+                                                 256,  1024, 4096, 16384};
+    static StaMetrics instance{
+        obs::MetricsRegistry::global().counter("sta.analyze.calls"),
+        obs::MetricsRegistry::global().counter("sta.update.calls"),
+        obs::MetricsRegistry::global().counter("sta.update.full_fallbacks"),
+        obs::MetricsRegistry::global().counter("sta.update.full_sweeps"),
+        obs::MetricsRegistry::global().histogram("sta.update.dirty_instances",
+                                                 kWorklistBounds),
+        obs::MetricsRegistry::global().histogram("sta.update.forward_evals",
+                                                 kWorklistBounds),
+        obs::MetricsRegistry::global().histogram("sta.update.backward_evals",
+                                                 kWorklistBounds)};
+    return instance;
+  }
+};
+}  // namespace
 
 std::string_view inputPinName(const Instance& inst,
                               std::uint32_t slot) noexcept {
@@ -337,6 +370,8 @@ double TimingAnalyzer::recomputeRequired(NetIndex n) const {
 }
 
 bool TimingAnalyzer::analyze() {
+  SCT_TRACE_SPAN("sta.analyze");
+  StaMetrics::get().analyzeCalls.inc();
   pending_.clear();
   baseline_valid_ = false;
   // A mapped design is a precondition; fail cleanly on unmapped instances
@@ -374,6 +409,9 @@ void TimingAnalyzer::notifyReconnect(InstIndex sink, std::uint32_t slot,
 bool TimingAnalyzer::update() {
   if (!baseline_valid_) return analyze();
   if (pending_.empty()) return true;
+  SCT_TRACE_SPAN("sta.update");
+  StaMetrics& metrics = StaMetrics::get();
+  metrics.updateCalls.inc();
 
   const std::size_t netCount = design_.netCount();
   const std::size_t instCount = design_.instanceCount();
@@ -412,6 +450,7 @@ bool TimingAnalyzer::update() {
     const Instance& inst = design_.instance(edit.instance);
     if (!inst.alive || inst.cell == nullptr) {
       // Removed or unmapped mid-flight: outside the incremental contract.
+      metrics.fullFallbacks.inc();
       return analyze();
     }
     switch (edit.kind) {
@@ -478,6 +517,7 @@ bool TimingAnalyzer::update() {
     const std::size_t relaxationCap = 16 * instCount + 64;
     for (std::size_t head = 0; head < queue.size(); ++head) {
       if (++relaxations > relaxationCap) {
+        metrics.fullFallbacks.inc();
         return analyze();  // combinational cycle introduced by edits
       }
       const InstIndex index = queue[head];
@@ -508,7 +548,9 @@ bool TimingAnalyzer::update() {
   // plain level-order sweeps of a full pass. The sweeps reassign every array
   // entry and are order-independent within a valid topological order, so the
   // spliced levels stand in for a Kahn re-levelization.
+  metrics.dirtyInstances.observe(static_cast<double>(dirtyInsts.size()));
   if (dirtyInsts.size() * 4 > instCount) {
+    metrics.fullSweeps.inc();
     computeLoads();
     if (structural) rebuildTopoFromLevels();
     propagateArrivals();
@@ -534,9 +576,11 @@ bool TimingAnalyzer::update() {
 
   std::vector<NetIndex> changedNets;
   std::vector<std::uint8_t> netForwardChanged(netCount, 0);
+  std::size_t forwardEvals = 0;
   while (!fwd.empty()) {
     const InstIndex index = fwd.top().second;
     fwd.pop();
+    ++forwardEvals;
     changedNets.clear();
     evalInstance(index, &changedNets);
     for (NetIndex out : changedNets) {
@@ -580,9 +624,11 @@ bool TimingAnalyzer::update() {
   };
   for (NetIndex n : backwardSeeds) enqueueBwd(n);
 
+  std::size_t backwardEvals = 0;
   while (!bwd.empty()) {
     const NetIndex n = bwd.top().second;
     bwd.pop();
+    ++backwardEvals;
     const double r = recomputeRequired(n);
     if (r == required_[n]) continue;
     required_[n] = r;
@@ -596,6 +642,8 @@ bool TimingAnalyzer::update() {
     for (NetIndex in : drv.inputs) enqueueBwd(in);
   }
 
+  metrics.forwardEvals.observe(static_cast<double>(forwardEvals));
+  metrics.backwardEvals.observe(static_cast<double>(backwardEvals));
   if (structural) rebuildTopoFromLevels();
   return true;
 }
@@ -617,10 +665,8 @@ std::string TimingAnalyzer::endpointName(const Endpoint& endpoint) const {
 }
 
 bool TimingAnalyzer::crossCheckEnabled() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("SCT_STA_CHECK");
-    return v != nullptr && v[0] == '1';
-  }();
+  static const bool enabled = env::parseFlag(
+      "SCT_STA_CHECK", env::get("SCT_STA_CHECK").value_or(""), false);
   return enabled;
 }
 

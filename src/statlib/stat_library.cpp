@@ -1,8 +1,12 @@
 #include "statlib/stat_library.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "numeric/interp.hpp"
+#include "numeric/statistics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
 
 namespace sct::statlib {
@@ -107,11 +111,24 @@ std::map<double, std::vector<const StatCell*>> StatLibrary::strengthClusters()
 
 namespace {
 
+/// Running sigma-of-sigma convergence probe (DESIGN.md §12): while a merge
+/// accumulates instances 1..N into one LUT entry, the running sigma estimate
+/// at sample-count checkpoints (N/4, N/2, 3N/4, N) is folded into one
+/// RunningStats per checkpoint, across every entry the probe sees. A flat
+/// sigma_mean and a shrinking sigma_sigma between checkpoints mean the MC
+/// sample count has converged. Pure observability: the probe only reads the
+/// running estimate and never feeds back into the merged tables.
+struct ConvergenceProbe {
+  std::vector<std::size_t> checkpoints;            ///< ascending, >= 2
+  std::vector<numeric::RunningStats> sigmaAcross;  ///< one per checkpoint
+};
+
 /// Collects one LUT position across all library instances and reduces it to
 /// (mean, sigma) — the "temporary table" of Fig. 2.
 StatLut mergeLuts(std::span<const liberty::Library> libraries,
                   const std::string& cellName,
-                  const liberty::TimingArc& refArc, bool rise) {
+                  const liberty::TimingArc& refArc, bool rise,
+                  ConvergenceProbe* probe = nullptr) {
   const liberty::Lut& refLut = rise ? refArc.riseDelay : refArc.fallDelay;
 
   // Resolve the matching table in every library instance once.
@@ -142,7 +159,19 @@ StatLut mergeLuts(std::span<const liberty::Library> libraries,
   for (std::size_t r = 0; r < refLut.rows(); ++r) {
     for (std::size_t c = 0; c < refLut.cols(); ++c) {
       numeric::RunningStats stats;
-      for (const liberty::Lut* lut : instances) stats.add(lut->at(r, c));
+      if (probe == nullptr) {
+        for (const liberty::Lut* lut : instances) stats.add(lut->at(r, c));
+      } else {
+        std::size_t next = 0;
+        for (std::size_t j = 0; j < instances.size(); ++j) {
+          stats.add(instances[j]->at(r, c));
+          if (next < probe->checkpoints.size() &&
+              j + 1 == probe->checkpoints[next]) {
+            probe->sigmaAcross[next].add(stats.stddev());
+            ++next;
+          }
+        }
+      }
       out.mean().at(r, c) = stats.mean();
       out.sigma().at(r, c) = stats.stddev();
     }
@@ -153,36 +182,75 @@ StatLut mergeLuts(std::span<const liberty::Library> libraries,
 }  // namespace
 
 StatLibrary buildStatLibrary(std::span<const liberty::Library> libraries) {
+  SCT_TRACE_SPAN("statlib.merge");
   if (libraries.empty()) {
     throw std::invalid_argument("need at least one library instance");
   }
   const liberty::Library& ref = libraries.front();
   StatLibrary out(ref.name() + "_stat");
   out.setSampleCount(libraries.size());
+  // Sample-count checkpoints for the convergence probe; empty (and free)
+  // unless metrics collection is on.
+  std::vector<std::size_t> checkpoints;
+  if (obs::metricsEnabled()) {
+    for (const std::size_t quarter : {1u, 2u, 3u, 4u}) {
+      const std::size_t k = libraries.size() * quarter / 4;
+      if (k >= 2 && (checkpoints.empty() || k > checkpoints.back())) {
+        checkpoints.push_back(k);
+      }
+    }
+  }
+  struct MergedCell {
+    StatCell cell;
+    std::vector<numeric::RunningStats> sigmaAcross;
+  };
   // One task per cell; each task runs the exact serial entry-wise reduction
   // of Fig. 2 for its own cell, so the merged tables do not depend on the
   // thread count. Cells are re-attached in reference order afterwards.
   const std::vector<const liberty::Cell*> refCells = ref.cells();
-  std::vector<StatCell> merged = parallel::parallelMap(
+  std::vector<MergedCell> merged = parallel::parallelMap(
       refCells.size(),
       [&](std::size_t i) {
         const liberty::Cell* refCell = refCells[i];
         StatCell cell(refCell->name(), refCell->function(),
                       refCell->driveStrength(), refCell->area());
+        ConvergenceProbe probe;
+        probe.checkpoints = checkpoints;
+        probe.sigmaAcross.resize(checkpoints.size());
+        ConvergenceProbe* p = checkpoints.empty() ? nullptr : &probe;
         for (const liberty::TimingArc& refArc : refCell->arcs()) {
           StatArc arc;
           arc.relatedPin = refArc.relatedPin;
           arc.outputPin = refArc.outputPin;
           arc.rise =
-              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true);
+              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true, p);
           arc.fall =
-              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false);
+              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false, p);
           cell.addArc(std::move(arc));
         }
-        return cell;
+        return MergedCell{std::move(cell), std::move(probe.sigmaAcross)};
       },
       /*grain=*/4);
-  for (StatCell& cell : merged) out.addCell(std::move(cell));
+  for (MergedCell& m : merged) out.addCell(std::move(m.cell));
+  if (!checkpoints.empty()) {
+    // Fold the per-cell probes in reference order and publish one pair of
+    // gauges per checkpoint.
+    std::vector<numeric::RunningStats> total(checkpoints.size());
+    for (const MergedCell& m : merged) {
+      for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        total[i].merge(m.sigmaAcross[i]);
+      }
+    }
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("statlib.convergence.samples")
+        .set(static_cast<double>(libraries.size()));
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+      const std::string prefix =
+          "statlib.convergence.k" + std::to_string(checkpoints[i]) + ".";
+      registry.gauge(prefix + "sigma_mean").set(total[i].mean());
+      registry.gauge(prefix + "sigma_sigma").set(total[i].stddev());
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "core/env.hpp"
 #include "core/flow.hpp"
 
 namespace sct::core {
@@ -160,6 +161,44 @@ TEST_F(FlowTest, MeasurementIsDeterministic) {
   EXPECT_EQ(a.sigma(), b.sigma());
   EXPECT_EQ(a.area(), b.area());
   EXPECT_EQ(a.paths.size(), b.paths.size());
+}
+
+// ---- shared environment parsing (env.hpp) --------------------------------
+
+TEST(EnvParse, ParseSizeAcceptsPlainDecimal) {
+  EXPECT_EQ(env::parseSize("test", "0", 9), 0u);
+  EXPECT_EQ(env::parseSize("test", "12", 9), 12u);
+  EXPECT_EQ(env::parseSize("test", "4096", 9, 4096), 4096u);
+}
+
+TEST(EnvParse, ParseSizeWarnsAndFallsBackOnGarbage) {
+  EXPECT_EQ(env::parseSize("test", "", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", "12cores", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", "+4", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", " 8", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", "4.5", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", "0x10", 9), 9u);
+  EXPECT_EQ(env::parseSize("test", "-1", 9), 9u);
+}
+
+TEST(EnvParse, ParseSizeRejectsOverMaxAndOverflow) {
+  EXPECT_EQ(env::parseSize("test", "4097", 9, 4096), 9u);
+  EXPECT_EQ(env::parseSize("test", "99999999999999999999999999", 9), 9u);
+}
+
+TEST(EnvParse, ParseFlagRecognizesCommonSpellings) {
+  for (const char* on : {"1", "true", "on", "yes"}) {
+    EXPECT_TRUE(env::parseFlag("test", on, false)) << on;
+  }
+  for (const char* off : {"0", "false", "off", "no"}) {
+    EXPECT_FALSE(env::parseFlag("test", off, true)) << off;
+  }
+}
+
+TEST(EnvParse, ParseFlagWarnsAndFallsBackOnGarbage) {
+  EXPECT_TRUE(env::parseFlag("test", "maybe", true));
+  EXPECT_FALSE(env::parseFlag("test", "maybe", false));
+  EXPECT_TRUE(env::parseFlag("test", "", true));
 }
 
 }  // namespace

@@ -35,6 +35,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <map>
 #include <optional>
@@ -44,9 +45,12 @@
 
 #include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
+#include "core/env.hpp"
 #include "core/flow.hpp"
 #include "lint/engine.hpp"
 #include "lint/report_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sta/report.hpp"
 #include "netlist/dsp.hpp"
@@ -107,6 +111,81 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// ---- observability wiring (DESIGN.md §12) --------------------------------
+
+/// What --trace-out/--metrics-out/--obs-off (plus the SCT_TRACE/SCT_METRICS
+/// variables) resolved to. Tracing/metrics stay globally off unless asked
+/// for; --obs-off wins over everything, pinning one side of the
+/// bit-identity comparison the flow tests make.
+struct ObsOptions {
+  bool tracing = false;
+  bool metrics = false;
+  std::string traceOut;
+  std::string metricsOut;
+};
+
+ObsOptions setupObservability(const Args& args) {
+  ObsOptions opts;
+  if (!args.has("obs-off")) {
+    opts.traceOut = args.get("trace-out").value_or("");
+    opts.metricsOut = args.get("metrics-out").value_or("");
+    opts.tracing =
+        !opts.traceOut.empty() ||
+        env::parseFlag("SCT_TRACE", env::get("SCT_TRACE").value_or(""), false);
+    opts.metrics = !opts.metricsOut.empty() ||
+                   env::parseFlag("SCT_METRICS",
+                                  env::get("SCT_METRICS").value_or(""), false);
+  }
+  obs::setTracingEnabled(opts.tracing);
+  obs::setMetricsEnabled(opts.metrics);
+  return opts;
+}
+
+/// Writes the requested exporter files once the command finished.
+void finishObservability(const ObsOptions& opts) {
+  if (opts.tracing && !opts.traceOut.empty()) {
+    std::ofstream out(opts.traceOut);
+    if (!out) throw std::runtime_error("cannot open " + opts.traceOut);
+    const obs::TraceSnapshot snapshot = obs::traceSnapshot();
+    obs::writeChromeTrace(out, snapshot);
+    std::printf("wrote %s (%zu spans%s)\n", opts.traceOut.c_str(),
+                snapshot.events.size(),
+                snapshot.dropped > 0 ? ", some dropped" : "");
+  }
+  if (opts.metrics && !opts.metricsOut.empty()) {
+    std::ofstream out(opts.metricsOut);
+    if (!out) throw std::runtime_error("cannot open " + opts.metricsOut);
+    obs::writeMetricsJson(out, obs::MetricsRegistry::global().snapshot());
+    std::printf("wrote %s\n", opts.metricsOut.c_str());
+  }
+}
+
+/// Per-stage timing / cache-hit table, read back out of the metrics
+/// snapshot. Goes to stdout only — never into the --report file, whose
+/// bytes must not depend on whether observability is on.
+void printStageTable(const obs::MetricsSnapshot& snapshot) {
+  std::printf("%-10s %10s %7s %5s %7s %7s\n", "stage", "time_ms", "probes",
+              "hits", "misses", "stores");
+  for (const char* stage : {"nominal", "stat", "subject", "tune", "synth",
+                            "lint"}) {
+    const std::string prefix = std::string("flow.stage.") + stage + ".";
+    if (!snapshot.hasCounter(prefix + "ns") &&
+        !snapshot.hasCounter(prefix + "probes")) {
+      continue;
+    }
+    std::printf(
+        "%-10s %10.2f %7llu %5llu %7llu %7llu\n", stage,
+        static_cast<double>(snapshot.counterValue(prefix + "ns")) / 1e6,
+        static_cast<unsigned long long>(
+            snapshot.counterValue(prefix + "probes")),
+        static_cast<unsigned long long>(snapshot.counterValue(prefix + "hits")),
+        static_cast<unsigned long long>(
+            snapshot.counterValue(prefix + "misses")),
+        static_cast<unsigned long long>(
+            snapshot.counterValue(prefix + "stores")));
+  }
+}
 
 void writeFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path);
@@ -317,7 +396,19 @@ int cmdLint(const std::string& path, const Args& args) {
   }
 
   const lint::LintEngine engine = lint::LintEngine::withAllRules();
-  const lint::LintReport report = engine.run(subject);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const bool timed = obs::metricsEnabled();
+  const std::uint64_t lintStart = timed ? obs::monotonicNanos() : 0;
+  lint::LintReport report;
+  {
+    SCT_TRACE_SPAN("lint.run");
+    report = engine.run(subject);
+  }
+  if (timed) {
+    registry.counter("lint.runs").inc();
+    registry.counter("lint.ns").add(obs::monotonicNanos() - lintStart);
+    registry.counter("lint.diagnostics").add(report.diagnostics().size());
+  }
 
   std::string rendered;
   if (args.has("sarif")) {
@@ -348,7 +439,7 @@ std::string fmt17(double v) {
 
 std::filesystem::path cacheRoot(const Args& args) {
   if (const auto dir = args.get("cache-dir")) return *dir;
-  if (const char* env = std::getenv("SCT_CACHE_DIR")) return env;
+  if (const auto env = env::get("SCT_CACHE_DIR")) return *env;
   throw std::runtime_error("need --cache-dir (or the SCT_CACHE_DIR variable)");
 }
 
@@ -390,8 +481,8 @@ core::FlowConfig makeFlowConfig(const Args& args) {
   if (!args.has("no-cache")) {
     if (const auto dir = args.get("cache-dir")) {
       config.cacheDir = *dir;
-    } else if (const char* env = std::getenv("SCT_CACHE_DIR")) {
-      config.cacheDir = env;
+    } else if (const auto env = env::get("SCT_CACHE_DIR")) {
+      config.cacheDir = *env;
     }
   }
   return config;
@@ -443,6 +534,10 @@ int cmdFlow(const Args& args) {
   }
   if (const auto out = args.get("report")) writeFile(*out, report.str());
 
+  if (obs::metricsEnabled()) {
+    printStageTable(obs::MetricsRegistry::global().snapshot());
+  }
+
   if (args.has("cache-stats")) {
     if (const artifact::ArtifactStore* store = flow.cache()) {
       const artifact::StoreStats& s = store->stats();
@@ -464,6 +559,15 @@ int cmdFlow(const Args& args) {
 int cmdCacheStats(const Args& args) {
   const artifact::ArtifactStore store(cacheRoot(args));
   const auto [files, bytes] = store.diskUsage();
+  if (args.has("json")) {
+    // Summaries route through the same deterministic exporter the flow's
+    // --metrics-out uses (gauges record even while metrics are off).
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("cache.entries").set(static_cast<double>(files));
+    registry.gauge("cache.bytes").set(static_cast<double>(bytes));
+    obs::writeMetricsJson(std::cout, registry.snapshot());
+    return 0;
+  }
   std::printf("cache %s: %zu entries, %.1f KB\n", store.root().c_str(), files,
               static_cast<double>(bytes) / 1024.0);
   return 0;
@@ -475,6 +579,17 @@ int cmdCacheGc(const Args& args) {
   policy.maxBytes = args.getUint("max-bytes", 0);
   policy.maxAgeSeconds = args.getUint("max-age", 0);
   const artifact::GcResult r = store.gc(policy);
+  if (args.has("json")) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("cache.gc.files_removed")
+        .set(static_cast<double>(r.filesRemoved));
+    registry.gauge("cache.gc.bytes_removed")
+        .set(static_cast<double>(r.bytesRemoved));
+    registry.gauge("cache.gc.files_kept").set(static_cast<double>(r.filesKept));
+    registry.gauge("cache.gc.bytes_kept").set(static_cast<double>(r.bytesKept));
+    obs::writeMetricsJson(std::cout, registry.snapshot());
+    return 0;
+  }
   std::printf(
       "cache gc %s: removed %zu entries (%.1f KB), kept %zu (%.1f KB)\n",
       store.root().c_str(), r.filesRemoved,
@@ -506,12 +621,17 @@ int usage() {
       "                [--profile small|full] [--mc N --seed S]\n"
       "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
       "                [--lint-mode error|warn|off] [--report report.txt]\n"
-      "  cache stats   --cache-dir DIR\n"
-      "  cache gc      --cache-dir DIR [--max-bytes N] [--max-age seconds]\n\n"
+      "  cache stats   --cache-dir DIR [--json]\n"
+      "  cache gc      --cache-dir DIR [--max-bytes N] [--max-age seconds]\n"
+      "                [--json]\n\n"
       "flow and cache default --cache-dir to SCT_CACHE_DIR; warm flow reruns\n"
       "load every stage artifact and are bit-identical to cold runs.\n"
       "every command accepts --threads <N|serial|auto> (default: the\n"
-      "SCT_THREADS environment variable); results do not depend on it\n");
+      "SCT_THREADS environment variable); results do not depend on it.\n"
+      "flow, synth and lint accept --trace-out trace.json (Chrome/Perfetto\n"
+      "span trace), --metrics-out metrics.json and --obs-off; SCT_TRACE=1 /\n"
+      "SCT_METRICS=1 enable collection without an output file. Observability\n"
+      "never changes any numeric artifact.\n");
   return 1;
 }
 
@@ -540,8 +660,10 @@ int main(int argc, char** argv) {
   }
   try {
     std::vector<std::string> booleans;
-    if (command == "flow") booleans = {"no-cache", "cache-stats"};
-    if (command == "lint") booleans = {"json", "sarif"};
+    if (command == "flow") booleans = {"no-cache", "cache-stats", "obs-off"};
+    if (command == "synth") booleans = {"obs-off"};
+    if (command == "lint") booleans = {"json", "sarif", "obs-off"};
+    if (command == "cache stats" || command == "cache gc") booleans = {"json"};
     const Args args(argc, argv, start, std::move(booleans));
     // Worker-pool size for the parallelized kernels. The flag takes
     // precedence over SCT_THREADS; results are identical either way.
@@ -550,17 +672,23 @@ int main(int argc, char** argv) {
       parallel::setThreadCount(
           parallel::parseThreadSpec(*threads, hw > 1 ? hw : 0));
     }
-    if (command == "characterize") return cmdCharacterize(args);
-    if (command == "generate") return cmdGenerate(args);
-    if (command == "tune") return cmdTune(args);
-    if (command == "synth") return cmdSynth(args);
-    if (command == "report") return cmdReport(args);
-    if (command == "lint") return cmdLint(lintPath, args);
-    if (command == "flow") return cmdFlow(args);
-    if (command == "cache stats") return cmdCacheStats(args);
-    if (command == "cache gc") return cmdCacheGc(args);
-    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
-    return usage();
+    const ObsOptions obsOptions = setupObservability(args);
+    int code = -1;
+    if (command == "characterize") code = cmdCharacterize(args);
+    else if (command == "generate") code = cmdGenerate(args);
+    else if (command == "tune") code = cmdTune(args);
+    else if (command == "synth") code = cmdSynth(args);
+    else if (command == "report") code = cmdReport(args);
+    else if (command == "lint") code = cmdLint(lintPath, args);
+    else if (command == "flow") code = cmdFlow(args);
+    else if (command == "cache stats") code = cmdCacheStats(args);
+    else if (command == "cache gc") code = cmdCacheGc(args);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+      return usage();
+    }
+    finishObservability(obsOptions);
+    return code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
