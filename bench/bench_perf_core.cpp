@@ -61,6 +61,30 @@ void BM_BilinearLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_BilinearLookup);
 
+void BM_BatchedBilinear(benchmark::State& state) {
+  // One shared axis search fanned across a batch of `n` SoA grids (the MC
+  // characterization inner loop); compare against n x BM_BilinearLookup for
+  // the per-instance win.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const numeric::Axis slew = {0.002, 0.008, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6};
+  const numeric::Axis load = {0.001, 0.002, 0.004, 0.008,
+                              0.016, 0.032, 0.048, 0.06};
+  numeric::GridBatch batch(8, 8, n);
+  numeric::Rng fill(3);
+  for (double& v : batch.flat()) v = fill.uniform(0.0, 0.4);
+  std::vector<double> out(n);
+  numeric::Rng rng(1);
+  for (auto _ : state) {
+    numeric::batchedBilinear(slew, load, batch, rng.uniform(0.0, 0.6),
+                             rng.uniform(0.0, 0.06), out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchedBilinear)->Arg(8)->Arg(64)->Arg(512);
+
 tuning::BinaryLut randomLut(std::size_t n, std::uint64_t seed) {
   numeric::Rng rng(seed);
   tuning::BinaryLut lut(n, n);
@@ -189,6 +213,27 @@ const synth::SynthesisResult& mappedMcu(const liberty::Library& lib) {
   }();
   return result;
 }
+
+void BM_LevelBatchedSta(benchmark::State& state) {
+  // Full-design analyze with the level-batched propagation toggled:
+  // batched=0 is the scalar per-instance sweep, batched=1 drains each level
+  // through one flat arc-evaluation loop. Same bits either way.
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  const synth::SynthesisResult& result = mappedMcu(lib);
+  sta::TimingAnalyzer analyzer(result.design, lib, clock);
+  analyzer.setLevelBatchedPropagation(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(result.design.gateCount()));
+}
+BENCHMARK(BM_LevelBatchedSta)->ArgName("batched")->Arg(0)->Arg(1);
 
 void BM_SynthesisOptimize(benchmark::State& state) {
   // The whole mapping + optimization flow at MCU size; incremental=0 forces

@@ -56,6 +56,53 @@ def threads_of(name):
     return None
 
 
+def thread_scaling(records, host_cpus):
+    """Thread-scaling verdict for the run entry.
+
+    On a single-core host the threaded variants time-slice one CPU, so their
+    numbers are scheduler noise, not scaling data: the check is skipped (and
+    the skip recorded) and every threads>=2 record is marked as noise. On
+    multi-core hosts, each threaded kernel's best threaded time must not be
+    slower than its serial (threads:0) time by more than the tolerance.
+    """
+    if host_cpus is not None and host_cpus <= 1:
+        for r in records:
+            if r["threads"] is not None and r["threads"] >= 2:
+                r["noise"] = True
+        return {
+            "checked": False,
+            "skipped_reason": "host_cpus == 1: threaded timings are noise",
+        }
+
+    tolerance = 1.10  # threading must not cost >10% over serial
+    serial = {}
+    best_threaded = {}
+    for r in records:
+        base = r["name"].split("/")[0]
+        if r["threads"] == 0:
+            serial[base] = r["ns_per_op"]
+        elif r["threads"] is not None and r["threads"] >= 2:
+            if host_cpus is not None and r["threads"] > host_cpus:
+                continue  # oversubscribed variants prove nothing
+            prev = best_threaded.get(base)
+            if prev is None or r["ns_per_op"] < prev:
+                best_threaded[base] = r["ns_per_op"]
+    violations = []
+    for base, serial_ns in sorted(serial.items()):
+        threaded_ns = best_threaded.get(base)
+        if threaded_ns is None:
+            continue
+        if threaded_ns > serial_ns * tolerance:
+            violations.append(
+                {
+                    "name": base,
+                    "serial_ns_per_op": serial_ns,
+                    "best_threaded_ns_per_op": threaded_ns,
+                }
+            )
+    return {"checked": True, "tolerance": tolerance, "violations": violations}
+
+
 def convert(raw):
     records = []
     for bench in raw.get("benchmarks", []):
@@ -72,10 +119,12 @@ def convert(raw):
             }
         )
     context = raw.get("context", {})
+    host_cpus = context.get("num_cpus")
     return {
         "git_rev": git_rev(),
         "date": context.get("date"),
-        "host_cpus": context.get("num_cpus"),
+        "host_cpus": host_cpus,
+        "thread_scaling": thread_scaling(records, host_cpus),
         "benchmarks": records,
     }
 
@@ -97,20 +146,36 @@ def load_history(path):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = [a for a in sys.argv[1:] if a != "--check-thread-scaling"]
+    enforce = "--check-thread-scaling" in sys.argv[1:]
+    if len(args) != 2:
         sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         raw = json.load(f)
     run = convert(raw)
-    runs = [r for r in load_history(sys.argv[2]) if r.get("git_rev") != run["git_rev"]]
+    runs = [r for r in load_history(args[1]) if r.get("git_rev") != run["git_rev"]]
     runs.append(run)
-    with open(sys.argv[2], "w") as f:
+    with open(args[1], "w") as f:
         json.dump({"runs": runs}, f, indent=2)
         f.write("\n")
     print(
         f"wrote {len(run['benchmarks'])} records for {run['git_rev']} "
-        f"to {sys.argv[2]} ({len(runs)} revision(s) in history)"
+        f"to {args[1]} ({len(runs)} revision(s) in history)"
     )
+    scaling = run["thread_scaling"]
+    if not scaling["checked"]:
+        print(f"thread scaling: skipped ({scaling['skipped_reason']})")
+    elif scaling["violations"]:
+        for v in scaling["violations"]:
+            print(
+                f"thread scaling: {v['name']} threaded "
+                f"{v['best_threaded_ns_per_op']:.0f} ns/op vs serial "
+                f"{v['serial_ns_per_op']:.0f} ns/op"
+            )
+        if enforce:
+            sys.exit("FAIL: threaded kernels slower than the serial fallback")
+    else:
+        print("thread scaling: OK")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: re-times the two end-to-end anchors
+# (single-threaded Monte-Carlo characterization and the warm-cache flow)
+# and fails when either regresses more than BUDGET_PCT against the last
+# BENCH_perf.json entry recorded on a comparable host. Same noise filter as
+# check_obs_overhead.sh: REPS repetitions, minimum wall-clock compared.
+# Baselines from a host with a different CPU count are not comparable and
+# are skipped (recorded as such in the output), so a 1-CPU runner never
+# judges numbers produced on a 16-core box or vice versa.
+#
+#   scripts/check_bench_regression.sh [baseline.json]
+#
+# Environment:
+#   BUILD_DIR     build tree to use          (default: build-bench)
+#   BUDGET_PCT    allowed regression in %    (default: 25)
+#   REPS          repetitions per benchmark  (default: 5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+BUDGET_PCT="${BUDGET_PCT:-25}"
+REPS="${REPS:-5}"
+BASELINE="${1:-BENCH_perf.json}"
+RAW="$(mktemp /tmp/bench_regression.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_perf_core >/dev/null
+
+"$BUILD_DIR/bench/bench_perf_core" \
+  --benchmark_filter='BM_CharacterizeMonteCarlo/threads:0$|BM_FlowWarmCache$' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_format=json \
+  > "$RAW"
+
+python3 - "$RAW" "$BASELINE" "$BUDGET_PCT" <<'EOF'
+import json, sys
+
+raw_path, baseline_path, budget_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+GATED = ["BM_CharacterizeMonteCarlo/threads:0", "BM_FlowWarmCache"]
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+with open(raw_path) as f:
+    doc = json.load(f)
+host_cpus = doc.get("context", {}).get("num_cpus")
+
+def current_min_ns(name):
+    # Repetitions repeat the plain benchmark name; aggregates are suffixed
+    # and tagged run_type=aggregate, so exact-name iteration rows are the
+    # per-repetition wall-clock samples.
+    times = [
+        b["real_time"] * UNIT_TO_NS.get(b.get("time_unit", "ns"), 1.0)
+        for b in doc["benchmarks"]
+        if b["name"] == name and b.get("run_type") != "aggregate"
+    ]
+    return min(times) if times else None
+
+try:
+    with open(baseline_path) as f:
+        history = json.load(f).get("runs", [])
+except (OSError, json.JSONDecodeError):
+    history = []
+
+def baseline_ns(name):
+    # Last recorded run on a host with the same CPU count that has the
+    # benchmark; other hosts' numbers are not comparable.
+    for run in reversed(history):
+        if run.get("host_cpus") != host_cpus:
+            continue
+        for bench in run.get("benchmarks", []):
+            if bench["name"] == name:
+                return bench["ns_per_op"], run.get("git_rev")
+    return None, None
+
+failures = []
+for name in GATED:
+    current = current_min_ns(name)
+    if current is None:
+        sys.exit(f"no timings for {name} in {raw_path}")
+    base, rev = baseline_ns(name)
+    if base is None:
+        print(f"{name}: no comparable baseline (host_cpus={host_cpus}) — skipped")
+        continue
+    limit = base * (1.0 + budget_pct / 100.0)
+    delta = 100.0 * (current - base) / base
+    status = "OK" if current <= limit else "FAIL"
+    print(
+        f"{name}: min {current / 1e6:.2f} ms vs {base / 1e6:.2f} ms "
+        f"@ {rev} ({delta:+.1f}%, budget {budget_pct:.0f}%) {status}"
+    )
+    if current > limit:
+        failures.append(name)
+
+if failures:
+    sys.exit(f"FAIL: regression past {budget_pct:.0f}% budget: {', '.join(failures)}")
+print("OK: gated benchmarks within the regression budget")
+EOF

@@ -26,4 +26,8 @@ cmake --build "$BUILD_DIR" --target bench_perf_core -j >/dev/null
   ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
   > "$RAW"
 
-python3 scripts/bench_to_json.py "$RAW" "$OUT"
+# The converter also runs the thread-scaling assertion (threaded kernel
+# variants must not be slower than their serial fallback). On a single-CPU
+# host it records the skip in the run entry and marks per-thread numbers as
+# noise instead of failing on scheduler artifacts.
+python3 scripts/bench_to_json.py --check-thread-scaling "$RAW" "$OUT"

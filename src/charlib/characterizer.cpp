@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "numeric/grid_batch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
@@ -17,7 +18,8 @@ using liberty::TimingArc;
 Characterizer::Characterizer(CharacterizationConfig config)
     : config_(std::move(config)),
       model_(config_.tech, config_.variation),
-      specs_(model_) {
+      specs_(model_),
+      slew_axis_(std::make_shared<const numeric::Axis>(config_.slewAxis)) {
   assert(numeric::isStrictlyIncreasing(config_.slewAxis));
 }
 
@@ -31,6 +33,11 @@ numeric::Axis Characterizer::loadAxisFor(const CellSpec& spec) const {
 }
 
 namespace {
+
+/// Clock-slew breakpoints of the sequential setup table: a slow data edge
+/// needs more margin before the clock edge, a slow clock edge relaxes it
+/// slightly. Shared by the scalar and batched characterization paths.
+const numeric::Axis kClockSlewAxis = {0.01, 0.05, 0.1, 0.2};
 
 /// Per-output deterministic speed factor: carry outputs of adders are the
 /// optimized path in real cells.
@@ -94,9 +101,7 @@ liberty::Library Characterizer::characterizeWith(const ProcessCorner& corner,
     cell.setSetupTime(spec.setupTime);
     cell.setHoldTime(spec.holdTime);
     if (t.sequential) {
-      // Slew-dependent setup: a slow data edge needs more margin before the
-      // clock edge, a slow clock edge relaxes it slightly.
-      static const numeric::Axis kClockSlewAxis = {0.01, 0.05, 0.1, 0.2};
+      // Slew-dependent setup (see kClockSlewAxis above).
       liberty::Lut setupLut(config_.slewAxis, kClockSlewAxis);
       for (std::size_t r = 0; r < config_.slewAxis.size(); ++r) {
         for (std::size_t c = 0; c < kClockSlewAxis.size(); ++c) {
@@ -227,32 +232,211 @@ liberty::Library Characterizer::characterizeSample(
   return characterizeWith(corner, name, sampleSeed, /*withMismatch=*/true);
 }
 
+std::vector<liberty::Cell> Characterizer::characterizeCellBatch(
+    const CellSpec& spec, const ProcessCorner& corner,
+    const LocalDeltasBatch& deltas) const {
+  const std::size_t n = deltas.size();
+  const liberty::FunctionTraits& t = liberty::traits(spec.function);
+  const std::size_t rows = config_.slewAxis.size();
+
+  // Prototype cell: everything mismatch-independent (pins, scalar
+  // attributes, the setup table) is built once and copied into every
+  // instance.
+  liberty::Cell proto(spec.name, spec.function, spec.driveStrength,
+                      spec.area);
+  proto.setSetupTime(spec.setupTime);
+  proto.setHoldTime(spec.holdTime);
+  if (t.sequential) {
+    static const liberty::Lut::AxisPtr clockAxis =
+        std::make_shared<const numeric::Axis>(kClockSlewAxis);
+    liberty::Lut setupLut(slew_axis_, clockAxis);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < kClockSlewAxis.size(); ++c) {
+        const double value = spec.setupTime + 0.30 * config_.slewAxis[r] -
+                             0.08 * kClockSlewAxis[c];
+        setupLut.at(r, c) = std::max(value, 0.25 * spec.setupTime);
+      }
+    }
+    proto.setSetupLut(std::move(setupLut));
+  }
+
+  const auto inputNames = liberty::dataInputNames(spec.function);
+  for (std::size_t i = 0; i < t.numDataInputs; ++i) {
+    Pin pin;
+    pin.name = std::string(inputNames[i]);
+    pin.direction = PinDirection::kInput;
+    pin.capacitance = spec.inputCap;
+    proto.addPin(std::move(pin));
+  }
+  if (t.sequential) {
+    Pin clk;
+    clk.name = spec.function == CellFunction::kLatch ||
+                       spec.function == CellFunction::kLatchR
+                   ? "G"
+                   : "CP";
+    clk.direction = PinDirection::kInput;
+    clk.capacitance = spec.inputCap * 0.8;
+    clk.isClock = true;
+    proto.addPin(std::move(clk));
+  }
+  for (std::string_view ctrl : controlPins(spec.function)) {
+    Pin pin;
+    pin.name = std::string(ctrl);
+    pin.direction = PinDirection::kInput;
+    pin.capacitance = spec.inputCap * 0.5;
+    proto.addPin(std::move(pin));
+  }
+  const auto outNames = liberty::outputNames(spec.function);
+  for (std::size_t o = 0; o < t.numOutputs; ++o) {
+    Pin pin;
+    pin.name = std::string(outNames[o]);
+    pin.direction = PinDirection::kOutput;
+    pin.maxCapacitance = spec.maxLoad;
+    proto.addPin(std::move(pin));
+  }
+
+  const liberty::Lut::AxisPtr loadAxis =
+      std::make_shared<const numeric::Axis>(loadAxisFor(spec));
+  const std::size_t cols = loadAxis->size();
+  const std::size_t arcCount =
+      t.sequential ? 1 : t.numOutputs * t.numDataInputs;
+
+  std::vector<liberty::Cell> cells(n, proto);
+  for (liberty::Cell& cell : cells) cell.arcs().reserve(arcCount);
+
+  // Per-entry-across-instances evaluation: for every (slew, load) entry the
+  // delay model runs once over all N mismatch draws (SoA), and the four
+  // tables of the arc are sliced off the shared base values. Factor order
+  // matches the scalar makeLut: ((base * position) * output) * edge.
+  numeric::GridBatch riseDelay(rows, cols, n);
+  numeric::GridBatch fallDelay(rows, cols, n);
+  numeric::GridBatch riseTransition(rows, cols, n);
+  numeric::GridBatch fallTransition(rows, cols, n);
+  std::vector<double> base(n);
+
+  const auto addArcBatch = [&](std::string_view related,
+                               std::string_view output,
+                               const ArcFlavor& flavor) {
+    const double of = outputFactor(spec.function, output);
+    const double pf = flavor.positionFactor;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double s = config_.slewAxis[r];
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double l = (*loadAxis)[c];
+        // The delay base is shared by the rise and fall tables (the scalar
+        // path recomputes it per table; it only depends on the entry).
+        model_.delayBatch(spec, s, l, deltas, corner.delayFactor, 1.0, base);
+        const std::span<double> rd = riseDelay.cell(r, c);
+        const std::span<double> fd = fallDelay.cell(r, c);
+        for (std::size_t k = 0; k < n; ++k) {
+          const double scaled = base[k] * pf * of;
+          rd[k] = scaled * flavor.riseFactor;
+          fd[k] = scaled * flavor.fallFactor;
+        }
+        model_.outputSlewBatch(spec, s, l, deltas, corner.delayFactor, 1.0,
+                               base);
+        const std::span<double> rt = riseTransition.cell(r, c);
+        const std::span<double> ft = fallTransition.cell(r, c);
+        for (std::size_t k = 0; k < n; ++k) {
+          const double scaled = base[k] * pf * of;
+          rt[k] = scaled * flavor.riseFactor;
+          ft[k] = scaled * flavor.fallFactor;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      TimingArc arc;
+      arc.relatedPin = std::string(related);
+      arc.outputPin = std::string(output);
+      arc.riseDelay = liberty::Lut(slew_axis_, loadAxis);
+      riseDelay.scatterTo(k, arc.riseDelay.values().flat());
+      arc.fallDelay = liberty::Lut(slew_axis_, loadAxis);
+      fallDelay.scatterTo(k, arc.fallDelay.values().flat());
+      arc.riseTransition = liberty::Lut(slew_axis_, loadAxis);
+      riseTransition.scatterTo(k, arc.riseTransition.values().flat());
+      arc.fallTransition = liberty::Lut(slew_axis_, loadAxis);
+      fallTransition.scatterTo(k, arc.fallTransition.values().flat());
+      cells[k].addArc(std::move(arc));
+    }
+  };
+
+  if (t.sequential) {
+    const char* clkName = (spec.function == CellFunction::kLatch ||
+                           spec.function == CellFunction::kLatchR)
+                              ? "G"
+                              : "CP";
+    addArcBatch(clkName, outNames[0], ArcFlavor::forInput(0));
+  } else {
+    for (std::size_t o = 0; o < t.numOutputs; ++o) {
+      for (std::size_t i = 0; i < t.numDataInputs; ++i) {
+        addArcBatch(inputNames[i], outNames[o], ArcFlavor::forInput(i));
+      }
+    }
+  }
+  return cells;
+}
+
 std::vector<liberty::Library> Characterizer::characterizeMonteCarlo(
     const ProcessCorner& corner, std::size_t n, std::uint64_t seed) const {
   SCT_TRACE_SPAN("charlib.mc");
-  // Per-instance wall-clock distribution (DESIGN.md §12). Bounds in ms.
-  static constexpr double kSampleMsBounds[] = {0.5, 1, 2, 5, 10, 25, 50, 100};
+  // Batch effectiveness metrics (DESIGN.md §12/§13): how many instances one
+  // entry evaluation fans out across.
+  static constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64, 128};
   static obs::Counter& sampleCount =
       obs::MetricsRegistry::global().counter("charlib.mc.samples");
-  static obs::Histogram& sampleMs = obs::MetricsRegistry::global().histogram(
-      "charlib.mc.sample_ms", kSampleMsBounds);
-  // Instance k is seeded purely from (seed, k), so the samples are
-  // order-independent and the map is bit-identical for any thread count.
-  return parallel::parallelMap(
-      n,
-      [&](std::size_t k) {
-        SCT_TRACE_SPAN("charlib.mc.sample");
-        const bool timed = obs::metricsEnabled();
-        const std::uint64_t start = timed ? obs::monotonicNanos() : 0;
-        liberty::Library sample = characterizeSample(corner, seed, k);
-        if (timed) {
-          sampleCount.inc();
-          sampleMs.observe(
-              static_cast<double>(obs::monotonicNanos() - start) / 1e6);
-        }
-        return sample;
+  static obs::Histogram& batchSize = obs::MetricsRegistry::global().histogram(
+      "charlib.batch.size", kBatchBounds);
+  if (n == 0) return {};
+
+  const std::vector<CellSpec>& specs = specs_.all();
+
+  // Mismatch pre-pass, replaying the exact scalar draw order: instance k's
+  // master stream is seeded from (seed, k) and forked once per spec in
+  // catalogue order (fork() advances the parent stream, so the iteration
+  // order matters). The draws are then transposed into per-spec SoA batches.
+  std::vector<std::uint64_t> tags;  // hashTag is pure; hoist it per spec
+  tags.reserve(specs.size());
+  for (const CellSpec& spec : specs) {
+    tags.push_back(numeric::Rng::hashTag(spec.name));
+  }
+  std::vector<LocalDeltasBatch> deltas(specs.size());
+  for (LocalDeltasBatch& batch : deltas) batch.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    numeric::Rng seeder(seed);
+    numeric::Rng master(seeder.fork(k).next());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      numeric::Rng cellRng = master.fork(tags[s]);
+      deltas[s].set(k, model_.drawLocal(specs[s], cellRng));
+    }
+  }
+
+  // One task per spec, each characterizing its cell across all N instances
+  // per-entry (the batched tentpole path). Deterministic for any thread
+  // count: tasks only depend on their own spec and the assembly below walks
+  // spec order.
+  std::vector<std::vector<liberty::Cell>> columns = parallel::parallelMap(
+      specs.size(),
+      [&](std::size_t s) {
+        SCT_TRACE_SPAN("charlib.mc.batch");
+        batchSize.observe(static_cast<double>(n));
+        return characterizeCellBatch(specs[s], corner, deltas[s]);
       },
-      /*grain=*/1);
+      /*grain=*/8);
+
+  liberty::OperatingConditions oc{corner.process, corner.voltage,
+                                  corner.temperature};
+  const std::string baseName = oc.cornerName() + "_mc";
+  std::vector<liberty::Library> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    liberty::Library lib(baseName + std::to_string(k), oc);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      lib.addCell(std::move(columns[s][k]));
+    }
+    out.push_back(std::move(lib));
+  }
+  sampleCount.add(n);
+  return out;
 }
 
 }  // namespace sct::charlib

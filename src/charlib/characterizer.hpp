@@ -62,7 +62,11 @@ class Characterizer {
                                                     std::uint64_t seed,
                                                     std::uint64_t sampleIndex) const;
 
-  /// N Monte-Carlo library instances (paper uses N = 50).
+  /// N Monte-Carlo library instances (paper uses N = 50). Batched: cells
+  /// are characterized per-entry-across-instances (one axis sweep fills one
+  /// LUT entry of all N instances at once, see DESIGN.md §13), bit-identical
+  /// to calling characterizeSample() for k = 0..n-1 — which stays available
+  /// as the scalar oracle.
   [[nodiscard]] std::vector<liberty::Library> characterizeMonteCarlo(
       const ProcessCorner& corner, std::size_t n, std::uint64_t seed) const;
 
@@ -70,10 +74,19 @@ class Characterizer {
   liberty::Library characterizeWith(
       const ProcessCorner& corner, const std::string& libraryName,
       std::uint64_t seed, bool withMismatch) const;
+  /// All MC instances of one cell, built per-entry-across-instances from
+  /// pre-drawn mismatch batches. cells[k] is bit-identical to the cell the
+  /// scalar path characterizes for instance k.
+  [[nodiscard]] std::vector<liberty::Cell> characterizeCellBatch(
+      const CellSpec& spec, const ProcessCorner& corner,
+      const LocalDeltasBatch& deltas) const;
 
   CharacterizationConfig config_;
   DelayModel model_;
   SpecRegistry specs_;
+  /// config_.slewAxis as a shared axis: every batched LUT references this
+  /// one allocation instead of carrying a copy.
+  liberty::Lut::AxisPtr slew_axis_;
 };
 
 }  // namespace sct::charlib

@@ -7,7 +7,10 @@
 //   - higher drive strength => lower sigma and flatter gradient,
 //   - delay blows up quadratically when a cell is loaded near its limit.
 
+#include <cstddef>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "charlib/process.hpp"
 #include "liberty/function.hpp"
@@ -38,6 +41,30 @@ struct LocalDeltas {
   double dSlew = 0.0;       ///< relative slew-sensitivity mismatch
 };
 
+/// Structure-of-arrays mismatch draws of all Monte-Carlo instances of one
+/// cell, the per-instance dimension of the batched characterizer: one
+/// delayBatch() call evaluates one LUT entry across every instance.
+struct LocalDeltasBatch {
+  std::vector<double> dDrive;
+  std::vector<double> dIntrinsic;
+  std::vector<double> dSlew;
+
+  [[nodiscard]] std::size_t size() const noexcept { return dDrive.size(); }
+  void resize(std::size_t n) {
+    dDrive.resize(n);
+    dIntrinsic.resize(n);
+    dSlew.resize(n);
+  }
+  void set(std::size_t k, const LocalDeltas& d) noexcept {
+    dDrive[k] = d.dDrive;
+    dIntrinsic[k] = d.dIntrinsic;
+    dSlew[k] = d.dSlew;
+  }
+  [[nodiscard]] LocalDeltas get(std::size_t k) const noexcept {
+    return {dDrive[k], dIntrinsic[k], dSlew[k]};
+  }
+};
+
 class DelayModel {
  public:
   DelayModel(TechnologyParams tech, VariationParams variation)
@@ -66,6 +93,22 @@ class DelayModel {
                                   double load, const LocalDeltas& local,
                                   double cornerFactor,
                                   double globalFactor) const noexcept;
+
+  /// Batched delay(): out[k] = delay(spec, slew, load, local[k], ...) for
+  /// every instance k, bit-for-bit. The instance-invariant subterms (RC
+  /// product, overload factor, slew coefficient) are hoisted out of the
+  /// loop — each is a pure common subexpression of the scalar formula, so
+  /// hoisting cannot change any rounded result — leaving a contiguous
+  /// branch-free inner loop over the mismatch arrays.
+  void delayBatch(const CellSpec& spec, double slew, double load,
+                  const LocalDeltasBatch& local, double cornerFactor,
+                  double globalFactor, std::span<double> out) const noexcept;
+
+  /// Batched outputSlew(), same contract as delayBatch().
+  void outputSlewBatch(const CellSpec& spec, double slew, double load,
+                       const LocalDeltasBatch& local, double cornerFactor,
+                       double globalFactor,
+                       std::span<double> out) const noexcept;
 
   /// Draws fresh local mismatch for one instance of the cell.
   [[nodiscard]] LocalDeltas drawLocal(const CellSpec& spec,

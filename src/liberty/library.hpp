@@ -47,6 +47,13 @@ class Library {
   [[nodiscard]] const Cell* findCell(std::string_view name) const noexcept;
   [[nodiscard]] Cell* findCell(std::string_view name) noexcept;
 
+  /// Cell at insertion position i, nullptr out of range. Monte-Carlo
+  /// instances share the catalogue's cell order, so positional access lets
+  /// the statistics merge bypass the by-name map (callers verify the name).
+  [[nodiscard]] const Cell* cellAt(std::size_t i) const noexcept {
+    return i < cells_.size() ? cells_[i].get() : nullptr;
+  }
+
   /// All cells in insertion order.
   [[nodiscard]] std::vector<const Cell*> cells() const;
   [[nodiscard]] std::vector<Cell*> cells();

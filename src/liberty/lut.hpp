@@ -3,7 +3,9 @@
 // input slew (index_1, rows) and output load (index_2, columns), interpolated
 // bilinearly between breakpoints (paper section II and V.A).
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "numeric/grid2d.hpp"
 #include "numeric/interp.hpp"
@@ -22,21 +24,48 @@ struct LutTemplate {
   friend bool operator==(const LutTemplate&, const LutTemplate&) = default;
 };
 
-/// A single look-up table with its axes. Axes are stored by value so a Lut is
-/// self-contained (statistical processing slices and recombines tables from
-/// many library instances).
+/// A single look-up table with its axes. Axes are held by shared_ptr: a Lut
+/// stays self-contained (statistical processing slices and recombines tables
+/// from many library instances) and keeps value semantics — equality and
+/// sameShape compare axis *values* — but the four tables of a timing arc and
+/// all Monte-Carlo instances of a cell share one physical axis pair instead
+/// of each carrying copies. That turns LUT construction from three heap
+/// allocations (two axes + grid) into one, the dominant cost of MC
+/// characterization before batching.
 class Lut {
  public:
+  using AxisPtr = std::shared_ptr<const numeric::Axis>;
+
   Lut() = default;
   Lut(numeric::Axis slew, numeric::Axis load)
+      : slew_(std::make_shared<const numeric::Axis>(std::move(slew))),
+        load_(std::make_shared<const numeric::Axis>(std::move(load))),
+        values_(slew_->size(), load_->size()) {}
+  Lut(numeric::Axis slew, numeric::Axis load, numeric::Grid2d values)
+      : slew_(std::make_shared<const numeric::Axis>(std::move(slew))),
+        load_(std::make_shared<const numeric::Axis>(std::move(load))),
+        values_(std::move(values)) {}
+  /// Axis-sharing constructors (non-null pointers required): every Lut built
+  /// from the same AxisPtr pair reuses one allocation.
+  Lut(AxisPtr slew, AxisPtr load)
       : slew_(std::move(slew)),
         load_(std::move(load)),
-        values_(slew_.size(), load_.size()) {}
-  Lut(numeric::Axis slew, numeric::Axis load, numeric::Grid2d values)
-      : slew_(std::move(slew)), load_(std::move(load)), values_(std::move(values)) {}
+        values_(slew_->size(), load_->size()) {}
+  Lut(AxisPtr slew, AxisPtr load, numeric::Grid2d values)
+      : slew_(std::move(slew)),
+        load_(std::move(load)),
+        values_(std::move(values)) {}
 
-  [[nodiscard]] const numeric::Axis& slewAxis() const noexcept { return slew_; }
-  [[nodiscard]] const numeric::Axis& loadAxis() const noexcept { return load_; }
+  [[nodiscard]] const numeric::Axis& slewAxis() const noexcept {
+    return slew_ != nullptr ? *slew_ : emptyAxis();
+  }
+  [[nodiscard]] const numeric::Axis& loadAxis() const noexcept {
+    return load_ != nullptr ? *load_ : emptyAxis();
+  }
+  /// Shared axis handles, for building further Luts on the same allocation
+  /// (null on a default-constructed Lut).
+  [[nodiscard]] const AxisPtr& slewAxisPtr() const noexcept { return slew_; }
+  [[nodiscard]] const AxisPtr& loadAxisPtr() const noexcept { return load_; }
   [[nodiscard]] const numeric::Grid2d& values() const noexcept { return values_; }
   [[nodiscard]] numeric::Grid2d& values() noexcept { return values_; }
 
@@ -55,19 +84,31 @@ class Lut {
   [[nodiscard]] double lookup(
       double slew, double load,
       numeric::EdgePolicy policy = numeric::EdgePolicy::kClamp) const noexcept {
-    return numeric::bilinear(slew_, load_, values_, slew, load, policy);
+    return numeric::bilinear(slewAxis(), loadAxis(), values_, slew, load,
+                             policy);
   }
 
   /// True when both tables share axes (required for entry-wise combination).
+  /// Pointer fast path first: shared axes compare in O(1).
   [[nodiscard]] bool sameShape(const Lut& other) const noexcept {
-    return slew_ == other.slew_ && load_ == other.load_;
+    const bool sameSlew = slew_ == other.slew_ || slewAxis() == other.slewAxis();
+    const bool sameLoad = load_ == other.load_ || loadAxis() == other.loadAxis();
+    return sameSlew && sameLoad;
   }
 
-  friend bool operator==(const Lut&, const Lut&) = default;
+  /// Value equality (axes compared by value, not by pointer identity).
+  friend bool operator==(const Lut& a, const Lut& b) noexcept {
+    return a.sameShape(b) && a.values_ == b.values_;
+  }
 
  private:
-  numeric::Axis slew_;
-  numeric::Axis load_;
+  static const numeric::Axis& emptyAxis() noexcept {
+    static const numeric::Axis kEmpty;
+    return kEmpty;
+  }
+
+  AxisPtr slew_;
+  AxisPtr load_;
   numeric::Grid2d values_;
 };
 

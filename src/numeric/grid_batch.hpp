@@ -1,0 +1,91 @@
+#pragma once
+// Structure-of-arrays batch of identically shaped grids: the values of all
+// Monte-Carlo instances of one LUT entry are stored contiguously, so a
+// single InterpCoords axis search fans out across the whole batch with one
+// branch-free inner loop per entry (instead of N strided per-instance
+// lookups). Layout: values[(r * cols + c) * n + k] — entry-major, instance
+// index k innermost.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/grid2d.hpp"
+
+namespace sct::numeric {
+
+class GridBatch {
+ public:
+  GridBatch() = default;
+  GridBatch(std::size_t rows, std::size_t cols, std::size_t instances,
+            double fill = 0.0)
+      : rows_(rows),
+        cols_(cols),
+        n_(instances),
+        values_(rows * cols * instances, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t instances() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// All instance values of one grid entry, contiguous.
+  [[nodiscard]] std::span<double> cell(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return {values_.data() + (r * cols_ + c) * n_, n_};
+  }
+  [[nodiscard]] std::span<const double> cell(std::size_t r,
+                                             std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return {values_.data() + (r * cols_ + c) * n_, n_};
+  }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c,
+                          std::size_t k) const noexcept {
+    assert(k < n_);
+    return cell(r, c)[k];
+  }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c,
+                           std::size_t k) noexcept {
+    assert(k < n_);
+    return cell(r, c)[k];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return values_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept {
+    return values_;
+  }
+
+  /// Transposes instance-major grids (one Grid2d per instance, all of the
+  /// batch shape) into the SoA layout.
+  void gather(std::span<const Grid2d* const> grids) noexcept {
+    assert(grids.size() == n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      assert(grids[k] != nullptr && grids[k]->rows() == rows_ &&
+             grids[k]->cols() == cols_);
+      const std::span<const double> src = grids[k]->flat();
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        values_[i * n_ + k] = src[i];
+      }
+    }
+  }
+
+  /// Copies instance k back out into a row-major flat grid (the inverse of
+  /// gather() for one instance).
+  void scatterTo(std::size_t k, std::span<double> flat) const noexcept {
+    assert(k < n_ && flat.size() == rows_ * cols_);
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      flat[i] = values_[i * n_ + k];
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t n_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace sct::numeric

@@ -91,6 +91,8 @@ InterpCoords interpCoords(const Axis& slewAxis, const Axis& loadAxis,
     coords.rowWeight =
         segmentRatio(slewAxis[coords.row], slewAxis[coords.row + 1], slew);
   }
+  coords.rowWeightC = 1.0 - coords.rowWeight;
+  coords.colWeightC = 1.0 - coords.colWeight;
   return coords;
 }
 

@@ -4,7 +4,7 @@
 // the value X is interpolated first along the load axis (P1, P2) and then
 // along the slew axis.
 
-#include "numeric/grid2d.hpp"
+#include "numeric/grid_batch.hpp"
 
 namespace sct::numeric {
 
@@ -35,25 +35,69 @@ enum class EdgePolicy {
 /// which removes the dominant cost of repeated lookups at one operating
 /// point. apply() reproduces bilinear() bit-for-bit.
 struct InterpCoords {
-  std::size_t row = 0;   ///< slew-axis bracket index
-  std::size_t col = 0;   ///< load-axis bracket index
-  double rowWeight = 0;  ///< weight of row+1 along the slew axis
-  double colWeight = 0;  ///< weight of col+1 along the load axis
-  bool singleRow = true; ///< degenerate (size-1) slew axis
-  bool singleCol = true; ///< degenerate (size-1) load axis
+  std::size_t row = 0;    ///< slew-axis bracket index
+  std::size_t col = 0;    ///< load-axis bracket index
+  double rowWeight = 0;   ///< weight of row+1 along the slew axis
+  double colWeight = 0;   ///< weight of col+1 along the load axis
+  double rowWeightC = 1;  ///< hoisted complement 1 - rowWeight
+  double colWeightC = 1;  ///< hoisted complement 1 - colWeight
+  bool singleRow = true;  ///< degenerate (size-1) slew axis
+  bool singleCol = true;  ///< degenerate (size-1) load axis
+
+  // The complements are computed once in interpCoords() rather than inline
+  // per row, so the scalar apply() and the batched applyBatch() share the
+  // exact same rounded weight pair — the precondition for their bit-identity.
 
   /// Interpolates a grid shaped like the axes the coords were built from.
   [[nodiscard]] double apply(const Grid2d& grid) const noexcept {
     if (singleRow && singleCol) return grid.at(0, 0);
     const auto rowInterp = [&](std::size_t r) {
       if (singleCol) return grid.at(r, 0);
-      return grid.at(r, col) * (1.0 - colWeight) +
-             grid.at(r, col + 1) * colWeight;
+      return grid.at(r, col) * colWeightC + grid.at(r, col + 1) * colWeight;
     };
     if (singleRow) return rowInterp(0);
     const double p1 = rowInterp(row);
     const double p2 = rowInterp(row + 1);
-    return p1 * (1.0 - rowWeight) + p2 * rowWeight;
+    return p1 * rowWeightC + p2 * rowWeight;
+  }
+
+  /// Batched apply(): one coordinate search fans out over every instance of
+  /// the batch. out[k] is bit-identical to apply() on instance k's grid —
+  /// the per-instance expression tree is the same, only the loop order
+  /// changed, and the contiguous instance-innermost loops carry no branches
+  /// so they autovectorize.
+  void applyBatch(const GridBatch& grids, std::span<double> out) const noexcept {
+    const std::size_t n = grids.instances();
+    assert(out.size() == n);
+    if (singleRow && singleCol) {
+      const std::span<const double> c00 = grids.cell(0, 0);
+      for (std::size_t k = 0; k < n; ++k) out[k] = c00[k];
+      return;
+    }
+    if (singleRow) {
+      const std::span<const double> c0 = grids.cell(0, col);
+      const std::span<const double> c1 = grids.cell(0, col + 1);
+      for (std::size_t k = 0; k < n; ++k) {
+        out[k] = c0[k] * colWeightC + c1[k] * colWeight;
+      }
+      return;
+    }
+    if (singleCol) {
+      const std::span<const double> r0 = grids.cell(row, 0);
+      const std::span<const double> r1 = grids.cell(row + 1, 0);
+      for (std::size_t k = 0; k < n; ++k) {
+        out[k] = r0[k] * rowWeightC + r1[k] * rowWeight;
+      }
+      return;
+    }
+    const std::span<const double> c00 = grids.cell(row, col);
+    const std::span<const double> c01 = grids.cell(row, col + 1);
+    const std::span<const double> c10 = grids.cell(row + 1, col);
+    const std::span<const double> c11 = grids.cell(row + 1, col + 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      out[k] = (c00[k] * colWeightC + c01[k] * colWeight) * rowWeightC +
+               (c10[k] * colWeightC + c11[k] * colWeight) * rowWeight;
+    }
   }
 };
 
@@ -63,5 +107,16 @@ struct InterpCoords {
 [[nodiscard]] InterpCoords interpCoords(
     const Axis& slewAxis, const Axis& loadAxis, double slew, double load,
     EdgePolicy policy = EdgePolicy::kClamp) noexcept;
+
+/// Bilinear interpolation of a whole batch of grids sharing one axis pair:
+/// out[k] == bilinear(slewAxis, loadAxis, grid_k, slew, load, policy)
+/// bit-for-bit, with a single axis search for the batch.
+inline void batchedBilinear(const Axis& slewAxis, const Axis& loadAxis,
+                            const GridBatch& grids, double slew, double load,
+                            std::span<double> out,
+                            EdgePolicy policy = EdgePolicy::kClamp) noexcept {
+  assert(grids.rows() == slewAxis.size() && grids.cols() == loadAxis.size());
+  interpCoords(slewAxis, loadAxis, slew, load, policy).applyBatch(grids, out);
+}
 
 }  // namespace sct::numeric

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "numeric/grid_batch.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/statistics.hpp"
 #include "obs/metrics.hpp"
@@ -12,9 +13,14 @@
 namespace sct::statlib {
 
 numeric::NormalSummary StatLut::lookup(double slew, double load) const noexcept {
+  // The mean and sigma surfaces share the StatLut's axis pair: one
+  // coordinate search serves both (bit-identical to two bilinear() calls by
+  // the interpCoords contract).
+  const numeric::InterpCoords coords =
+      numeric::interpCoords(slew_, load_, slew, load);
   numeric::NormalSummary out;
-  out.mean = numeric::bilinear(slew_, load_, mean_, slew, load);
-  out.sigma = numeric::bilinear(slew_, load_, sigma_, slew, load);
+  out.mean = coords.apply(mean_);
+  out.sigma = coords.apply(sigma_);
   return out;
 }
 
@@ -123,48 +129,76 @@ struct ConvergenceProbe {
   std::vector<numeric::RunningStats> sigmaAcross;  ///< one per checkpoint
 };
 
-/// Collects one LUT position across all library instances and reduces it to
-/// (mean, sigma) — the "temporary table" of Fig. 2.
-StatLut mergeLuts(std::span<const liberty::Library> libraries,
-                  const std::string& cellName,
-                  const liberty::TimingArc& refArc, bool rise,
-                  ConvergenceProbe* probe = nullptr) {
-  const liberty::Lut& refLut = rise ? refArc.riseDelay : refArc.fallDelay;
-
-  // Resolve the matching table in every library instance once.
-  std::vector<const liberty::Lut*> instances;
-  instances.reserve(libraries.size());
+/// Per-library arc pointers of one (cell, arc) position, resolved once and
+/// shared by the rise and fall merges. Index fast path: Monte-Carlo library
+/// instances list cells and arcs in catalogue order, so the reference
+/// position is tried (and name-verified) first; the by-name lookups only
+/// run for ad-hoc libraries that violate the ordering.
+std::vector<const liberty::TimingArc*> resolveArcs(
+    std::span<const liberty::Library> libraries, std::size_t cellIndex,
+    const std::string& cellName, std::size_t arcIndex,
+    const liberty::TimingArc& refArc) {
+  std::vector<const liberty::TimingArc*> out;
+  out.reserve(libraries.size());
   for (const liberty::Library& lib : libraries) {
-    const liberty::Cell* cell = lib.findCell(cellName);
+    const liberty::Cell* cell = lib.cellAt(cellIndex);
+    if (cell == nullptr || cell->name() != cellName) {
+      cell = lib.findCell(cellName);
+    }
     if (cell == nullptr) {
       throw std::invalid_argument("cell '" + cellName +
                                   "' missing from library " + lib.name());
     }
     const liberty::TimingArc* arc =
-        cell->findArc(refArc.relatedPin, refArc.outputPin);
+        arcIndex < cell->arcs().size() ? &cell->arcs()[arcIndex] : nullptr;
+    if (arc == nullptr || arc->relatedPin != refArc.relatedPin ||
+        arc->outputPin != refArc.outputPin) {
+      arc = cell->findArc(refArc.relatedPin, refArc.outputPin);
+    }
     if (arc == nullptr) {
       throw std::invalid_argument("arc " + refArc.relatedPin + "->" +
                                   refArc.outputPin + " missing on " +
                                   cellName + " in " + lib.name());
     }
+    out.push_back(arc);
+  }
+  return out;
+}
+
+/// Collects one LUT position across all library instances and reduces it to
+/// (mean, sigma) — the "temporary table" of Fig. 2. The instance grids are
+/// transposed into a SoA batch first, so the reduction runs one contiguous
+/// pass per entry; the RunningStats accumulation order (instance 0..N-1) is
+/// the scalar loop's, hence the merged tables are bit-identical.
+StatLut mergeLuts(std::span<const liberty::TimingArc* const> arcs,
+                  const std::string& cellName,
+                  const liberty::TimingArc& refArc, bool rise,
+                  ConvergenceProbe* probe = nullptr) {
+  const liberty::Lut& refLut = rise ? refArc.riseDelay : refArc.fallDelay;
+
+  std::vector<const numeric::Grid2d*> grids;
+  grids.reserve(arcs.size());
+  for (const liberty::TimingArc* arc : arcs) {
     const liberty::Lut& lut = rise ? arc->riseDelay : arc->fallDelay;
     if (!lut.sameShape(refLut)) {
       throw std::invalid_argument("table shape mismatch on " + cellName);
     }
-    instances.push_back(&lut);
+    grids.push_back(&lut.values());
   }
+  numeric::GridBatch batch(refLut.rows(), refLut.cols(), grids.size());
+  batch.gather(grids);
 
-  // "Temporary table" reduction of Fig. 2, one entry at a time.
   StatLut out(refLut.slewAxis(), refLut.loadAxis());
   for (std::size_t r = 0; r < refLut.rows(); ++r) {
     for (std::size_t c = 0; c < refLut.cols(); ++c) {
+      const std::span<const double> values = batch.cell(r, c);
       numeric::RunningStats stats;
       if (probe == nullptr) {
-        for (const liberty::Lut* lut : instances) stats.add(lut->at(r, c));
+        for (const double v : values) stats.add(v);
       } else {
         std::size_t next = 0;
-        for (std::size_t j = 0; j < instances.size(); ++j) {
-          stats.add(instances[j]->at(r, c));
+        for (std::size_t j = 0; j < values.size(); ++j) {
+          stats.add(values[j]);
           if (next < probe->checkpoints.size() &&
               j + 1 == probe->checkpoints[next]) {
             probe->sigmaAcross[next].add(stats.stddev());
@@ -218,14 +252,18 @@ StatLibrary buildStatLibrary(std::span<const liberty::Library> libraries) {
         probe.checkpoints = checkpoints;
         probe.sigmaAcross.resize(checkpoints.size());
         ConvergenceProbe* p = checkpoints.empty() ? nullptr : &probe;
-        for (const liberty::TimingArc& refArc : refCell->arcs()) {
+        const std::vector<liberty::TimingArc>& refArcs = refCell->arcs();
+        for (std::size_t a = 0; a < refArcs.size(); ++a) {
+          const liberty::TimingArc& refArc = refArcs[a];
+          const std::vector<const liberty::TimingArc*> resolved =
+              resolveArcs(libraries, i, refCell->name(), a, refArc);
           StatArc arc;
           arc.relatedPin = refArc.relatedPin;
           arc.outputPin = refArc.outputPin;
           arc.rise =
-              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/true, p);
+              mergeLuts(resolved, refCell->name(), refArc, /*rise=*/true, p);
           arc.fall =
-              mergeLuts(libraries, refCell->name(), refArc, /*rise=*/false, p);
+              mergeLuts(resolved, refCell->name(), refArc, /*rise=*/false, p);
           cell.addArc(std::move(arc));
         }
         return MergedCell{std::move(cell), std::move(probe.sigmaAcross)};
