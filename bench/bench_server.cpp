@@ -1,0 +1,349 @@
+// Load-test harness for the sctuned daemon (DESIGN.md §14): spins up an
+// in-process server on a Unix socket, drives it with N concurrent clients x
+// M requests across three mixes, and compares against a sequential
+// CLI-style flow loop (fresh TuningFlow per request, warm disk cache —
+// what `for p in ...; do sctune flow ...; done` costs without the daemon):
+//
+//   sequential     M duplicate-heavy flow requests, no daemon
+//   warm/dup-heavy N clients x M requests over a small distinct-job set —
+//                  the response cache + single-flight sweet spot
+//   cold           all-distinct flow requests (every one computes)
+//   overload       more concurrent sessions than the admission bound allows
+//                  on a deliberately tiny server — overload must degrade to
+//                  fast kBusy rejections, not unbounded queueing
+//
+// Emits google-benchmark-compatible JSON (per-request wall ns as real_time,
+// p50/p95/p99 as separate entries) so scripts/bench_to_json.py can fold a
+// run into BENCH_perf.json, and prints the dedup counters from the daemon's
+// health snapshot. Exits nonzero when the duplicate-heavy mix fails the
+// >=5x-over-sequential throughput criterion or coalescing never happened.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/flow_job.hpp"
+#include "obs/metrics.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sct;
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 Clock::now() - start)
+                                 .count());
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// The duplicate-heavy request mix: a handful of distinct jobs, every
+/// client cycling through them, so most requests repeat a recent one.
+std::vector<server::FlowRequest> distinctJobs(std::size_t count,
+                                              double basePeriod) {
+  std::vector<server::FlowRequest> jobs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs[i].job.profile = "small";
+    jobs[i].job.period = basePeriod + 0.5 * static_cast<double>(i);
+    jobs[i].job.method = "sigma-ceiling";
+    jobs[i].job.value = 0.02;
+    jobs[i].job.mcCount = 6;
+    jobs[i].job.lintMode = "off";
+  }
+  return jobs;
+}
+
+struct BenchRecord {
+  std::string name;
+  double realTimeNs = 0.0;
+  std::int64_t iterations = 0;
+};
+
+struct Harness {
+  std::vector<BenchRecord> records;
+
+  void add(const std::string& name, double ns, std::int64_t iters) {
+    records.push_back({name, ns, iters});
+    std::printf("%-36s %14.0f ns/req  (%lld reqs)\n", name.c_str(), ns,
+                static_cast<long long>(iters));
+  }
+
+  void writeJson(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    char date[64];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", &tm);
+    std::fprintf(out,
+                 "{\n  \"context\": {\n    \"date\": \"%s\",\n"
+                 "    \"num_cpus\": %u\n  },\n  \"benchmarks\": [\n",
+                 date, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const BenchRecord& r = records[i];
+      std::fprintf(out,
+                   "    {\n      \"name\": \"%s\",\n"
+                   "      \"run_type\": \"iteration\",\n"
+                   "      \"real_time\": %.17g,\n"
+                   "      \"cpu_time\": %.17g,\n"
+                   "      \"time_unit\": \"ns\",\n"
+                   "      \"iterations\": %lld\n    }%s\n",
+                   r.name.c_str(), r.realTimeNs, r.realTimeNs,
+                   static_cast<long long>(r.iterations),
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonOut;
+  std::size_t clients = 8;
+  std::size_t requestsPerClient = 25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonOut = argv[++i];
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requestsPerClient = std::stoul(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--json out.json] [--clients N] "
+                   "[--requests M]\n");
+      return 1;
+    }
+  }
+
+  const fs::path root = fs::temp_directory_path() / "sct_bench_server";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string cacheDir = (root / "cache").string();
+  obs::setMetricsEnabled(true);
+
+  Harness harness;
+  const std::vector<server::FlowRequest> jobs = distinctJobs(4, 8.0);
+
+  // -- sequential CLI-style baseline (duplicate-heavy, no daemon) ----------
+  // One warm-up pass fills the disk cache so the loop measures the steady
+  // state a shell loop of `sctune flow` would see, not first-compute cost.
+  {
+    for (const server::FlowRequest& request : jobs) {
+      core::FlowConfig config = core::makeFlowConfig(request.job);
+      config.cacheDir = cacheDir;
+      core::TuningFlow flow(std::move(config));
+      (void)core::runFlowJob(flow, request.job);
+    }
+    const std::size_t total = clients * requestsPerClient;
+    std::vector<double> latencies;
+    latencies.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto start = Clock::now();
+      core::FlowConfig config = core::makeFlowConfig(jobs[i % jobs.size()].job);
+      config.cacheDir = cacheDir;
+      core::TuningFlow flow(std::move(config));
+      const core::FlowJobResult result =
+          core::runFlowJob(flow, jobs[i % jobs.size()].job);
+      if (!result.success) {
+        std::fprintf(stderr, "sequential flow failed: %s\n",
+                     result.summary.c_str());
+        return 1;
+      }
+      latencies.push_back(nsSince(start));
+    }
+    harness.add("SV_SequentialFlowLoop", mean(latencies),
+                static_cast<std::int64_t>(total));
+  }
+  const double sequentialNs = harness.records.back().realTimeNs;
+
+  // -- the daemon under the same duplicate-heavy mix -----------------------
+  server::ServerConfig config;
+  config.socketPath = (root / "sctuned.sock").string();
+  config.sessionThreads = std::max<std::size_t>(clients, 4);
+  config.maxQueuedSessions = 16;
+  config.service.cacheDir = cacheDir;
+  server::Server daemon(config);
+  daemon.start();
+
+  double daemonNs = 0.0;
+  {
+    std::vector<std::vector<double>> perClient(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto wallStart = Clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        server::Client client =
+            server::Client::connectUnix(config.socketPath);
+        perClient[c].reserve(requestsPerClient);
+        for (std::size_t i = 0; i < requestsPerClient; ++i) {
+          const auto start = Clock::now();
+          const server::Response response =
+              client.flow(jobs[(c + i) % jobs.size()]);
+          if (response.status != server::Status::kOk) {
+            std::fprintf(stderr, "daemon flow failed: %s\n",
+                         response.summary.c_str());
+            std::exit(1);
+          }
+          perClient[c].push_back(nsSince(start));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double wallNs = nsSince(wallStart);
+
+    std::vector<double> latencies;
+    for (const auto& batch : perClient) {
+      latencies.insert(latencies.end(), batch.begin(), batch.end());
+    }
+    const std::int64_t total = static_cast<std::int64_t>(latencies.size());
+    // Throughput uses wall time across all clients; latency percentiles use
+    // the per-request distribution.
+    harness.add("SV_DaemonFlowDupHeavy",
+                wallNs / static_cast<double>(total), total);
+    harness.add("SV_DaemonFlowDupHeavy_p50", percentile(latencies, 0.50),
+                total);
+    harness.add("SV_DaemonFlowDupHeavy_p95", percentile(latencies, 0.95),
+                total);
+    harness.add("SV_DaemonFlowDupHeavy_p99", percentile(latencies, 0.99),
+                total);
+    daemonNs = wallNs / static_cast<double>(total);
+  }
+
+  // -- cold mix: every request distinct, every one computes ----------------
+  {
+    const std::vector<server::FlowRequest> cold = distinctJobs(4, 14.0);
+    server::Client client = server::Client::connectUnix(config.socketPath);
+    std::vector<double> latencies;
+    for (const server::FlowRequest& request : cold) {
+      const auto start = Clock::now();
+      const server::Response response = client.flow(request);
+      if (response.status != server::Status::kOk) {
+        std::fprintf(stderr, "cold flow failed: %s\n",
+                     response.summary.c_str());
+        return 1;
+      }
+      latencies.push_back(nsSince(start));
+    }
+    harness.add("SV_DaemonFlowCold", mean(latencies),
+                static_cast<std::int64_t>(latencies.size()));
+  }
+
+  // Dedup counters out of the daemon's own health snapshot.
+  std::uint64_t cacheHits = 0;
+  std::uint64_t coalesced = 0;
+  {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    cacheHits = snapshot.counterValue("server.cache.hits");
+    coalesced = snapshot.counterValue("server.singleflight.coalesced");
+    std::printf("server.cache.hits=%llu singleflight.coalesced=%llu "
+                "singleflight.leader=%llu\n",
+                static_cast<unsigned long long>(cacheHits),
+                static_cast<unsigned long long>(coalesced),
+                static_cast<unsigned long long>(
+                    snapshot.counterValue("server.singleflight.leader")));
+  }
+  daemon.stop();
+
+  // -- overload: a tiny server must reject fast, not queue forever ---------
+  {
+    server::ServerConfig tiny;
+    tiny.socketPath = (root / "tiny.sock").string();
+    tiny.sessionThreads = 2;
+    tiny.maxQueuedSessions = 0;
+    server::Server small(tiny);
+    small.start();
+
+    constexpr std::size_t kOverloadClients = 24;
+    std::vector<double> latencies(kOverloadClients);
+    std::vector<server::Status> statuses(kOverloadClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kOverloadClients);
+    for (std::size_t c = 0; c < kOverloadClients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto start = Clock::now();
+        server::Client client = server::Client::connectUnix(tiny.socketPath);
+        server::PingRequest request;
+        request.sleepMillis = 100;
+        const server::Response response = client.ping(request);
+        latencies[c] = nsSince(start);
+        statuses[c] = response.status;
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    small.stop();
+
+    std::size_t busy = 0;
+    for (const server::Status status : statuses) {
+      if (status == server::Status::kBusy) {
+        ++busy;
+      } else if (status != server::Status::kOk) {
+        std::fprintf(stderr, "overload: unexpected status %u\n",
+                     static_cast<unsigned>(status));
+        return 1;
+      }
+    }
+    harness.add("SV_DaemonOverloadPing_p99", percentile(latencies, 0.99),
+                static_cast<std::int64_t>(kOverloadClients));
+    std::printf("overload: %zu/%zu rejected busy, %llu at the accept gate\n",
+                busy, kOverloadClients,
+                static_cast<unsigned long long>(small.busyRejects()));
+    if (busy == 0) {
+      std::fprintf(stderr, "FAIL: overload produced no busy rejections\n");
+      return 1;
+    }
+  }
+
+  const double speedup = sequentialNs / daemonNs;
+  std::printf("duplicate-heavy speedup vs sequential: %.1fx\n", speedup);
+  if (!jsonOut.empty()) harness.writeJson(jsonOut);
+
+  if (cacheHits == 0 || coalesced + cacheHits == 0) {
+    std::fprintf(stderr, "FAIL: dedup counters never moved\n");
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: %.1fx < 5x over the sequential loop\n",
+                 speedup);
+    return 1;
+  }
+  fs::remove_all(root);
+  return 0;
+}

@@ -26,7 +26,15 @@ _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def git_rev():
+    """Short revision, plus BENCH_REV_SUFFIX when set.
+
+    The suffix lets a second harness (e.g. the daemon load bench, which
+    records per-request latencies rather than kernel ns/op) file its run
+    under "<rev>-server" instead of replacing the same-revision entry the
+    microbenchmarks wrote.
+    """
     cwd = os.path.dirname(os.path.abspath(__file__))
+    suffix = os.environ.get("BENCH_REV_SUFFIX", "")
     try:
         rev = (
             subprocess.check_output(
@@ -40,9 +48,9 @@ def git_rev():
         dirty = subprocess.check_output(
             ["git", "status", "--porcelain"], cwd=cwd, stderr=subprocess.DEVNULL
         ).strip()
-        return rev + "-dirty" if dirty else rev
+        return (rev + "-dirty" if dirty else rev) + suffix
     except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+        return "unknown" + suffix
 
 
 def threads_of(name):

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds and runs the sctuned load harness (bench/bench_server.cpp) and
+# appends its per-request latency records to BENCH_perf.json under a
+# "<rev>-server" history entry, separate from the kernel microbenchmarks of
+# the same revision.
+#
+#   scripts/run_server_bench.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR   build tree to use               (default: build)
+#   BUILD_TYPE  CMAKE_BUILD_TYPE for the tree   (default: keep configured)
+#   CLIENTS     concurrent daemon clients       (default: harness default, 8)
+#   REQUESTS    requests per client             (default: harness default, 25)
+#
+# The harness itself enforces the acceptance gates: duplicate-heavy daemon
+# throughput must beat the sequential CLI-style loop by >=5x, dedup counters
+# must move, and overload must produce busy rejections — it exits nonzero
+# otherwise, which fails this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_perf.json}"
+RAW="$(mktemp /tmp/bench_server.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+cmake -B "$BUILD_DIR" -S . ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+cmake --build "$BUILD_DIR" --target bench_server -j >/dev/null
+
+"$BUILD_DIR/bench/bench_server" \
+  ${CLIENTS:+--clients "$CLIENTS"} \
+  ${REQUESTS:+--requests "$REQUESTS"} \
+  --json "$RAW"
+
+BENCH_REV_SUFFIX="-server" python3 scripts/bench_to_json.py "$RAW" "$OUT"

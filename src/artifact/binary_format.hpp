@@ -136,6 +136,13 @@ class SctbReader {
 
   [[nodiscard]] std::size_t fileSize() const noexcept { return size_; }
 
+  /// The validated container bytes, exactly as stored on disk / on the
+  /// wire. Lets a cache of readers re-serve the original payload (daemon
+  /// response cache) without keeping a second copy.
+  [[nodiscard]] std::span<const std::byte> rawBytes() const noexcept {
+    return {data(), size_};
+  }
+
  private:
   struct SectionEntry {
     std::string name;

@@ -29,6 +29,15 @@ struct Digest {
   friend bool operator==(const Digest&, const Digest&) = default;
 };
 
+/// Hash functor for unordered containers keyed by Digest (the in-memory
+/// cache tier, single-flight tables). The digest is already uniform, so
+/// mixing the halves is enough.
+struct DigestHash {
+  [[nodiscard]] std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
 /// Incremental FNV-1a/128 hasher with typed, length-prefixed feeders so
 /// adjacent fields can never alias each other ("ab"+"c" != "a"+"bc").
 class Hasher {

@@ -1,0 +1,100 @@
+#include "artifact/mem_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sct::artifact {
+
+namespace {
+
+/// Process-wide mirror of the per-cache MemCacheStats, aggregated over every
+/// cache the process created (same pattern as the store's StoreMetrics).
+struct MemCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Counter& evictedBytes;
+
+  static MemCacheMetrics& get() {
+    static MemCacheMetrics instance{
+        obs::MetricsRegistry::global().counter("memcache.hits"),
+        obs::MetricsRegistry::global().counter("memcache.misses"),
+        obs::MetricsRegistry::global().counter("memcache.insertions"),
+        obs::MetricsRegistry::global().counter("memcache.evictions"),
+        obs::MetricsRegistry::global().counter("memcache.evicted_bytes")};
+    return instance;
+  }
+};
+
+}  // namespace
+
+MemoryArtifactCache::MemoryArtifactCache(std::uint64_t maxBytes)
+    : max_bytes_(maxBytes) {
+  stats_.capacity = maxBytes;
+}
+
+std::shared_ptr<const SctbReader> MemoryArtifactCache::get(const Digest& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    MemCacheMetrics::get().misses.inc();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  MemCacheMetrics::get().hits.inc();
+  return it->second->reader;
+}
+
+void MemoryArtifactCache::put(const Digest& key,
+                              std::shared_ptr<const SctbReader> reader) {
+  if (!reader) return;
+  const std::uint64_t bytes = reader->fileSize();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    bytes_ += bytes;
+    it->second->reader = std::move(reader);
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(reader), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    ++stats_.insertions;
+    MemCacheMetrics::get().insertions.inc();
+  }
+  evictUntilFitsLocked();
+}
+
+void MemoryArtifactCache::erase(const Digest& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+MemCacheStats MemoryArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MemCacheStats out = stats_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void MemoryArtifactCache::evictUntilFitsLocked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    ++stats_.evictions;
+    MemCacheMetrics::get().evictions.inc();
+    MemCacheMetrics::get().evictedBytes.add(victim.bytes);
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace sct::artifact

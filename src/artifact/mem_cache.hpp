@@ -1,0 +1,76 @@
+#pragma once
+// Bounded in-memory artifact tier in front of the on-disk ArtifactStore
+// (DESIGN.md §14). Entries are validated SCTB containers held as shared,
+// immutable readers keyed by the same 128-bit stage digests the disk store
+// uses, evicted least-recently-used by payload bytes. A hit hands back the
+// shared reader — zero disk I/O, zero checksum re-validation — and the
+// caller decodes from it exactly as it would from a disk load, so memory
+// hits are byte-identical to disk hits by construction.
+//
+// Thread-safe: the daemon shares one instance across every concurrent
+// session; the single-shot CLI flow keeps a private one per invocation so
+// repeated stage probes (tune for the report digest, lint gates, sweeps)
+// skip the disk decode.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "artifact/binary_format.hpp"
+#include "artifact/hash.hpp"
+
+namespace sct::artifact {
+
+/// Lifetime counters of one cache (also mirrored into the obs metrics
+/// registry as memcache.{hits,misses,insertions,evictions}).
+struct MemCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::uint64_t bytes = 0;     ///< resident payload bytes
+  std::uint64_t capacity = 0;  ///< configured bound
+  std::size_t entries = 0;
+};
+
+class MemoryArtifactCache {
+ public:
+  /// `maxBytes` bounds the resident payload total; an artifact larger than
+  /// the whole bound is served but never retained.
+  explicit MemoryArtifactCache(std::uint64_t maxBytes);
+
+  /// Shared reader on a hit (refreshes LRU recency); nullptr on a miss.
+  [[nodiscard]] std::shared_ptr<const SctbReader> get(const Digest& key);
+
+  /// Inserts or refreshes an entry, evicting least-recently-used entries
+  /// until the byte bound holds again. Null readers are ignored.
+  void put(const Digest& key, std::shared_ptr<const SctbReader> reader);
+
+  /// Drops one entry if present (used when a decode proves an entry
+  /// semantically unusable, mirroring the disk store's corrupt eviction).
+  void erase(const Digest& key);
+
+  [[nodiscard]] MemCacheStats stats() const;
+
+ private:
+  struct Entry {
+    Digest key;
+    std::shared_ptr<const SctbReader> reader;
+    std::uint64_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  void evictUntilFitsLocked();
+
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<Digest, LruList::iterator, DigestHash> index_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t max_bytes_;
+  MemCacheStats stats_;
+};
+
+}  // namespace sct::artifact

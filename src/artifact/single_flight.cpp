@@ -1,0 +1,35 @@
+#include "artifact/single_flight.hpp"
+
+namespace sct::artifact {
+
+std::optional<SingleFlight::Guard> SingleFlight::lock(
+    const Digest& key, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool waited = false;
+  while (held_.contains(key)) {
+    waited = true;
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+               held_.contains(key)) {
+      return std::nullopt;
+    }
+  }
+  held_.insert(key);
+  return Guard(this, key, waited);
+}
+
+std::size_t SingleFlight::inFlight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return held_.size();
+}
+
+void SingleFlight::release(const Digest& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    held_.erase(key);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace sct::artifact

@@ -1,0 +1,75 @@
+#pragma once
+// Single-flight dedup for stage computations (DESIGN.md §14): a keyed
+// exclusive lock over the 128-bit stage digests. When several threads miss
+// the cache on the same key concurrently, the first becomes the *leader*
+// and computes; the rest block in lock() until the leader releases, then
+// re-probe the cache and find the freshly published artifact — the stage
+// runs exactly once and every caller sees byte-identical bytes.
+//
+// The lock is deliberately not a future/promise of the computed value:
+// results flow through the artifact cache tiers, which already guarantee
+// byte-stable publication, and a leader that *fails* simply releases the
+// key so the next waiter retries the computation instead of inheriting a
+// stale exception.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+
+#include "artifact/hash.hpp"
+
+namespace sct::artifact {
+
+class SingleFlight {
+ public:
+  /// Exclusive hold on one key; releasing (destruction) wakes all waiters.
+  class Guard {
+   public:
+    Guard(Guard&& other) noexcept
+        : owner_(other.owner_), key_(other.key_), waited_(other.waited_) {
+      other.owner_ = nullptr;
+    }
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() {
+      if (owner_ != nullptr) owner_->release(key_);
+    }
+
+    /// True when another thread held the key when lock() was called — the
+    /// caller coalesced onto an in-flight computation and should expect its
+    /// re-probe to hit.
+    [[nodiscard]] bool waited() const noexcept { return waited_; }
+
+   private:
+    friend class SingleFlight;
+    Guard(SingleFlight* owner, const Digest& key, bool waited) noexcept
+        : owner_(owner), key_(key), waited_(waited) {}
+
+    SingleFlight* owner_;
+    Digest key_;
+    bool waited_;
+  };
+
+  /// Blocks until no other thread holds `key`, then acquires it. Returns
+  /// nullopt when `deadline` passes first (the default never expires).
+  /// Not reentrant: a thread must not lock a key it already holds.
+  [[nodiscard]] std::optional<Guard> lock(
+      const Digest& key,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  /// Number of keys currently held (diagnostic).
+  [[nodiscard]] std::size_t inFlight() const;
+
+ private:
+  void release(const Digest& key);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_set<Digest, DigestHash> held_;
+};
+
+}  // namespace sct::artifact

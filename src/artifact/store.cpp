@@ -14,8 +14,11 @@
 #include <process.h>
 #define SCT_GETPID _getpid
 #else
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #define SCT_GETPID getpid
+#define SCT_HAVE_FLOCK 1
 #endif
 
 namespace sct::artifact {
@@ -54,6 +57,45 @@ struct StoreMetrics {
   }
 };
 
+/// Cross-process gc serialization: an advisory exclusive lock on a file
+/// under the store root. Destruction releases; `held()` is false when
+/// another process already holds it (the gc run backs off) or the platform
+/// has no flock (single-process semantics are then the caller's problem).
+class GcLock {
+ public:
+  explicit GcLock(const fs::path& root) {
+#ifdef SCT_HAVE_FLOCK
+    const fs::path path = root / ".gc.lock";
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+      held_ = true;
+    } else {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)root;
+    held_ = true;
+#endif
+  }
+  GcLock(const GcLock&) = delete;
+  GcLock& operator=(const GcLock&) = delete;
+  ~GcLock() {
+#ifdef SCT_HAVE_FLOCK
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+#endif
+  }
+  [[nodiscard]] bool held() const noexcept { return held_; }
+
+ private:
+  int fd_ = -1;
+  bool held_ = false;
+};
+
 }  // namespace
 
 ArtifactStore::ArtifactStore(fs::path root) : root_(std::move(root)) {
@@ -89,6 +131,13 @@ std::optional<SctbReader> ArtifactStore::open(const Digest& key) {
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return reader;
   } catch (const FormatError&) {
+    // A file that vanished between the existence probe and the read (a
+    // concurrent gc evicted it) is a plain miss, not corruption.
+    if (!fs::exists(path, ec) || ec) {
+      ++stats_.misses;
+      StoreMetrics::get().misses.inc();
+      return std::nullopt;
+    }
     // Cannot trust the entry: evict it and fall back to recompute.
     fs::remove(path, ec);
     ++stats_.corrupt;
@@ -100,6 +149,12 @@ std::optional<SctbReader> ArtifactStore::open(const Digest& key) {
 }
 
 void ArtifactStore::publish(const Digest& key, const SctbWriter& writer) {
+  const std::vector<std::byte> bytes = writer.finish();
+  publishBytes(key, bytes);
+}
+
+void ArtifactStore::publishBytes(const Digest& key,
+                                 std::span<const std::byte> bytes) {
   SCT_TRACE_SPAN("artifact.publish");
   const fs::path path = pathFor(key);
   std::error_code ec;
@@ -108,7 +163,6 @@ void ArtifactStore::publish(const Digest& key, const SctbWriter& writer) {
     throw std::runtime_error("artifact store: cannot create '" +
                              path.parent_path().string() + "'");
   }
-  const std::vector<std::byte> bytes = writer.finish();
   const fs::path temp =
       path.parent_path() /
       (".tmp-" + std::to_string(SCT_GETPID()) + "-" +
@@ -154,8 +208,19 @@ std::pair<std::size_t, std::uint64_t> ArtifactStore::diskUsage() const {
   return {files, bytes};
 }
 
-GcResult ArtifactStore::gc(const GcPolicy& policy) {
+GcResult ArtifactStore::gc(const GcPolicy& policy,
+                           const std::function<void()>& betweenScanAndSweep) {
   SCT_TRACE_SPAN("artifact.gc");
+  GcResult result;
+  // One gc at a time per cache directory: a daemon and a CLI sharing the
+  // root must not sweep concurrently (their snapshots would double-remove
+  // and mis-count each other's evictions).
+  const GcLock lock(root_);
+  if (!lock.held()) {
+    result.lockBusy = true;
+    return result;
+  }
+
   struct Entry {
     fs::path path;
     std::uint64_t bytes = 0;
@@ -179,7 +244,8 @@ GcResult ArtifactStore::gc(const GcPolicy& policy) {
   std::uint64_t totalBytes = 0;
   for (const Entry& entry : entries) totalBytes += entry.bytes;
 
-  GcResult result;
+  if (betweenScanAndSweep) betweenScanAndSweep();
+
   for (const Entry& entry : entries) {
     const auto age = std::chrono::duration_cast<std::chrono::seconds>(
         now - entry.mtime);
@@ -190,6 +256,18 @@ GcResult ArtifactStore::gc(const GcPolicy& policy) {
     const bool overBudget = policy.maxBytes > 0 &&
                             totalBytes - result.bytesRemoved > policy.maxBytes;
     if (tooOld || overBudget) {
+      // Epoch guard: re-stat immediately before removal. An mtime that
+      // advanced past the scan snapshot means a concurrent open() refreshed
+      // the LRU clock or a publisher replaced the entry — it is in use, so
+      // spare it (the next gc sees the honest recency).
+      const fs::file_time_type current = fs::last_write_time(entry.path, ec);
+      if (ec) continue;  // already gone: someone else removed it
+      if (current > entry.mtime) {
+        ++result.filesSpared;
+        ++result.filesKept;
+        result.bytesKept += entry.bytes;
+        continue;
+      }
       if (fs::remove(entry.path, ec) && !ec) {
         ++result.filesRemoved;
         result.bytesRemoved += entry.bytes;

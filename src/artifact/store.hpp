@@ -7,9 +7,12 @@
 // detected by the SCTB checksums, evicted, and reported as a miss — the
 // flow then recomputes, it never returns wrong data.
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "artifact/binary_format.hpp"
@@ -18,13 +21,15 @@
 namespace sct::artifact {
 
 /// Counters of one store's lifetime (per process; persisted nowhere).
+/// Relaxed atomics: a store may be shared by many daemon sessions, and the
+/// counters are monotone tallies with no cross-field invariant to keep.
 struct StoreStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;
-  std::size_t corrupt = 0;  ///< entries evicted after failing validation
-  std::size_t stores = 0;   ///< successful publish() calls
-  std::uint64_t bytesRead = 0;
-  std::uint64_t bytesWritten = 0;
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+  std::atomic<std::size_t> corrupt{0};  ///< evicted after failing validation
+  std::atomic<std::size_t> stores{0};   ///< successful publish() calls
+  std::atomic<std::uint64_t> bytesRead{0};
+  std::atomic<std::uint64_t> bytesWritten{0};
 };
 
 /// Eviction policy for gc(): 0 means "no bound" for either field.
@@ -38,6 +43,12 @@ struct GcResult {
   std::size_t filesKept = 0;
   std::uint64_t bytesRemoved = 0;
   std::uint64_t bytesKept = 0;
+  /// Entries the sweep re-checked and spared because their mtime advanced
+  /// past the scan snapshot (a concurrent reader/publisher touched them).
+  std::size_t filesSpared = 0;
+  /// True when another gc held the cross-process lock: nothing was scanned
+  /// or removed; the caller may retry later.
+  bool lockBusy = false;
 };
 
 class ArtifactStore {
@@ -59,6 +70,9 @@ class ArtifactStore {
   /// Atomically publishes a finished artifact under its key. Overwrites any
   /// existing entry (same key => same contents by construction).
   void publish(const Digest& key, const SctbWriter& writer);
+  /// Same, from already-serialized container bytes (avoids re-serializing
+  /// when the caller also feeds the in-memory tier).
+  void publishBytes(const Digest& key, std::span<const std::byte> bytes);
 
   [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
 
@@ -66,13 +80,22 @@ class ArtifactStore {
   [[nodiscard]] std::pair<std::size_t, std::uint64_t> diskUsage() const;
 
   /// Evicts entries per policy: age bound first, then oldest-first until
-  /// the byte bound holds.
-  GcResult gc(const GcPolicy& policy);
+  /// the byte bound holds. Safe against concurrent readers and publishers
+  /// sharing the cache directory (daemon + CLI): a lock file under the
+  /// root serializes whole gc runs across processes (a busy lock returns
+  /// immediately with lockBusy set), and each candidate is re-checked
+  /// immediately before removal — an entry whose mtime advanced past the
+  /// scan snapshot was touched by a concurrent open()/publish() and is
+  /// spared instead of evicted. `betweenScanAndSweep` is a test seam that
+  /// runs after the scan snapshot and before the sweep; production callers
+  /// leave it null.
+  GcResult gc(const GcPolicy& policy,
+              const std::function<void()>& betweenScanAndSweep = {});
 
  private:
   std::filesystem::path root_;
   StoreStats stats_;
-  std::uint64_t temp_counter_ = 0;
+  std::atomic<std::uint64_t> temp_counter_{0};
 };
 
 }  // namespace sct::artifact

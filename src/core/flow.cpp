@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "artifact/codecs.hpp"
+#include "artifact/single_flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -103,19 +104,31 @@ void hashTuning(artifact::Hasher& h, const tuning::TuningConfig& config) {
       .f64(config.sigmaCeiling);
 }
 
+/// Process-wide single-flight group over stage digests (DESIGN.md §14):
+/// concurrent flows sharing cache tiers (the daemon's sessions) coalesce
+/// onto one computation per key instead of racing to recompute.
+artifact::SingleFlight& stageSingleFlight() {
+  static artifact::SingleFlight instance;
+  return instance;
+}
+
 /// Consult-then-compute wrapper around one pipeline stage: a validated cache
-/// hit short-circuits `compute`; a decode failure (checksums fine but the
-/// payload is semantically unusable, e.g. a stale cell name) falls through
-/// to recompute-and-republish, never to wrong data.
+/// hit — from the in-memory tier first, then the on-disk store — short-
+/// circuits `compute`; a decode failure (checksums fine but the payload is
+/// semantically unusable, e.g. a stale cell name) falls through to
+/// recompute-and-republish, never to wrong data. A miss takes the per-key
+/// single-flight lock: whoever acquires it first computes and publishes,
+/// late arrivals re-probe under the lock and decode the freshly published
+/// bytes instead of recomputing.
 ///
 /// `stageName` must be a string literal (e.g. "flow.stage.nominal"): it names
 /// the trace span and prefixes the per-stage instruments
-/// `<stage>.{probes,hits,misses,stores,ns}` that the CLI's per-stage table
-/// reads back out of the metrics snapshot.
+/// `<stage>.{probes,hits,mem_hits,misses,stores,ns}` that the CLI's
+/// per-stage table reads back out of the metrics snapshot.
 template <class T, class ComputeFn, class EncodeFn, class DecodeFn>
-T cachedStage(artifact::ArtifactStore* store, const char* stageName,
-              const artifact::Digest& key, ComputeFn&& compute,
-              EncodeFn&& encode, DecodeFn&& decode) {
+T cachedStage(artifact::ArtifactStore* store, artifact::MemoryArtifactCache* mem,
+              const char* stageName, const artifact::Digest& key,
+              ComputeFn&& compute, EncodeFn&& encode, DecodeFn&& decode) {
   obs::TraceSpan span(stageName);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   const std::string prefix(stageName);
@@ -126,25 +139,63 @@ T cachedStage(artifact::ArtifactStore* store, const char* stageName,
     if (timed) durationNs.add(obs::monotonicNanos() - start);
     return value;
   };
-  if (store != nullptr) {
-    registry.counter(prefix + ".probes").inc();
-    if (std::optional<artifact::SctbReader> reader = store->open(key)) {
-      try {
-        T value = decode(*reader);
-        registry.counter(prefix + ".hits").inc();
-        return finish(std::move(value));
-      } catch (const artifact::FormatError&) {
+  const auto probe = [&]() -> std::optional<T> {
+    if (mem != nullptr) {
+      if (std::shared_ptr<const artifact::SctbReader> reader = mem->get(key)) {
+        try {
+          T value = decode(*reader);
+          registry.counter(prefix + ".hits").inc();
+          registry.counter(prefix + ".mem_hits").inc();
+          return value;
+        } catch (const artifact::FormatError&) {
+          mem->erase(key);  // unusable for these inputs: recompute below
+        }
       }
     }
-    registry.counter(prefix + ".misses").inc();
+    if (store != nullptr) {
+      if (std::optional<artifact::SctbReader> reader = store->open(key)) {
+        try {
+          T value = decode(*reader);
+          if (mem != nullptr) {
+            mem->put(key, std::make_shared<const artifact::SctbReader>(
+                              std::move(*reader)));
+          }
+          registry.counter(prefix + ".hits").inc();
+          return value;
+        } catch (const artifact::FormatError&) {
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (store == nullptr && mem == nullptr) return finish(compute());
+
+  registry.counter(prefix + ".probes").inc();
+  if (std::optional<T> value = probe()) return finish(std::move(*value));
+  // lock() without a deadline always yields a guard.
+  const std::optional<artifact::SingleFlight::Guard> guard =
+      stageSingleFlight().lock(key);
+  if (guard->waited()) {
+    // Another thread was computing this key; its publication should now be
+    // visible. When it failed (no publication), we inherit leadership.
+    if (std::optional<T> value = probe()) {
+      registry.counter("flow.singleflight.coalesced").inc();
+      return finish(std::move(*value));
+    }
   }
+  registry.counter(prefix + ".misses").inc();
+  registry.counter("flow.singleflight.leader").inc();
   T value = compute();
-  if (store != nullptr) {
-    artifact::SctbWriter writer;
-    encode(writer, value);
-    store->publish(key, writer);
-    registry.counter(prefix + ".stores").inc();
+  artifact::SctbWriter writer;
+  encode(writer, value);
+  const std::vector<std::byte> bytes = writer.finish();
+  if (store != nullptr) store->publishBytes(key, bytes);
+  if (mem != nullptr) {
+    mem->put(key, std::make_shared<const artifact::SctbReader>(
+                      artifact::SctbReader::fromBytes(bytes)));
   }
+  registry.counter(prefix + ".stores").inc();
   return finish(std::move(value));
 }
 
@@ -157,12 +208,25 @@ TuningFlow::TuningFlow(FlowConfig config)
   if (config_.threads >= 0) {
     parallel::setThreadCount(static_cast<std::size_t>(config_.threads));
   }
-  if (!config_.cacheDir.empty()) {
+  if (config_.sharedStore != nullptr) {
+    store_ = config_.sharedStore;
+  } else if (!config_.cacheDir.empty()) {
     try {
-      store_ = std::make_unique<artifact::ArtifactStore>(config_.cacheDir);
+      ownedStore_ = std::make_unique<artifact::ArtifactStore>(config_.cacheDir);
+      store_ = ownedStore_.get();
     } catch (const std::exception& error) {
       std::fprintf(stderr, "sct: artifact cache disabled: %s\n", error.what());
     }
+  }
+  if (config_.sharedMemCache != nullptr) {
+    mem_ = config_.sharedMemCache;
+  } else if (config_.memCacheBytes > 0 && store_ != nullptr) {
+    // Private memory tier: repeated probes of the same stage inside one
+    // invocation (tune for the report digest, lint gates, sweeps) decode
+    // from the shared reader instead of re-reading the cache file.
+    ownedMem_ =
+        std::make_unique<artifact::MemoryArtifactCache>(config_.memCacheBytes);
+    mem_ = ownedMem_.get();
   }
 }
 
@@ -215,7 +279,7 @@ const liberty::Library& TuningFlow::nominalLibrary() {
   if (!nominal_) {
     auto library = std::make_unique<liberty::Library>(
         cachedStage<liberty::Library>(
-            store_.get(), "flow.stage.nominal", nominalKey(),
+            store_, mem_, "flow.stage.nominal", nominalKey(),
             [&] {
               return characterizer_.characterizeNominal(
                   charlib::ProcessCorner::typical());
@@ -242,7 +306,7 @@ const statlib::StatLibrary& TuningFlow::statLibrary() {
   if (!stat_) {
     auto library = std::make_unique<statlib::StatLibrary>(
         cachedStage<statlib::StatLibrary>(
-            store_.get(), "flow.stage.stat", statKey(),
+            store_, mem_, "flow.stage.stat", statKey(),
             [&] {
               const std::vector<liberty::Library> instances =
                   characterizer_.characterizeMonteCarlo(
@@ -291,7 +355,7 @@ const netlist::Design& TuningFlow::subject() {
 tuning::LibraryConstraints TuningFlow::tune(const tuning::TuningConfig& config) {
   tuning::LibraryConstraints constraints =
       cachedStage<tuning::LibraryConstraints>(
-          store_.get(), "flow.stage.tune", tuneKey(config),
+          store_, mem_, "flow.stage.tune", tuneKey(config),
           [&] { return tuning::tuneLibrary(statLibrary(), config); },
           [](artifact::SctbWriter& writer,
              const tuning::LibraryConstraints& value) {
@@ -326,7 +390,7 @@ void TuningFlow::lintGate(std::string_view stageName,
       .u64(stageKey.lo)
       .u8(packs);
   const lint::LintReport report = cachedStage<lint::LintReport>(
-      store_.get(), "flow.stage.lint", h.digest(),
+      store_, mem_, "flow.stage.lint", h.digest(),
       [&] { return linter_.run(subject, packs); },
       [](artifact::SctbWriter& writer, const lint::LintReport& value) {
         artifact::encodeLintReport(writer, value);
@@ -362,7 +426,7 @@ synth::SynthesisResult TuningFlow::synthesizeCached(
     double period, const tuning::TuningConfig* config) {
   const liberty::Library& library = nominalLibrary();
   return cachedStage<synth::SynthesisResult>(
-      store_.get(), "flow.stage.synth", synthKey(period, config),
+      store_, mem_, "flow.stage.synth", synthKey(period, config),
       [&] {
         std::optional<tuning::LibraryConstraints> constraints;
         if (config != nullptr) constraints.emplace(tune(*config));

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/mem_cache.hpp"
 #include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
 #include "lint/engine.hpp"
@@ -52,6 +53,18 @@ struct FlowConfig {
   /// Lint gate over each stage's input artifact. Lint reports are cached in
   /// the artifact store keyed by subject digest + lint::kRulePackVersion.
   LintMode lintMode = LintMode::kError;
+  /// Byte bound of the in-memory artifact tier layered in front of the
+  /// on-disk store (DESIGN.md §14): repeated stage probes decode from a
+  /// shared validated reader instead of re-reading the cache file. 0
+  /// disables the tier; it only engages when a disk store is active (or a
+  /// sharedMemCache is injected), and never changes results — memory hits
+  /// serve the exact bytes a disk hit would.
+  std::uint64_t memCacheBytes = 64ull << 20;
+  /// Externally-owned cache tiers for long-lived processes (the sctuned
+  /// daemon shares one store + one memory cache across every session).
+  /// sharedStore overrides cacheDir; neither is owned by the flow.
+  artifact::ArtifactStore* sharedStore = nullptr;
+  artifact::MemoryArtifactCache* sharedMemCache = nullptr;
 };
 
 /// Per-endpoint worst-path record used by the path-population figures.
@@ -134,11 +147,13 @@ class TuningFlow {
   /// Artifact store backing the resumable stages; nullptr when caching is
   /// disabled (empty cacheDir, or a cache directory that could not be
   /// created — the flow then degrades to always computing).
-  [[nodiscard]] artifact::ArtifactStore* cache() noexcept {
-    return store_.get();
-  }
+  [[nodiscard]] artifact::ArtifactStore* cache() noexcept { return store_; }
   [[nodiscard]] const artifact::ArtifactStore* cache() const noexcept {
-    return store_.get();
+    return store_;
+  }
+  /// In-memory tier in front of the store; nullptr when disabled.
+  [[nodiscard]] const artifact::MemoryArtifactCache* memCache() const noexcept {
+    return mem_;
   }
 
  private:
@@ -167,7 +182,10 @@ class TuningFlow {
   FlowConfig config_;
   charlib::Characterizer characterizer_;
   lint::LintEngine linter_;
-  std::unique_ptr<artifact::ArtifactStore> store_;
+  std::unique_ptr<artifact::ArtifactStore> ownedStore_;
+  std::unique_ptr<artifact::MemoryArtifactCache> ownedMem_;
+  artifact::ArtifactStore* store_ = nullptr;  ///< owned or shared
+  artifact::MemoryArtifactCache* mem_ = nullptr;
   std::unique_ptr<liberty::Library> nominal_;
   std::unique_ptr<statlib::StatLibrary> stat_;
   std::unique_ptr<netlist::Design> subject_;

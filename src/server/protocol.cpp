@@ -1,0 +1,286 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef _WIN32
+#error "the sctuned protocol layer is POSIX-only"
+#else
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "artifact/binary_format.hpp"
+
+namespace sct::server {
+namespace {
+
+using artifact::SctbReader;
+using artifact::SctbWriter;
+
+/// Every payload is an SCTB container with one section named after the
+/// message kind; decoding validates checksums first (FormatError → rethrown
+/// as ProtocolError by the callers' catch in the session loop).
+constexpr const char* kFlowSection = "flow-req";
+constexpr const char* kLintSection = "lint-req";
+constexpr const char* kStaSection = "sta-req";
+constexpr const char* kPingSection = "ping-req";
+constexpr const char* kResponseSection = "response";
+
+SctbReader readerFor(std::span<const std::byte> bytes, const char* section) {
+  try {
+    SctbReader reader = SctbReader::fromBytes(bytes);
+    if (!reader.hasSection(section)) {
+      throw ProtocolError(std::string("payload missing section '") + section +
+                          "'");
+    }
+    return reader;
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+}
+
+}  // namespace
+
+bool isRequestType(std::uint32_t raw) noexcept {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kFlowRequest:
+    case MessageType::kLintRequest:
+    case MessageType::kStaRequest:
+    case MessageType::kHealthRequest:
+    case MessageType::kPingRequest:
+    case MessageType::kShutdownRequest:
+      return true;
+    case MessageType::kResponse:
+    default:
+      return false;
+  }
+}
+
+std::vector<std::byte> encodeFlowRequest(const FlowRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kFlowSection);
+  writer.str(r.job.profile);
+  writer.f64(r.job.period);
+  writer.str(r.job.method);
+  writer.f64(r.job.value);
+  writer.u64(r.job.mcCount);
+  writer.u64(r.job.mcSeed);
+  writer.str(r.job.lintMode);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+FlowRequest decodeFlowRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kFlowSection);
+  auto cursor = reader.section(kFlowSection);
+  FlowRequest r;
+  try {
+    r.job.profile = cursor.str();
+    r.job.period = cursor.f64();
+    r.job.method = cursor.str();
+    r.job.value = cursor.f64();
+    r.job.mcCount = cursor.u64();
+    r.job.mcSeed = cursor.u64();
+    r.job.lintMode = cursor.str();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodeLintRequest(const LintRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kLintSection);
+  writer.str(r.artifactType);
+  writer.str(r.content);
+  writer.boolean(r.json);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+LintRequest decodeLintRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kLintSection);
+  auto cursor = reader.section(kLintSection);
+  LintRequest r;
+  try {
+    r.artifactType = cursor.str();
+    r.content = cursor.str();
+    r.json = cursor.boolean();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodeStaRequest(const StaRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kStaSection);
+  writer.str(r.libraryText);
+  writer.str(r.netlistText);
+  writer.f64(r.period);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+StaRequest decodeStaRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kStaSection);
+  auto cursor = reader.section(kStaSection);
+  StaRequest r;
+  try {
+    r.libraryText = cursor.str();
+    r.netlistText = cursor.str();
+    r.period = cursor.f64();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodePingRequest(const PingRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kPingSection);
+  writer.str(r.echo);
+  writer.u64(r.sleepMillis);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+PingRequest decodePingRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kPingSection);
+  auto cursor = reader.section(kPingSection);
+  PingRequest r;
+  try {
+    r.echo = cursor.str();
+    r.sleepMillis = cursor.u64();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodeResponse(const Response& r) {
+  SctbWriter writer;
+  writer.beginSection(kResponseSection);
+  writer.u8(static_cast<std::uint8_t>(r.status));
+  writer.str(r.summary);
+  writer.str(r.body);
+  return writer.finish();
+}
+
+Response decodeResponse(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kResponseSection);
+  auto cursor = reader.section(kResponseSection);
+  Response r;
+  try {
+    const std::uint8_t raw = cursor.u8();
+    if (raw > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+      throw ProtocolError("unknown response status");
+    }
+    r.status = static_cast<Status>(raw);
+    r.summary = cursor.str();
+    r.body = cursor.str();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+// ---- frame IO ------------------------------------------------------------
+
+namespace {
+
+/// Reads exactly n bytes. Returns the byte count actually read: n on
+/// success, less when the peer closed mid-read (0 when it closed cleanly
+/// before the first byte). Throws ProtocolError on hard socket errors.
+std::size_t readFully(int fd, std::byte* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::read(fd, out + got, n - got);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return got;  // EOF
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return got;
+}
+
+std::uint32_t loadU32(const std::byte* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint64_t loadU64(const std::byte* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::optional<Frame> readFrame(int fd) {
+  std::byte header[kFrameHeaderBytes];
+  const std::size_t got = readFully(fd, header, sizeof header);
+  if (got == 0) return std::nullopt;  // clean EOF between frames
+  if (got < sizeof header) throw ProtocolError("truncated frame header");
+  if (std::memcmp(header, kFrameMagic, sizeof kFrameMagic) != 0) {
+    throw ProtocolError("bad frame magic");
+  }
+  const std::uint32_t rawType = loadU32(header + 4);
+  const std::uint64_t payloadSize = loadU64(header + 8);
+  if (payloadSize > kMaxPayloadBytes) {
+    throw ProtocolError("frame payload exceeds " +
+                        std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  if (!isRequestType(rawType) &&
+      static_cast<MessageType>(rawType) != MessageType::kResponse) {
+    throw ProtocolError("unknown message type " + std::to_string(rawType));
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(rawType);
+  frame.payload.resize(static_cast<std::size_t>(payloadSize));
+  if (payloadSize > 0 &&
+      readFully(fd, frame.payload.data(), frame.payload.size()) !=
+          frame.payload.size()) {
+    throw ProtocolError("connection closed mid-payload");
+  }
+  return frame;
+}
+
+void writeFrame(int fd, MessageType type, std::span<const std::byte> payload) {
+  std::byte header[kFrameHeaderBytes];
+  std::memcpy(header, kFrameMagic, sizeof kFrameMagic);
+  const std::uint32_t rawType = static_cast<std::uint32_t>(type);
+  std::memcpy(header + 4, &rawType, sizeof rawType);
+  const std::uint64_t payloadSize = payload.size();
+  std::memcpy(header + 8, &payloadSize, sizeof payloadSize);
+
+  // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE →
+  // ProtocolError, never as a process-killing SIGPIPE (the in-process test
+  // servers and the bench run without the daemon's SIG_IGN).
+  const auto writeAll = [fd](const std::byte* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+      if (rc > 0) {
+        sent += static_cast<std::size_t>(rc);
+        continue;
+      }
+      if (rc < 0 && errno == EINTR) continue;
+      throw ProtocolError(std::string("write failed: ") +
+                          std::strerror(errno));
+    }
+  };
+  writeAll(header, sizeof header);
+  if (!payload.empty()) writeAll(payload.data(), payload.size());
+}
+
+}  // namespace sct::server

@@ -1,0 +1,143 @@
+#pragma once
+// SCTP — the sctuned daemon's wire protocol (DESIGN.md §14). Every message
+// is one length-prefixed frame:
+//
+//   offset 0   char[4]  magic "SCTP"
+//          4   u32      message type (MessageType, little-endian)
+//          8   u64      payload byte count (little-endian)
+//         16   payload  SCTB container (or empty)
+//
+// Payloads reuse the SCTB artifact container (src/artifact): the same
+// codecs, checksums and version gate that protect the on-disk cache protect
+// the wire. A frame with a bad magic, an unknown type, or a payload above
+// kMaxPayloadBytes is a protocol error — the server answers kStatusError
+// (when it still can) and drops the connection; it never crashes and never
+// trusts a byte past validation. Truncated frames (peer died mid-send) read
+// as clean EOFs or short reads and close the session.
+//
+// Responses carry a status + summary + body. Response *bytes are a pure
+// function of the request*: no timestamps, no server identity, no
+// cached/coalesced markers — so a response served from the daemon's response
+// cache is byte-identical to a freshly computed one, and a flow response
+// body is byte-identical to the CLI's `flow --report` file (both render
+// through core::runFlowJob).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/flow_job.hpp"
+
+namespace sct::server {
+
+inline constexpr char kFrameMagic[4] = {'S', 'C', 'T', 'P'};
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on a single frame payload; anything larger is an attack or a
+/// bug, not a workload (a full flow report is a few hundred KB).
+inline constexpr std::uint64_t kMaxPayloadBytes = 64ull << 20;
+
+enum class MessageType : std::uint32_t {
+  kFlowRequest = 1,
+  kLintRequest = 2,
+  kStaRequest = 3,
+  kHealthRequest = 4,
+  kPingRequest = 5,
+  kShutdownRequest = 6,
+  kResponse = 100,
+};
+
+/// True for the types a client may send.
+[[nodiscard]] bool isRequestType(std::uint32_t raw) noexcept;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,    ///< request failed (parse error, unknown method, ...)
+  kBusy = 2,     ///< admission control rejected the session/request
+  kTimeout = 3,  ///< the request's deadline expired before compute started
+  kShuttingDown = 4,
+};
+
+/// Raised on malformed frames and payloads (the recv path catches it).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : std::runtime_error("SCTP: " + message) {}
+};
+
+// ---- requests ------------------------------------------------------------
+
+/// Runs the full tuning flow (characterize → stat → tune → synth → measure)
+/// and returns the deterministic "flow-report v1" text as the body.
+struct FlowRequest {
+  core::FlowJob job;
+  std::uint64_t deadlineMillis = 0;  ///< 0 = no deadline
+};
+
+/// Lints one text artifact with the full rule set; body is the text (or
+/// JSON) lint report.
+struct LintRequest {
+  std::string artifactType;  ///< lib | stat | netlist | constraints
+  std::string content;       ///< the artifact text itself
+  bool json = false;         ///< render the report as JSON instead of text
+  std::uint64_t deadlineMillis = 0;
+};
+
+/// Static timing of a netlist against a library; body is the full timing
+/// report (sta::writeTimingReport).
+struct StaRequest {
+  std::string libraryText;
+  std::string netlistText;
+  double period = 0.0;
+  std::uint64_t deadlineMillis = 0;
+};
+
+/// Diagnostic echo; sleeps for sleepMillis on the session worker before
+/// answering (load/deadline/admission testing without burning CPU).
+struct PingRequest {
+  std::string echo;
+  std::uint64_t sleepMillis = 0;
+  std::uint64_t deadlineMillis = 0;
+};
+
+// kHealthRequest and kShutdownRequest carry empty payloads.
+
+struct Response {
+  Status status = Status::kError;
+  std::string summary;  ///< one human line ("flow: MET | ...", error text)
+  std::string body;     ///< full report / JSON document; may be empty
+};
+
+// ---- payload codecs (SCTB containers) ------------------------------------
+
+[[nodiscard]] std::vector<std::byte> encodeFlowRequest(const FlowRequest& r);
+[[nodiscard]] FlowRequest decodeFlowRequest(std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodeLintRequest(const LintRequest& r);
+[[nodiscard]] LintRequest decodeLintRequest(std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodeStaRequest(const StaRequest& r);
+[[nodiscard]] StaRequest decodeStaRequest(std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodePingRequest(const PingRequest& r);
+[[nodiscard]] PingRequest decodePingRequest(std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodeResponse(const Response& r);
+[[nodiscard]] Response decodeResponse(std::span<const std::byte> bytes);
+
+// ---- frame IO over a connected socket ------------------------------------
+
+/// One parsed incoming frame.
+struct Frame {
+  MessageType type = MessageType::kResponse;
+  std::vector<std::byte> payload;
+};
+
+/// Blocking read of one frame. Returns nullopt on clean EOF before any
+/// header byte; throws ProtocolError on bad magic / unknown type / oversized
+/// payload / connection lost mid-frame. Retries EINTR.
+[[nodiscard]] std::optional<Frame> readFrame(int fd);
+
+/// Blocking write of one frame (header + payload). Throws ProtocolError
+/// when the peer is gone. Retries EINTR and short writes.
+void writeFrame(int fd, MessageType type, std::span<const std::byte> payload);
+
+}  // namespace sct::server

@@ -1,0 +1,113 @@
+#pragma once
+// The sctuned daemon core (DESIGN.md §14): listens on a Unix-domain socket
+// (and optionally a TCP loopback port), multiplexes persistent client
+// sessions onto a bounded worker pool, and executes requests through the
+// shared TuningService.
+//
+// Admission control: at most `sessionThreads` sessions execute while up to
+// `maxQueuedSessions` more wait in the pool's FIFO. A connection arriving
+// beyond that bound is answered with one pre-encoded kBusy response frame at
+// the accept gate and closed — overload degrades to fast rejections with
+// bounded latency, never to unbounded queueing (the p99 criterion in
+// ISSUE.md). Per-request deadlines are enforced by the service; a session's
+// first request counts its deadline from the accept time, so time spent in
+// the admission queue counts against it (a queued client fast-fails with
+// kTimeout instead of waiting out the whole queue).
+//
+// Graceful shutdown: stop() (or a client kShutdownRequest) stops accepting,
+// half-closes every open session (shutdown(SHUT_RD)), lets requests already
+// being processed finish and answer, then joins the workers. A session
+// blocked waiting for its next request observes the half-close as EOF and
+// exits; nothing in flight is dropped.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "parallel/thread_pool.hpp"
+#include "server/service.hpp"
+
+namespace sct::server {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty disables the Unix listener. An existing
+  /// socket file at the path is replaced (stale socket from a dead daemon).
+  std::string socketPath;
+  /// When true, also listen on 127.0.0.1:`tcpPort` (0 = kernel-assigned
+  /// ephemeral port, readable via Server::tcpPort()). Loopback only — the
+  /// daemon trusts its peers with filesystem-level access.
+  bool tcpEnable = false;
+  std::uint16_t tcpPort = 0;
+  /// Concurrent session executors (the daemon's own pool; flow-internal
+  /// parallelism still uses the global src/parallel pool).
+  std::size_t sessionThreads = 4;
+  /// Sessions allowed to wait beyond the executing ones before the accept
+  /// gate starts rejecting with kBusy.
+  std::size_t maxQueuedSessions = 16;
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  ///< calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the accept thread. Throws
+  /// std::runtime_error when nothing could be bound.
+  void start();
+
+  /// Graceful shutdown; idempotent, callable from any thread (including a
+  /// session worker via requestStop()). Blocks until every session drained.
+  void stop();
+
+  /// Signals shutdown without blocking (safe on a session thread; the
+  /// thread that called start()/waitForStop() performs the actual stop()).
+  void requestStop();
+
+  /// Blocks until requestStop()/stop() was called, then tears down.
+  void waitForStop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Actual bound TCP port (after start(), when tcpEnable was set).
+  [[nodiscard]] std::uint16_t tcpPort() const noexcept { return boundPort_; }
+  [[nodiscard]] TuningService& service() noexcept { return service_; }
+  /// Sessions rejected at the accept gate (admission control).
+  [[nodiscard]] std::uint64_t busyRejects() const noexcept {
+    return busyRejects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void acceptLoop();
+  void runSession(int fd, TuningService::Clock::time_point accepted);
+  void closeListeners() noexcept;
+
+  ServerConfig config_;
+  TuningService service_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+
+  int unixFd_ = -1;
+  int tcpFd_ = -1;
+  int wakePipe_[2] = {-1, -1};  ///< written by requestStop() to wake poll()
+  std::uint16_t boundPort_ = 0;
+
+  std::thread acceptThread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> busyRejects_{0};
+
+  std::mutex sessionsMutex_;
+  std::condition_variable sessionsCv_;
+  std::unordered_set<int> sessionFds_;  ///< open session sockets
+  std::size_t activeSessions_ = 0;      ///< accepted, not yet finished
+};
+
+}  // namespace sct::server

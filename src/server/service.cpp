@@ -1,0 +1,356 @@
+#include "server/service.hpp"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "artifact/hash.hpp"
+#include "lint/engine.hpp"
+#include "lint/report_io.hpp"
+#include "liberty/liberty_io.hpp"
+#include "netlist/verilog_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sta/report.hpp"
+#include "sta/sta.hpp"
+#include "statlib/stat_io.hpp"
+#include "tuning/constraints_io.hpp"
+
+namespace sct::server {
+namespace {
+
+/// Find-or-create is mutex-guarded inside the registry, but resolving the
+/// instruments once keeps the per-request path to pure atomic increments.
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& responsesOk;
+  obs::Counter& responsesError;
+  obs::Counter& responsesTimeout;
+  obs::Counter& cacheHits;
+  obs::Counter& cacheMisses;
+  obs::Counter& singleflightLeader;
+  obs::Counter& singleflightCoalesced;
+
+  static ServiceMetrics& get() {
+    static ServiceMetrics m{
+        obs::MetricsRegistry::global().counter("server.requests"),
+        obs::MetricsRegistry::global().counter("server.responses.ok"),
+        obs::MetricsRegistry::global().counter("server.responses.error"),
+        obs::MetricsRegistry::global().counter("server.responses.timeout"),
+        obs::MetricsRegistry::global().counter("server.cache.hits"),
+        obs::MetricsRegistry::global().counter("server.cache.misses"),
+        obs::MetricsRegistry::global().counter("server.singleflight.leader"),
+        obs::MetricsRegistry::global().counter(
+            "server.singleflight.coalesced"),
+    };
+    return m;
+  }
+};
+
+/// Domain separation tags so request digests can never collide with each
+/// other or with flow stage keys (which hash configuration structs).
+constexpr const char* kFlowTag = "sctp-flow-v1";
+constexpr const char* kLintTag = "sctp-lint-v1";
+constexpr const char* kStaTag = "sctp-sta-v1";
+
+artifact::Digest flowDigest(const FlowRequest& r) {
+  artifact::Hasher h;
+  h.str(kFlowTag)
+      .str(r.job.profile)
+      .f64(r.job.period)
+      .str(r.job.method)
+      .f64(r.job.value)
+      .u64(r.job.mcCount)
+      .u64(r.job.mcSeed)
+      .str(r.job.lintMode);
+  return h.digest();
+}
+
+artifact::Digest lintDigest(const LintRequest& r) {
+  artifact::Hasher h;
+  h.str(kLintTag)
+      .str(r.artifactType)
+      .str(r.content)
+      .u8(r.json ? 1 : 0)
+      .u32(lint::kRulePackVersion);
+  return h.digest();
+}
+
+artifact::Digest staDigest(const StaRequest& r) {
+  artifact::Hasher h;
+  h.str(kStaTag).str(r.libraryText).str(r.netlistText).f64(r.period);
+  return h.digest();
+}
+
+Response errorResponse(const std::string& message) {
+  Response r;
+  r.status = Status::kError;
+  r.summary = message;
+  return r;
+}
+
+Response timeoutResponse(const char* what) {
+  Response r;
+  r.status = Status::kTimeout;
+  r.summary = what;
+  return r;
+}
+
+std::vector<std::byte> encodeStatic(Status status, const char* summary) {
+  Response r;
+  r.status = status;
+  r.summary = summary;
+  return encodeResponse(r);
+}
+
+}  // namespace
+
+TuningService::TuningService(const ServiceConfig& config)
+    : mem_(config.memCacheBytes) {
+  if (!config.cacheDir.empty()) {
+    store_ = std::make_unique<artifact::ArtifactStore>(config.cacheDir);
+  }
+}
+
+TuningService::~TuningService() = default;
+
+std::span<const std::byte> TuningService::busyResponseBytes() {
+  static const std::vector<std::byte> bytes =
+      encodeStatic(Status::kBusy, "server at capacity, retry later");
+  return bytes;
+}
+
+std::span<const std::byte> TuningService::shuttingDownResponseBytes() {
+  static const std::vector<std::byte> bytes =
+      encodeStatic(Status::kShuttingDown, "server is shutting down");
+  return bytes;
+}
+
+bool TuningService::deadlineExpired(std::uint64_t deadlineMillis,
+                                    Clock::time_point received) {
+  if (deadlineMillis == 0) return false;
+  return Clock::now() >= received + std::chrono::milliseconds(deadlineMillis);
+}
+
+TuningService::Clock::time_point TuningService::deadlinePoint(
+    std::uint64_t deadlineMillis, Clock::time_point received) {
+  if (deadlineMillis == 0) return Clock::time_point::max();
+  return received + std::chrono::milliseconds(deadlineMillis);
+}
+
+Response TuningService::handle(MessageType type,
+                               std::span<const std::byte> payload,
+                               Clock::time_point received) {
+  ServiceMetrics::get().requests.inc();
+  Response response;
+  try {
+    switch (type) {
+      case MessageType::kFlowRequest:
+        response = handleFlow(decodeFlowRequest(payload), received);
+        break;
+      case MessageType::kLintRequest:
+        response = handleLint(decodeLintRequest(payload), received);
+        break;
+      case MessageType::kStaRequest:
+        response = handleSta(decodeStaRequest(payload), received);
+        break;
+      case MessageType::kPingRequest:
+        response = handlePing(decodePingRequest(payload), received);
+        break;
+      case MessageType::kHealthRequest:
+        response.status = Status::kOk;
+        response.summary = "ok";
+        response.body = healthJson();
+        break;
+      case MessageType::kShutdownRequest:
+        // The server layer watches for this type and begins draining; the
+        // service only acknowledges.
+        response.status = Status::kOk;
+        response.summary = "shutting down";
+        break;
+      case MessageType::kResponse:
+      default:
+        response = errorResponse("not a request type");
+        break;
+    }
+  } catch (const std::exception& e) {
+    response = errorResponse(e.what());
+  } catch (...) {
+    response = errorResponse("unknown error");
+  }
+  switch (response.status) {
+    case Status::kOk:
+      ServiceMetrics::get().responsesOk.inc();
+      break;
+    case Status::kTimeout:
+      ServiceMetrics::get().responsesTimeout.inc();
+      break;
+    default:
+      ServiceMetrics::get().responsesError.inc();
+      break;
+  }
+  return response;
+}
+
+Response TuningService::cachedResponse(
+    const artifact::Digest& key, Clock::time_point deadline,
+    const std::function<Response()>& compute) {
+  const auto probe = [&]() -> std::optional<Response> {
+    if (const auto reader = mem_.get(key)) {
+      ServiceMetrics::get().cacheHits.inc();
+      return decodeResponse(reader->rawBytes());
+    }
+    return std::nullopt;
+  };
+
+  if (auto hit = probe()) return *hit;
+  ServiceMetrics::get().cacheMisses.inc();
+
+  // Exactly one session computes a given key at a time; the others block
+  // here and then serve the leader's published bytes. A leader that failed
+  // (kError response, not cached) hands leadership to the next waiter.
+  auto guard = flights_.lock(key, deadline);
+  if (!guard) {
+    return timeoutResponse(
+        "deadline expired waiting for an identical in-flight request");
+  }
+  if (guard->waited()) {
+    ServiceMetrics::get().singleflightCoalesced.inc();
+    if (auto hit = probe()) return *hit;
+  }
+  ServiceMetrics::get().singleflightLeader.inc();
+
+  Response response = compute();
+  if (response.status == Status::kOk) {
+    // Publish the encoded bytes; later hits decode this exact container,
+    // so cached and fresh responses are byte-identical.
+    const std::vector<std::byte> bytes = encodeResponse(response);
+    mem_.put(key, std::make_shared<const artifact::SctbReader>(
+                      artifact::SctbReader::fromBytes(bytes)));
+  }
+  return response;
+}
+
+Response TuningService::handleFlow(const FlowRequest& request,
+                                   Clock::time_point received) {
+  SCT_TRACE_SPAN("server.flow");
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  return cachedResponse(flowDigest(request),
+                        deadlinePoint(request.deadlineMillis, received), [&] {
+    core::FlowConfig config = core::makeFlowConfig(request.job);
+    config.sharedStore = store_.get();
+    config.sharedMemCache = &mem_;
+    core::TuningFlow flow(std::move(config));
+    const core::FlowJobResult result = core::runFlowJob(flow, request.job);
+    Response r;
+    r.status = Status::kOk;
+    r.summary = result.summary;
+    r.body = result.report;
+    return r;
+  });
+}
+
+Response TuningService::handleLint(const LintRequest& request,
+                                   Clock::time_point received) {
+  SCT_TRACE_SPAN("server.lint");
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  return cachedResponse(lintDigest(request),
+                        deadlinePoint(request.deadlineMillis, received), [&] {
+    std::optional<liberty::Library> library;
+    std::optional<statlib::StatLibrary> stat;
+    std::optional<netlist::Design> design;
+    std::optional<tuning::LibraryConstraints> constraints;
+    lint::LintSubject subject;
+    if (request.artifactType == "lib") {
+      library.emplace(liberty::readLibraryFromString(request.content));
+      subject.library = &*library;
+    } else if (request.artifactType == "stat") {
+      stat.emplace(statlib::readStatLibraryFromString(request.content));
+      subject.statLibrary = &*stat;
+    } else if (request.artifactType == "netlist") {
+      design.emplace(netlist::readVerilogFromString(request.content, nullptr));
+      subject.design = &*design;
+    } else if (request.artifactType == "constraints") {
+      constraints.emplace(tuning::readConstraintsFromString(request.content));
+      subject.constraints = &*constraints;
+    } else {
+      return errorResponse("unknown artifact type '" + request.artifactType +
+                           "' (lib|stat|netlist|constraints)");
+    }
+    const lint::LintEngine engine = lint::LintEngine::withAllRules();
+    const lint::LintReport report = engine.run(subject);
+    Response r;
+    r.status = Status::kOk;
+    r.summary = report.summary();
+    r.body = request.json ? lint::writeJsonToString(report)
+                          : lint::writeTextToString(report);
+    return r;
+  });
+}
+
+Response TuningService::handleSta(const StaRequest& request,
+                                  Clock::time_point received) {
+  SCT_TRACE_SPAN("server.sta");
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  return cachedResponse(staDigest(request),
+                        deadlinePoint(request.deadlineMillis, received), [&] {
+    const liberty::Library library =
+        liberty::readLibraryFromString(request.libraryText);
+    const netlist::Design design =
+        netlist::readVerilogFromString(request.netlistText, &library);
+    sta::ClockSpec clock;
+    clock.period = request.period;
+    sta::TimingAnalyzer analyzer(design, library, clock);
+    if (!analyzer.analyze()) {
+      return errorResponse("timing analysis failed (combinational cycle)");
+    }
+    Response r;
+    r.status = Status::kOk;
+    std::ostringstream summary;
+    summary << "sta: " << design.name() << " wns "
+            << (analyzer.met() ? "met" : "violated");
+    r.summary = summary.str();
+    r.body = sta::timingReportToString(design, analyzer);
+    return r;
+  });
+}
+
+Response TuningService::handlePing(const PingRequest& request,
+                                   Clock::time_point received) {
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  if (request.sleepMillis > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(request.sleepMillis));
+  }
+  Response r;
+  r.status = Status::kOk;
+  r.summary = "pong";
+  r.body = request.echo;
+  return r;
+}
+
+std::string TuningService::healthJson() {
+  // Refresh the cache-tier gauges so the snapshot carries current sizes
+  // (counters stream in continuously; sizes are sampled here).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const artifact::MemCacheStats mem = mem_.stats();
+  registry.gauge("server.memcache.bytes").set(static_cast<double>(mem.bytes));
+  registry.gauge("server.memcache.entries")
+      .set(static_cast<double>(mem.entries));
+  registry.gauge("server.memcache.capacity")
+      .set(static_cast<double>(mem.capacity));
+  std::ostringstream out;
+  obs::writeMetricsJson(out, registry.snapshot());
+  return out.str();
+}
+
+}  // namespace sct::server

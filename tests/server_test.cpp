@@ -1,0 +1,400 @@
+// sctuned daemon tests (DESIGN.md §14): protocol framing (including the
+// malformed-input fuzz cases), request execution, response caching,
+// single-flight coalescing, admission control, deadlines and graceful
+// drain. Servers run in-process on a Unix socket under the test temp dir.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/flow_job.hpp"
+#include "obs/metrics.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace sct {
+namespace {
+
+namespace fs = std::filesystem;
+using server::Client;
+using server::MessageType;
+using server::Response;
+using server::Status;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* stem)
+      : path(fs::temp_directory_path() / stem) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// In-process daemon bound to a socket under `dir`.
+struct TestServer {
+  explicit TestServer(const TempDir& dir, std::size_t sessionThreads = 4,
+                      std::size_t maxQueue = 16, bool tcp = false) {
+    server::ServerConfig config;
+    config.socketPath = (dir.path / "sctuned.sock").string();
+    config.tcpEnable = tcp;
+    config.sessionThreads = sessionThreads;
+    config.maxQueuedSessions = maxQueue;
+    config.service.cacheDir = (dir.path / "cache").string();
+    config.service.memCacheBytes = 64ull << 20;
+    instance = std::make_unique<server::Server>(config);
+    instance->start();
+    socketPath = config.socketPath;
+  }
+  ~TestServer() { instance->stop(); }
+
+  [[nodiscard]] Client connect() const {
+    return Client::connectUnix(socketPath);
+  }
+
+  std::unique_ptr<server::Server> instance;
+  std::string socketPath;
+};
+
+server::FlowRequest smallFlow(double period = 8.0) {
+  server::FlowRequest request;
+  request.job.profile = "small";
+  request.job.mcCount = 4;
+  request.job.period = period;
+  request.job.lintMode = "off";
+  return request;
+}
+
+// ---- basics --------------------------------------------------------------
+
+TEST(ServerTest, PingRoundTrip) {
+  TempDir dir("sct_server_ping");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  server::PingRequest request;
+  request.echo = "hello";
+  const Response response = client.ping(request);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.summary, "pong");
+  EXPECT_EQ(response.body, "hello");
+}
+
+TEST(ServerTest, TcpLoopbackRoundTrip) {
+  TempDir dir("sct_server_tcp");
+  TestServer srv(dir, 4, 16, /*tcp=*/true);
+  ASSERT_NE(srv.instance->tcpPort(), 0);
+  Client client = Client::connectTcp(srv.instance->tcpPort());
+  server::PingRequest request;
+  request.echo = "over tcp";
+  const Response response = client.ping(request);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.body, "over tcp");
+}
+
+TEST(ServerTest, HealthReturnsMetricsJson) {
+  TempDir dir("sct_server_health");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  const Response response = client.health();
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_NE(response.body.find("sct-metrics-v1"), std::string::npos);
+}
+
+TEST(ServerTest, PersistentConnectionHandlesManyRequests) {
+  TempDir dir("sct_server_many");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  for (int i = 0; i < 20; ++i) {
+    server::PingRequest request;
+    request.echo = std::to_string(i);
+    const Response response = client.ping(request);
+    EXPECT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.body, std::to_string(i));
+  }
+}
+
+// ---- flow execution and byte-identity ------------------------------------
+
+TEST(ServerTest, FlowMatchesLocalRunByteForByte) {
+  TempDir dir("sct_server_flow");
+  TestServer srv(dir);
+  const server::FlowRequest request = smallFlow();
+
+  core::TuningFlow local(core::makeFlowConfig(request.job));
+  const core::FlowJobResult expected = core::runFlowJob(local, request.job);
+
+  Client client = srv.connect();
+  const Response first = client.flow(request);
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(first.summary, expected.summary);
+  EXPECT_EQ(first.body, expected.report);
+
+  // Second call answers from the response cache — still byte-identical.
+  const Response second = client.flow(request);
+  EXPECT_EQ(second.body, expected.report);
+}
+
+TEST(ServerTest, ConcurrentIdenticalFlowsComputeOnce) {
+  TempDir dir("sct_server_singleflight");
+  TestServer srv(dir, /*sessionThreads=*/8);
+  obs::setMetricsEnabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t leadersBefore =
+      registry.snapshot().counterValue("server.singleflight.leader");
+
+  constexpr int kClients = 8;
+  const server::FlowRequest request = smallFlow(7.5);
+  std::vector<std::string> bodies(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client = srv.connect();
+      const Response response = client.flow(request);
+      ASSERT_EQ(response.status, Status::kOk);
+      bodies[static_cast<std::size_t>(i)] = response.body;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(bodies[static_cast<std::size_t>(i)], bodies[0])
+        << "response " << i << " differs";
+  }
+  EXPECT_FALSE(bodies[0].empty());
+
+  // Exactly one session computed this request; everyone else either
+  // coalesced on the single-flight key or hit the response cache.
+  const std::uint64_t leadersAfter =
+      registry.snapshot().counterValue("server.singleflight.leader");
+  EXPECT_EQ(leadersAfter - leadersBefore, 1u);
+  obs::setMetricsEnabled(false);
+}
+
+// ---- protocol fuzzing: the daemon must survive anything ------------------
+
+/// Sends raw bytes on a fresh connection, returns true when the server
+/// answered with *some* frame before closing (false = it just closed).
+bool sendRaw(const TestServer& srv, const void* data, std::size_t size) {
+  Client client = srv.connect();
+  [[maybe_unused]] const ssize_t sent = ::send(client.fd(), data, size, 0);
+  ::shutdown(client.fd(), SHUT_WR);
+  char buffer[256];
+  const ssize_t got = ::recv(client.fd(), buffer, sizeof buffer, 0);
+  return got > 0;
+}
+
+TEST(ServerTest, SurvivesGarbageMagic) {
+  TempDir dir("sct_server_fuzz_magic");
+  TestServer srv(dir);
+  const char garbage[] = "GETX / HTTP/1.1\r\n\r\n";
+  sendRaw(srv, garbage, sizeof garbage);
+  // The daemon dropped that session but must still serve new ones.
+  Client client = srv.connect();
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+TEST(ServerTest, SurvivesTruncatedHeader) {
+  TempDir dir("sct_server_fuzz_trunc");
+  TestServer srv(dir);
+  const char partial[] = {'S', 'C', 'T', 'P', 1};
+  sendRaw(srv, partial, sizeof partial);
+  Client client = srv.connect();
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+TEST(ServerTest, RejectsOversizedPayloadDeclaration) {
+  TempDir dir("sct_server_fuzz_size");
+  TestServer srv(dir);
+  std::byte header[16];
+  std::memcpy(header, "SCTP", 4);
+  const std::uint32_t type =
+      static_cast<std::uint32_t>(MessageType::kPingRequest);
+  std::memcpy(header + 4, &type, 4);
+  const std::uint64_t huge = server::kMaxPayloadBytes + 1;
+  std::memcpy(header + 8, &huge, 8);
+  // The server answers one kError frame (it cannot trust the stream past
+  // the bad header) and drops the session.
+  EXPECT_TRUE(sendRaw(srv, header, sizeof header));
+  Client client = srv.connect();
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+TEST(ServerTest, SurvivesMidPayloadDisconnect) {
+  TempDir dir("sct_server_fuzz_disc");
+  TestServer srv(dir);
+  std::byte frame[24];
+  std::memcpy(frame, "SCTP", 4);
+  const std::uint32_t type =
+      static_cast<std::uint32_t>(MessageType::kPingRequest);
+  std::memcpy(frame + 4, &type, 4);
+  const std::uint64_t claimed = 1000;  // we send only 8 payload bytes
+  std::memcpy(frame + 8, &claimed, 8);
+  std::memset(frame + 16, 0xAB, 8);
+  sendRaw(srv, frame, sizeof frame);
+  Client client = srv.connect();
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+TEST(ServerTest, GarbagePayloadAnswersError) {
+  TempDir dir("sct_server_fuzz_payload");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  const Response response = client.call(MessageType::kFlowRequest, junk);
+  EXPECT_EQ(response.status, Status::kError);
+  // Same connection keeps working: framing stayed intact.
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+TEST(ServerTest, UnknownMessageTypeAnswersError) {
+  TempDir dir("sct_server_fuzz_type");
+  TestServer srv(dir);
+  std::byte header[16];
+  std::memcpy(header, "SCTP", 4);
+  const std::uint32_t type = 9999;
+  std::memcpy(header + 4, &type, 4);
+  const std::uint64_t size = 0;
+  std::memcpy(header + 8, &size, 8);
+  EXPECT_TRUE(sendRaw(srv, header, sizeof header));
+  Client client = srv.connect();
+  EXPECT_EQ(client.health().status, Status::kOk);
+}
+
+// ---- admission control, deadlines, shutdown ------------------------------
+
+TEST(ServerTest, RejectsBeyondSessionBoundWithBusy) {
+  TempDir dir("sct_server_busy");
+  TestServer srv(dir, /*sessionThreads=*/1, /*maxQueue=*/0);
+
+  // Occupy the single session slot with a sleeping ping.
+  std::thread occupant([&] {
+    Client client = srv.connect();
+    server::PingRequest request;
+    request.sleepMillis = 400;
+    const Response response = client.ping(request);
+    EXPECT_EQ(response.status, Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The next connection is rejected at the accept gate, quickly.
+  Client reject = srv.connect();
+  server::PingRequest request;
+  const auto start = std::chrono::steady_clock::now();
+  const Response response = reject.ping(request);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(response.status, Status::kBusy);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(300))
+      << "busy rejection must not wait for the running session";
+  EXPECT_GE(srv.instance->busyRejects(), 1u);
+  occupant.join();
+}
+
+TEST(ServerTest, ExpiredDeadlineAnswersTimeout) {
+  TempDir dir("sct_server_deadline");
+  TestServer srv(dir, /*sessionThreads=*/1, /*maxQueue=*/4);
+
+  // Fill the single executor so the probe request waits in the queue
+  // longer than its deadline.
+  std::thread occupant([&] {
+    Client client = srv.connect();
+    server::PingRequest request;
+    request.sleepMillis = 300;
+    const Response response = client.ping(request);
+    EXPECT_EQ(response.status, Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Client client = srv.connect();
+  server::PingRequest request;
+  request.deadlineMillis = 50;  // expires while queued behind the occupant
+  const Response response = client.ping(request);
+  EXPECT_EQ(response.status, Status::kTimeout);
+  occupant.join();
+}
+
+TEST(ServerTest, GracefulStopDrainsInFlightRequests) {
+  TempDir dir("sct_server_drain");
+  TestServer srv(dir, /*sessionThreads=*/2);
+
+  std::atomic<bool> answered{false};
+  std::thread inflight([&] {
+    Client client = srv.connect();
+    server::PingRequest request;
+    request.sleepMillis = 300;
+    request.echo = "drain me";
+    const Response response = client.ping(request);
+    EXPECT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.body, "drain me");
+    answered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  srv.instance->stop();  // must block until the sleeping ping answered
+  EXPECT_TRUE(answered.load());
+  inflight.join();
+}
+
+TEST(ServerTest, ShutdownRequestStopsTheServer) {
+  TempDir dir("sct_server_shutdown");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  const Response response = client.shutdown();
+  EXPECT_EQ(response.status, Status::kOk);
+  // waitForStop returns promptly because the session requested the stop.
+  srv.instance->waitForStop();
+  EXPECT_FALSE(srv.instance->running());
+}
+
+// ---- codec round trips ---------------------------------------------------
+
+TEST(ProtocolTest, FlowRequestRoundTrip) {
+  server::FlowRequest request;
+  request.job.profile = "small";
+  request.job.period = 7.25;
+  request.job.method = "sigma-ceiling";
+  request.job.value = 0.02;
+  request.job.mcCount = 12;
+  request.job.mcSeed = 77;
+  request.job.lintMode = "warn";
+  request.deadlineMillis = 1500;
+  const auto bytes = server::encodeFlowRequest(request);
+  const server::FlowRequest back = server::decodeFlowRequest(bytes);
+  EXPECT_EQ(back.job.profile, "small");
+  EXPECT_EQ(back.job.period, 7.25);
+  EXPECT_EQ(back.job.method, "sigma-ceiling");
+  EXPECT_EQ(back.job.value, 0.02);
+  EXPECT_EQ(back.job.mcCount, 12u);
+  EXPECT_EQ(back.job.mcSeed, 77u);
+  EXPECT_EQ(back.job.lintMode, "warn");
+  EXPECT_EQ(back.deadlineMillis, 1500u);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response response;
+  response.status = Status::kTimeout;
+  response.summary = "too late";
+  response.body = std::string("line1\nline2\n\0embedded", 22);
+  const auto bytes = server::encodeResponse(response);
+  const Response back = server::decodeResponse(bytes);
+  EXPECT_EQ(back.status, Status::kTimeout);
+  EXPECT_EQ(back.summary, "too late");
+  EXPECT_EQ(back.body, response.body);
+}
+
+TEST(ProtocolTest, DecodeRejectsWrongSection) {
+  const auto bytes = server::encodeFlowRequest(server::FlowRequest{});
+  EXPECT_THROW((void)server::decodeLintRequest(bytes), server::ProtocolError);
+}
+
+}  // namespace
+}  // namespace sct

@@ -1,0 +1,304 @@
+// Concurrency-facing artifact-layer tests (DESIGN.md §14): the bounded
+// in-memory cache tier, the single-flight table, and the gc guards that
+// make ArtifactStore::gc safe against concurrent readers/publishers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "artifact/binary_format.hpp"
+#include "artifact/hash.hpp"
+#include "artifact/mem_cache.hpp"
+#include "artifact/single_flight.hpp"
+#include "artifact/store.hpp"
+
+namespace sct {
+namespace {
+
+namespace fs = std::filesystem;
+using artifact::Digest;
+using artifact::MemoryArtifactCache;
+using artifact::SctbReader;
+using artifact::SctbWriter;
+using artifact::SingleFlight;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* stem)
+      : path(fs::temp_directory_path() / stem) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+Digest key(std::uint64_t n) { return Digest{n, ~n}; }
+
+/// An SCTB container with a payload of `bytes` content bytes.
+std::shared_ptr<const SctbReader> makeArtifact(std::size_t bytes,
+                                               std::uint8_t fill = 7) {
+  SctbWriter writer;
+  writer.beginSection("blob");
+  for (std::size_t i = 0; i < bytes; ++i) {
+    writer.u8(static_cast<std::uint8_t>(fill + i));
+  }
+  return std::make_shared<const SctbReader>(
+      SctbReader::fromBytes(writer.finish()));
+}
+
+// ---- MemoryArtifactCache -------------------------------------------------
+
+TEST(MemCacheTest, HitMissAndCounters) {
+  MemoryArtifactCache cache(1 << 20);
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+  cache.put(key(1), makeArtifact(100));
+  const auto hit = cache.get(key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->hasSection("blob"));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, hit->fileSize());
+}
+
+TEST(MemCacheTest, EvictsLeastRecentlyUsedByBytes) {
+  // Three artifacts of ~equal size in a cache that fits only two.
+  const auto a = makeArtifact(400);
+  const std::uint64_t each = a->fileSize();
+  MemoryArtifactCache cache(2 * each + each / 2);
+  cache.put(key(1), a);
+  cache.put(key(2), makeArtifact(400));
+  ASSERT_NE(cache.get(key(1)), nullptr);  // make key(2) the LRU entry
+  cache.put(key(3), makeArtifact(400));   // evicts key(2), not key(1)
+  EXPECT_NE(cache.get(key(1)), nullptr);
+  EXPECT_EQ(cache.get(key(2)), nullptr);
+  EXPECT_NE(cache.get(key(3)), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, stats.capacity);
+}
+
+TEST(MemCacheTest, OversizedEntryIsNotRetained) {
+  MemoryArtifactCache cache(64);  // smaller than any container
+  cache.put(key(1), makeArtifact(400));
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(MemCacheTest, EraseDropsEntry) {
+  MemoryArtifactCache cache(1 << 20);
+  cache.put(key(1), makeArtifact(64));
+  cache.erase(key(1));
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+}
+
+TEST(MemCacheTest, PutRefreshesExistingKey) {
+  MemoryArtifactCache cache(1 << 20);
+  cache.put(key(1), makeArtifact(64, 1));
+  const auto bigger = makeArtifact(256, 2);
+  cache.put(key(1), bigger);
+  const auto hit = cache.get(key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->fileSize(), bigger->fileSize());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, bigger->fileSize());
+}
+
+TEST(MemCacheTest, ConcurrentMixedUseIsSafe) {
+  MemoryArtifactCache cache(1 << 16);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const Digest k = key(static_cast<std::uint64_t>((t * 7 + i) % 16));
+        if (const auto hit = cache.get(k)) {
+          EXPECT_TRUE(hit->hasSection("blob"));
+        } else {
+          cache.put(k, makeArtifact(100 + (i % 5) * 40));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.stats().bytes, cache.stats().capacity);
+}
+
+// ---- SingleFlight --------------------------------------------------------
+
+TEST(SingleFlightTest, LeaderDoesNotWait) {
+  SingleFlight flights;
+  auto guard = flights.lock(key(1));
+  ASSERT_TRUE(guard.has_value());
+  EXPECT_FALSE(guard->waited());
+}
+
+TEST(SingleFlightTest, DistinctKeysDoNotContend) {
+  SingleFlight flights;
+  auto a = flights.lock(key(1));
+  auto b = flights.lock(key(2));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(b->waited());
+}
+
+TEST(SingleFlightTest, WaiterBlocksUntilLeaderReleases) {
+  SingleFlight flights;
+  std::atomic<bool> waiterDone{false};
+  auto leader = flights.lock(key(1));
+  ASSERT_TRUE(leader.has_value());
+  std::thread waiter([&] {
+    auto guard = flights.lock(key(1));
+    ASSERT_TRUE(guard.has_value());
+    EXPECT_TRUE(guard->waited());
+    waiterDone.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(waiterDone.load());
+  leader.reset();  // release
+  waiter.join();
+  EXPECT_TRUE(waiterDone.load());
+}
+
+TEST(SingleFlightTest, DeadlineTimeoutReturnsNullopt) {
+  SingleFlight flights;
+  auto leader = flights.lock(key(1));
+  ASSERT_TRUE(leader.has_value());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  auto late = flights.lock(key(1), deadline);
+  EXPECT_FALSE(late.has_value());
+}
+
+TEST(SingleFlightTest, FailedLeaderHandsOffToWaiter) {
+  // A leader that computes nothing (failure path) releases the key; the
+  // next waiter acquires it with waited()==true and becomes the new
+  // leader — the re-probe-then-compute pattern in cachedStage.
+  SingleFlight flights;
+  std::atomic<int> leaders{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto guard = flights.lock(key(9));
+      ASSERT_TRUE(guard.has_value());
+      leaders.fetch_add(1);  // every thread eventually leads (none publish)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(leaders.load(), 4);
+  EXPECT_EQ(flights.inFlight(), 0u);
+}
+
+// ---- gc concurrency guards ----------------------------------------------
+
+SctbWriter smallWriter(std::uint8_t fill) {
+  SctbWriter writer;
+  writer.beginSection("blob");
+  for (int i = 0; i < 64; ++i) writer.u8(fill);
+  return writer;
+}
+
+TEST(StoreGcTest, LockBusyWhenAnotherGcHoldsTheLock) {
+  TempDir dir("sct_gc_lock_test");
+  artifact::ArtifactStore store(dir.path);
+  store.publish(key(1), smallWriter(1));
+
+  // Simulate a concurrent gc in another process: take the lock file
+  // ourselves with flock(2), exactly as gc does.
+  const fs::path lockPath = dir.path / ".gc.lock";
+  const int fd = ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::flock(fd, LOCK_EX | LOCK_NB), 0);
+
+  artifact::GcPolicy policy;
+  policy.maxBytes = 1;  // would evict everything if it ran
+  const artifact::GcResult result = store.gc(policy);
+  EXPECT_TRUE(result.lockBusy);
+  EXPECT_EQ(result.filesRemoved, 0u);
+  EXPECT_TRUE(fs::exists(store.pathFor(key(1))));
+
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  const artifact::GcResult retry = store.gc(policy);
+  EXPECT_FALSE(retry.lockBusy);
+  EXPECT_GE(retry.filesRemoved, 1u);
+}
+
+TEST(StoreGcTest, SparesEntriesTouchedBetweenScanAndSweep) {
+  TempDir dir("sct_gc_epoch_test");
+  artifact::ArtifactStore store(dir.path);
+  store.publish(key(1), smallWriter(1));
+  store.publish(key(2), smallWriter(2));
+
+  // Age both entries so the byte bound marks them for eviction.
+  const auto old = fs::file_time_type::clock::now() - std::chrono::hours(10);
+  fs::last_write_time(store.pathFor(key(1)), old);
+  fs::last_write_time(store.pathFor(key(2)), old);
+
+  artifact::GcPolicy policy;
+  policy.maxBytes = 1;  // evict everything the scan saw
+  const artifact::GcResult result = store.gc(policy, [&] {
+    // A concurrent open() touches entry 1 after the scan snapshot: the
+    // sweep must notice the advanced mtime and spare it.
+    ASSERT_TRUE(store.open(key(1)).has_value());
+  });
+  EXPECT_EQ(result.filesSpared, 1u);
+  EXPECT_TRUE(fs::exists(store.pathFor(key(1))));
+  EXPECT_FALSE(fs::exists(store.pathFor(key(2))));
+}
+
+TEST(StoreGcTest, EntryVanishingMidSweepIsNotAnError) {
+  TempDir dir("sct_gc_vanish_test");
+  artifact::ArtifactStore store(dir.path);
+  store.publish(key(1), smallWriter(1));
+  const auto old = fs::file_time_type::clock::now() - std::chrono::hours(10);
+  fs::last_write_time(store.pathFor(key(1)), old);
+
+  artifact::GcPolicy policy;
+  policy.maxBytes = 1;
+  const artifact::GcResult result = store.gc(policy, [&] {
+    fs::remove(store.pathFor(key(1)));  // another gc got there first
+  });
+  EXPECT_EQ(result.filesRemoved, 0u);
+  EXPECT_EQ(result.filesSpared, 0u);
+}
+
+TEST(StoreTest, ConcurrentPublishAndOpenAreSafe) {
+  TempDir dir("sct_store_mt_test");
+  artifact::ArtifactStore store(dir.path);
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 40; ++i) {
+        const Digest k = key(static_cast<std::uint64_t>(i % 8));
+        if ((t + i) % 2 == 0) {
+          store.publish(k, smallWriter(static_cast<std::uint8_t>(i)));
+        } else if (const auto reader = store.open(k)) {
+          EXPECT_TRUE(reader->hasSection("blob"));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GE(store.stats().stores.load(), 1u);
+}
+
+}  // namespace
+}  // namespace sct

@@ -47,6 +47,8 @@
 #include "charlib/characterizer.hpp"
 #include "core/env.hpp"
 #include "core/flow.hpp"
+#include "core/flow_job.hpp"
+#include "server/client.hpp"
 #include "lint/engine.hpp"
 #include "lint/report_io.hpp"
 #include "obs/metrics.hpp"
@@ -209,13 +211,9 @@ charlib::ProcessCorner cornerByName(const std::string& name) {
   throw std::runtime_error("unknown corner '" + name + "' (TT/SS/FF)");
 }
 
+// One method-name dictionary for CLI and daemon (core/flow_job.hpp).
 tuning::TuningMethod methodByName(const std::string& name) {
-  if (name == "strength-load") return tuning::TuningMethod::kCellStrengthLoadSlope;
-  if (name == "strength-slew") return tuning::TuningMethod::kCellStrengthSlewSlope;
-  if (name == "cell-load") return tuning::TuningMethod::kCellLoadSlope;
-  if (name == "cell-slew") return tuning::TuningMethod::kCellSlewSlope;
-  if (name == "sigma-ceiling") return tuning::TuningMethod::kSigmaCeiling;
-  throw std::runtime_error("unknown method '" + name + "'");
+  return core::tuningMethodByName(name);
 }
 
 netlist::Design designByName(const std::string& name,
@@ -429,55 +427,31 @@ int cmdLint(const std::string& path, const Args& args) {
 
 // ---- resumable flow + cache maintenance ----------------------------------
 
-/// Full-precision round-trippable double rendering for the deterministic
-/// flow report (compared byte-for-byte between cold and warm runs).
-std::string fmt17(double v) {
-  char buffer[40];
-  std::snprintf(buffer, sizeof buffer, "%.17g", v);
-  return buffer;
-}
-
 std::filesystem::path cacheRoot(const Args& args) {
   if (const auto dir = args.get("cache-dir")) return *dir;
   if (const auto env = env::get("SCT_CACHE_DIR")) return *env;
   throw std::runtime_error("need --cache-dir (or the SCT_CACHE_DIR variable)");
 }
 
+/// Flow job description from the command line; shared verbatim between the
+/// local `flow` command and `client flow` (the daemon round trip), so both
+/// paths compute and render exactly the same request.
+core::FlowJob flowJobFromArgs(const Args& args) {
+  core::FlowJob job;
+  job.profile = args.get("profile").value_or("full");
+  job.period = args.requireDouble("period");
+  if (const auto method = args.get("method")) {
+    job.method = *method;
+    job.value = args.requireDouble("value");
+  }
+  job.mcCount = args.getUint("mc", 0);  // 0 = profile default
+  job.mcSeed = args.getUint("seed", job.mcSeed);
+  job.lintMode = args.get("lint-mode").value_or("error");
+  return job;
+}
+
 core::FlowConfig makeFlowConfig(const Args& args) {
-  core::FlowConfig config;
-  const std::string profile = args.get("profile").value_or("full");
-  if (profile == "small") {
-    // Shrunk grid/subject for smoke runs; same shape as the full pipeline.
-    config.characterization.slewAxis = {0.002, 0.05, 0.2, 0.6};
-    config.characterization.loadFractions = {0.01, 0.1, 0.4, 1.0};
-    config.mcLibraryCount = 10;
-    config.mcu.registers = 8;
-    config.mcu.readPorts = 2;
-    config.mcu.bankedRegisters = 1;
-    config.mcu.macUnits = 1;
-    config.mcu.macWidth = 8;
-    config.mcu.timers = 1;
-    config.mcu.dmaChannels = 1;
-    config.mcu.gpioWidth = 16;
-    config.mcu.cacheTagEntries = 16;
-    config.mcu.decodeOutputs = 64;
-    config.mcu.interruptSources = 8;
-  } else if (profile != "full") {
-    throw std::runtime_error("unknown profile '" + profile + "' (small/full)");
-  }
-  config.mcLibraryCount = args.getUint("mc", config.mcLibraryCount);
-  config.mcSeed = args.getUint("seed", config.mcSeed);
-  const std::string lintMode = args.get("lint-mode").value_or("error");
-  if (lintMode == "error") {
-    config.lintMode = core::LintMode::kError;
-  } else if (lintMode == "warn") {
-    config.lintMode = core::LintMode::kWarn;
-  } else if (lintMode == "off") {
-    config.lintMode = core::LintMode::kOff;
-  } else {
-    throw std::runtime_error("unknown --lint-mode '" + lintMode +
-                             "' (error/warn/off)");
-  }
+  core::FlowConfig config = core::makeFlowConfig(flowJobFromArgs(args));
   if (!args.has("no-cache")) {
     if (const auto dir = args.get("cache-dir")) {
       config.cacheDir = *dir;
@@ -485,54 +459,25 @@ core::FlowConfig makeFlowConfig(const Args& args) {
       config.cacheDir = *env;
     }
   }
+  // The in-memory tier in front of the store (--mem-cache-mb bounds it,
+  // --no-mem-cache disables it; it never changes results).
+  if (args.has("no-mem-cache")) {
+    config.memCacheBytes = 0;
+  } else {
+    config.memCacheBytes = args.getUint("mem-cache-mb", 64) << 20;
+  }
   return config;
 }
 
 int cmdFlow(const Args& args) {
   core::TuningFlow flow(makeFlowConfig(args));
-  const double period = args.requireDouble("period");
-
-  std::optional<tuning::TuningConfig> tuningConfig;
-  if (const auto method = args.get("method")) {
-    tuningConfig = tuning::TuningConfig::forMethod(methodByName(*method),
-                                                   args.requireDouble("value"));
-  }
-  const core::DesignMeasurement m =
-      tuningConfig ? flow.synthesizeTuned(period, *tuningConfig)
-                   : flow.synthesizeBaseline(period);
-
-  std::printf("flow: %s | wns %+.4f ns | area %.0f um^2 | %zu gates | "
-              "design sigma %.4f ns over %zu paths\n",
-              m.success() ? "MET" : "FAILED", m.synthesis.worstSlack, m.area(),
-              m.synthesis.design.gateCount(), m.sigma(), m.paths.size());
-
-  std::ostringstream report;
-  report << "flow-report v1\n";
-  report << "design " << m.synthesis.design.name() << " period "
-         << fmt17(period) << "\n";
-  report << "synthesis met " << m.synthesis.timingMet << " legal "
-         << m.synthesis.legal << " wns " << fmt17(m.synthesis.worstSlack)
-         << " tns " << fmt17(m.synthesis.tns) << " area "
-         << fmt17(m.synthesis.area) << "\n";
-  report << "gates " << m.synthesis.design.gateCount() << " buffers "
-         << m.synthesis.buffersInserted << " resizes " << m.synthesis.resizes
-         << " decomposed " << m.synthesis.decomposed << "\n";
-  report << "design-sigma " << fmt17(m.sigma()) << " paths " << m.paths.size()
-         << "\n";
-  if (tuningConfig) {
-    const tuning::LibraryConstraints constraints = flow.tune(*tuningConfig);
-    artifact::Hasher hasher;
-    hasher.str(tuning::writeConstraintsToString(constraints));
-    report << "constraints " << constraints.size() << " unusable "
-           << constraints.unusableCellCount() << " digest "
-           << hasher.digest().hex() << "\n";
-  }
-  for (const core::PathRecord& p : m.paths) {
-    report << "path " << p.endpoint << " depth " << p.depth << " mean "
-           << fmt17(p.mean) << " sigma " << fmt17(p.sigma) << " arrival "
-           << fmt17(p.arrival) << " slack " << fmt17(p.slack) << "\n";
-  }
-  if (const auto out = args.get("report")) writeFile(*out, report.str());
+  const core::FlowJob job = flowJobFromArgs(args);
+  // The summary line and report bytes come from the same renderer the
+  // daemon uses (core::runFlowJob), so `flow --report` output and a
+  // `client flow` response body are byte-identical by construction.
+  const core::FlowJobResult result = core::runFlowJob(flow, job);
+  std::printf("%s\n", result.summary.c_str());
+  if (const auto out = args.get("report")) writeFile(*out, result.report);
 
   if (obs::metricsEnabled()) {
     printStageTable(obs::MetricsRegistry::global().snapshot());
@@ -545,15 +490,16 @@ int cmdFlow(const Args& args) {
       std::printf(
           "cache %s: %zu hits, %zu misses, %zu corrupt, %zu stores; "
           "%.1f KB read, %.1f KB written; %zu entries / %.1f KB on disk\n",
-          store->root().c_str(), s.hits, s.misses, s.corrupt, s.stores,
-          static_cast<double>(s.bytesRead) / 1024.0,
-          static_cast<double>(s.bytesWritten) / 1024.0, files,
+          store->root().c_str(), s.hits.load(), s.misses.load(),
+          s.corrupt.load(), s.stores.load(),
+          static_cast<double>(s.bytesRead.load()) / 1024.0,
+          static_cast<double>(s.bytesWritten.load()) / 1024.0, files,
           static_cast<double>(bytes) / 1024.0);
     } else {
       std::printf("cache: disabled\n");
     }
   }
-  return m.success() ? 0 : 2;
+  return result.success ? 0 : 2;
 }
 
 int cmdCacheStats(const Args& args) {
@@ -598,6 +544,89 @@ int cmdCacheGc(const Args& args) {
   return 0;
 }
 
+// ---- daemon client -------------------------------------------------------
+
+/// Connection target for `sctune client`: --socket (Unix-domain path, also
+/// the SCT_SOCKET variable) or --tcp-port (127.0.0.1 loopback).
+server::Client connectClient(const Args& args) {
+  if (const auto port = args.get("tcp-port")) {
+    return server::Client::connectTcp(
+        static_cast<std::uint16_t>(std::stoul(*port)));
+  }
+  if (const auto path = args.get("socket")) {
+    return server::Client::connectUnix(*path);
+  }
+  if (const auto env = env::get("SCT_SOCKET")) {
+    return server::Client::connectUnix(*env);
+  }
+  throw std::runtime_error(
+      "need --socket PATH or --tcp-port N (or the SCT_SOCKET variable)");
+}
+
+/// Renders one daemon response like the equivalent local command would:
+/// summary to stdout, body to --report/--out or stdout. Exit codes: 0 ok,
+/// 1 error, 4 busy, 5 deadline expired, 6 server shutting down.
+int finishClientCall(const server::Response& response, const Args& args) {
+  if (!response.summary.empty()) {
+    std::printf("%s\n", response.summary.c_str());
+  }
+  if (!response.body.empty()) {
+    std::optional<std::string> out = args.get("report");
+    if (!out) out = args.get("out");
+    if (out) {
+      writeFile(*out, response.body);
+    } else {
+      std::fputs(response.body.c_str(), stdout);
+    }
+  }
+  switch (response.status) {
+    case server::Status::kOk: return 0;
+    case server::Status::kBusy: return 4;
+    case server::Status::kTimeout: return 5;
+    case server::Status::kShuttingDown: return 6;
+    case server::Status::kError:
+    default: return 1;
+  }
+}
+
+int cmdClient(const std::string& op, const Args& args) {
+  server::Client client = connectClient(args);
+  if (op == "flow") {
+    server::FlowRequest request;
+    request.job = flowJobFromArgs(args);
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.flow(request), args);
+  }
+  if (op == "lint") {
+    server::LintRequest request;
+    request.artifactType = args.require("type");
+    request.content = readFile(args.require("path"));
+    request.json = args.has("json");
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.lint(request), args);
+  }
+  if (op == "sta") {
+    server::StaRequest request;
+    request.libraryText = readFile(args.require("lib"));
+    request.netlistText = readFile(args.require("netlist"));
+    request.period = args.requireDouble("period");
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.sta(request), args);
+  }
+  if (op == "ping") {
+    server::PingRequest request;
+    request.echo = args.get("echo").value_or("");
+    request.sleepMillis = args.getUint("sleep-ms", 0);
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.ping(request), args);
+  }
+  if (op == "health") return finishClientCall(client.health(), args);
+  if (op == "shutdown") return finishClientCall(client.shutdown(), args);
+  throw std::runtime_error(
+      "unknown client op '" + op +
+      "' (flow|lint|sta|ping|health|shutdown)");
+}
+
 int usage() {
   std::printf(
       "sctune — standard cell library tuning for variability tolerant "
@@ -620,7 +649,13 @@ int usage() {
       "  flow          --period <ns> [--method <m> --value <v>]\n"
       "                [--profile small|full] [--mc N --seed S]\n"
       "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
+      "                [--no-mem-cache | --mem-cache-mb N]\n"
       "                [--lint-mode error|warn|off] [--report report.txt]\n"
+      "  client <op>   --socket PATH | --tcp-port N — run <op> on a sctuned\n"
+      "                daemon: flow (same flags as flow), lint (--path F\n"
+      "                --type T [--json]), sta (--lib F --netlist F\n"
+      "                --period <ns>), ping ([--sleep-ms N --echo TEXT]),\n"
+      "                health, shutdown; all ops accept --deadline-ms N\n"
       "  cache stats   --cache-dir DIR [--json]\n"
       "  cache gc      --cache-dir DIR [--max-bytes N] [--max-age seconds]\n"
       "                [--json]\n\n"
@@ -658,11 +693,25 @@ int main(int argc, char** argv) {
     command = std::string("cache ") + argv[2];
     start = 3;
   }
+  std::string clientOp;
+  if (command == "client") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "client needs an op (flow|lint|sta|ping|health|"
+                   "shutdown)\n\n");
+      return usage();
+    }
+    clientOp = argv[2];
+    start = 3;
+  }
   try {
     std::vector<std::string> booleans;
-    if (command == "flow") booleans = {"no-cache", "cache-stats", "obs-off"};
+    if (command == "flow") {
+      booleans = {"no-cache", "no-mem-cache", "cache-stats", "obs-off"};
+    }
     if (command == "synth") booleans = {"obs-off"};
     if (command == "lint") booleans = {"json", "sarif", "obs-off"};
+    if (command == "client") booleans = {"json"};
     if (command == "cache stats" || command == "cache gc") booleans = {"json"};
     const Args args(argc, argv, start, std::move(booleans));
     // Worker-pool size for the parallelized kernels. The flag takes
@@ -683,6 +732,7 @@ int main(int argc, char** argv) {
     else if (command == "flow") code = cmdFlow(args);
     else if (command == "cache stats") code = cmdCacheStats(args);
     else if (command == "cache gc") code = cmdCacheGc(args);
+    else if (command == "client") code = cmdClient(clientOp, args);
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
       return usage();
