@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end check of the post-silicon scenario matrix (DESIGN.md §15), run
+# by the CI scenario-matrix job:
+#
+#   1. cold and warm `sctune scenario` runs over one cache directory produce
+#      byte-identical scenario reports (every cell decodes from the store);
+#   2. a sctuned daemon answers the same scenario request byte-identical to
+#      the standalone CLI, and its health snapshot reports the in-memory
+#      cache counters (server.memcache.*) moving;
+#   3. SIGTERM drains and the daemon exits 0;
+#   4. the cold/warm wall-clock times are appended to BENCH_perf.json under
+#      a "<rev>-scenarios" history entry via scripts/bench_to_json.py.
+#
+#   scripts/scenario_matrix.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR  build tree with sctune + sctuned  (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_perf.json}"
+WORK="$(mktemp -d /tmp/sct_scenarios.XXXXXX)"
+SOCK="$WORK/sctuned.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cmake --build "$BUILD_DIR" -j --target sctune_cli sctuned >/dev/null
+
+CLI="$BUILD_DIR/tools/sctune"
+# The paper's four-period matrix (--period expands to the section VII set),
+# all three scenarios, small profile so the job finishes in CI time.
+ARGS=(--profile small --mc 6 --period 2.41 --method sigma-ceiling
+      --value 0.02 --trials 16)
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# 1. Cold vs warm byte-identity over one cache directory.
+T0=$(now_ms)
+"$CLI" scenario "${ARGS[@]}" --cache-dir "$WORK/cli-cache" \
+  --report "$WORK/cold.txt" >/dev/null
+T1=$(now_ms)
+"$CLI" scenario "${ARGS[@]}" --cache-dir "$WORK/cli-cache" \
+  --report "$WORK/warm.txt" >/dev/null
+T2=$(now_ms)
+COLD_MS=$(( T1 - T0 ))
+WARM_MS=$(( T2 - T1 ))
+cmp "$WORK/cold.txt" "$WORK/warm.txt"
+grep -q '^scenario-report v1$' "$WORK/cold.txt"
+echo "cold ($COLD_MS ms) and warm ($WARM_MS ms) scenario reports byte-identical"
+
+# 2. Daemon answers the same request byte-identical to the CLI.
+"$BUILD_DIR/tools/sctuned" --socket "$SOCK" --cache-dir "$WORK/cache" &
+DAEMON_PID=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK"; exit 1; }
+
+"$CLI" client scenario --socket "$SOCK" "${ARGS[@]}" \
+  --report "$WORK/daemon1.txt" >/dev/null
+"$CLI" client scenario --socket "$SOCK" "${ARGS[@]}" \
+  --report "$WORK/daemon2.txt" >/dev/null
+cmp "$WORK/cold.txt" "$WORK/daemon1.txt"
+cmp "$WORK/daemon1.txt" "$WORK/daemon2.txt"
+echo "daemon scenario responses byte-identical to the CLI report"
+
+# Health must expose the shared in-memory cache counters.
+"$CLI" client health --socket "$SOCK" --out "$WORK/health.json" >/dev/null
+grep -q '"schema": "sct-metrics-v1"' "$WORK/health.json"
+grep -Eq '"server\.memcache\.insertions": [0-9]+' "$WORK/health.json"
+grep -Eq '"server\.memcache\.hits": [0-9]+' "$WORK/health.json"
+grep -Eq '"server\.memcache\.evictions": [0-9]+' "$WORK/health.json"
+echo "memcache counters present:"
+grep -E '"server\.memcache\.' "$WORK/health.json" || true
+
+# 3. Graceful shutdown.
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || { echo "daemon exited $RC after SIGTERM"; exit 1; }
+
+# 4. Record cold/warm wall clock under "<rev>-scenarios".
+RAW="$WORK/scenario_bench.json"
+cat > "$RAW" <<EOF
+{
+  "context": {"date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)", "num_cpus": $(nproc)},
+  "benchmarks": [
+    {"name": "ScenarioMatrix/cold", "run_type": "iteration",
+     "real_time": $COLD_MS, "cpu_time": $COLD_MS,
+     "time_unit": "ms", "iterations": 1},
+    {"name": "ScenarioMatrix/warm", "run_type": "iteration",
+     "real_time": $WARM_MS, "cpu_time": $WARM_MS,
+     "time_unit": "ms", "iterations": 1}
+  ]
+}
+EOF
+BENCH_REV_SUFFIX="-scenarios" python3 scripts/bench_to_json.py "$RAW" "$OUT"

@@ -31,6 +31,50 @@ struct ClockTreeConfig {
   double wireCapPerSink = 0.0015;  ///< lumped wire model [pF per sink]
 };
 
+/// Post-silicon tunable delay element attached to a sink buffer (Li &
+/// Schlichtmann-style clock tuning): a discrete programmable delay in
+/// [rangeMin, rangeMax], settable in multiples of `step` after
+/// manufacturing. Per-die assignments are chosen from measured slack, so
+/// the statistical tuning-range computation (src/postsi) works on the MC
+/// slack distribution of each register endpoint.
+struct TuningElementSpec {
+  double rangeMin = 0.0;       ///< smallest programmable delay [ns]
+  double rangeMax = 0.0;       ///< largest programmable delay [ns]
+  double step = 0.0;           ///< tuning resolution [ns]
+  double areaPerElement = 2.0; ///< silicon cost of one element [um^2]
+
+  /// True when the range is non-inverted and the step positive and no
+  /// coarser than the range span (a zero-span range is only valid with a
+  /// zero count of usable settings, i.e. effectively no tuning).
+  [[nodiscard]] bool valid() const noexcept {
+    return rangeMax >= rangeMin && step > 0.0 && step <= (rangeMax - rangeMin);
+  }
+  [[nodiscard]] bool enabled() const noexcept { return rangeMax > rangeMin; }
+  /// Tolerance (in step units) absorbing division wobble when a bound sits
+  /// on the grid: (0.3 - 0.0) / 0.05 evaluates to 5.999...97, which would
+  /// otherwise truncate away the top setting.
+  static constexpr double kGridSlop = 1e-9;
+  /// Number of programmable settings on the step grid (including rangeMin).
+  [[nodiscard]] std::size_t settingCount() const noexcept {
+    if (step <= 0.0 || rangeMax < rangeMin) return 0;
+    return static_cast<std::size_t>((rangeMax - rangeMin) / step + kGridSlop) +
+           1;
+  }
+  /// Clamps into the range and rounds down to the step grid — the delay a
+  /// real element would realize for a requested value. Grid origin is
+  /// rangeMin; flooring keeps the tuned register from borrowing more delay
+  /// than the measurement justified.
+  [[nodiscard]] double snap(double requested) const noexcept {
+    if (step <= 0.0 || rangeMax <= rangeMin) return rangeMin;
+    if (requested <= rangeMin) return rangeMin;
+    const double span = requested >= rangeMax ? rangeMax - rangeMin
+                                              : requested - rangeMin;
+    const double steps = static_cast<double>(
+        static_cast<long long>(span / step + kGridSlop));
+    return rangeMin + steps * step;
+  }
+};
+
 /// One level of the balanced tree (level 0 drives the flip-flop pins).
 struct TreeLevel {
   const liberty::Cell* buffer = nullptr;

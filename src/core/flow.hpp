@@ -15,6 +15,7 @@
 #include "charlib/characterizer.hpp"
 #include "lint/engine.hpp"
 #include "netlist/mcu.hpp"
+#include "power/power_stats.hpp"
 #include "statlib/stat_library.hpp"
 #include "synth/synthesis.hpp"
 #include "tuning/restriction.hpp"
@@ -65,6 +66,12 @@ struct FlowConfig {
   /// sharedStore overrides cacheDir; neither is owned by the flow.
   artifact::ArtifactStore* sharedStore = nullptr;
   artifact::MemoryArtifactCache* sharedMemCache = nullptr;
+  /// Design-power measurement knobs (src/power wired into measure(); the
+  /// totals land in the flow report and the scenario trade-off output).
+  /// Deterministic: per-instance streams are derived from powerSeed alone.
+  double powerActivity = 0.1;      ///< transitions per clock per cell
+  std::size_t powerSamples = 50;   ///< mismatch draws per instance
+  std::uint64_t powerSeed = 7;
 };
 
 /// Per-endpoint worst-path record used by the path-population figures.
@@ -81,6 +88,7 @@ struct DesignMeasurement {
   synth::SynthesisResult synthesis;
   variation::DesignStats design;  ///< eq. (11) aggregate
   std::vector<PathRecord> paths;  ///< one per unique endpoint
+  power::DesignPower power;       ///< dynamic-power mean/sigma totals
   double clockPeriod = 0.0;
 
   [[nodiscard]] bool success() const noexcept { return synthesis.success(); }
@@ -152,6 +160,9 @@ class TuningFlow {
     return store_;
   }
   /// In-memory tier in front of the store; nullptr when disabled.
+  [[nodiscard]] artifact::MemoryArtifactCache* memCache() noexcept {
+    return mem_;
+  }
   [[nodiscard]] const artifact::MemoryArtifactCache* memCache() const noexcept {
     return mem_;
   }

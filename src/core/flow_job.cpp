@@ -102,6 +102,8 @@ FlowJobResult runFlowJob(TuningFlow& flow, const FlowJob& job) {
          << " decomposed " << m.synthesis.decomposed << "\n";
   report << "design-sigma " << fmt17(m.sigma()) << " paths " << m.paths.size()
          << "\n";
+  report << "power mean " << fmt17(m.power.meanPower) << " sigma "
+         << fmt17(m.power.sigmaPower) << " cells " << m.power.cells << "\n";
   if (tuningConfig) {
     const tuning::LibraryConstraints constraints = flow.tune(*tuningConfig);
     artifact::Hasher hasher;

@@ -1,0 +1,129 @@
+// Clock rule pack: sanity of post-silicon tuning-element configuration
+// (cst.clock.*) against the clock tree it decorates. An inverted range or a
+// non-positive step silently disables tuning; a step coarser than the range
+// leaves a single usable setting; and a range narrower than the tree's own
+// skew sigma cannot re-center the slack it is meant to absorb.
+
+#include <cmath>
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace sct::lint {
+namespace {
+
+using clocktree::TuningElementSpec;
+
+constexpr const char* kSpecPath = "clock/tuning-element";
+
+std::string num(double v) { return std::to_string(v); }
+
+class ClockRangeInvertedRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.clock.range-inverted";
+  }
+  RulePack pack() const noexcept override { return RulePack::kClock; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "tuning-element delay range must not be inverted or non-finite";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const TuningElementSpec& spec = *subject.clockTuning;
+    if (!std::isfinite(spec.rangeMin) || !std::isfinite(spec.rangeMax)) {
+      emit(report, kSpecPath, "range bounds must be finite");
+      return;
+    }
+    if (spec.rangeMin > spec.rangeMax) {
+      emit(report, kSpecPath,
+           "range is inverted (" + num(spec.rangeMin) + " > " +
+               num(spec.rangeMax) + ")");
+    }
+    if (spec.rangeMin < 0.0) {
+      emit(report, kSpecPath,
+           "negative delays are not realizable (rangeMin " +
+               num(spec.rangeMin) + ")");
+    }
+  }
+};
+
+class ClockStepRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.clock.step-nonpositive";
+  }
+  RulePack pack() const noexcept override { return RulePack::kClock; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "tuning resolution must be a positive finite step";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const TuningElementSpec& spec = *subject.clockTuning;
+    if (!std::isfinite(spec.step) || spec.step <= 0.0) {
+      emit(report, kSpecPath,
+           "step " + num(spec.step) + " leaves no programmable settings");
+    }
+  }
+};
+
+class ClockStepCoarseRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.clock.step-coarse";
+  }
+  RulePack pack() const noexcept override { return RulePack::kClock; }
+  Severity severity() const noexcept override { return Severity::kWarning; }
+  std::string_view description() const noexcept override {
+    return "tuning step coarser than the range span leaves one setting";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const TuningElementSpec& spec = *subject.clockTuning;
+    if (spec.step <= 0.0 || spec.rangeMax < spec.rangeMin) return;  // errors
+    if (spec.step > spec.rangeMax - spec.rangeMin) {
+      emit(report, kSpecPath,
+           "step " + num(spec.step) + " exceeds the range span " +
+               num(spec.rangeMax - spec.rangeMin) +
+               "; only rangeMin is programmable");
+    }
+  }
+};
+
+class ClockRangeBelowSkewRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "cst.clock.range-below-skew";
+  }
+  RulePack pack() const noexcept override { return RulePack::kClock; }
+  Severity severity() const noexcept override { return Severity::kWarning; }
+  std::string_view description() const noexcept override {
+    return "tuning range narrower than the clock tree's worst skew sigma";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    if (subject.clockTree == nullptr) return;  // no tree context: skip
+    const TuningElementSpec& spec = *subject.clockTuning;
+    if (spec.rangeMax < spec.rangeMin) return;  // reported as error already
+    const double span = spec.rangeMax - spec.rangeMin;
+    const double skew = subject.clockTree->worstSkewSigma();
+    if (span < skew) {
+      emit(report, kSpecPath,
+           "range span " + num(span) + " ns is below the tree's worst skew "
+           "sigma " + num(skew) + " ns; tuning cannot absorb its own clock "
+           "network variation");
+    }
+  }
+};
+
+}  // namespace
+
+void registerClockRules(LintEngine& engine) {
+  engine.add(std::make_unique<ClockRangeInvertedRule>());
+  engine.add(std::make_unique<ClockStepRule>());
+  engine.add(std::make_unique<ClockStepCoarseRule>());
+  engine.add(std::make_unique<ClockRangeBelowSkewRule>());
+}
+
+}  // namespace sct::lint

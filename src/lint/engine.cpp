@@ -8,6 +8,7 @@ std::string_view toString(RulePack pack) noexcept {
     case RulePack::kStatLib: return "statlib";
     case RulePack::kNetlist: return "netlist";
     case RulePack::kConstraints: return "constraints";
+    case RulePack::kClock: return "clock";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ LintEngine LintEngine::withAllRules() {
   registerStatLibRules(engine);
   registerNetlistRules(engine);
   registerConstraintsRules(engine);
+  registerClockRules(engine);
   return engine;
 }
 

@@ -13,7 +13,7 @@ namespace sct::lint {
 
 /// Version of the rule set; part of every cached lint-report key, so a rule
 /// change can never be masked by a stale cache entry.
-inline constexpr std::uint32_t kRulePackVersion = 1;
+inline constexpr std::uint32_t kRulePackVersion = 2;
 
 class LintEngine {
  public:
@@ -49,5 +49,6 @@ void registerLibertyRules(LintEngine& engine);
 void registerStatLibRules(LintEngine& engine);
 void registerNetlistRules(LintEngine& engine);
 void registerConstraintsRules(LintEngine& engine);
+void registerClockRules(LintEngine& engine);
 
 }  // namespace sct::lint

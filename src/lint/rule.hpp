@@ -7,6 +7,7 @@
 
 #include <string_view>
 
+#include "clocktree/clock_tree.hpp"
 #include "lint/diagnostic.hpp"
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
@@ -22,6 +23,7 @@ enum class RulePack : std::uint8_t {
   kStatLib = 1,
   kNetlist = 2,
   kConstraints = 3,
+  kClock = 4,
 };
 
 [[nodiscard]] std::string_view toString(RulePack pack) noexcept;
@@ -31,7 +33,7 @@ using RulePackMask = std::uint8_t;
 [[nodiscard]] inline constexpr RulePackMask packBit(RulePack pack) noexcept {
   return static_cast<RulePackMask>(1u << static_cast<std::uint8_t>(pack));
 }
-inline constexpr RulePackMask kAllPacks = 0x0f;
+inline constexpr RulePackMask kAllPacks = 0x1f;
 
 /// What a lint run inspects. Primary artifacts (library, statLibrary,
 /// design, constraints) select which packs run; referenceLibrary is
@@ -44,6 +46,11 @@ struct LintSubject {
   const netlist::Design* design = nullptr;
   const tuning::LibraryConstraints* constraints = nullptr;
   const liberty::Library* referenceLibrary = nullptr;
+  /// Post-silicon tuning-element configuration; selects the clock pack.
+  const clocktree::TuningElementSpec* clockTuning = nullptr;
+  /// Cross-check context for the clock pack (range vs. tree skew); the
+  /// rules degrade gracefully to skipped when it is null.
+  const clocktree::ClockTree* clockTree = nullptr;
 
   [[nodiscard]] bool carries(RulePack pack) const noexcept {
     switch (pack) {
@@ -51,6 +58,7 @@ struct LintSubject {
       case RulePack::kStatLib: return statLibrary != nullptr;
       case RulePack::kNetlist: return design != nullptr;
       case RulePack::kConstraints: return constraints != nullptr;
+      case RulePack::kClock: return clockTuning != nullptr;
     }
     return false;
   }

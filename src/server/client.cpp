@@ -95,6 +95,10 @@ Response Client::flow(const FlowRequest& request) {
   return call(MessageType::kFlowRequest, encodeFlowRequest(request));
 }
 
+Response Client::scenario(const ScenarioRequest& request) {
+  return call(MessageType::kScenarioRequest, encodeScenarioRequest(request));
+}
+
 Response Client::lint(const LintRequest& request) {
   return call(MessageType::kLintRequest, encodeLintRequest(request));
 }

@@ -33,6 +33,7 @@ class Client {
 
   // Typed conveniences.
   [[nodiscard]] Response flow(const FlowRequest& request);
+  [[nodiscard]] Response scenario(const ScenarioRequest& request);
   [[nodiscard]] Response lint(const LintRequest& request);
   [[nodiscard]] Response sta(const StaRequest& request);
   [[nodiscard]] Response ping(const PingRequest& request);

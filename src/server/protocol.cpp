@@ -24,6 +24,7 @@ using artifact::SctbWriter;
 constexpr const char* kFlowSection = "flow-req";
 constexpr const char* kLintSection = "lint-req";
 constexpr const char* kStaSection = "sta-req";
+constexpr const char* kScenarioSection = "scenario-req";
 constexpr const char* kPingSection = "ping-req";
 constexpr const char* kResponseSection = "response";
 
@@ -50,6 +51,7 @@ bool isRequestType(std::uint32_t raw) noexcept {
     case MessageType::kHealthRequest:
     case MessageType::kPingRequest:
     case MessageType::kShutdownRequest:
+    case MessageType::kScenarioRequest:
       return true;
     case MessageType::kResponse:
     default:
@@ -133,6 +135,63 @@ StaRequest decodeStaRequest(std::span<const std::byte> bytes) {
     r.libraryText = cursor.str();
     r.netlistText = cursor.str();
     r.period = cursor.f64();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodeScenarioRequest(const ScenarioRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kScenarioSection);
+  // Flow-job fields in flow-request order, then the scenario extensions.
+  writer.str(r.job.profile);
+  writer.f64(r.job.period);
+  writer.str(r.job.method);
+  writer.f64(r.job.value);
+  writer.u64(r.job.mcCount);
+  writer.u64(r.job.mcSeed);
+  writer.str(r.job.lintMode);
+  writer.u64(r.periods.size());
+  for (const double p : r.periods) writer.f64(p);
+  writer.str(r.scenarios);
+  writer.f64(r.rangeMin);
+  writer.f64(r.rangeMax);
+  writer.f64(r.step);
+  writer.f64(r.areaPerElement);
+  writer.u64(r.mcTrials);
+  writer.u64(r.mcSeed);
+  writer.boolean(r.json);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+ScenarioRequest decodeScenarioRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kScenarioSection);
+  auto cursor = reader.section(kScenarioSection);
+  ScenarioRequest r;
+  try {
+    r.job.profile = cursor.str();
+    r.job.period = cursor.f64();
+    r.job.method = cursor.str();
+    r.job.value = cursor.f64();
+    r.job.mcCount = cursor.u64();
+    r.job.mcSeed = cursor.u64();
+    r.job.lintMode = cursor.str();
+    const std::uint64_t count = cursor.u64();
+    if (count > 64) throw ProtocolError("unreasonable scenario period count");
+    r.periods.clear();
+    r.periods.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) r.periods.push_back(cursor.f64());
+    r.scenarios = cursor.str();
+    r.rangeMin = cursor.f64();
+    r.rangeMax = cursor.f64();
+    r.step = cursor.f64();
+    r.areaPerElement = cursor.f64();
+    r.mcTrials = cursor.u64();
+    r.mcSeed = cursor.u64();
+    r.json = cursor.boolean();
     r.deadlineMillis = cursor.u64();
   } catch (const artifact::FormatError& e) {
     throw ProtocolError(e.what());

@@ -46,6 +46,7 @@ enum class MessageType : std::uint32_t {
   kHealthRequest = 4,
   kPingRequest = 5,
   kShutdownRequest = 6,
+  kScenarioRequest = 7,
   kResponse = 100,
 };
 
@@ -94,6 +95,23 @@ struct StaRequest {
   std::uint64_t deadlineMillis = 0;
 };
 
+/// Runs the post-silicon scenario matrix (postsi::runScenarioJob); body is
+/// the deterministic "scenario-report v1" text, or the JSON rendering when
+/// `json` is set — both byte-identical to the CLI's output for the same job.
+struct ScenarioRequest {
+  core::FlowJob job;            ///< flow part (period field unused)
+  std::vector<double> periods;  ///< explicit clock periods [ns]
+  std::string scenarios = "tuning,clock,buffers";
+  double rangeMin = 0.0;  ///< tuning-element spec, flattened for the wire
+  double rangeMax = 0.3;
+  double step = 0.05;
+  double areaPerElement = 2.0;
+  std::uint64_t mcTrials = 0;  ///< 0 = profile default
+  std::uint64_t mcSeed = 2014;
+  bool json = false;
+  std::uint64_t deadlineMillis = 0;
+};
+
 /// Diagnostic echo; sleeps for sleepMillis on the session worker before
 /// answering (load/deadline/admission testing without burning CPU).
 struct PingRequest {
@@ -118,6 +136,10 @@ struct Response {
 [[nodiscard]] LintRequest decodeLintRequest(std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<std::byte> encodeStaRequest(const StaRequest& r);
 [[nodiscard]] StaRequest decodeStaRequest(std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodeScenarioRequest(
+    const ScenarioRequest& r);
+[[nodiscard]] ScenarioRequest decodeScenarioRequest(
+    std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<std::byte> encodePingRequest(const PingRequest& r);
 [[nodiscard]] PingRequest decodePingRequest(std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<std::byte> encodeResponse(const Response& r);

@@ -12,6 +12,7 @@
 #include "netlist/verilog_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "postsi/scenario.hpp"
 #include "sta/report.hpp"
 #include "sta/sta.hpp"
 #include "statlib/stat_io.hpp"
@@ -51,6 +52,7 @@ struct ServiceMetrics {
 /// Domain separation tags so request digests can never collide with each
 /// other or with flow stage keys (which hash configuration structs).
 constexpr const char* kFlowTag = "sctp-flow-v1";
+constexpr const char* kScenarioTag = "sctp-scenario-v1";
 constexpr const char* kLintTag = "sctp-lint-v1";
 constexpr const char* kStaTag = "sctp-sta-v1";
 
@@ -64,6 +66,28 @@ artifact::Digest flowDigest(const FlowRequest& r) {
       .u64(r.job.mcCount)
       .u64(r.job.mcSeed)
       .str(r.job.lintMode);
+  return h.digest();
+}
+
+artifact::Digest scenarioDigest(const ScenarioRequest& r) {
+  artifact::Hasher h;
+  h.str(kScenarioTag)
+      .str(r.job.profile)
+      .str(r.job.method)
+      .f64(r.job.value)
+      .u64(r.job.mcCount)
+      .u64(r.job.mcSeed)
+      .str(r.job.lintMode);
+  h.u64(r.periods.size());
+  for (const double p : r.periods) h.f64(p);
+  h.str(r.scenarios)
+      .f64(r.rangeMin)
+      .f64(r.rangeMax)
+      .f64(r.step)
+      .f64(r.areaPerElement)
+      .u64(r.mcTrials)
+      .u64(r.mcSeed)
+      .u8(r.json ? 1 : 0);
   return h.digest();
 }
 
@@ -148,6 +172,9 @@ Response TuningService::handle(MessageType type,
     switch (type) {
       case MessageType::kFlowRequest:
         response = handleFlow(decodeFlowRequest(payload), received);
+        break;
+      case MessageType::kScenarioRequest:
+        response = handleScenario(decodeScenarioRequest(payload), received);
         break;
       case MessageType::kLintRequest:
         response = handleLint(decodeLintRequest(payload), received);
@@ -253,6 +280,36 @@ Response TuningService::handleFlow(const FlowRequest& request,
   });
 }
 
+Response TuningService::handleScenario(const ScenarioRequest& request,
+                                       Clock::time_point received) {
+  SCT_TRACE_SPAN("server.scenario");
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  return cachedResponse(scenarioDigest(request),
+                        deadlinePoint(request.deadlineMillis, received), [&] {
+    core::FlowConfig config = core::makeFlowConfig(request.job);
+    config.sharedStore = store_.get();
+    config.sharedMemCache = &mem_;
+    core::TuningFlow flow(std::move(config));
+    postsi::ScenarioJob job;
+    job.flow = request.job;
+    job.periods = request.periods;
+    job.scenarios = request.scenarios;
+    job.element = clocktree::TuningElementSpec{
+        request.rangeMin, request.rangeMax, request.step,
+        request.areaPerElement};
+    job.mcTrials = request.mcTrials;
+    job.mcSeed = request.mcSeed;
+    const postsi::ScenarioRunResult result = postsi::runScenarioJob(flow, job);
+    Response r;
+    r.status = Status::kOk;
+    r.summary = result.summary;
+    r.body = request.json ? result.json : result.report;
+    return r;
+  });
+}
+
 Response TuningService::handleLint(const LintRequest& request,
                                    Clock::time_point received) {
   SCT_TRACE_SPAN("server.lint");
@@ -348,6 +405,15 @@ std::string TuningService::healthJson() {
       .set(static_cast<double>(mem.entries));
   registry.gauge("server.memcache.capacity")
       .set(static_cast<double>(mem.capacity));
+  // Lifetime traffic counters of the shared tier: hit ratio and eviction
+  // pressure are the two numbers that justify (or resize) the byte budget.
+  registry.gauge("server.memcache.hits").set(static_cast<double>(mem.hits));
+  registry.gauge("server.memcache.misses")
+      .set(static_cast<double>(mem.misses));
+  registry.gauge("server.memcache.insertions")
+      .set(static_cast<double>(mem.insertions));
+  registry.gauge("server.memcache.evictions")
+      .set(static_cast<double>(mem.evictions));
   std::ostringstream out;
   obs::writeMetricsJson(out, registry.snapshot());
   return out.str();

@@ -1,0 +1,228 @@
+#include "synth/buffer_sampling.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "numeric/rng.hpp"
+#include "parallel/parallel.hpp"
+#include "synth/synthesis.hpp"
+#include "variation/monte_carlo.hpp"
+#include "variation/path_stats.hpp"
+
+namespace sct::synth {
+namespace {
+
+constexpr double kSlackEps = 1e-12;
+
+/// Yield + worst-path-sigma metric of one analyzed design state.
+struct Metric {
+  double yield = 1.0;
+  double worstPathSigma = 0.0;
+};
+
+/// MC design yield over endpoint worst paths: fraction of dies (trials)
+/// where every path meets its required time. Same trial-stream structure as
+/// PathMonteCarlo::simulate with per-path children of the local stream, so
+/// the value is bit-identical for any thread count.
+double mcDesignYield(const charlib::Characterizer& characterizer,
+                     const std::vector<sta::TimingPath>& paths,
+                     std::size_t trials, std::uint64_t seed,
+                     const charlib::ProcessCorner& corner) {
+  if (paths.empty() || trials == 0) return 1.0;
+  const variation::PathMonteCarlo mc(characterizer);
+  const charlib::DelayModel& model = characterizer.model();
+  std::vector<std::vector<variation::ResolvedPathStep>> resolved(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    resolved[p] = mc.resolvePath(paths[p]);
+  }
+  const numeric::Rng master(seed);
+  const std::uint64_t globalTag = numeric::Rng::hashTag("global");
+  const std::uint64_t localTag = numeric::Rng::hashTag("local");
+  std::vector<std::uint8_t> pass(trials, 0);
+  parallel::parallelFor(trials, [&](std::size_t t) {
+    const numeric::Rng trial = master.child(t);
+    numeric::Rng globalRng = trial.child(globalTag);
+    const numeric::Rng localBase = trial.child(localTag);
+    const double globalFactor = model.drawGlobalFactor(globalRng);
+    bool ok = true;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      numeric::Rng localRng = localBase.child(p);
+      const double delay =
+          mc.evaluateResolved(resolved[p], corner, globalFactor, &localRng);
+      if (paths[p].endpoint.required - delay < -kSlackEps) {
+        ok = false;
+        break;
+      }
+    }
+    pass[t] = ok ? 1u : 0u;
+  });
+  std::size_t good = 0;
+  for (const std::uint8_t p : pass) good += p;
+  return static_cast<double>(good) / static_cast<double>(trials);
+}
+
+Metric measure(const charlib::Characterizer& characterizer,
+               const variation::PathStatistics& stats,
+               const std::vector<sta::TimingPath>& paths,
+               const BufferSamplingOptions& options) {
+  Metric m;
+  m.yield = mcDesignYield(characterizer, paths, options.trials, options.seed,
+                          options.corner);
+  for (const sta::TimingPath& path : paths) {
+    m.worstPathSigma =
+        std::max(m.worstPathSigma, stats.pathStats(path).sigma);
+  }
+  return m;
+}
+
+/// A candidate insertion site: shield `keep` (the critical sink on the
+/// worst-sigma path) by moving every other sink of `net` behind a buffer.
+struct Candidate {
+  double sigma = 0.0;  ///< driving step's local-mismatch sigma [ns]
+  netlist::NetIndex net = netlist::kNoNet;
+  netlist::InstIndex keepInst = netlist::kNoInst;
+  std::uint32_t keepSlot = 0;
+};
+
+std::vector<Candidate> collectCandidates(
+    const netlist::Design& design, const variation::PathStatistics& stats,
+    const std::vector<sta::TimingPath>& paths,
+    const BufferSamplingOptions& options) {
+  // Paths in worst-sigma-first order; ties by original (endpoint) order.
+  std::vector<std::size_t> order(paths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> pathSigma(paths.size(), 0.0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    pathSigma[i] = stats.pathStats(paths[i]).sigma;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return pathSigma[a] > pathSigma[b];
+                   });
+
+  std::vector<Candidate> candidates;
+  std::vector<netlist::NetIndex> seen;
+  for (const std::size_t pi : order) {
+    const sta::TimingPath& path = paths[pi];
+    for (std::size_t s = 0; s < path.steps.size(); ++s) {
+      const sta::PathStep& step = path.steps[s];
+      if (step.instance == netlist::kNoInst) continue;
+      // The critical sink fed by this step: the next step's instance, or
+      // the endpoint register for the last step.
+      netlist::InstIndex next = netlist::kNoInst;
+      if (s + 1 < path.steps.size()) {
+        next = path.steps[s + 1].instance;
+      } else {
+        next = path.endpoint.instance;
+      }
+      if (next == netlist::kNoInst) continue;
+      for (const netlist::NetIndex out :
+           design.instance(step.instance).outputs) {
+        const netlist::Net& net = design.net(out);
+        if (net.sinks.size() < 2) continue;  // nothing to shield
+        const auto hit =
+            std::find_if(net.sinks.begin(), net.sinks.end(),
+                         [next](const netlist::SinkRef& sink) {
+                           return sink.instance == next;
+                         });
+        if (hit == net.sinks.end()) continue;
+        if (std::find(seen.begin(), seen.end(), out) != seen.end()) continue;
+        seen.push_back(out);
+        candidates.push_back(Candidate{stats.stepStats(step).sigma, out,
+                                       hit->instance, hit->inputSlot});
+      }
+    }
+    if (candidates.size() >= 4 * options.maxCandidates) break;
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.sigma != b.sigma) return a.sigma > b.sigma;
+                     return a.net < b.net;
+                   });
+  if (candidates.size() > options.maxCandidates) {
+    candidates.resize(options.maxCandidates);
+  }
+  return candidates;
+}
+
+}  // namespace
+
+BufferSamplingResult sampleBufferInsertion(
+    const netlist::Design& mapped, const liberty::Library& library,
+    const statlib::StatLibrary& statLibrary,
+    const charlib::Characterizer& characterizer, const sta::ClockSpec& clock,
+    const tuning::LibraryConstraints* constraints,
+    const BufferSamplingOptions& options) {
+  BufferSamplingResult result;
+  result.design = mapped;
+
+  const Synthesizer synth(library, constraints);
+  const auto& buffers = synth.family(netlist::PrimOp::kBuf);
+  const variation::PathStatistics stats(statLibrary);
+
+  sta::TimingAnalyzer baseAnalyzer(result.design, library, clock);
+  if (!baseAnalyzer.analyze()) return result;
+  std::vector<sta::TimingPath> basePaths = baseAnalyzer.endpointWorstPaths();
+  Metric base = measure(characterizer, stats, basePaths, options);
+  result.yieldBefore = base.yield;
+  result.worstPathSigmaBefore = base.worstPathSigma;
+  result.yieldAfter = base.yield;
+  result.worstPathSigmaAfter = base.worstPathSigma;
+  // Tuned libraries may leave no usable buffer family; the pass degrades to
+  // a no-op rather than synthesizing inverter pairs (those belong to the
+  // in-flow fanout fixer, not a post-silicon experiment).
+  if (buffers.empty()) return result;
+  const liberty::Cell* bufferCell = buffers.front();
+
+  const std::vector<Candidate> candidates =
+      collectCandidates(result.design, stats, basePaths, options);
+
+  for (const Candidate& candidate : candidates) {
+    if (result.inserted >= options.maxInsertions) break;
+    // Candidate indices stay valid across accepted insertions: the clone
+    // only appends nets/instances and moves sinks of the candidate net.
+    const netlist::Net& net = result.design.net(candidate.net);
+    if (net.sinks.size() < 2) continue;  // shrunk by an earlier insertion
+    ++result.evaluated;
+
+    netlist::Design trial = result.design;
+    sta::TimingAnalyzer analyzer(trial, library, clock);
+    if (!analyzer.analyze()) continue;
+    // Copy first: reconnect mutates the sink list, and the buffer itself
+    // becomes a sink of the candidate net.
+    const std::vector<netlist::SinkRef> sinks = trial.net(candidate.net).sinks;
+    const netlist::NetIndex out = trial.addNet(trial.freshName("psbn"));
+    const netlist::InstIndex ib =
+        trial.addInstance(trial.freshName("psbuf"), netlist::PrimOp::kBuf,
+                          {candidate.net}, {out});
+    trial.bindCell(ib, bufferCell);
+    analyzer.notifyBufferInsert(ib);
+    for (const netlist::SinkRef& sink : sinks) {
+      if (sink.instance == candidate.keepInst &&
+          sink.inputSlot == candidate.keepSlot) {
+        continue;  // the shielded critical sink keeps its direct connection
+      }
+      trial.reconnectInput(sink.instance, sink.inputSlot, out);
+      analyzer.notifyReconnect(sink.instance, sink.inputSlot, candidate.net);
+    }
+    if (!analyzer.update()) continue;
+
+    const std::vector<sta::TimingPath> trialPaths =
+        analyzer.endpointWorstPaths();
+    const Metric after = measure(characterizer, stats, trialPaths, options);
+    const bool yieldGain = after.yield > base.yield + options.minYieldGain;
+    const bool sigmaGain = after.yield >= base.yield &&
+                           after.worstPathSigma < base.worstPathSigma;
+    if (!yieldGain && !sigmaGain) continue;
+
+    result.design = std::move(trial);
+    base = after;
+    ++result.inserted;
+    result.yieldAfter = after.yield;
+    result.worstPathSigmaAfter = after.worstPathSigma;
+  }
+  return result;
+}
+
+}  // namespace sct::synth

@@ -11,6 +11,7 @@
 
 #include "artifact/binary_format.hpp"
 #include "artifact/codecs.hpp"
+#include "clocktree/clock_tree.hpp"
 #include "core/flow.hpp"
 #include "liberty/liberty_io.hpp"
 #include "lint/engine.hpp"
@@ -396,6 +397,65 @@ TEST(LintConstraintsTest, DetectsUnknownCellPinAndNonOutputPin) {
     if (d.ruleId == "cst.unknown-cell") ++findings;
   }
   EXPECT_EQ(findings, 3u);
+}
+
+// ---- clock pack ----------------------------------------------------------
+
+lint::LintReport lintClock(const clocktree::TuningElementSpec& spec,
+                           const clocktree::ClockTree* tree = nullptr) {
+  lint::LintSubject subject;
+  subject.clockTuning = &spec;
+  subject.clockTree = tree;
+  return lint::LintEngine::withAllRules().run(subject);
+}
+
+TEST(LintClockTest, CleanElementSpecHasNoFindings) {
+  const clocktree::TuningElementSpec spec{0.0, 0.3, 0.05, 2.0};
+  const lint::LintReport report = lintClock(spec);
+  EXPECT_TRUE(report.empty()) << lint::writeTextToString(report);
+}
+
+TEST(LintClockTest, DetectsInvertedAndNegativeRange) {
+  const lint::LintReport inverted =
+      lintClock(clocktree::TuningElementSpec{0.3, 0.0, 0.05, 2.0});
+  EXPECT_TRUE(inverted.hasRule("cst.clock.range-inverted"));
+  EXPECT_TRUE(inverted.hasErrors());
+  const lint::LintReport negative =
+      lintClock(clocktree::TuningElementSpec{-0.1, 0.3, 0.05, 2.0});
+  EXPECT_TRUE(negative.hasRule("cst.clock.range-inverted"));
+}
+
+TEST(LintClockTest, DetectsNonPositiveStep) {
+  const lint::LintReport report =
+      lintClock(clocktree::TuningElementSpec{0.0, 0.3, 0.0, 2.0});
+  EXPECT_TRUE(report.hasRule("cst.clock.step-nonpositive"));
+  EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(LintClockTest, WarnsOnStepCoarserThanRange) {
+  const lint::LintReport report =
+      lintClock(clocktree::TuningElementSpec{0.0, 0.1, 0.5, 2.0});
+  EXPECT_TRUE(report.hasRule("cst.clock.step-coarse"));
+  EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(LintClockTest, WarnsWhenRangeBelowTreeSkewOnlyWithTreeContext) {
+  // One-level tree with a large per-buffer sigma: the worst skew between
+  // disjoint chains dwarfs the element's 0.3 ns span.
+  clocktree::ClockTree tree;
+  clocktree::TreeLevel level;
+  level.bufferCount = 2;
+  level.delaySigma = 1.0;
+  tree.levels.push_back(level);
+  tree.sinkCount = 2;
+  ASSERT_GT(tree.worstSkewSigma(), 0.3);
+
+  const clocktree::TuningElementSpec spec{0.0, 0.3, 0.05, 2.0};
+  const lint::LintReport with = lintClock(spec, &tree);
+  EXPECT_TRUE(with.hasRule("cst.clock.range-below-skew"));
+  EXPECT_FALSE(with.hasErrors());
+  // Without tree context the cross-check degrades to skipped.
+  EXPECT_TRUE(lintClock(spec).empty());
 }
 
 // ---- engine + report plumbing --------------------------------------------

@@ -18,6 +18,7 @@
 
 #include "core/flow_job.hpp"
 #include "obs/metrics.hpp"
+#include "postsi/scenario.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 
@@ -178,6 +179,66 @@ TEST(ServerTest, ConcurrentIdenticalFlowsComputeOnce) {
       registry.snapshot().counterValue("server.singleflight.leader");
   EXPECT_EQ(leadersAfter - leadersBefore, 1u);
   obs::setMetricsEnabled(false);
+}
+
+// ---- scenario matrix over the wire ---------------------------------------
+
+server::ScenarioRequest smallScenario() {
+  server::ScenarioRequest request;
+  request.job = smallFlow().job;
+  request.job.period = 0.0;  // scenario jobs carry periods explicitly
+  request.periods = {8.0};
+  request.scenarios = "tuning,clock";
+  request.mcTrials = 16;
+  return request;
+}
+
+TEST(ServerTest, ScenarioMatchesLocalRunByteForByte) {
+  TempDir dir("sct_server_scenario");
+  TestServer srv(dir);
+  const server::ScenarioRequest request = smallScenario();
+
+  postsi::ScenarioJob job;
+  job.flow = request.job;
+  job.periods = request.periods;
+  job.scenarios = request.scenarios;
+  job.element = clocktree::TuningElementSpec{request.rangeMin,
+                                             request.rangeMax, request.step,
+                                             request.areaPerElement};
+  job.mcTrials = request.mcTrials;
+  job.mcSeed = request.mcSeed;
+  core::TuningFlow local(core::makeFlowConfig(job.flow));
+  const postsi::ScenarioRunResult expected =
+      postsi::runScenarioJob(local, job);
+
+  Client client = srv.connect();
+  const Response first = client.scenario(request);
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(first.summary, expected.summary);
+  EXPECT_EQ(first.body, expected.report);
+
+  // Second call answers from the response cache — still byte-identical —
+  // and the JSON rendering differs only in format, not in content source.
+  const Response second = client.scenario(request);
+  EXPECT_EQ(second.body, expected.report);
+
+  server::ScenarioRequest asJson = request;
+  asJson.json = true;
+  const Response jsonResponse = client.scenario(asJson);
+  EXPECT_EQ(jsonResponse.status, Status::kOk);
+  EXPECT_EQ(jsonResponse.body, expected.json);
+}
+
+TEST(ServerTest, ScenarioRejectsBadJobsWithError) {
+  TempDir dir("sct_server_scenario_bad");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  server::ScenarioRequest request = smallScenario();
+  request.scenarios = "tuning,warp";
+  const Response response = client.scenario(request);
+  EXPECT_EQ(response.status, Status::kError);
+  // The connection survives the failed request.
+  EXPECT_EQ(client.health().status, Status::kOk);
 }
 
 // ---- protocol fuzzing: the daemon must survive anything ------------------
@@ -377,6 +438,41 @@ TEST(ProtocolTest, FlowRequestRoundTrip) {
   EXPECT_EQ(back.job.mcSeed, 77u);
   EXPECT_EQ(back.job.lintMode, "warn");
   EXPECT_EQ(back.deadlineMillis, 1500u);
+}
+
+TEST(ProtocolTest, ScenarioRequestRoundTrip) {
+  server::ScenarioRequest request;
+  request.job.profile = "small";
+  request.job.method = "sigma-ceiling";
+  request.job.value = 0.02;
+  request.job.mcCount = 6;
+  request.periods = {2.41, 2.5, 4.0, 10.0};
+  request.scenarios = "tuning,clock";
+  request.rangeMin = 0.05;
+  request.rangeMax = 0.45;
+  request.step = 0.1;
+  request.areaPerElement = 3.5;
+  request.mcTrials = 32;
+  request.mcSeed = 99;
+  request.json = true;
+  request.deadlineMillis = 2500;
+  const auto bytes = server::encodeScenarioRequest(request);
+  const server::ScenarioRequest back = server::decodeScenarioRequest(bytes);
+  EXPECT_EQ(back.job.profile, "small");
+  EXPECT_EQ(back.job.method, "sigma-ceiling");
+  EXPECT_EQ(back.job.mcCount, 6u);
+  ASSERT_EQ(back.periods.size(), 4u);
+  EXPECT_EQ(back.periods[0], 2.41);
+  EXPECT_EQ(back.periods[3], 10.0);
+  EXPECT_EQ(back.scenarios, "tuning,clock");
+  EXPECT_EQ(back.rangeMin, 0.05);
+  EXPECT_EQ(back.rangeMax, 0.45);
+  EXPECT_EQ(back.step, 0.1);
+  EXPECT_EQ(back.areaPerElement, 3.5);
+  EXPECT_EQ(back.mcTrials, 32u);
+  EXPECT_EQ(back.mcSeed, 99u);
+  EXPECT_TRUE(back.json);
+  EXPECT_EQ(back.deadlineMillis, 2500u);
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {

@@ -54,6 +54,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "postsi/scenario.hpp"
 #include "sta/report.hpp"
 #include "netlist/dsp.hpp"
 #include "netlist/verilog_io.hpp"
@@ -450,8 +451,9 @@ core::FlowJob flowJobFromArgs(const Args& args) {
   return job;
 }
 
-core::FlowConfig makeFlowConfig(const Args& args) {
-  core::FlowConfig config = core::makeFlowConfig(flowJobFromArgs(args));
+core::FlowConfig makeFlowConfigFor(const core::FlowJob& job,
+                                   const Args& args) {
+  core::FlowConfig config = core::makeFlowConfig(job);
   if (!args.has("no-cache")) {
     if (const auto dir = args.get("cache-dir")) {
       config.cacheDir = *dir;
@@ -467,6 +469,64 @@ core::FlowConfig makeFlowConfig(const Args& args) {
     config.memCacheBytes = args.getUint("mem-cache-mb", 64) << 20;
   }
   return config;
+}
+
+core::FlowConfig makeFlowConfig(const Args& args) {
+  return makeFlowConfigFor(flowJobFromArgs(args), args);
+}
+
+/// Scenario job description from the command line; shared verbatim between
+/// the local `scenario` command and `client scenario`, so both paths encode
+/// identical jobs (and therefore identical cache keys and report bytes).
+postsi::ScenarioJob scenarioJobFromArgs(const Args& args) {
+  postsi::ScenarioJob job;
+  job.flow.profile = args.get("profile").value_or("full");
+  job.flow.period = 0.0;  // per-cell periods live in job.periods
+  if (const auto method = args.get("method")) {
+    job.flow.method = *method;
+    job.flow.value = args.requireDouble("value");
+  }
+  job.flow.mcCount = args.getUint("mc", 0);
+  job.flow.mcSeed = args.getUint("seed", job.flow.mcSeed);
+  job.flow.lintMode = args.get("lint-mode").value_or("error");
+  if (const auto list = args.get("periods")) {
+    std::stringstream stream(*list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) job.periods.push_back(std::stod(token));
+    }
+  } else {
+    // Paper protocol: the four clock periods as ratios of a base period.
+    job.periods = postsi::paperPeriods(args.requireDouble("period"));
+  }
+  job.scenarios = args.get("scenarios").value_or(job.scenarios);
+  job.element.rangeMin = std::stod(args.get("tune-range-min").value_or("0"));
+  job.element.rangeMax = std::stod(args.get("tune-range-max").value_or("0.3"));
+  job.element.step = std::stod(args.get("tune-step").value_or("0.05"));
+  job.element.areaPerElement = std::stod(args.get("tune-area").value_or("2"));
+  job.mcTrials = args.getUint("trials", 0);  // 0 = profile default
+  job.mcSeed = job.flow.mcSeed;
+  return job;
+}
+
+int cmdScenario(const Args& args) {
+  const postsi::ScenarioJob job = scenarioJobFromArgs(args);
+  core::TuningFlow flow(makeFlowConfigFor(job.flow, args));
+  const postsi::ScenarioRunResult result = postsi::runScenarioJob(flow, job);
+  std::printf("%s\n", result.summary.c_str());
+  // The body choice mirrors the daemon's (json flag selects the rendering),
+  // so a --report file and a `client scenario --report` file are
+  // byte-identical for the same job.
+  const std::string& body = args.has("json") ? result.json : result.report;
+  if (const auto out = args.get("report")) {
+    writeFile(*out, body);
+  } else {
+    std::fputs(body.c_str(), stdout);
+  }
+  // Unmet cells at tight paper periods are the measurement the matrix
+  // exists to take (yield < 1), not a command failure — unlike `flow`,
+  // which targets a single period and exits 2 when it is missed.
+  return 0;
 }
 
 int cmdFlow(const Args& args) {
@@ -597,6 +657,22 @@ int cmdClient(const std::string& op, const Args& args) {
     request.deadlineMillis = args.getUint("deadline-ms", 0);
     return finishClientCall(client.flow(request), args);
   }
+  if (op == "scenario") {
+    const postsi::ScenarioJob job = scenarioJobFromArgs(args);
+    server::ScenarioRequest request;
+    request.job = job.flow;
+    request.periods = job.periods;
+    request.scenarios = job.scenarios;
+    request.rangeMin = job.element.rangeMin;
+    request.rangeMax = job.element.rangeMax;
+    request.step = job.element.step;
+    request.areaPerElement = job.element.areaPerElement;
+    request.mcTrials = job.mcTrials;
+    request.mcSeed = job.mcSeed;
+    request.json = args.has("json");
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.scenario(request), args);
+  }
   if (op == "lint") {
     server::LintRequest request;
     request.artifactType = args.require("type");
@@ -624,7 +700,7 @@ int cmdClient(const std::string& op, const Args& args) {
   if (op == "shutdown") return finishClientCall(client.shutdown(), args);
   throw std::runtime_error(
       "unknown client op '" + op +
-      "' (flow|lint|sta|ping|health|shutdown)");
+      "' (flow|scenario|lint|sta|ping|health|shutdown)");
 }
 
 int usage() {
@@ -651,8 +727,15 @@ int usage() {
       "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
       "                [--no-mem-cache | --mem-cache-mb N]\n"
       "                [--lint-mode error|warn|off] [--report report.txt]\n"
+      "  scenario      --period <ns> | --periods a,b,c — post-silicon\n"
+      "                scenario matrix (tuning/clock/buffers) at each period;\n"
+      "                [--scenarios LIST] [--method <m> --value <v>]\n"
+      "                [--profile small|full] [--trials N] [--tune-range-min\n"
+      "                X --tune-range-max Y --tune-step S --tune-area A]\n"
+      "                [--json] [--report report.txt] + flow cache flags\n"
       "  client <op>   --socket PATH | --tcp-port N — run <op> on a sctuned\n"
-      "                daemon: flow (same flags as flow), lint (--path F\n"
+      "                daemon: flow (same flags as flow), scenario (same\n"
+      "                flags as scenario), lint (--path F\n"
       "                --type T [--json]), sta (--lib F --netlist F\n"
       "                --period <ns>), ping ([--sleep-ms N --echo TEXT]),\n"
       "                health, shutdown; all ops accept --deadline-ms N\n"
@@ -709,6 +792,9 @@ int main(int argc, char** argv) {
     if (command == "flow") {
       booleans = {"no-cache", "no-mem-cache", "cache-stats", "obs-off"};
     }
+    if (command == "scenario") {
+      booleans = {"no-cache", "no-mem-cache", "json", "obs-off"};
+    }
     if (command == "synth") booleans = {"obs-off"};
     if (command == "lint") booleans = {"json", "sarif", "obs-off"};
     if (command == "client") booleans = {"json"};
@@ -730,6 +816,7 @@ int main(int argc, char** argv) {
     else if (command == "report") code = cmdReport(args);
     else if (command == "lint") code = cmdLint(lintPath, args);
     else if (command == "flow") code = cmdFlow(args);
+    else if (command == "scenario") code = cmdScenario(args);
     else if (command == "cache stats") code = cmdCacheStats(args);
     else if (command == "cache gc") code = cmdCacheGc(args);
     else if (command == "client") code = cmdClient(clientOp, args);
