@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Thread-safety wall negative compile tests (DESIGN.md §16).
+#
+# Configures tests/negative_compile/ with clang++: its CMakeLists
+# try_compile()s a clean control (must compile) and two seeded
+# lock-discipline violations (must be rejected by -Werror=thread-safety).
+# A passing configure means the wall stands; any FATAL_ERROR means either
+# the analysis stopped engaging or the harness broke.
+#
+# Clang-only by nature: on hosts without clang++ (e.g. the gcc-only dev
+# container) exits 77, which ctest maps to SKIP via SKIP_RETURN_CODE.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLANGXX="${CLANGXX:-$(command -v clang++ || true)}"
+
+if [ -z "$CLANGXX" ]; then
+  echo "check_thread_safety_wall: clang++ not found — skipping (exit 77)"
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if cmake -S "$ROOT/tests/negative_compile" -B "$TMP" \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DSCT_REPO_ROOT="$ROOT" >"$TMP/configure.log" 2>&1; then
+  grep 'thread-safety wall' "$TMP/configure.log" || true
+  echo "check_thread_safety_wall: PASS ($("$CLANGXX" --version | head -1))"
+  exit 0
+fi
+
+cat "$TMP/configure.log"
+echo "check_thread_safety_wall: FAIL — see configure log above"
+exit 1

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Whole-repo clang-tidy with a checked-in suppression baseline.
+#
+# Usage: scripts/run_clang_tidy.sh [-p BUILD_DIR] [-j JOBS] [--update-baseline]
+#
+# Runs clang-tidy (checks pinned in .clang-tidy) over every project TU in
+# BUILD_DIR/compile_commands.json, JOBS files in parallel. Diagnostics are
+# normalized to line-number-independent fingerprints
+# (path: severity: message [check]) so the comparison survives unrelated
+# edits, then diffed against scripts/clang_tidy_baseline.txt:
+#   * findings not in the baseline  -> FAIL (new debt is rejected)
+#   * baseline entries not found    -> warning (prune with --update-baseline)
+# --update-baseline rewrites the baseline to the current findings.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE="$ROOT/scripts/clang_tidy_baseline.txt"
+BUILD_DIR="$ROOT/build"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+UPDATE=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -p) BUILD_DIR="$2"; shift 2 ;;
+    -j) JOBS="$2"; shift 2 ;;
+    --update-baseline) UPDATE=1; shift ;;
+    *) echo "usage: $0 [-p BUILD_DIR] [-j JOBS] [--update-baseline]" >&2
+       exit 2 ;;
+  esac
+done
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found in PATH" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json under $BUILD_DIR" \
+       "(the default configure exports it)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Project TUs only: src/ and tools/, not tests or third-party.
+python3 - "$BUILD_DIR/compile_commands.json" "$ROOT" > "$TMP/files.txt" <<'EOF'
+import json, os, sys
+db_path, root = sys.argv[1], sys.argv[2]
+with open(db_path, encoding="utf-8") as f:
+    db = json.load(f)
+seen = set()
+for entry in db:
+    path = entry["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(entry.get("directory", ""), path)
+    rel = os.path.relpath(os.path.abspath(path), root)
+    if rel.startswith(("src/", "tools/")) and rel not in seen:
+        seen.add(rel)
+        print(os.path.join(root, rel))
+EOF
+
+TOTAL="$(wc -l < "$TMP/files.txt")"
+echo "run_clang_tidy: $TOTAL translation units, $JOBS parallel jobs"
+
+# One output file per TU: parallel clang-tidy processes must not interleave
+# half-lines into a shared stream.
+mkdir "$TMP/out"
+export CT_BUILD_DIR="$BUILD_DIR" CT_OUT="$TMP/out"
+xargs -a "$TMP/files.txt" -P "$JOBS" -I{} bash -c '
+  f="{}"
+  clang-tidy -p "$CT_BUILD_DIR" "$f" \
+    > "$CT_OUT/$(echo "$f" | tr / _).log" 2>/dev/null || true
+'
+
+# Fingerprint: repo-relative path + severity + message + check, line/column
+# stripped. Only lines carrying a [check-name] are diagnostics.
+cat "$TMP/out"/*.log 2>/dev/null \
+  | grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):.*\]$' \
+  | sed -E "s|^$ROOT/||; s|:[0-9]+:[0-9]+:|:|" \
+  | sort -u > "$TMP/current.txt"
+
+if [ "$UPDATE" -eq 1 ]; then
+  {
+    echo "# clang-tidy suppression baseline (scripts/run_clang_tidy.sh)."
+    echo "# One normalized fingerprint per line: path: severity: message [check]."
+    echo "# Regenerate with: scripts/run_clang_tidy.sh --update-baseline"
+    cat "$TMP/current.txt"
+  } > "$BASELINE"
+  echo "run_clang_tidy: baseline updated ($(wc -l < "$TMP/current.txt") findings)"
+  exit 0
+fi
+
+grep -v '^#' "$BASELINE" 2>/dev/null | sort -u > "$TMP/baseline.txt" || true
+
+NEW="$(comm -13 "$TMP/baseline.txt" "$TMP/current.txt")"
+FIXED="$(comm -23 "$TMP/baseline.txt" "$TMP/current.txt")"
+
+if [ -n "$FIXED" ]; then
+  echo "run_clang_tidy: stale baseline entries (fixed — prune with --update-baseline):"
+  printf '%s\n' "$FIXED" | sed 's/^/  /'
+fi
+if [ -n "$NEW" ]; then
+  echo "run_clang_tidy: NEW findings not in baseline:"
+  printf '%s\n' "$NEW" | sed 's/^/  /'
+  echo "run_clang_tidy: FAIL ($(printf '%s\n' "$NEW" | wc -l) new)"
+  exit 1
+fi
+
+echo "run_clang_tidy: clean ($TOTAL TUs, baseline $(wc -l < "$TMP/baseline.txt") entries)"

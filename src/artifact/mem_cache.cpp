@@ -34,7 +34,7 @@ MemoryArtifactCache::MemoryArtifactCache(std::uint64_t maxBytes)
 }
 
 std::shared_ptr<const SctbReader> MemoryArtifactCache::get(const Digest& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -51,7 +51,7 @@ void MemoryArtifactCache::put(const Digest& key,
                               std::shared_ptr<const SctbReader> reader) {
   if (!reader) return;
   const std::uint64_t bytes = reader->fileSize();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     bytes_ -= it->second->bytes;
     bytes_ += bytes;
@@ -69,7 +69,7 @@ void MemoryArtifactCache::put(const Digest& key,
 }
 
 void MemoryArtifactCache::erase(const Digest& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) return;
   bytes_ -= it->second->bytes;
@@ -78,7 +78,7 @@ void MemoryArtifactCache::erase(const Digest& key) {
 }
 
 MemCacheStats MemoryArtifactCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   MemCacheStats out = stats_;
   out.bytes = bytes_;
   out.entries = lru_.size();

@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "artifact/binary_format.hpp"
 #include "artifact/hash.hpp"
+#include "core/sync.hpp"
 
 namespace sct::artifact {
 
@@ -43,17 +43,19 @@ class MemoryArtifactCache {
   explicit MemoryArtifactCache(std::uint64_t maxBytes);
 
   /// Shared reader on a hit (refreshes LRU recency); nullptr on a miss.
-  [[nodiscard]] std::shared_ptr<const SctbReader> get(const Digest& key);
+  [[nodiscard]] std::shared_ptr<const SctbReader> get(const Digest& key)
+      SCT_EXCLUDES(mutex_);
 
   /// Inserts or refreshes an entry, evicting least-recently-used entries
   /// until the byte bound holds again. Null readers are ignored.
-  void put(const Digest& key, std::shared_ptr<const SctbReader> reader);
+  void put(const Digest& key, std::shared_ptr<const SctbReader> reader)
+      SCT_EXCLUDES(mutex_);
 
   /// Drops one entry if present (used when a decode proves an entry
   /// semantically unusable, mirroring the disk store's corrupt eviction).
-  void erase(const Digest& key);
+  void erase(const Digest& key) SCT_EXCLUDES(mutex_);
 
-  [[nodiscard]] MemCacheStats stats() const;
+  [[nodiscard]] MemCacheStats stats() const SCT_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -63,14 +65,20 @@ class MemoryArtifactCache {
   };
   using LruList = std::list<Entry>;
 
-  void evictUntilFitsLocked();
+  void evictUntilFitsLocked() SCT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_map<Digest, LruList::iterator, DigestHash> index_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t max_bytes_;
-  MemCacheStats stats_;
+  // One leaf mutex guards the whole cache: LRU order, index, byte total and
+  // stats move together, and the obs registry mutex acquired by the metric
+  // mirrors is itself a leaf (DESIGN.md §16 lock ordering).
+  mutable Mutex mutex_;
+  LruList lru_ SCT_GUARDED_BY(mutex_);  ///< front = most recently used
+  /// Lookup-only unordered index (never iterated for output; dumps go
+  /// through the LRU list order).
+  std::unordered_map<Digest, LruList::iterator, DigestHash> index_
+      SCT_GUARDED_BY(mutex_);
+  std::uint64_t bytes_ SCT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t max_bytes_;  ///< immutable after construction
+  MemCacheStats stats_ SCT_GUARDED_BY(mutex_);
 };
 
 }  // namespace sct::artifact

@@ -4,13 +4,13 @@ namespace sct::artifact {
 
 std::optional<SingleFlight::Guard> SingleFlight::lock(
     const Digest& key, std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   bool waited = false;
   while (held_.contains(key)) {
     waited = true;
     if (deadline == std::chrono::steady_clock::time_point::max()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+      cv_.wait(mutex_);
+    } else if (cv_.waitUntil(mutex_, deadline) == std::cv_status::timeout &&
                held_.contains(key)) {
       return std::nullopt;
     }
@@ -20,16 +20,19 @@ std::optional<SingleFlight::Guard> SingleFlight::lock(
 }
 
 std::size_t SingleFlight::inFlight() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return held_.size();
 }
 
 void SingleFlight::release(const Digest& key) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     held_.erase(key);
   }
-  cv_.notify_all();
+  // Notify outside the lock: waiters re-acquire immediately on wake, so
+  // signalling under the mutex would only add a futex round-trip (benign
+  // pattern, documented in DESIGN.md §16).
+  cv_.notifyAll();
 }
 
 }  // namespace sct::artifact

@@ -13,12 +13,11 @@
 // stale exception.
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <unordered_set>
 
 #include "artifact/hash.hpp"
+#include "core/sync.hpp"
 
 namespace sct::artifact {
 
@@ -59,17 +58,19 @@ class SingleFlight {
   [[nodiscard]] std::optional<Guard> lock(
       const Digest& key,
       std::chrono::steady_clock::time_point deadline =
-          std::chrono::steady_clock::time_point::max());
+          std::chrono::steady_clock::time_point::max()) SCT_EXCLUDES(mutex_);
 
   /// Number of keys currently held (diagnostic).
-  [[nodiscard]] std::size_t inFlight() const;
+  [[nodiscard]] std::size_t inFlight() const SCT_EXCLUDES(mutex_);
 
  private:
-  void release(const Digest& key);
+  void release(const Digest& key) SCT_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::unordered_set<Digest, DigestHash> held_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  /// Held keys. Lookup-only unordered set — membership tests and erase,
+  /// never iterated for output.
+  std::unordered_set<Digest, DigestHash> held_ SCT_GUARDED_BY(mutex_);
 };
 
 }  // namespace sct::artifact

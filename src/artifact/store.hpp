@@ -93,9 +93,16 @@ class ArtifactStore {
               const std::function<void()>& betweenScanAndSweep = {});
 
  private:
-  std::filesystem::path root_;
-  StoreStats stats_;
-  std::atomic<std::uint64_t> temp_counter_{0};
+  // Thread-safety (DESIGN.md §16): the store holds no in-process locks.
+  // Shared mutable state is either atomic (stats_, temp_counter_) or lives
+  // in the filesystem, where atomic rename gives publication ordering and
+  // gc()'s cross-process flock + per-file mtime epoch re-check replace a
+  // mutex — Clang's thread-safety analysis cannot model either, so the
+  // invariants here are covered by store_concurrency_test under TSan and
+  // the daemon-smoke CI job instead of annotations.
+  std::filesystem::path root_;  ///< immutable after construction
+  StoreStats stats_;            ///< relaxed atomics, no cross-field invariant
+  std::atomic<std::uint64_t> temp_counter_{0};  ///< unique temp-file suffix
 };
 
 }  // namespace sct::artifact

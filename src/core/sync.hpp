@@ -1,0 +1,100 @@
+#pragma once
+// Thin annotated wrappers over the std synchronization primitives
+// (DESIGN.md §16). std::mutex carries no capability attributes, so Clang's
+// Thread Safety Analysis cannot connect a std::lock_guard to the
+// SCT_GUARDED_BY members it protects. Every subsystem with shared mutable
+// state locks through these instead:
+//
+//   sct::Mutex      annotated capability; same cost as std::mutex
+//   sct::LockGuard  scoped acquire/release (std::lock_guard equivalent)
+//   sct::CondVar    waits on an sct::Mutex the caller already holds —
+//                   SCT_REQUIRES(mu) makes a wait outside the lock a
+//                   compile error, and forces wait predicates into explicit
+//                   `while (!cond) cv.wait(mu);` loops in the function body
+//                   where the analysis can see the guarded reads (a lambda
+//                   predicate would hide them behind an unannotated call)
+//
+// The wrappers are header-only and zero-overhead: each method is a direct
+// forward to the std primitive, and the attributes vanish off-clang
+// (core/thread_annotations.hpp).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace sct {
+
+/// Annotated exclusive mutex. `native()` exposes the underlying std::mutex
+/// for CondVar's wait implementation only.
+class SCT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCT_ACQUIRE() { mutex_.lock(); }
+  void unlock() SCT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() SCT_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock: acquires in the constructor, releases in the destructor.
+class SCT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) SCT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() SCT_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to sct::Mutex. Waits atomically release and
+/// re-acquire the mutex; the SCT_REQUIRES annotations make the analysis
+/// treat the capability as held continuously across the wait, which is
+/// exactly the guarantee the caller observes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups are possible — always wait in
+  /// a `while (!condition)` loop.
+  void wait(Mutex& mutex) SCT_REQUIRES(mutex) SCT_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the re-acquired mutex
+  }
+
+  /// Blocks until notified or `deadline`; std::cv_status::timeout when the
+  /// deadline passed (the mutex is re-held either way).
+  template <typename Clock, typename Duration>
+  std::cv_status waitUntil(Mutex& mutex,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) SCT_REQUIRES(mutex)
+      SCT_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void notifyOne() noexcept { cv_.notify_one(); }
+  void notifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sct

@@ -1,0 +1,71 @@
+#pragma once
+// Portable Clang Thread Safety Analysis annotations (DESIGN.md §16). Under
+// clang the macros expand to the `capability` attribute family, so
+// `-Wthread-safety` proves at compile time that every access to a
+// SCT_GUARDED_BY member happens with its mutex held, for every possible
+// interleaving; under any other compiler they expand to nothing and the
+// annotated code is ordinary C++.
+//
+// Convention: annotate the *data* (SCT_GUARDED_BY on members), not the call
+// sites; functions that take a lock for the caller are SCT_ACQUIRE/RELEASE,
+// functions that expect it already held are SCT_REQUIRES. The annotated
+// sct::Mutex / sct::CondVar / sct::LockGuard wrappers live in core/sync.hpp;
+// the std:: primitives carry no capability attributes, so annotated state
+// must be locked through the wrappers for the analysis to see it.
+//
+// The CI `thread-safety` job compiles the whole tree with
+//   clang++ -Werror=thread-safety -Wthread-safety-beta
+// and tests/negative_compile proves the wall actually fires.
+
+#if defined(__clang__) && !defined(SCT_NO_THREAD_SAFETY_ANNOTATIONS)
+#define SCT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SCT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define SCT_CAPABILITY(x) SCT_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in its
+/// destructor (the destructor still needs SCT_RELEASE()).
+#define SCT_SCOPED_CAPABILITY SCT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define SCT_GUARDED_BY(x) SCT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define SCT_PT_GUARDED_BY(x) SCT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define SCT_ACQUIRE(...) \
+  SCT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define SCT_RELEASE(...) \
+  SCT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define SCT_TRY_ACQUIRE(...) \
+  SCT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function requires the capability already held by the caller.
+#define SCT_REQUIRES(...) \
+  SCT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the capability NOT held (deadlock guard for
+/// self-locking public entry points).
+#define SCT_EXCLUDES(...) SCT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis a
+/// fact it cannot see, e.g. across an opaque callback boundary).
+#define SCT_ASSERT_CAPABILITY(x) \
+  SCT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define SCT_RETURN_CAPABILITY(x) SCT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function body. Used only
+/// in the sync-primitive implementations themselves (CondVar::wait must
+/// juggle the native handle) — never in subsystem code.
+#define SCT_NO_THREAD_SAFETY_ANALYSIS \
+  SCT_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
+
+#include "core/sync.hpp"
 
 namespace sct::obs {
 
@@ -60,10 +61,18 @@ bool MetricsSnapshot::hasCounter(std::string_view name) const {
 // unique_ptr values keep instrument addresses stable across rehash-free
 // inserts (references handed to call sites must never move).
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  // Registration-only mutex (DESIGN.md §16): the hot path updates the
+  // instruments' own atomics lock-free; this leaf lock serializes the
+  // find-or-create maps and snapshot(). Instrument *pointees* are published
+  // once under the lock and immutable afterwards, so handing out plain
+  // references is safe.
+  mutable sct::Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      SCT_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      SCT_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      SCT_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -76,7 +85,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const sct::LockGuard lock(impl_->mutex);
   const auto it = impl_->counters.find(name);
   if (it != impl_->counters.end()) return *it->second;
   if (impl_->gauges.contains(name) || impl_->histograms.contains(name)) {
@@ -88,7 +97,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const sct::LockGuard lock(impl_->mutex);
   const auto it = impl_->gauges.find(name);
   if (it != impl_->gauges.end()) return *it->second;
   if (impl_->counters.contains(name) || impl_->histograms.contains(name)) {
@@ -101,7 +110,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const sct::LockGuard lock(impl_->mutex);
   const auto it = impl_->histograms.find(name);
   if (it != impl_->histograms.end()) {
     const std::vector<double>& have = it->second->bounds();
@@ -122,7 +131,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const sct::LockGuard lock(impl_->mutex);
   out.counters.reserve(impl_->counters.size());
   for (const auto& [name, counter] : impl_->counters) {
     out.counters.push_back({name, counter->value()});
@@ -145,7 +154,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::resetValues() noexcept {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const sct::LockGuard lock(impl_->mutex);
   for (const auto& [name, counter] : impl_->counters) counter->reset();
   for (const auto& [name, histogram] : impl_->histograms) histogram->reset();
 }

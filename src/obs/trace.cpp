@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <ostream>
+
+#include "core/sync.hpp"
 
 namespace sct::obs {
 
@@ -14,17 +15,27 @@ namespace {
 /// so snapshots keep working after the thread exits; only the owning thread
 /// appends, everyone else reads under `mutex`.
 struct ThreadBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> ring;  ///< capacity kTraceRingCapacity, append-grow
-  std::size_t head = 0;          ///< overwrite cursor once the ring is full
-  std::uint64_t dropped = 0;     ///< events overwritten so far
+  sct::Mutex mutex;
+  /// capacity kTraceRingCapacity, append-grow
+  std::vector<TraceEvent> ring SCT_GUARDED_BY(mutex);
+  /// overwrite cursor once the ring is full
+  std::size_t head SCT_GUARDED_BY(mutex) = 0;
+  /// events overwritten so far
+  std::uint64_t dropped SCT_GUARDED_BY(mutex) = 0;
+  /// Immutable after registration (written once before the buffer is
+  /// published into the registry), so reads need no lock.
   std::uint32_t tid = 0;
-  std::uint32_t depth = 0;  ///< current nesting depth; owner thread only
+  /// Current nesting depth: owner-thread-only by construction — enter/exit
+  /// run on the owning thread, never concurrently — so it is deliberately
+  /// unguarded (DESIGN.md §16).
+  std::uint32_t depth = 0;
 };
 
 struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  // Lock order (DESIGN.md §16): registry mutex, then a buffer's mutex.
+  // Only snapshot/clear take both; the hot path takes the buffer lock only.
+  sct::Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers SCT_GUARDED_BY(mutex);
 };
 
 TraceRegistry& registry() {
@@ -38,7 +49,7 @@ ThreadBuffer& threadBuffer() {
     auto owned = std::make_unique<ThreadBuffer>();
     ThreadBuffer* raw = owned.get();
     TraceRegistry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const sct::LockGuard lock(reg.mutex);
     raw->tid = static_cast<std::uint32_t>(reg.buffers.size());
     reg.buffers.push_back(std::move(owned));
     return raw;
@@ -78,7 +89,7 @@ void exitSpan(const char* name, std::uint64_t startNs,
   event.durNs = endNs >= startNs ? endNs - startNs : 0;
   event.tid = buffer.tid;
   event.depth = depth;
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  const sct::LockGuard lock(buffer.mutex);
   if (buffer.ring.size() < kTraceRingCapacity) {
     buffer.ring.push_back(event);
   } else {
@@ -97,9 +108,9 @@ void setTracingEnabled(bool on) noexcept {
 TraceSnapshot traceSnapshot() {
   TraceSnapshot out;
   TraceRegistry& reg = registry();
-  const std::lock_guard<std::mutex> regLock(reg.mutex);
+  const sct::LockGuard regLock(reg.mutex);
   for (const std::unique_ptr<ThreadBuffer>& buffer : reg.buffers) {
-    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    const sct::LockGuard lock(buffer->mutex);
     // Ring order: [head, end) is the oldest segment once wrapped.
     for (std::size_t i = buffer->head; i < buffer->ring.size(); ++i) {
       out.events.push_back(buffer->ring[i]);
@@ -122,9 +133,9 @@ TraceSnapshot traceSnapshot() {
 
 void clearTrace() noexcept {
   TraceRegistry& reg = registry();
-  const std::lock_guard<std::mutex> regLock(reg.mutex);
+  const sct::LockGuard regLock(reg.mutex);
   for (const std::unique_ptr<ThreadBuffer>& buffer : reg.buffers) {
-    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    const sct::LockGuard lock(buffer->mutex);
     buffer->ring.clear();
     buffer->head = 0;
     buffer->dropped = 0;

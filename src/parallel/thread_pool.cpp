@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -23,10 +24,10 @@ std::size_t hardwareThreads() noexcept {
 }
 
 struct GlobalPool {
-  std::mutex mutex;
-  std::unique_ptr<ThreadPool> pool;
-  std::size_t threads = 0;
-  bool resolved = false;
+  Mutex mutex;
+  std::unique_ptr<ThreadPool> pool SCT_GUARDED_BY(mutex);
+  std::size_t threads SCT_GUARDED_BY(mutex) = 0;
+  bool resolved SCT_GUARDED_BY(mutex) = false;
 };
 
 GlobalPool& globalPool() {
@@ -34,7 +35,7 @@ GlobalPool& globalPool() {
   return instance;
 }
 
-std::size_t resolveLocked(GlobalPool& g) {
+std::size_t resolveLocked(GlobalPool& g) SCT_REQUIRES(g.mutex) {
   if (!g.resolved) {
     const std::string spec = env::get("SCT_THREADS").value_or("");
     g.threads = parseThreadSpec(spec, hardwareThreads());
@@ -54,19 +55,19 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
 }
 
 bool ThreadPool::onWorkerThread() noexcept { return t_on_worker_thread; }
@@ -88,8 +89,10 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
     {
       const bool timed = obs::metricsEnabled();
       const std::uint64_t waitStart = timed ? obs::monotonicNanos() : 0;
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const LockGuard lock(mutex_);
+      // Explicit wait loop (not a predicate lambda) so the thread-safety
+      // analysis sees the guarded reads under mutex_.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (timed) {
         const std::uint64_t waited = obs::monotonicNanos() - waitStart;
         idleNs.add(waited);
@@ -112,13 +115,13 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
 
 std::size_t threadCount() {
   GlobalPool& g = globalPool();
-  const std::lock_guard<std::mutex> lock(g.mutex);
+  const LockGuard lock(g.mutex);
   return resolveLocked(g);
 }
 
 void setThreadCount(std::size_t n) {
   GlobalPool& g = globalPool();
-  const std::lock_guard<std::mutex> lock(g.mutex);
+  const LockGuard lock(g.mutex);
   if (g.resolved && g.threads == n) return;
   g.pool.reset();  // join existing workers before resizing
   g.threads = n;
@@ -155,7 +158,7 @@ void runChunks(std::size_t chunks,
   ThreadPool* pool = nullptr;
   if (chunks > 1 && !ThreadPool::onWorkerThread()) {
     GlobalPool& g = globalPool();
-    const std::lock_guard<std::mutex> lock(g.mutex);
+    const LockGuard lock(g.mutex);
     workers = resolveLocked(g);
     if (workers > 0) {
       if (!g.pool) g.pool = std::make_unique<ThreadPool>(workers);
@@ -174,12 +177,14 @@ void runChunks(std::size_t chunks,
 
   // Shared work-claiming state: chunk *contents* are fixed by the caller, so
   // which thread claims which chunk never affects results, only wall-clock.
+  // `next`/`done` are lock-free claim counters; only the first-error slot
+  // needs the mutex.
   struct Region {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::exception_ptr error;  // first failure, guarded by mutex
+    Mutex mutex;
+    CondVar cv;
+    std::exception_ptr error SCT_GUARDED_BY(mutex);  ///< first failure
   };
   auto region = std::make_shared<Region>();
 
@@ -191,12 +196,12 @@ void runChunks(std::size_t chunks,
         SCT_TRACE_SPAN("parallel.chunk");
         chunkFn(c);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(region->mutex);
+        const LockGuard lock(region->mutex);
         if (!region->error) region->error = std::current_exception();
       }
       if (region->done.fetch_add(1) + 1 == chunks) {
-        const std::lock_guard<std::mutex> lock(region->mutex);
-        region->cv.notify_all();
+        const LockGuard lock(region->mutex);
+        region->cv.notifyAll();
       }
     }
   };
@@ -206,9 +211,8 @@ void runChunks(std::size_t chunks,
   for (std::size_t i = 0; i < helpers; ++i) pool->submit(drive);
   drive();  // the calling thread works too
 
-  std::unique_lock<std::mutex> lock(region->mutex);
-  region->cv.wait(lock,
-                  [&] { return region->done.load() == chunks; });
+  const LockGuard lock(region->mutex);
+  while (region->done.load() != chunks) region->cv.wait(region->mutex);
   if (region->error) std::rethrow_exception(region->error);
 }
 

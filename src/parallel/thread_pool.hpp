@@ -8,15 +8,19 @@
 // setThreadCount() overrides both at any time. Thread count only affects
 // wall-clock time — every primitive is specified to produce results that are
 // bit-identical for any thread count, including 0.
+//
+// Lock discipline (DESIGN.md §16): mutex_ guards the task queue and the stop
+// flag; workers park on cv_ under it. The annotations are checked by the CI
+// thread-safety wall (clang++ -Werror=thread-safety).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace sct::parallel {
 
@@ -36,20 +40,20 @@ class ThreadPool {
   }
 
   /// Enqueues a task for any worker to pick up.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SCT_EXCLUDES(mutex_);
 
   /// True when called from one of this pool's worker threads (used to run
   /// nested parallel regions inline instead of deadlocking on the queue).
   [[nodiscard]] static bool onWorkerThread() noexcept;
 
  private:
-  void workerLoop(std::size_t workerIndex);
+  void workerLoop(std::size_t workerIndex) SCT_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written by ctor/dtor only
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SCT_GUARDED_BY(mutex_);
+  bool stop_ SCT_GUARDED_BY(mutex_) = false;
 };
 
 /// Number of worker threads parallel regions may use; 0 means serial

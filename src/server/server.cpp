@@ -110,14 +110,15 @@ void Server::stop() {
 
   // Half-close every open session: a session blocked in readFrame() sees
   // EOF immediately; one mid-request finishes computing and still writes
-  // its response through the intact send side.
+  // its response through the intact send side. One critical section covers
+  // the sweep and the drain wait — sessions deregistering contend only on
+  // the wait's release points, exactly as with the former two-phase locking
+  // (a session admitted between the phases was already impossible: the
+  // accept loop re-checks stopping_ under this mutex).
   {
-    const std::lock_guard<std::mutex> lock(sessionsMutex_);
+    const LockGuard lock(sessionsMutex_);
     for (const int fd : sessionFds_) ::shutdown(fd, SHUT_RD);
-  }
-  {
-    std::unique_lock<std::mutex> lock(sessionsMutex_);
-    sessionsCv_.wait(lock, [this] { return activeSessions_ == 0; });
+    while (activeSessions_ != 0) sessionsCv_.wait(sessionsMutex_);
   }
   pool_.reset();  // workers idle by now (every submitted session finished)
   closeFd(wakePipe_[0]);
@@ -164,7 +165,7 @@ void Server::acceptLoop() {
 
       bool admitted = false;
       {
-        const std::lock_guard<std::mutex> lock(sessionsMutex_);
+        const LockGuard lock(sessionsMutex_);
         const std::size_t bound =
             config_.sessionThreads + config_.maxQueuedSessions;
         if (activeSessions_ < bound &&
@@ -239,12 +240,12 @@ void Server::runSession(int fd, TuningService::Clock::time_point accepted) {
   // session's socket (close first would let the kernel recycle the number
   // into a fresh session and stop() would shut down the wrong peer).
   {
-    const std::lock_guard<std::mutex> lock(sessionsMutex_);
+    const LockGuard lock(sessionsMutex_);
     sessionFds_.erase(fd);
     --activeSessions_;
     ::close(fd);
   }
-  sessionsCv_.notify_all();
+  sessionsCv_.notifyAll();
 }
 
 }  // namespace sct::server

@@ -21,14 +21,13 @@
 // exits; nothing in flight is dropped.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 
+#include "core/sync.hpp"
 #include "parallel/thread_pool.hpp"
 #include "server/service.hpp"
 
@@ -65,7 +64,7 @@ class Server {
 
   /// Graceful shutdown; idempotent, callable from any thread (including a
   /// session worker via requestStop()). Blocks until every session drained.
-  void stop();
+  void stop() SCT_EXCLUDES(sessionsMutex_);
 
   /// Signals shutdown without blocking (safe on a session thread; the
   /// thread that called start()/waitForStop() performs the actual stop()).
@@ -86,8 +85,9 @@ class Server {
   }
 
  private:
-  void acceptLoop();
-  void runSession(int fd, TuningService::Clock::time_point accepted);
+  void acceptLoop() SCT_EXCLUDES(sessionsMutex_);
+  void runSession(int fd, TuningService::Clock::time_point accepted)
+      SCT_EXCLUDES(sessionsMutex_);
   void closeListeners() noexcept;
 
   ServerConfig config_;
@@ -104,10 +104,17 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> busyRejects_{0};
 
-  std::mutex sessionsMutex_;
-  std::condition_variable sessionsCv_;
-  std::unordered_set<int> sessionFds_;  ///< open session sockets
-  std::size_t activeSessions_ = 0;      ///< accepted, not yet finished
+  // Session registry (DESIGN.md §16): sessionsMutex_ is the leaf lock of
+  // the daemon — held only for set/counter updates and the drain wait,
+  // never while computing or doing socket I/O beyond shutdown().
+  Mutex sessionsMutex_;
+  CondVar sessionsCv_;
+  /// Open session sockets. Lookup-only unordered set (never iterated for
+  /// output); the half-close sweep in stop() touches fds in hash order,
+  /// which is observationally unordered anyway.
+  std::unordered_set<int> sessionFds_ SCT_GUARDED_BY(sessionsMutex_);
+  /// Accepted, not yet finished.
+  std::size_t activeSessions_ SCT_GUARDED_BY(sessionsMutex_) = 0;
 };
 
 }  // namespace sct::server

@@ -1,0 +1,28 @@
+// Thread-safety wall control: correct lock discipline against the repo's
+// real annotated primitives (core/sync.hpp). MUST compile cleanly under
+// -Werror=thread-safety — if this fails, the harness (include path,
+// compiler, annotation macros) is broken, not the analyzed code.
+
+#include "core/sync.hpp"
+
+namespace {
+
+struct Worker {
+  sct::Mutex mutex;
+  int queued SCT_GUARDED_BY(mutex) = 0;
+
+  void drainLocked() SCT_REQUIRES(mutex) { queued = 0; }
+};
+
+int run(Worker& worker) {
+  const sct::LockGuard lock(worker.mutex);
+  worker.drainLocked();
+  return worker.queued;
+}
+
+}  // namespace
+
+int main() {
+  Worker worker;
+  return run(worker);
+}

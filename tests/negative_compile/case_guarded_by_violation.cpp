@@ -1,0 +1,24 @@
+// Thread-safety wall seeded violation: reading an SCT_GUARDED_BY field
+// without holding its mutex. MUST FAIL to compile under
+// -Werror=thread-safety (clang diagnoses "reading variable ... requires
+// holding mutex").
+
+#include "core/sync.hpp"
+
+namespace {
+
+struct Account {
+  sct::Mutex mutex;
+  int balance SCT_GUARDED_BY(mutex) = 0;
+};
+
+int readWithoutLock(Account& account) {
+  return account.balance;  // seeded violation: no lock held
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  return readWithoutLock(account);
+}

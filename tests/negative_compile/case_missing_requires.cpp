@@ -1,0 +1,27 @@
+// Thread-safety wall seeded violation: calling an SCT_REQUIRES(mutex)
+// function without holding the mutex. MUST FAIL to compile under
+// -Werror=thread-safety (clang diagnoses "calling function ... requires
+// holding mutex exclusively").
+
+#include "core/sync.hpp"
+
+namespace {
+
+struct Worker {
+  sct::Mutex mutex;
+  int queued SCT_GUARDED_BY(mutex) = 0;
+
+  void drainLocked() SCT_REQUIRES(mutex) { queued = 0; }
+};
+
+void runWithoutLock(Worker& worker) {
+  worker.drainLocked();  // seeded violation: caller does not hold mutex
+}
+
+}  // namespace
+
+int main() {
+  Worker worker;
+  runWithoutLock(worker);
+  return 0;
+}

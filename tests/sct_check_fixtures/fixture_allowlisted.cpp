@@ -1,0 +1,17 @@
+// sct_check fixture: a det.wallclock violation covered by the fixture
+// allowlist — the self-test asserts it is reported as *suppressed* (a
+// note with the allowlist reason), never silently dropped.
+// NOT part of any build target — self-test input only.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t deadlineTicks() {
+  return std::chrono::steady_clock::now()  // allowlisted det.wallclock
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// sct_check fixture: a TU that exercises the deterministic idioms every
+// rule *allows* — sorted containers, canonical %.17g, derived Rng streams,
+// and no clock reads. Must produce zero findings.
+// NOT part of any build target — self-test input only.
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace numeric {
+struct Rng {
+  const Rng& child(int tag) const { return *this; }
+};
+}  // namespace numeric
+
+namespace fixture {
+
+void writeValues(std::ostream& out,
+                 const std::map<std::string, double>& values) {
+  char buffer[64];
+  for (const auto& [name, value] : values) {  // sorted iteration
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);  // canonical
+    out << name << " " << buffer << "\n";
+  }
+}
+
+double sample(const numeric::Rng& parent) {
+  const numeric::Rng rng = parent.child(7);  // derivation, not construction
+  (void)rng;
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// sct_check fixture: seeded det.raw-gformat violation — a %g conversion
+// that is not the canonical %.17g, so serialized doubles would truncate.
+// NOT part of any build target — self-test input only.
+
+#include <cstdio>
+
+namespace fixture {
+
+int render(char* buffer, unsigned size, double value) {
+  return std::snprintf(buffer, size, "value=%.6g\n", value);  // not %.17g
+}
+
+}  // namespace fixture

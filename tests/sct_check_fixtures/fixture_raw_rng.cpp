@@ -1,0 +1,21 @@
+// sct_check fixture: seeded det.raw-rng violation — an ad-hoc Rng
+// constructed outside src/numeric instead of a child()/fork() derivation.
+// NOT part of any build target — self-test input only.
+
+#include <cstdint>
+
+namespace numeric {
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+}  // namespace numeric
+
+namespace fixture {
+
+double sample() {
+  numeric::Rng rng(12345);  // det.raw-rng: raw construction
+  return static_cast<double>(rng.state);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// sct_check fixture: seeded det.unordered-in-serializer violation.
+// The basename matches the serializer pattern (*_io.cpp), so the unordered
+// map below must be flagged: iterating it would emit hash-ordered bytes.
+// NOT part of any build target — analyzed only by sct_check's self-test.
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+void writeReport(std::ostream& out,
+                 const std::unordered_map<std::string, double>& values) {
+  for (const auto& [name, value] : values) {  // hash-order iteration
+    out << name << " " << value << "\n";
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// sct_check fixture: seeded det.wallclock violations (clock read, entropy
+// source, C time()). NOT part of any build target — self-test input only.
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t badSeed() {
+  const auto t = std::chrono::steady_clock::now();  // det.wallclock
+  std::random_device entropy;                       // det.wallclock
+  return static_cast<std::uint64_t>(
+             t.time_since_epoch().count()) ^
+         entropy() ^ static_cast<std::uint64_t>(::time(nullptr));
+}
+
+}  // namespace fixture
