@@ -14,6 +14,8 @@
 
 #include "charlib/characterizer.hpp"
 #include "core/flow.hpp"
+#include "core/flow_job.hpp"
+#include "evo/tuner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
@@ -266,6 +268,44 @@ void BM_SynthesisOptimize(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesisOptimize)->ArgName("incremental")->Arg(0)->Arg(1);
 
+void BM_SynthesisConstrained(benchmark::State& state) {
+  // Window-constrained mapping: every legality query hits the constraint
+  // lookup. compiled=0 pays the two-map string path per query, compiled=1
+  // answers from the slot-interned CompiledConstraintView; results are
+  // bit-identical either way (asserted by synth_test).
+  static const charlib::Characterizer chr(smallCharConfig());
+  static const liberty::Library lib =
+      chr.characterizeNominal(charlib::ProcessCorner::typical());
+  static const statlib::StatLibrary stat = statlib::buildStatLibrary(
+      chr.characterizeMonteCarlo(charlib::ProcessCorner::typical(), 10, 7));
+  static const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      stat,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kCellLoadSlope,
+                                      0.03));
+  static const netlist::Design subject = [] {
+    netlist::McuConfig small;
+    small.registers = 16;
+    small.timers = 2;
+    small.dmaChannels = 1;
+    small.gpioWidth = 32;
+    small.cacheTagEntries = 32;
+    small.macUnits = 1;
+    return netlist::generateMcu(small);
+  }();
+  const synth::Synthesizer synth(lib, &constraints);
+  sta::ClockSpec clock;
+  clock.period = 8.0;
+  synth::SynthesisOptions options;
+  options.compiledConstraintWindows = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.run(subject, clock, options));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(subject.gateCount()));
+}
+BENCHMARK(BM_SynthesisConstrained)->ArgName("compiled")->Arg(0)->Arg(1);
+
 void BM_IncrementalSta(benchmark::State& state) {
   // Steady-state cost of one sizing move: rebind a cell, notify, update.
   // Compare against BM_FullDesignSta — the from-scratch analysis of the
@@ -507,6 +547,25 @@ void BM_PatternMapping(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternMapping);
+
+void BM_EvolveGeneration(benchmark::State& state) {
+  // One seeded NSGA-II round at small-profile MCU size: 20 paper-sweep
+  // seeds + random init + one offspring batch, every candidate a full
+  // constrain/synthesize/measure evaluation fanned out on the pool.
+  core::FlowJob flowJob;
+  flowJob.profile = "small";
+  flowJob.period = 4.0;
+  flowJob.lintMode = "off";
+  evo::EvolveJob job;
+  job.flow = flowJob;
+  job.params.population = 4;
+  job.params.generations = 1;
+  for (auto _ : state) {
+    core::TuningFlow flow(core::makeFlowConfig(flowJob));
+    benchmark::DoNotOptimize(evo::runEvolveJob(flow, job));
+  }
+}
+BENCHMARK(BM_EvolveGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end check of the evolutionary window tuner (DESIGN.md §17), run by
+# the CI evo-matrix job:
+#
+#   1. `sctune evolve` on the small-profile MCU reports a Pareto front that
+#      dominates all 20 paper-method sweep seeds ("dominates 20/20"), and a
+#      warm rerun over the same cache directory is byte-identical;
+#   2. the same job on the NoC router workload succeeds (design diversity:
+#      the tuner is not MCU-specific);
+#   3. a sctuned daemon answers the same evolve request byte-identical to
+#      the standalone CLI report, twice (second answer from the response
+#      cache), then drains cleanly on SIGTERM;
+#   4. the cold/warm wall-clock times are appended to BENCH_perf.json under
+#      a "<rev>-evo" history entry via scripts/bench_to_json.py.
+#
+#   scripts/evo_matrix.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR  build tree with sctune + sctuned  (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_perf.json}"
+WORK="$(mktemp -d /tmp/sct_evo.XXXXXX)"
+SOCK="$WORK/sctuned.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cmake --build "$BUILD_DIR" -j --target sctune_cli sctuned >/dev/null
+
+CLI="$BUILD_DIR/tools/sctune"
+# Small profile + tiny population keeps one run ~2 s; the dominance
+# guarantee is independent of population size (seeds are archived).
+ARGS=(--profile small --period 4.0 --population 4 --generations 1
+      --lint-mode off)
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# 1. MCU: seeded dominance + cold/warm byte-identity over one cache dir.
+T0=$(now_ms)
+"$CLI" evolve "${ARGS[@]}" --cache-dir "$WORK/cli-cache" \
+  --report "$WORK/cold.txt" > "$WORK/cold.summary"
+T1=$(now_ms)
+"$CLI" evolve "${ARGS[@]}" --cache-dir "$WORK/cli-cache" \
+  --report "$WORK/warm.txt" >/dev/null
+T2=$(now_ms)
+COLD_MS=$(( T1 - T0 ))
+WARM_MS=$(( T2 - T1 ))
+cmp "$WORK/cold.txt" "$WORK/warm.txt"
+grep -q '^evolve-report v1$' "$WORK/cold.txt"
+grep -q 'dominates 20/20' "$WORK/cold.summary"
+echo "mcu: front dominates all 20 paper sweep points;" \
+     "cold ($COLD_MS ms) and warm ($WARM_MS ms) reports byte-identical"
+
+# 2. NoC workload: the tuner generalizes across design structure.
+"$CLI" evolve "${ARGS[@]}" --workload noc --cache-dir "$WORK/cli-cache" \
+  --report "$WORK/noc.txt" > "$WORK/noc.summary"
+grep -q 'dominates 20/20' "$WORK/noc.summary"
+echo "noc: $(cat "$WORK/noc.summary")"
+
+# 3. Daemon answers the same request byte-identical to the CLI.
+"$BUILD_DIR/tools/sctuned" --socket "$SOCK" --cache-dir "$WORK/cache" &
+DAEMON_PID=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK"; exit 1; }
+
+"$CLI" client evolve --socket "$SOCK" "${ARGS[@]}" \
+  --report "$WORK/daemon1.txt" >/dev/null
+"$CLI" client evolve --socket "$SOCK" "${ARGS[@]}" \
+  --report "$WORK/daemon2.txt" >/dev/null
+cmp "$WORK/cold.txt" "$WORK/daemon1.txt"
+cmp "$WORK/daemon1.txt" "$WORK/daemon2.txt"
+echo "daemon evolve responses byte-identical to the CLI report"
+
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || { echo "daemon exited $RC after SIGTERM"; exit 1; }
+
+# 4. Record cold/warm wall clock + the evo/constrained-synthesis
+#    microbenches under "<rev>-evo".
+cmake --build "$BUILD_DIR" -j --target bench_perf_core >/dev/null
+RAW="$WORK/evo_bench.json"
+"$BUILD_DIR/bench/bench_perf_core" --benchmark_format=json \
+  --benchmark_filter='BM_EvolveGeneration|BM_SynthesisConstrained' > "$RAW"
+python3 - "$RAW" "$COLD_MS" "$WARM_MS" <<'PY'
+import json, sys
+path, cold, warm = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+doc = json.load(open(path))
+for name, ms in (("EvoMatrix/cold", cold), ("EvoMatrix/warm", warm)):
+    doc["benchmarks"].append({"name": name, "run_type": "iteration",
+                              "real_time": ms, "cpu_time": ms,
+                              "time_unit": "ms", "iterations": 1})
+json.dump(doc, open(path, "w"), indent=1)
+PY
+BENCH_REV_SUFFIX="-evo" python3 scripts/bench_to_json.py "$RAW" "$OUT"

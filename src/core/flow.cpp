@@ -105,6 +105,46 @@ void hashTuning(artifact::Hasher& h, const tuning::TuningConfig& config) {
       .f64(config.sigmaCeiling);
 }
 
+/// Subject identity: the workload selector plus the selected generator's
+/// config (and only that one — switching workloads must change the key even
+/// when the inactive configs differ).
+void hashSubject(artifact::Hasher& h, const FlowConfig& config) {
+  h.str("subject").str(config.workload);
+  if (config.workload == "dsp") {
+    const netlist::DspConfig& d = config.dsp;
+    h.u64(d.dataWidth)
+        .u64(d.taps)
+        .u64(d.accWidth)
+        .u64(d.channels)
+        .u8(d.useKoggeStone ? 1 : 0)
+        .u64(d.seed);
+  } else if (config.workload == "noc") {
+    const netlist::NocConfig& n = config.noc;
+    h.u64(n.ports).u64(n.flitWidth).u64(n.vcs).u64(n.bufferDepth).u64(n.seed);
+  } else if (config.workload == "big") {
+    const netlist::RandomDagConfig& r = config.big;
+    h.u64(r.primaryInputs)
+        .u64(r.gates)
+        .u64(r.flipFlops)
+        .u64(r.primaryOutputs)
+        .u64(r.scale)
+        .u64(r.seed);
+  } else {
+    hashMcu(h, config.mcu);
+  }
+}
+
+netlist::Design generateSubject(const FlowConfig& config) {
+  if (config.workload == "dsp") return netlist::generateDsp(config.dsp);
+  if (config.workload == "noc") return netlist::buildNocRouter(config.noc);
+  if (config.workload == "big") return netlist::generateRandomDag(config.big);
+  if (config.workload == "mcu" || config.workload.empty()) {
+    return netlist::generateMcu(config.mcu);
+  }
+  throw std::invalid_argument("unknown workload '" + config.workload +
+                              "' (expected mcu|dsp|noc|big)");
+}
+
 }  // namespace
 
 TuningFlow::TuningFlow(FlowConfig config)
@@ -167,7 +207,7 @@ artifact::Digest TuningFlow::synthKey(double period,
                                       const tuning::TuningConfig* config) const {
   artifact::Hasher h = flowHasher();
   h.str("stage:synth");
-  hashMcu(h, config_.mcu);
+  hashSubject(h, config_);
   sta::ClockSpec clock = config_.clock;
   clock.period = period;
   hashClock(h, clock);
@@ -178,6 +218,21 @@ artifact::Digest TuningFlow::synthKey(double period,
   } else {
     h.u8(0);
   }
+  return h.digest();
+}
+
+artifact::Digest TuningFlow::measurementContextDigest(double period) const {
+  artifact::Hasher h = flowHasher();
+  h.str("measure-context").u64(config_.mcLibraryCount).u64(config_.mcSeed);
+  hashSubject(h, config_);
+  sta::ClockSpec clock = config_.clock;
+  clock.period = period;
+  hashClock(h, clock);
+  hashSynthesisOptions(h, config_.synthesis);
+  h.f64(config_.rho)
+      .f64(config_.powerActivity)
+      .u64(config_.powerSamples)
+      .u64(config_.powerSeed);
   return h.digest();
 }
 
@@ -245,10 +300,10 @@ const netlist::Design& TuningFlow::subject() {
   if (!subject_) {
     SCT_TRACE_SPAN("flow.stage.subject");
     auto design =
-        std::make_unique<netlist::Design>(netlist::generateMcu(config_.mcu));
+        std::make_unique<netlist::Design>(generateSubject(config_));
     artifact::Hasher h = flowHasher();
     h.str("stage:subject");
-    hashMcu(h, config_.mcu);
+    hashSubject(h, config_);
     lint::LintSubject subject;
     subject.design = design.get();
     lintGate("subject", h.digest(), subject,

@@ -14,7 +14,10 @@
 #include "artifact/store.hpp"
 #include "charlib/characterizer.hpp"
 #include "lint/engine.hpp"
+#include "netlist/dsp.hpp"
 #include "netlist/mcu.hpp"
+#include "netlist/noc.hpp"
+#include "netlist/random.hpp"
 #include "power/power_stats.hpp"
 #include "statlib/stat_library.hpp"
 #include "synth/synthesis.hpp"
@@ -35,7 +38,21 @@ struct FlowConfig {
   charlib::CharacterizationConfig characterization{};
   std::size_t mcLibraryCount = 50;  ///< paper: 50 library instances
   std::uint64_t mcSeed = 2014;
+  /// Subject-design selector for the design-diversity matrix: "mcu"
+  /// (default), "dsp" (FIR datapath), "noc" (wormhole router) or "big"
+  /// (scaled random DAG — ~200k gates at the default scale, the
+  /// 10x-paper-size workload). Only the selected generator's config enters
+  /// the stage keys.
+  std::string workload = "mcu";
   netlist::McuConfig mcu{};
+  netlist::DspConfig dsp{};
+  netlist::NocConfig noc{};
+  netlist::RandomDagConfig big{.primaryInputs = 64,
+                               .gates = 200,
+                               .flipFlops = 16,
+                               .primaryOutputs = 64,
+                               .scale = 1000,
+                               .seed = 1};
   sta::ClockSpec clock{};  ///< period is overridden per experiment
   synth::SynthesisOptions synthesis{};
   double rho = 0.0;  ///< pairwise cell correlation in path convolution
@@ -109,8 +126,15 @@ class TuningFlow {
   const liberty::Library& nominalLibrary();
   /// Statistical library from N Monte-Carlo library instances (Fig. 2).
   const statlib::StatLibrary& statLibrary();
-  /// The microcontroller subject graph (lazily generated).
+  /// The subject graph selected by config().workload (lazily generated).
   const netlist::Design& subject();
+
+  /// Digest of everything that can influence a (constraints -> synthesize ->
+  /// measure) evaluation at this clock period: characterization, corner,
+  /// MC parameters, subject/workload, clock, synthesis options, rho and the
+  /// power knobs. The evolutionary tuner mixes candidate genes into this to
+  /// key its memoized fitness evaluations.
+  [[nodiscard]] artifact::Digest measurementContextDigest(double period) const;
 
   /// Stage 1+2 of the tuning method for a given config.
   tuning::LibraryConstraints tune(const tuning::TuningConfig& config);

@@ -48,10 +48,22 @@ FlowConfig makeFlowConfig(const FlowJob& job) {
     config.mcu.cacheTagEntries = 16;
     config.mcu.decodeOutputs = 64;
     config.mcu.interruptSources = 8;
+    config.dsp.dataWidth = 8;
+    config.dsp.taps = 4;
+    config.dsp.accWidth = 18;
+    config.dsp.channels = 1;
+    config.noc.ports = 4;
+    config.noc.flitWidth = 8;
+    config.noc.vcs = 2;
+    config.noc.bufferDepth = 1;
+    config.big.primaryInputs = 16;
+    config.big.primaryOutputs = 16;
+    config.big.scale = 4;  // ~800 gates: the shape, not the size
   } else if (job.profile != "full") {
     throw std::runtime_error("unknown profile '" + job.profile +
                              "' (small/full)");
   }
+  if (!job.workload.empty()) config.workload = job.workload;
   if (job.mcCount != 0) config.mcLibraryCount = job.mcCount;
   config.mcSeed = job.mcSeed;
   if (job.lintMode == "error") {

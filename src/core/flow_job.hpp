@@ -16,6 +16,7 @@ namespace sct::core {
 
 struct FlowJob {
   std::string profile = "full";  ///< "small" | "full" stage presets
+  std::string workload = "mcu";  ///< subject design: mcu|dsp|noc|big
   double period = 0.0;           ///< clock period [ns]
   std::string method;  ///< tuning method name; empty = baseline synthesis
   double value = 0.0;  ///< tuning method parameter

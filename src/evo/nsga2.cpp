@@ -1,0 +1,192 @@
+#include "evo/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sct::evo {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               const std::vector<std::size_t>& objective_idx) {
+  bool strict = false;
+  for (const std::size_t k : objective_idx) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<std::size_t> nondominatedRanks(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& objective_idx) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> dominatedBy(n, 0);  // count of dominators
+  std::vector<std::vector<std::size_t>> dominating(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(points[i], points[j], objective_idx)) {
+        dominating[i].push_back(j);
+        ++dominatedBy[j];
+      } else if (dominates(points[j], points[i], objective_idx)) {
+        dominating[j].push_back(i);
+        ++dominatedBy[i];
+      }
+    }
+  }
+  std::vector<std::size_t> ranks(n, 0);
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominatedBy[i] == 0) current.push_back(i);
+  }
+  std::size_t rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      ranks[i] = rank;
+      for (const std::size_t j : dominating[i]) {
+        if (--dominatedBy[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+    ++rank;
+  }
+  return ranks;
+}
+
+std::vector<double> crowdingDistances(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& members,
+    const std::vector<std::size_t>& objective_idx) {
+  std::vector<double> distance(members.size(), 0.0);
+  if (members.size() <= 2) {
+    std::fill(distance.begin(), distance.end(), kInf);
+    return distance;
+  }
+  std::vector<std::size_t> order(members.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (const std::size_t k : objective_idx) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double va = points[members[a]][k];
+      const double vb = points[members[b]][k];
+      if (va != vb) return va < vb;
+      return members[a] < members[b];
+    });
+    const double lo = points[members[order.front()]][k];
+    const double hi = points[members[order.back()]][k];
+    distance[order.front()] = kInf;
+    distance[order.back()] = kInf;
+    if (!(hi > lo) || !std::isfinite(hi - lo)) continue;
+    for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+      const double prev = points[members[order[i - 1]]][k];
+      const double next = points[members[order[i + 1]]][k];
+      distance[order[i]] += (next - prev) / (hi - lo);
+    }
+  }
+  return distance;
+}
+
+std::vector<std::size_t> selectSurvivors(
+    const std::vector<std::vector<double>>& points, std::size_t count,
+    const std::vector<std::size_t>& objective_idx) {
+  const std::size_t n = points.size();
+  count = std::min(count, n);
+  const std::vector<std::size_t> ranks = nondominatedRanks(points, objective_idx);
+
+  // Bucket by rank; fill whole ranks while they fit, split the last one by
+  // crowding distance (desc) with an index tie-break.
+  std::size_t maxRank = 0;
+  for (const std::size_t r : ranks) maxRank = std::max(maxRank, r);
+  std::vector<std::vector<std::size_t>> byRank(maxRank + 1);
+  for (std::size_t i = 0; i < n; ++i) byRank[ranks[i]].push_back(i);
+
+  std::vector<std::size_t> survivors;
+  survivors.reserve(count);
+  for (const std::vector<std::size_t>& members : byRank) {
+    if (survivors.size() == count) break;
+    if (survivors.size() + members.size() <= count) {
+      survivors.insert(survivors.end(), members.begin(), members.end());
+      continue;
+    }
+    const std::vector<double> crowd =
+        crowdingDistances(points, members, objective_idx);
+    std::vector<std::size_t> order(members.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
+      return members[a] < members[b];
+    });
+    for (const std::size_t i : order) {
+      if (survivors.size() == count) break;
+      survivors.push_back(members[i]);
+    }
+  }
+  std::sort(survivors.begin(), survivors.end());
+  return survivors;
+}
+
+std::vector<std::size_t> paretoFront(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& objective_idx) {
+  const std::vector<std::size_t> ranks = nondominatedRanks(points, objective_idx);
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (ranks[i] == 0) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<double> varied(const std::vector<double>& parent1,
+                           const std::vector<double>& parent2,
+                           const VariationConfig& config, numeric::Rng& rng) {
+  assert(parent1.size() == parent2.size());
+  const std::size_t n = parent1.size();
+  std::vector<double> child = parent1;
+
+  // Simulated binary crossover (Deb & Agrawal): per gene, blend the parents
+  // with a spread factor drawn from the eta-parameterized distribution.
+  if (rng.uniform() < config.crossoverProb) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = rng.uniform();
+      const double beta =
+          u <= 0.5 ? std::pow(2.0 * u, 1.0 / (config.crossoverEta + 1.0))
+                   : std::pow(1.0 / (2.0 * (1.0 - u)),
+                              1.0 / (config.crossoverEta + 1.0));
+      child[i] = 0.5 * ((1.0 + beta) * parent1[i] + (1.0 - beta) * parent2[i]);
+    }
+  }
+
+  // Polynomial mutation with per-gene probability 1/n.
+  const double pm = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() >= pm) continue;
+    const double u = rng.uniform();
+    const double delta =
+        u < 0.5 ? std::pow(2.0 * u, 1.0 / (config.mutationEta + 1.0)) - 1.0
+                : 1.0 - std::pow(2.0 * (1.0 - u),
+                                 1.0 / (config.mutationEta + 1.0));
+    child[i] += delta * (config.geneMax - config.geneMin);
+  }
+
+  for (double& gene : child) {
+    gene = std::clamp(gene, config.geneMin, config.geneMax);
+  }
+  return child;
+}
+
+std::size_t tournamentPick(const std::vector<std::size_t>& ranks,
+                           const std::vector<double>& crowding,
+                           numeric::Rng& rng) {
+  assert(!ranks.empty() && ranks.size() == crowding.size());
+  const std::size_t a = rng.uniformInt(ranks.size());
+  const std::size_t b = rng.uniformInt(ranks.size());
+  if (ranks[a] != ranks[b]) return ranks[a] < ranks[b] ? a : b;
+  if (crowding[a] != crowding[b]) return crowding[a] > crowding[b] ? a : b;
+  return std::min(a, b);
+}
+
+}  // namespace sct::evo

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic NSGA-II machinery: weak Pareto dominance, fast nondominated
+// sorting, crowding distance, environmental selection and SBX/polynomial
+// variation over bounded real gene vectors. Everything here is a pure
+// function of its inputs (ties broken by index or lexicographic order, RNG
+// streams passed in explicitly), which is what makes the tuner bit-identical
+// across thread counts and cache temperatures.
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace sct::evo {
+
+/// True when `a` weakly dominates `b` over the selected objective indices:
+/// a <= b everywhere and a < b somewhere (minimization). Infeasible points
+/// carry +inf objectives and are dominated by every feasible point.
+[[nodiscard]] bool dominates(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             const std::vector<std::size_t>& objective_idx);
+
+/// Nondomination rank per point (0 = Pareto front), over the selected
+/// objective indices. O(n^2 m); n is a population, not a design.
+[[nodiscard]] std::vector<std::size_t> nondominatedRanks(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& objective_idx);
+
+/// Crowding distance of each member of one rank class (indices into
+/// `points`); boundary points get +inf. Sorting ties break by index, so the
+/// result is deterministic for any input order.
+[[nodiscard]] std::vector<double> crowdingDistances(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& members,
+    const std::vector<std::size_t>& objective_idx);
+
+/// Environmental selection: the `count` best indices by (rank asc, crowding
+/// desc, index asc) — the canonical NSGA-II survivor rule with a
+/// deterministic final tie-break.
+[[nodiscard]] std::vector<std::size_t> selectSurvivors(
+    const std::vector<std::vector<double>>& points, std::size_t count,
+    const std::vector<std::size_t>& objective_idx);
+
+/// Indices of the weakly-nondominated points (the Pareto front of `points`).
+[[nodiscard]] std::vector<std::size_t> paretoFront(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& objective_idx);
+
+struct VariationConfig {
+  double crossoverProb = 0.9;
+  double crossoverEta = 15.0;  ///< SBX distribution index
+  double mutationEta = 20.0;   ///< polynomial-mutation distribution index
+  double geneMin = 0.0;
+  double geneMax = 1.0;
+};
+
+/// One child via simulated-binary crossover of the parents followed by
+/// polynomial mutation (per-gene probability 1/n), clamped to the gene
+/// bounds. Consumes draws from `rng` only — the caller derives a
+/// counter-based stream per (generation, index) for order independence.
+[[nodiscard]] std::vector<double> varied(const std::vector<double>& parent1,
+                                         const std::vector<double>& parent2,
+                                         const VariationConfig& config,
+                                         numeric::Rng& rng);
+
+/// Binary-tournament pick: two uniform draws; the winner is the lower
+/// (rank, -crowding, index) tuple. Returns an index into the population.
+[[nodiscard]] std::size_t tournamentPick(
+    const std::vector<std::size_t>& ranks,
+    const std::vector<double>& crowding, numeric::Rng& rng);
+
+}  // namespace sct::evo

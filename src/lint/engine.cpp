@@ -9,6 +9,7 @@ std::string_view toString(RulePack pack) noexcept {
     case RulePack::kNetlist: return "netlist";
     case RulePack::kConstraints: return "constraints";
     case RulePack::kClock: return "clock";
+    case RulePack::kEvo: return "evo";
   }
   return "?";
 }
@@ -24,6 +25,7 @@ LintEngine LintEngine::withAllRules() {
   registerNetlistRules(engine);
   registerConstraintsRules(engine);
   registerClockRules(engine);
+  registerEvoRules(engine);
   return engine;
 }
 

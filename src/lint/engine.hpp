@@ -13,7 +13,7 @@ namespace sct::lint {
 
 /// Version of the rule set; part of every cached lint-report key, so a rule
 /// change can never be masked by a stale cache entry.
-inline constexpr std::uint32_t kRulePackVersion = 2;
+inline constexpr std::uint32_t kRulePackVersion = 3;
 
 class LintEngine {
  public:
@@ -50,5 +50,6 @@ void registerStatLibRules(LintEngine& engine);
 void registerNetlistRules(LintEngine& engine);
 void registerConstraintsRules(LintEngine& engine);
 void registerClockRules(LintEngine& engine);
+void registerEvoRules(LintEngine& engine);
 
 }  // namespace sct::lint

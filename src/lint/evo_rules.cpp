@@ -1,0 +1,134 @@
+// Evo rule pack: sanity of evolutionary-tuner configuration (evo.*) before
+// a run burns a generation of fitness evaluations on it. A population below
+// two cannot recombine; zero generations plus no seeds is an empty search;
+// an empty or unknown objective set makes dominance vacuous; inverted gene
+// bounds clamp every mutation to a single point.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace sct::lint {
+namespace {
+
+using evo::EvolveParams;
+
+constexpr const char* kSpecPath = "evo/params";
+
+std::string num(double v) { return std::to_string(v); }
+
+class EvoPopulationRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "evo.population.too-small";
+  }
+  RulePack pack() const noexcept override { return RulePack::kEvo; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "population must hold at least two individuals for recombination";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const EvolveParams& params = *subject.evolveParams;
+    if (params.population < 2) {
+      emit(report, kSpecPath,
+           "population " + std::to_string(params.population) +
+               " cannot run binary tournaments (need >= 2)");
+    }
+  }
+};
+
+class EvoGenerationsRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "evo.generations.zero";
+  }
+  RulePack pack() const noexcept override { return RulePack::kEvo; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "at least one variation generation must run after the seeded "
+           "generation";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    if (subject.evolveParams->generations == 0) {
+      emit(report, kSpecPath,
+           "generations is 0: the run would only re-evaluate the seeds");
+    }
+  }
+};
+
+class EvoObjectivesRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "evo.objectives.invalid";
+  }
+  RulePack pack() const noexcept override { return RulePack::kEvo; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "objective set must be a non-empty subset of sigma,area,power";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const std::string& list = subject.evolveParams->objectives;
+    std::size_t count = 0;
+    std::istringstream stream(list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (token.empty()) continue;
+      if (token != "sigma" && token != "area" && token != "power") {
+        emit(report, kSpecPath,
+             "unknown objective '" + token + "' (sigma/area/power)");
+        return;
+      }
+      ++count;
+    }
+    if (count == 0) {
+      emit(report, kSpecPath,
+           "objective set '" + list + "' selects nothing to optimize");
+    }
+  }
+};
+
+class EvoGeneBoundsRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "evo.gene-bounds.inverted";
+  }
+  RulePack pack() const noexcept override { return RulePack::kEvo; }
+  Severity severity() const noexcept override { return Severity::kError; }
+  std::string_view description() const noexcept override {
+    return "sigma gene bounds must be finite, non-negative and ordered";
+  }
+
+  void run(const LintSubject& subject, LintReport& report) const override {
+    const EvolveParams& params = *subject.evolveParams;
+    if (!std::isfinite(params.geneMin) || !std::isfinite(params.geneMax)) {
+      emit(report, kSpecPath, "gene bounds must be finite");
+      return;
+    }
+    if (params.geneMin < 0.0) {
+      emit(report, kSpecPath,
+           "negative sigma thresholds are meaningless (gene-min " +
+               num(params.geneMin) + ")");
+    }
+    if (params.geneMin >= params.geneMax) {
+      emit(report, kSpecPath,
+           "gene bounds are inverted or collapsed (" + num(params.geneMin) +
+               " >= " + num(params.geneMax) + ")");
+    }
+  }
+};
+
+}  // namespace
+
+void registerEvoRules(LintEngine& engine) {
+  engine.add(std::make_unique<EvoPopulationRule>());
+  engine.add(std::make_unique<EvoGenerationsRule>());
+  engine.add(std::make_unique<EvoObjectivesRule>());
+  engine.add(std::make_unique<EvoGeneBoundsRule>());
+}
+
+}  // namespace sct::lint

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "clocktree/clock_tree.hpp"
+#include "evo/params.hpp"
 #include "lint/diagnostic.hpp"
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
@@ -24,6 +25,7 @@ enum class RulePack : std::uint8_t {
   kNetlist = 2,
   kConstraints = 3,
   kClock = 4,
+  kEvo = 5,
 };
 
 [[nodiscard]] std::string_view toString(RulePack pack) noexcept;
@@ -33,7 +35,7 @@ using RulePackMask = std::uint8_t;
 [[nodiscard]] inline constexpr RulePackMask packBit(RulePack pack) noexcept {
   return static_cast<RulePackMask>(1u << static_cast<std::uint8_t>(pack));
 }
-inline constexpr RulePackMask kAllPacks = 0x1f;
+inline constexpr RulePackMask kAllPacks = 0x3f;
 
 /// What a lint run inspects. Primary artifacts (library, statLibrary,
 /// design, constraints) select which packs run; referenceLibrary is
@@ -51,6 +53,8 @@ struct LintSubject {
   /// Cross-check context for the clock pack (range vs. tree skew); the
   /// rules degrade gracefully to skipped when it is null.
   const clocktree::ClockTree* clockTree = nullptr;
+  /// Evolutionary-tuner configuration; selects the evo pack.
+  const evo::EvolveParams* evolveParams = nullptr;
 
   [[nodiscard]] bool carries(RulePack pack) const noexcept {
     switch (pack) {
@@ -59,6 +63,7 @@ struct LintSubject {
       case RulePack::kNetlist: return design != nullptr;
       case RulePack::kConstraints: return constraints != nullptr;
       case RulePack::kClock: return clockTuning != nullptr;
+      case RulePack::kEvo: return evolveParams != nullptr;
     }
     return false;
   }

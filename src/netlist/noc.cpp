@@ -1,0 +1,161 @@
+#include "netlist/noc.hpp"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/structures.hpp"
+#include "numeric/rng.hpp"
+
+namespace sct::netlist {
+namespace {
+
+std::size_t bitsFor(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+Bus constantBus(NetlistBuilder& b, std::size_t value, std::size_t width) {
+  Bus bus;
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(b.constant(((value >> i) & std::size_t{1}) != 0));
+  }
+  return bus;
+}
+
+/// Binary encoding of a one-hot bus (OR of the positions with each bit set).
+Bus binaryFromOneHot(NetlistBuilder& b, const Bus& oneHot, std::size_t width) {
+  Bus binary;
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    Bus terms;
+    for (std::size_t i = 0; i < oneHot.size(); ++i) {
+      if ((i >> bit) & std::size_t{1}) terms.push_back(oneHot[i]);
+    }
+    binary.push_back(terms.empty() ? b.constant(false) : b.orTree(terms));
+  }
+  return binary;
+}
+
+}  // namespace
+
+Design buildNocRouter(const NocConfig& config) {
+  assert(config.ports >= 2);
+  assert(config.vcs >= 1);
+  assert(config.bufferDepth >= 1);
+  const std::size_t addrBits = bitsFor(config.ports);
+  assert(config.flitWidth > addrBits);
+  Design design("noc");
+  NetlistBuilder b(design);
+  numeric::Rng rng(config.seed);
+  const std::size_t w = config.flitWidth;
+  const std::size_t vcBits = bitsFor(config.vcs);
+  const std::size_t portBits = bitsFor(config.ports);
+
+  // --- input stage: per-port, per-VC wormhole flit buffers ----------------
+  // The head flit's top addrBits bits carry the destination port.
+  std::vector<Bus> heads(config.ports);
+  std::vector<NetIndex> headValid(config.ports);
+  Bus allValids;
+  for (std::size_t p = 0; p < config.ports; ++p) {
+    const std::string stem = "p" + std::to_string(p);
+    const Bus flitIn = b.inputBus(stem + "_flit", w);
+    const NetIndex valid = b.inputPort(stem + "_valid");
+    const Bus vcSel = b.inputBus(stem + "_vc", vcBits);
+    allValids.push_back(valid);
+    const Bus vcOneHot = b.decoder(vcSel);
+
+    std::vector<Bus> vcHeads;
+    Bus vcValids;
+    for (std::size_t v = 0; v < config.vcs; ++v) {
+      const NetIndex we = b.and2(valid, vcOneHot[v]);
+      Bus stage = flitIn;
+      NetIndex vld = we;
+      for (std::size_t d = 0; d < config.bufferDepth; ++d) {
+        stage = b.busDff(stage, PrimOp::kDffE, we);
+        vld = b.dff(vld, PrimOp::kDffR);
+      }
+      vcHeads.push_back(stage);
+      vcValids.push_back(vld);
+    }
+    headValid[p] = b.orTree(vcValids);
+
+    // Serviced-VC pointer cycles whenever any VC holds a head flit.
+    const Bus served = grayCounter(b, vcBits, headValid[p]);
+    while (vcHeads.size() < (std::size_t{1} << vcBits)) {
+      vcHeads.push_back(constantBus(b, 0, w));
+    }
+    heads[p] = b.muxTree(vcHeads, served);
+  }
+
+  // --- route compute: destination field vs output-port index --------------
+  std::vector<Bus> dest(config.ports);
+  for (std::size_t p = 0; p < config.ports; ++p) {
+    dest[p] = Bus(heads[p].end() - static_cast<std::ptrdiff_t>(addrBits),
+                  heads[p].end());
+  }
+
+  // --- per-output VC allocation + crossbar traversal ----------------------
+  for (std::size_t o = 0; o < config.ports; ++o) {
+    const std::string stem = "p" + std::to_string(o);
+    Bus requests;
+    for (std::size_t p = 0; p < config.ports; ++p) {
+      requests.push_back(
+          b.and2(headValid[p], b.equal(dest[p], constantBus(b, o, addrBits))));
+    }
+    const NetIndex anyReq = b.orTree(requests);
+
+    // Round-robin arbitration: rotate the request vector right by an age
+    // counter, priority-encode, rotate the grant back left.
+    const Bus age = grayCounter(b, portBits, anyReq);
+    Bus doubled = requests;
+    doubled.insert(doubled.end(), requests.begin(), requests.end());
+    const Bus rotated = b.shiftRight(doubled, age);
+    const PriorityEncoded pe = priorityEncode(
+        b, Bus(rotated.begin(),
+               rotated.begin() + static_cast<std::ptrdiff_t>(config.ports)));
+    Bus padded = pe.grant;
+    while (padded.size() < 2 * config.ports) {
+      padded.push_back(b.constant(false));
+    }
+    const Bus unrotated = b.shiftLeft(padded, age);
+    Bus grant;
+    for (std::size_t p = 0; p < config.ports; ++p) {
+      grant.push_back(b.or2(unrotated[p], unrotated[p + config.ports]));
+    }
+
+    // Crossbar: binary-encode the grant and mux the winning head flit.
+    const Bus sel = binaryFromOneHot(b, grant, portBits);
+    std::vector<Bus> choices = heads;
+    while (choices.size() < (std::size_t{1} << portBits)) {
+      choices.push_back(constantBus(b, 0, w));
+    }
+    const Bus xbar = b.muxTree(choices, sel);
+    b.outputBus(stem + "_out", b.busDff(xbar, PrimOp::kDffE, pe.any));
+    b.outputPort(stem + "_out_valid", b.dff(pe.any, PrimOp::kDffR));
+
+    // Credit tracking: sent-vs-freed counters; busy while they disagree.
+    const std::size_t creditBits = bitsFor(config.vcs * config.bufferDepth) + 1;
+    const NetIndex creditIn = b.inputPort(stem + "_credit");
+    const Bus sent = grayCounter(b, creditBits, pe.any);
+    const Bus freed = grayCounter(b, creditBits, creditIn);
+    b.outputPort(stem + "_busy",
+                 b.dff(b.inv(b.equal(sent, freed)), PrimOp::kDffR));
+  }
+
+  // --- control blob + BIST, mirroring the DSP conventions -----------------
+  Bus ctrlIn = allValids;
+  for (std::size_t p = 0; p < config.ports; ++p) {
+    ctrlIn.push_back(dest[p].front());
+  }
+  const Bus status = b.randomLogic(ctrlIn, 2 * config.ports, 3, rng);
+  b.outputBus("status", b.busDff(status, PrimOp::kDffR));
+  const Bus bist = lfsr(b, 12, {11, 10, 7, 5});
+  b.outputBus("bist", Bus(bist.begin(), bist.begin() + 4));
+
+  assert(design.validate().empty());
+  return design;
+}
+
+}  // namespace sct::netlist

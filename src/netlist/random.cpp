@@ -10,9 +10,15 @@ namespace sct::netlist {
 Design generateRandomDag(const RandomDagConfig& config) {
   assert(config.primaryInputs >= 1);
   assert(config.primaryOutputs >= 1);
+  assert(config.scale >= 1);
   Design design("random_dag");
   NetlistBuilder b(design);
   numeric::Rng rng(config.seed);
+
+  std::size_t ioScale = 1;
+  while (ioScale * ioScale < config.scale) ++ioScale;
+  const std::size_t gateCount = config.gates * config.scale;
+  const std::size_t flopCount = config.flipFlops * config.scale;
 
   static constexpr PrimOp kOps[] = {
       PrimOp::kInv,    PrimOp::kBuf,    PrimOp::kNand2, PrimOp::kNand2B,
@@ -22,10 +28,10 @@ Design generateRandomDag(const RandomDagConfig& config) {
       PrimOp::kXor2,   PrimOp::kXnor2,  PrimOp::kMux2,  PrimOp::kMux4,
       PrimOp::kHalfAdder, PrimOp::kFullAdder};
 
-  Bus pool = b.inputBus("in", config.primaryInputs);
+  Bus pool = b.inputBus("in", config.primaryInputs * ioScale);
   auto pick = [&] { return pool[rng.uniformInt(pool.size())]; };
 
-  for (std::size_t g = 0; g < config.gates; ++g) {
+  for (std::size_t g = 0; g < gateCount; ++g) {
     const PrimOp op = kOps[rng.uniformInt(std::size(kOps))];
     std::vector<NetIndex> inputs;
     inputs.reserve(numInputs(op));
@@ -41,7 +47,7 @@ Design generateRandomDag(const RandomDagConfig& config) {
     }
   }
 
-  for (std::size_t f = 0; f < config.flipFlops; ++f) {
+  for (std::size_t f = 0; f < flopCount; ++f) {
     const bool enabled = rng.uniform() < 0.3;
     pool.push_back(enabled ? b.dff(pick(), PrimOp::kDffE, pick())
                            : b.dff(pick(), rng.uniform() < 0.5
@@ -49,7 +55,7 @@ Design generateRandomDag(const RandomDagConfig& config) {
                                                : PrimOp::kDffR));
   }
 
-  for (std::size_t o = 0; o < config.primaryOutputs; ++o) {
+  for (std::size_t o = 0; o < config.primaryOutputs * ioScale; ++o) {
     b.outputPort("out[" + std::to_string(o) + "]", pick());
   }
   assert(design.validate().empty());

@@ -15,6 +15,10 @@ struct RandomDagConfig {
   std::size_t gates = 200;        ///< combinational instances
   std::size_t flipFlops = 16;     ///< DFFs inserted on random nets
   std::size_t primaryOutputs = 8;
+  /// Multiplies gates/flipFlops (IO widths grow ~sqrt(scale)); scale = 1
+  /// reproduces the unscaled design bit for bit. scale = 1000 emits the
+  /// ~200k-gate subject used by the 10x-paper-size experiments.
+  std::size_t scale = 1;
   std::uint64_t seed = 1;
 };
 

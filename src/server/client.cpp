@@ -99,6 +99,10 @@ Response Client::scenario(const ScenarioRequest& request) {
   return call(MessageType::kScenarioRequest, encodeScenarioRequest(request));
 }
 
+Response Client::evolve(const EvolveRequest& request) {
+  return call(MessageType::kEvolveRequest, encodeEvolveRequest(request));
+}
+
 Response Client::lint(const LintRequest& request) {
   return call(MessageType::kLintRequest, encodeLintRequest(request));
 }

@@ -34,6 +34,7 @@ class Client {
   // Typed conveniences.
   [[nodiscard]] Response flow(const FlowRequest& request);
   [[nodiscard]] Response scenario(const ScenarioRequest& request);
+  [[nodiscard]] Response evolve(const EvolveRequest& request);
   [[nodiscard]] Response lint(const LintRequest& request);
   [[nodiscard]] Response sta(const StaRequest& request);
   [[nodiscard]] Response ping(const PingRequest& request);

@@ -25,6 +25,7 @@ constexpr const char* kFlowSection = "flow-req";
 constexpr const char* kLintSection = "lint-req";
 constexpr const char* kStaSection = "sta-req";
 constexpr const char* kScenarioSection = "scenario-req";
+constexpr const char* kEvolveSection = "evolve-req";
 constexpr const char* kPingSection = "ping-req";
 constexpr const char* kResponseSection = "response";
 
@@ -52,6 +53,7 @@ bool isRequestType(std::uint32_t raw) noexcept {
     case MessageType::kPingRequest:
     case MessageType::kShutdownRequest:
     case MessageType::kScenarioRequest:
+    case MessageType::kEvolveRequest:
       return true;
     case MessageType::kResponse:
     default:
@@ -69,6 +71,7 @@ std::vector<std::byte> encodeFlowRequest(const FlowRequest& r) {
   writer.u64(r.job.mcCount);
   writer.u64(r.job.mcSeed);
   writer.str(r.job.lintMode);
+  writer.str(r.job.workload);
   writer.u64(r.deadlineMillis);
   return writer.finish();
 }
@@ -85,6 +88,7 @@ FlowRequest decodeFlowRequest(std::span<const std::byte> bytes) {
     r.job.mcCount = cursor.u64();
     r.job.mcSeed = cursor.u64();
     r.job.lintMode = cursor.str();
+    r.job.workload = cursor.str();
     r.deadlineMillis = cursor.u64();
   } catch (const artifact::FormatError& e) {
     throw ProtocolError(e.what());
@@ -153,6 +157,7 @@ std::vector<std::byte> encodeScenarioRequest(const ScenarioRequest& r) {
   writer.u64(r.job.mcCount);
   writer.u64(r.job.mcSeed);
   writer.str(r.job.lintMode);
+  writer.str(r.job.workload);
   writer.u64(r.periods.size());
   for (const double p : r.periods) writer.f64(p);
   writer.str(r.scenarios);
@@ -179,6 +184,7 @@ ScenarioRequest decodeScenarioRequest(std::span<const std::byte> bytes) {
     r.job.mcCount = cursor.u64();
     r.job.mcSeed = cursor.u64();
     r.job.lintMode = cursor.str();
+    r.job.workload = cursor.str();
     const std::uint64_t count = cursor.u64();
     if (count > 64) throw ProtocolError("unreasonable scenario period count");
     r.periods.clear();
@@ -191,6 +197,56 @@ ScenarioRequest decodeScenarioRequest(std::span<const std::byte> bytes) {
     r.areaPerElement = cursor.f64();
     r.mcTrials = cursor.u64();
     r.mcSeed = cursor.u64();
+    r.json = cursor.boolean();
+    r.deadlineMillis = cursor.u64();
+  } catch (const artifact::FormatError& e) {
+    throw ProtocolError(e.what());
+  }
+  return r;
+}
+
+std::vector<std::byte> encodeEvolveRequest(const EvolveRequest& r) {
+  SctbWriter writer;
+  writer.beginSection(kEvolveSection);
+  // Flow-job fields in flow-request order, then the evolve parameters.
+  writer.str(r.job.profile);
+  writer.f64(r.job.period);
+  writer.str(r.job.method);
+  writer.f64(r.job.value);
+  writer.u64(r.job.mcCount);
+  writer.u64(r.job.mcSeed);
+  writer.str(r.job.lintMode);
+  writer.str(r.job.workload);
+  writer.u64(r.params.population);
+  writer.u64(r.params.generations);
+  writer.str(r.params.objectives);
+  writer.f64(r.params.geneMin);
+  writer.f64(r.params.geneMax);
+  writer.u64(r.params.seed);
+  writer.boolean(r.json);
+  writer.u64(r.deadlineMillis);
+  return writer.finish();
+}
+
+EvolveRequest decodeEvolveRequest(std::span<const std::byte> bytes) {
+  const SctbReader reader = readerFor(bytes, kEvolveSection);
+  auto cursor = reader.section(kEvolveSection);
+  EvolveRequest r;
+  try {
+    r.job.profile = cursor.str();
+    r.job.period = cursor.f64();
+    r.job.method = cursor.str();
+    r.job.value = cursor.f64();
+    r.job.mcCount = cursor.u64();
+    r.job.mcSeed = cursor.u64();
+    r.job.lintMode = cursor.str();
+    r.job.workload = cursor.str();
+    r.params.population = static_cast<std::size_t>(cursor.u64());
+    r.params.generations = static_cast<std::size_t>(cursor.u64());
+    r.params.objectives = cursor.str();
+    r.params.geneMin = cursor.f64();
+    r.params.geneMax = cursor.f64();
+    r.params.seed = cursor.u64();
     r.json = cursor.boolean();
     r.deadlineMillis = cursor.u64();
   } catch (const artifact::FormatError& e) {

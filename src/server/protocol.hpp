@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/flow_job.hpp"
+#include "evo/params.hpp"
 
 namespace sct::server {
 
@@ -47,6 +48,7 @@ enum class MessageType : std::uint32_t {
   kPingRequest = 5,
   kShutdownRequest = 6,
   kScenarioRequest = 7,
+  kEvolveRequest = 8,
   kResponse = 100,
 };
 
@@ -112,6 +114,17 @@ struct ScenarioRequest {
   std::uint64_t deadlineMillis = 0;
 };
 
+/// Runs the multi-objective evolutionary window tuner (evo::runEvolveJob);
+/// body is the deterministic "evolve-report v1" text, or the JSON rendering
+/// when `json` is set — both byte-identical to `sctune evolve` for the same
+/// job.
+struct EvolveRequest {
+  core::FlowJob job;  ///< profile/workload/period/mc/lint (method unused)
+  evo::EvolveParams params;
+  bool json = false;
+  std::uint64_t deadlineMillis = 0;
+};
+
 /// Diagnostic echo; sleeps for sleepMillis on the session worker before
 /// answering (load/deadline/admission testing without burning CPU).
 struct PingRequest {
@@ -139,6 +152,10 @@ struct Response {
 [[nodiscard]] std::vector<std::byte> encodeScenarioRequest(
     const ScenarioRequest& r);
 [[nodiscard]] ScenarioRequest decodeScenarioRequest(
+    std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> encodeEvolveRequest(
+    const EvolveRequest& r);
+[[nodiscard]] EvolveRequest decodeEvolveRequest(
     std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<std::byte> encodePingRequest(const PingRequest& r);
 [[nodiscard]] PingRequest decodePingRequest(std::span<const std::byte> bytes);

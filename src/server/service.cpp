@@ -10,6 +10,7 @@
 #include "lint/report_io.hpp"
 #include "liberty/liberty_io.hpp"
 #include "netlist/verilog_io.hpp"
+#include "evo/tuner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "postsi/scenario.hpp"
@@ -53,6 +54,7 @@ struct ServiceMetrics {
 /// other or with flow stage keys (which hash configuration structs).
 constexpr const char* kFlowTag = "sctp-flow-v1";
 constexpr const char* kScenarioTag = "sctp-scenario-v1";
+constexpr const char* kEvolveTag = "sctp-evolve-v1";
 constexpr const char* kLintTag = "sctp-lint-v1";
 constexpr const char* kStaTag = "sctp-sta-v1";
 
@@ -60,6 +62,7 @@ artifact::Digest flowDigest(const FlowRequest& r) {
   artifact::Hasher h;
   h.str(kFlowTag)
       .str(r.job.profile)
+      .str(r.job.workload)
       .f64(r.job.period)
       .str(r.job.method)
       .f64(r.job.value)
@@ -73,6 +76,7 @@ artifact::Digest scenarioDigest(const ScenarioRequest& r) {
   artifact::Hasher h;
   h.str(kScenarioTag)
       .str(r.job.profile)
+      .str(r.job.workload)
       .str(r.job.method)
       .f64(r.job.value)
       .u64(r.job.mcCount)
@@ -87,6 +91,25 @@ artifact::Digest scenarioDigest(const ScenarioRequest& r) {
       .f64(r.areaPerElement)
       .u64(r.mcTrials)
       .u64(r.mcSeed)
+      .u8(r.json ? 1 : 0);
+  return h.digest();
+}
+
+artifact::Digest evolveDigest(const EvolveRequest& r) {
+  artifact::Hasher h;
+  h.str(kEvolveTag)
+      .str(r.job.profile)
+      .str(r.job.workload)
+      .f64(r.job.period)
+      .u64(r.job.mcCount)
+      .u64(r.job.mcSeed)
+      .str(r.job.lintMode)
+      .u64(r.params.population)
+      .u64(r.params.generations)
+      .str(r.params.objectives)
+      .f64(r.params.geneMin)
+      .f64(r.params.geneMax)
+      .u64(r.params.seed)
       .u8(r.json ? 1 : 0);
   return h.digest();
 }
@@ -175,6 +198,9 @@ Response TuningService::handle(MessageType type,
         break;
       case MessageType::kScenarioRequest:
         response = handleScenario(decodeScenarioRequest(payload), received);
+        break;
+      case MessageType::kEvolveRequest:
+        response = handleEvolve(decodeEvolveRequest(payload), received);
         break;
       case MessageType::kLintRequest:
         response = handleLint(decodeLintRequest(payload), received);
@@ -302,6 +328,30 @@ Response TuningService::handleScenario(const ScenarioRequest& request,
     job.mcTrials = request.mcTrials;
     job.mcSeed = request.mcSeed;
     const postsi::ScenarioRunResult result = postsi::runScenarioJob(flow, job);
+    Response r;
+    r.status = Status::kOk;
+    r.summary = result.summary;
+    r.body = request.json ? result.json : result.report;
+    return r;
+  });
+}
+
+Response TuningService::handleEvolve(const EvolveRequest& request,
+                                     Clock::time_point received) {
+  SCT_TRACE_SPAN("server.evolve");
+  if (deadlineExpired(request.deadlineMillis, received)) {
+    return timeoutResponse("deadline expired before compute started");
+  }
+  return cachedResponse(evolveDigest(request),
+                        deadlinePoint(request.deadlineMillis, received), [&] {
+    core::FlowConfig config = core::makeFlowConfig(request.job);
+    config.sharedStore = store_.get();
+    config.sharedMemCache = &mem_;
+    core::TuningFlow flow(std::move(config));
+    evo::EvolveJob job;
+    job.flow = request.job;
+    job.params = request.params;
+    const evo::EvolveRunResult result = evo::runEvolveJob(flow, job);
     Response r;
     r.status = Status::kOk;
     r.summary = result.summary;

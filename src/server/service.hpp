@@ -88,6 +88,8 @@ class TuningService {
   Response handleFlow(const FlowRequest& request, Clock::time_point received);
   Response handleScenario(const ScenarioRequest& request,
                           Clock::time_point received);
+  Response handleEvolve(const EvolveRequest& request,
+                        Clock::time_point received);
   Response handleLint(const LintRequest& request, Clock::time_point received);
   Response handleSta(const StaRequest& request, Clock::time_point received);
   Response handlePing(const PingRequest& request, Clock::time_point received);

@@ -43,6 +43,9 @@ constexpr PrimOp kAllOps[] = {
 Synthesizer::Synthesizer(const liberty::Library& library,
                          const tuning::LibraryConstraints* constraints)
     : library_(library), constraints_(constraints) {
+  if (constraints_ != nullptr && !constraints_->empty()) {
+    compiled_.emplace(*constraints_, library_);
+  }
   for (PrimOp op : kAllOps) {
     std::vector<const Cell*> cells =
         library_.family(netlist::defaultFunction(op));
@@ -71,6 +74,8 @@ class Session {
           const SynthesisOptions& options, SynthesisResult& result)
       : synth_(synth),
         constraints_(constraints),
+        view_(options.compiledConstraintWindows ? synth.compiledConstraints()
+                                                : nullptr),
         design_(design),
         options_(options),
         result_(result),
@@ -82,35 +87,42 @@ class Session {
 
  private:
   // --- constraint helpers ---------------------------------------------------
-  [[nodiscard]] std::optional<PinWindow> windowOf(const Cell& cell,
-                                                  std::string_view pin) const {
-    if (constraints_ == nullptr) return std::nullopt;
-    return constraints_->window(cell.name(), pin);
+  /// Tuned window of a cell's output slot; nullptr when unconstrained. Hot
+  /// path goes through the slot-interned compiled view (one pointer hash);
+  /// the string fallback is the benchmark baseline.
+  [[nodiscard]] const PinWindow* windowOf(const Cell& cell,
+                                          std::uint32_t outSlot) const {
+    if (view_ != nullptr) return view_->window(cell, outSlot);
+    if (constraints_ == nullptr) return nullptr;
+    slow_ = constraints_->window(
+        cell.name(), liberty::outputNames(cell.function())[outSlot]);
+    return slow_ ? &*slow_ : nullptr;
   }
 
   /// Max load the cell may drive on this output slot (electrical + window).
-  /// The electrical limit comes from the compiled view (no pin-name lookup);
-  /// only tuned windows key by pin name.
-  [[nodiscard]] double maxLoadOf(const Cell& cell, std::uint32_t outSlot,
-                                 std::string_view pin) const {
+  [[nodiscard]] double maxLoadOf(const Cell& cell,
+                                 std::uint32_t outSlot) const {
     double limit = kInf;
     const double mc = analyzer_.views().of(cell).maxLoad(outSlot);
     if (mc > 0.0) limit = mc;
-    if (const auto w = windowOf(cell, pin)) limit = std::min(limit, w->maxLoad);
+    if (const auto* w = windowOf(cell, outSlot)) {
+      limit = std::min(limit, w->maxLoad);
+    }
     return limit;
   }
-  [[nodiscard]] double minLoadOf(const Cell& cell, std::string_view pin) const {
-    const auto w = windowOf(cell, pin);
-    return w ? w->minLoad : 0.0;
+  [[nodiscard]] double minLoadOf(const Cell& cell,
+                                 std::uint32_t outSlot) const {
+    const auto* w = windowOf(cell, outSlot);
+    return w != nullptr ? w->minLoad : 0.0;
   }
 
   /// True when the cell's input-slew window accepts the instance's current
-  /// input slews for arcs into `pin`.
+  /// input slews for arcs into this output slot.
   [[nodiscard]] bool slewsAccepted(const netlist::Instance& inst,
                                    const Cell& cell,
-                                   std::string_view pin) const {
-    const auto w = windowOf(cell, pin);
-    if (!w) return true;
+                                   std::uint32_t outSlot) const {
+    const auto* w = windowOf(cell, outSlot);
+    if (w == nullptr) return true;
     for (std::uint32_t i = 0; i < inst.inputs.size(); ++i) {
       if (netlist::isSequential(inst.op)) break;  // clock slew is fixed
       const double s = analyzer_.netSlew(inst.inputs[i]);
@@ -127,8 +139,7 @@ class Session {
       if (!inst.alive || inst.cell == nullptr) continue;
       if (netlist::isSequential(inst.op)) continue;
       for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
-        if (const auto w = windowOf(*inst.cell,
-                                    sta::outputPinName(inst, slot))) {
+        if (const auto* w = windowOf(*inst.cell, slot)) {
           limit = std::min(limit, w->maxSlew);
         }
       }
@@ -224,12 +235,11 @@ class Session {
   [[nodiscard]] bool candidateLegal(const netlist::Instance& inst,
                                     const Cell& cell) const {
     for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
-      const std::string_view pin = liberty::outputNames(cell.function())[slot];
       const double load = analyzer_.netLoad(inst.outputs[slot]);
-      if (load > maxLoadOf(cell, slot, pin) || load < minLoadOf(cell, pin)) {
+      if (load > maxLoadOf(cell, slot) || load < minLoadOf(cell, slot)) {
         return false;
       }
-      if (!slewsAccepted(inst, cell, pin)) return false;
+      if (!slewsAccepted(inst, cell, slot)) return false;
       if (worstTransitionAt(inst, cell, slot, load) >
           netSlewLimit(inst.outputs[slot])) {
         return false;
@@ -275,6 +285,10 @@ class Session {
 
   const Synthesizer& synth_;
   const tuning::LibraryConstraints* constraints_;
+  const tuning::CompiledConstraintView* view_;
+  /// Scratch for the string-path fallback of windowOf (Session is
+  /// single-threaded; the pointer it returns is consumed immediately).
+  mutable std::optional<PinWindow> slow_;
   Design& design_;
   const SynthesisOptions& options_;
   SynthesisResult& result_;
@@ -312,7 +326,7 @@ const Cell* Session::bufferCellFor(double load) const {
   // case the caller falls back to inverter pairs (paper section VII.A).
   const auto& bufs = synth_.family(PrimOp::kBuf);
   for (const Cell* c : bufs) {
-    if (load <= 0.6 * maxLoadOf(*c, 0, "Z") && load >= minLoadOf(*c, "Z")) {
+    if (load <= 0.6 * maxLoadOf(*c, 0) && load >= minLoadOf(*c, 0)) {
       return c;
     }
   }
@@ -396,10 +410,9 @@ std::size_t Session::fixElectrical() {
       if (out >= preNets) continue;  // created this pass; next pass
       const double load = analyzer_.netLoad(out);
       const double slewLimit = netSlewLimit(out);
-      const std::string_view pin = sta::outputPinName(inst, slot);
 
-      const bool loadHigh = load > maxLoadOf(*inst.cell, slot, pin);
-      const bool loadLow = load < minLoadOf(*inst.cell, pin);
+      const bool loadHigh = load > maxLoadOf(*inst.cell, slot);
+      const bool loadLow = load < minLoadOf(*inst.cell, slot);
       const bool slewHigh =
           worstTransitionAt(inst, *inst.cell, slot, load) > slewLimit;
       if (!loadHigh && !loadLow && !slewHigh) continue;
@@ -407,11 +420,10 @@ std::size_t Session::fixElectrical() {
       // Find the smallest family member that fixes all three conditions.
       const Cell* best = nullptr;
       for (const Cell* c : fam) {
-        const std::string_view cpin = liberty::outputNames(c->function())[slot];
-        if (load > maxLoadOf(*c, slot, cpin) || load < minLoadOf(*c, cpin)) {
+        if (load > maxLoadOf(*c, slot) || load < minLoadOf(*c, slot)) {
           continue;
         }
-        if (!slewsAccepted(inst, *c, cpin)) continue;
+        if (!slewsAccepted(inst, *c, slot)) continue;
         if (worstTransitionAt(inst, *c, slot, load) > slewLimit) continue;
         best = c;
         break;
@@ -596,13 +608,12 @@ void Session::finalize() {
     for (std::uint32_t slot = 0; slot < inst.outputs.size(); ++slot) {
       const NetIndex out = inst.outputs[slot];
       const double load = analyzer_.netLoad(out);
-      const std::string_view pin = sta::outputPinName(inst, slot);
-      if (load > maxLoadOf(*inst.cell, slot, pin) * (1.0 + 1e-9)) ++violations;
-      if (load < minLoadOf(*inst.cell, pin) * (1.0 - 1e-9)) ++violations;
+      if (load > maxLoadOf(*inst.cell, slot) * (1.0 + 1e-9)) ++violations;
+      if (load < minLoadOf(*inst.cell, slot) * (1.0 - 1e-9)) ++violations;
       if (analyzer_.netSlew(out) > netSlewLimit(out) * (1.0 + 1e-9)) {
         ++violations;
       }
-      if (!slewsAccepted(inst, *inst.cell, pin)) ++violations;
+      if (!slewsAccepted(inst, *inst.cell, slot)) ++violations;
     }
   }
   result_.violations = violations;

@@ -14,6 +14,7 @@
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/sta.hpp"
+#include "tuning/compiled_constraints.hpp"
 #include "tuning/restriction.hpp"
 
 namespace sct::synth {
@@ -27,6 +28,10 @@ struct SynthesisOptions {
   /// to a from-scratch analysis). false forces a full re-analysis per pass —
   /// the pre-incremental behaviour, kept as a benchmark baseline.
   bool incrementalSta = true;
+  /// Answer window-legality queries through the slot-interned
+  /// CompiledConstraintView (bit-identical results). false forces the
+  /// two-map-lookup string path, kept as a benchmark baseline.
+  bool compiledConstraintWindows = true;
 };
 
 struct SynthesisResult {
@@ -81,9 +86,17 @@ class Synthesizer {
   [[nodiscard]] const std::vector<const liberty::Cell*>& family(
       netlist::PrimOp op) const;
 
+  /// Slot-interned constraint view over this synthesizer's library; nullptr
+  /// when the library is unconstrained.
+  [[nodiscard]] const tuning::CompiledConstraintView* compiledConstraints()
+      const noexcept {
+    return compiled_ ? &*compiled_ : nullptr;
+  }
+
  private:
   const liberty::Library& library_;
   const tuning::LibraryConstraints* constraints_;
+  std::optional<tuning::CompiledConstraintView> compiled_;
   /// Per-PrimOp usable family, ascending drive strength.
   std::map<netlist::PrimOp, std::vector<const liberty::Cell*>> families_;
 };

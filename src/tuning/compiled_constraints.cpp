@@ -1,0 +1,25 @@
+#include "tuning/compiled_constraints.hpp"
+
+#include "liberty/function.hpp"
+
+namespace sct::tuning {
+
+CompiledConstraintView::CompiledConstraintView(
+    const LibraryConstraints& constraints, const liberty::Library& library) {
+  if (constraints.empty()) return;
+  for (const liberty::Cell* cell : library.cells()) {
+    const auto names = liberty::outputNames(cell->function());
+    CellView view;
+    view.usable = constraints.cellUsable(cell->name());
+    bool constrained = !view.usable;
+    for (const std::string_view pin : names) {
+      if (pin.empty()) break;
+      auto window = constraints.window(cell->name(), pin);
+      constrained = constrained || window.has_value();
+      view.slots.push_back(std::move(window));
+    }
+    if (constrained) views_.emplace(cell, std::move(view));
+  }
+}
+
+}  // namespace sct::tuning

@@ -1,0 +1,57 @@
+#pragma once
+// Slot-interned constraint lookup for the synthesis hot path. The string
+// form (LibraryConstraints::window) pays two std::map lookups plus a pin
+// name comparison per legality query; the sizing loop asks that question
+// for every candidate cell of every instance on every pass. This view is
+// the constraint analogue of sta/timing_view interning: compiled once per
+// (constraints, library) pair, keyed by cell pointer, indexed by output
+// slot.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "tuning/restriction.hpp"
+
+namespace sct::tuning {
+
+/// Pointer-keyed, output-slot-indexed snapshot of a LibraryConstraints set.
+/// Both the constraints and the library must outlive the view (the
+/// synthesizer owns one for its own library). Lookup semantics match
+/// LibraryConstraints::window: unconstrained pins return nullptr, unusable
+/// cells carry degenerate windows that allow nothing.
+class CompiledConstraintView {
+ public:
+  CompiledConstraintView(const LibraryConstraints& constraints,
+                         const liberty::Library& library);
+
+  /// Window for a cell's output slot; nullptr when unconstrained. Cells not
+  /// in the compiled library are treated as unconstrained.
+  [[nodiscard]] const PinWindow* window(const liberty::Cell& cell,
+                                        std::size_t outSlot) const {
+    const auto it = views_.find(&cell);
+    if (it == views_.end()) return nullptr;
+    const CellView& view = it->second;
+    if (outSlot >= view.slots.size() || !view.slots[outSlot]) return nullptr;
+    return &*view.slots[outSlot];
+  }
+
+  /// False when the cell was tuned away entirely.
+  [[nodiscard]] bool usable(const liberty::Cell& cell) const {
+    const auto it = views_.find(&cell);
+    return it == views_.end() || it->second.usable;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return views_.size(); }
+
+ private:
+  struct CellView {
+    bool usable = true;
+    std::vector<std::optional<PinWindow>> slots;  ///< by output slot
+  };
+  std::unordered_map<const liberty::Cell*, CellView> views_;
+};
+
+}  // namespace sct::tuning

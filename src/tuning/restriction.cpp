@@ -111,15 +111,63 @@ ClusterThreshold extractForCluster(std::string name,
   return out;
 }
 
-std::string clusterNameFor(const statlib::StatCell& cell,
-                           const TuningConfig& config) {
+/// Shared stage-2 skeleton: per-pin restriction of every cell with timing
+/// arcs under a per-cell threshold lookup (nullopt = cell unusable).
+template <typename ThresholdOf>
+LibraryConstraints restrictCells(const statlib::StatLibrary& library,
+                                 const ThresholdOf& thresholdOf) {
+  std::vector<const statlib::StatCell*> cells;
+  for (const statlib::StatCell* cell : library.cells()) {
+    if (cell->arcs().empty()) continue;  // tie cells: unconstrained
+    cells.push_back(cell);
+  }
+
+  struct CellOutcome {
+    bool usable = false;
+    CellConstraint constraint;
+  };
+  std::vector<CellOutcome> outcomes = parallel::parallelMap(
+      cells.size(),
+      [&](std::size_t i) {
+        const statlib::StatCell& cell = *cells[i];
+        const std::optional<double> threshold = thresholdOf(cell);
+        CellOutcome outcome;
+        if (!threshold) return outcome;
+
+        outcome.constraint.sigmaThreshold = *threshold;
+        outcome.usable = true;
+        for (const std::string& pin : cell.outputPins()) {
+          std::optional<PinWindow> window = restrictPin(cell, pin, *threshold);
+          if (!window) {
+            outcome.usable = false;
+            break;
+          }
+          outcome.constraint.pinWindows.emplace(pin, *window);
+        }
+        return outcome;
+      },
+      /*grain=*/4);
+
+  LibraryConstraints constraints;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!outcomes[i].usable) {
+      constraints.markUnusable(cells[i]->name());
+    } else {
+      constraints.setCell(cells[i]->name(), std::move(outcomes[i].constraint));
+    }
+  }
+  return constraints;
+}
+
+}  // namespace
+
+std::string clusterName(const statlib::StatCell& cell,
+                        const TuningConfig& config) {
   if (clustersByStrength(config.method)) {
     return "strength_" + liberty::strengthSuffix(cell.driveStrength());
   }
   return cell.name();
 }
-
-}  // namespace
 
 std::map<std::string, ClusterThreshold> extractThresholds(
     const statlib::StatLibrary& library, const TuningConfig& config) {
@@ -127,7 +175,7 @@ std::map<std::string, ClusterThreshold> extractThresholds(
   std::map<std::string, std::vector<const statlib::StatCell*>> clusters;
   for (const statlib::StatCell* cell : library.cells()) {
     if (cell->arcs().empty()) continue;
-    clusters[clusterNameFor(*cell, config)].push_back(cell);
+    clusters[clusterName(*cell, config)].push_back(cell);
   }
 
   // The sigma-ceiling method uses the ceiling as the threshold on its own
@@ -183,52 +231,26 @@ std::optional<PinWindow> restrictPin(const statlib::StatCell& cell,
 LibraryConstraints tuneLibrary(const statlib::StatLibrary& library,
                                const TuningConfig& config) {
   const auto thresholds = extractThresholds(library, config);
-
   // Per-cell restriction is independent work: fan out one task per cell and
   // fold the results back in library order (the constraint map is keyed by
   // cell name anyway, so insertion order never shows).
-  std::vector<const statlib::StatCell*> cells;
-  for (const statlib::StatCell* cell : library.cells()) {
-    if (cell->arcs().empty()) continue;  // tie cells: unconstrained
-    cells.push_back(cell);
-  }
-
-  struct CellOutcome {
-    bool usable = false;
-    CellConstraint constraint;
-  };
-  std::vector<CellOutcome> outcomes = parallel::parallelMap(
-      cells.size(),
-      [&](std::size_t i) {
-        const statlib::StatCell& cell = *cells[i];
-        const auto thresholdIt = thresholds.find(clusterNameFor(cell, config));
+  return restrictCells(
+      library, [&](const statlib::StatCell& cell) -> std::optional<double> {
+        const auto thresholdIt = thresholds.find(clusterName(cell, config));
         assert(thresholdIt != thresholds.end());
-        const double threshold = thresholdIt->second.sigmaThreshold;
+        return thresholdIt->second.sigmaThreshold;
+      });
+}
 
-        CellOutcome outcome;
-        outcome.constraint.sigmaThreshold = threshold;
-        outcome.usable = true;
-        for (const std::string& pin : cell.outputPins()) {
-          std::optional<PinWindow> window = restrictPin(cell, pin, threshold);
-          if (!window) {
-            outcome.usable = false;
-            break;
-          }
-          outcome.constraint.pinWindows.emplace(pin, *window);
-        }
-        return outcome;
-      },
-      /*grain=*/4);
-
-  LibraryConstraints constraints;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (!outcomes[i].usable) {
-      constraints.markUnusable(cells[i]->name());
-    } else {
-      constraints.setCell(cells[i]->name(), std::move(outcomes[i].constraint));
-    }
-  }
-  return constraints;
+LibraryConstraints constrainWithThresholds(
+    const statlib::StatLibrary& library,
+    const std::map<std::string, double>& thresholds) {
+  return restrictCells(
+      library, [&](const statlib::StatCell& cell) -> std::optional<double> {
+        const auto it = thresholds.find(cell.name());
+        if (it == thresholds.end()) return std::nullopt;
+        return it->second;
+      });
 }
 
 }  // namespace sct::tuning

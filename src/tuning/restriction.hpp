@@ -95,6 +95,21 @@ struct ClusterThreshold {
 [[nodiscard]] LibraryConstraints tuneLibrary(const statlib::StatLibrary& library,
                                              const TuningConfig& config);
 
+/// Cluster a cell belongs to under a tuning config: "strength_<suffix>" for
+/// strength-clustered methods, the cell's own name otherwise. Public so the
+/// evolutionary tuner can project paper-method cluster thresholds onto its
+/// per-cell genotype.
+[[nodiscard]] std::string clusterName(const statlib::StatCell& cell,
+                                      const TuningConfig& config);
+
+/// Stage 2 alone, under externally supplied per-cell sigma thresholds keyed
+/// by cell name (the evolutionary tuner's genotype -> phenotype mapping).
+/// Cells with timing arcs but no entry are marked unusable; tie cells stay
+/// unconstrained. Same parallel fan-out and determinism as tuneLibrary.
+[[nodiscard]] LibraryConstraints constrainWithThresholds(
+    const statlib::StatLibrary& library,
+    const std::map<std::string, double>& thresholds);
+
 /// Restriction of a single pin given a sigma threshold: max-equivalent sigma
 /// LUT -> binary LUT -> largest rectangle -> window. Returns nullopt when no
 /// entry is acceptable.

@@ -1,0 +1,342 @@
+// Evolutionary window-tuner tests (DESIGN.md §17): NSGA-II unit oracles
+// (dominance, nondominated sorting, crowding, environmental selection),
+// the lint gate on evolve parameters, and the full runEvolveJob contract —
+// seeded-baseline dominance by construction, bit-identity across thread
+// counts and cache temperatures, and zero candidate misses on a warm rerun.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/flow_job.hpp"
+#include "evo/nsga2.hpp"
+#include "evo/params.hpp"
+#include "evo/tuner.hpp"
+#include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sct::evo {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::size_t> kAll{0, 1, 2};
+
+// ----------------------------------------------------- dominance oracle ----
+
+TEST(Nsga2, WeakDominanceDefinition) {
+  // Strictly better everywhere.
+  EXPECT_TRUE(dominates({1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}, kAll));
+  // Better somewhere, equal elsewhere: still dominates (weak form).
+  EXPECT_TRUE(dominates({1.0, 2.0, 3.0}, {1.0, 2.0, 4.0}, kAll));
+  // Equal everywhere: neither dominates.
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}, {0, 1}));
+  // Trade-off: incomparable in both directions.
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}, {0, 1}));
+  EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 3.0}, {0, 1}));
+}
+
+TEST(Nsga2, DominanceRestrictsToSelectedObjectives) {
+  // Worse on objective 2, but objective 2 is not selected.
+  EXPECT_TRUE(dominates({1.0, 1.0, 9.0}, {2.0, 2.0, 0.0}, {0, 1}));
+  // Single-objective selection degenerates to strict less-than.
+  EXPECT_TRUE(dominates({1.0, 9.0}, {2.0, 0.0}, {0}));
+  EXPECT_FALSE(dominates({1.0, 9.0}, {1.0, 0.0}, {0}));
+}
+
+TEST(Nsga2, InfeasibleInfinityIsDominatedByAnyFeasible) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(dominates({1.0, 1.0, 1.0}, {inf, inf, inf}, kAll));
+  EXPECT_FALSE(dominates({inf, inf, inf}, {1.0, 1.0, 1.0}, kAll));
+  // Two infeasible points tie.
+  EXPECT_FALSE(dominates({inf, inf, inf}, {inf, inf, inf}, kAll));
+}
+
+// ------------------------------------------- nondominated sorting oracle ----
+
+TEST(Nsga2, RanksHandBuiltFronts) {
+  // Front 0: (1,4), (2,2), (4,1). Front 1: (3,4), (4,3). Front 2: (5,5).
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}, {3.0, 4.0}, {4.0, 3.0}, {5.0, 5.0}};
+  const std::vector<std::size_t> ranks = nondominatedRanks(pts, {0, 1});
+  const std::vector<std::size_t> expected = {0, 0, 0, 1, 1, 2};
+  EXPECT_EQ(ranks, expected);
+}
+
+TEST(Nsga2, ParetoFrontMatchesRankZero) {
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}, {3.0, 4.0}, {4.0, 3.0}, {5.0, 5.0}};
+  const std::vector<std::size_t> front = paretoFront(pts, {0, 1});
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Nsga2, DuplicatePointsShareTheFront) {
+  // Weak dominance never lets a point dominate its own duplicate, so ties
+  // survive — the evolve front may legitimately carry equal-objective
+  // members from different origins.
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const std::vector<std::size_t> front = paretoFront(pts, {0, 1});
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+// ----------------------------------------------------- crowding distance ----
+
+TEST(Nsga2, CrowdingBoundariesAreInfinite) {
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 5.0}, {2.0, 3.0}, {4.0, 2.0}, {5.0, 1.0}};
+  const std::vector<std::size_t> members = {0, 1, 2, 3};
+  const std::vector<double> crowd = crowdingDistances(pts, members, {0, 1});
+  ASSERT_EQ(crowd.size(), 4u);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[3]));
+  // Interior distances: normalized neighbour gaps summed over objectives.
+  // Point 1: ((4-1)/4 + (5-2)/4) = 1.5; point 2: ((5-2)/4 + (3-1)/4) = 1.25.
+  EXPECT_NEAR(crowd[1], 1.5, 1e-12);
+  EXPECT_NEAR(crowd[2], 1.25, 1e-12);
+}
+
+TEST(Nsga2, CrowdingIsOrderIndependent) {
+  const std::vector<std::vector<double>> pts = {
+      {5.0, 1.0}, {1.0, 5.0}, {2.0, 3.0}, {4.0, 2.0}};
+  const std::vector<double> a = crowdingDistances(pts, {0, 1, 2, 3}, {0, 1});
+  const std::vector<double> b = crowdingDistances(pts, {3, 2, 1, 0}, {0, 1});
+  // Same member set in reversed order: per-member distances must agree.
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double lhs = a[i];
+    const double rhs = b[3 - i];
+    if (std::isinf(lhs)) {
+      EXPECT_TRUE(std::isinf(rhs));
+    } else {
+      EXPECT_DOUBLE_EQ(lhs, rhs);
+    }
+  }
+}
+
+// ----------------------------------------------- environmental selection ----
+
+TEST(Nsga2, SurvivorsPreferRankThenCrowding) {
+  // Front 0 holds three points; front 1 holds two. Selecting four must take
+  // all of front 0 plus the better-crowded member of front 1.
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0},   // rank 0
+      {3.0, 4.0}, {4.0, 3.0}, {5.0, 5.0}};  // ranks 1,1,2
+  const std::vector<std::size_t> chosen = selectSurvivors(pts, 4, {0, 1});
+  ASSERT_EQ(chosen.size(), 4u);
+  // Every rank-0 member survives.
+  for (std::size_t idx : {0u, 1u, 2u}) {
+    EXPECT_NE(std::find(chosen.begin(), chosen.end(), idx), chosen.end());
+  }
+  // The last slot goes to a rank-1 member, never the rank-2 point.
+  EXPECT_EQ(std::find(chosen.begin(), chosen.end(), 5u), chosen.end());
+}
+
+TEST(Nsga2, SelectionIsDeterministic) {
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  // All tied: the index tie-break sorts them 0..3, the sort boundaries (0
+  // and 3) get infinite crowding, and those two survive — the same answer
+  // on every run regardless of input order elsewhere.
+  const std::vector<std::size_t> once = selectSurvivors(pts, 2, {0, 1});
+  EXPECT_EQ(once, (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(selectSurvivors(pts, 2, {0, 1}), once);
+}
+
+// -------------------------------------------------------------- variation ----
+
+TEST(Nsga2, VariationIsAPureFunctionOfTheStream) {
+  VariationConfig config;
+  config.geneMin = 0.002;
+  config.geneMax = 0.06;
+  const std::vector<double> p1 = {0.01, 0.02, 0.03, 0.04};
+  const std::vector<double> p2 = {0.04, 0.03, 0.02, 0.01};
+  const numeric::Rng master(2014);
+  numeric::Rng a = master.child(3).child(7);
+  numeric::Rng b = master.child(3).child(7);
+  const std::vector<double> childA = varied(p1, p2, config, a);
+  const std::vector<double> childB = varied(p1, p2, config, b);
+  EXPECT_EQ(childA, childB);
+  // A different (gen, idx) stream yields a different child.
+  numeric::Rng c = master.child(3).child(8);
+  EXPECT_NE(varied(p1, p2, config, c), childA);
+  for (double g : childA) {
+    EXPECT_GE(g, config.geneMin);
+    EXPECT_LE(g, config.geneMax);
+  }
+}
+
+TEST(Nsga2, TournamentPrefersLowerRankAndIsDeterministic) {
+  const std::vector<std::size_t> ranks = {0, 1, 1, 1};
+  const std::vector<double> crowding = {0.5, 9.0, 9.0, 9.0};
+  // Index 0 has the best rank: it wins every tournament it is drawn into,
+  // so any pick of a rank-1 member means index 0 was not drawn.
+  numeric::Rng rngA(7);
+  numeric::Rng rngB(7);
+  int zeroWins = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t a = tournamentPick(ranks, crowding, rngA);
+    const std::size_t b = tournamentPick(ranks, crowding, rngB);
+    ASSERT_LT(a, 4u);
+    EXPECT_EQ(a, b);  // identical streams, identical picks
+    if (a == 0) ++zeroWins;
+  }
+  EXPECT_GT(zeroWins, 0);
+}
+
+// ------------------------------------------------------------- lint gate ----
+
+core::FlowJob smallJob() {
+  core::FlowJob job;
+  job.profile = "small";
+  job.period = 4.0;
+  job.lintMode = "off";
+  return job;
+}
+
+EvolveJob tinyEvolve() {
+  EvolveJob job;
+  job.flow = smallJob();
+  job.params.population = 4;
+  job.params.generations = 1;
+  return job;
+}
+
+TEST(EvolveLint, GateRejectsDegenerateParamsInErrorMode) {
+  EvolveJob job = tinyEvolve();
+  job.flow.lintMode = "error";
+  job.params.population = 1;  // evo.population.too-small
+  core::TuningFlow flow(core::makeFlowConfig(job.flow));
+  EXPECT_THROW((void)runEvolveJob(flow, job), std::runtime_error);
+}
+
+TEST(EvolveLint, UnknownObjectiveIsRejected) {
+  EvolveJob job = tinyEvolve();
+  job.params.objectives = "sigma,yield";
+  core::TuningFlow flow(core::makeFlowConfig(job.flow));
+  EXPECT_THROW((void)runEvolveJob(flow, job), std::runtime_error);
+}
+
+TEST(EvolveLint, MissingPeriodIsRejected) {
+  EvolveJob job = tinyEvolve();
+  job.flow.period = 0.0;
+  core::TuningFlow flow(core::makeFlowConfig(job.flow));
+  EXPECT_THROW((void)runEvolveJob(flow, job), std::runtime_error);
+}
+
+// ------------------------------------------------------- full tuner runs ----
+
+TEST(EvolveRun, SeededFrontDominatesEveryPaperSweepPoint) {
+  const EvolveJob job = tinyEvolve();
+  core::TuningFlow flow(core::makeFlowConfig(job.flow));
+  const EvolveRunResult result = runEvolveJob(flow, job);
+
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.front.empty());
+  // Five paper methods x four sweep values, method-major.
+  ASSERT_EQ(result.baselines.size(), 20u);
+  for (const BaselinePoint& baseline : result.baselines) {
+    EXPECT_TRUE(baseline.dominated)
+        << baseline.origin << " escaped the evolved front";
+  }
+  // The archive saw every seed plus the random init and offspring batches.
+  EXPECT_GE(result.evaluations, 20u + 2 * job.params.population);
+  EXPECT_GE(result.unique, 20u);
+  EXPECT_LE(result.unique, result.evaluations);
+  // The front is sorted by sigma (ties by area then power).
+  for (std::size_t i = 1; i < result.front.size(); ++i) {
+    EXPECT_LE(result.front[i - 1].sigma, result.front[i].sigma);
+  }
+  // Report and summary carry the headline numbers.
+  EXPECT_NE(result.report.find("evolve-report v1"), std::string::npos);
+  EXPECT_NE(result.summary.find("dominates 20/20"), std::string::npos);
+}
+
+TEST(EvolveRun, BitIdenticalAcrossThreadCounts) {
+  const EvolveJob job = tinyEvolve();
+  const std::size_t previous = parallel::threadCount();
+
+  parallel::setThreadCount(0);  // serial
+  core::TuningFlow serialFlow(core::makeFlowConfig(job.flow));
+  const EvolveRunResult serial = runEvolveJob(serialFlow, job);
+
+  parallel::setThreadCount(8);
+  core::TuningFlow threadedFlow(core::makeFlowConfig(job.flow));
+  const EvolveRunResult threaded = runEvolveJob(threadedFlow, job);
+  parallel::setThreadCount(previous);
+
+  EXPECT_EQ(serial.report, threaded.report);
+  EXPECT_EQ(serial.json, threaded.json);
+  EXPECT_EQ(serial.summary, threaded.summary);
+  EXPECT_EQ(serial.evaluations, threaded.evaluations);
+  EXPECT_EQ(serial.unique, threaded.unique);
+}
+
+TEST(EvolveRun, WarmRerunIsByteIdenticalWithZeroCandidateMisses) {
+  const fs::path dir = fs::temp_directory_path() / "sct_evo_cache";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const EvolveJob job = tinyEvolve();
+  core::FlowConfig coldConfig = core::makeFlowConfig(job.flow);
+  coldConfig.cacheDir = dir.string();
+  core::TuningFlow coldFlow(std::move(coldConfig));
+  const EvolveRunResult cold = runEvolveJob(coldFlow, job);
+
+  obs::setMetricsEnabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::MetricsSnapshot before = registry.snapshot();
+
+  core::FlowConfig warmConfig = core::makeFlowConfig(job.flow);
+  warmConfig.cacheDir = dir.string();
+  core::TuningFlow warmFlow(std::move(warmConfig));
+  const EvolveRunResult warm = runEvolveJob(warmFlow, job);
+
+  const obs::MetricsSnapshot after = registry.snapshot();
+  obs::setMetricsEnabled(false);
+
+  EXPECT_EQ(warm.report, cold.report);
+  EXPECT_EQ(warm.json, cold.json);
+  EXPECT_EQ(warm.summary, cold.summary);
+
+  // Every candidate probe on the warm run answered from a cache tier.
+  const std::uint64_t probes =
+      after.counterValue("evo.stage.candidate.probes") -
+      before.counterValue("evo.stage.candidate.probes");
+  const std::uint64_t hits =
+      (after.counterValue("evo.stage.candidate.hits") -
+       before.counterValue("evo.stage.candidate.hits")) +
+      (after.counterValue("evo.stage.candidate.mem_hits") -
+       before.counterValue("evo.stage.candidate.mem_hits"));
+  const std::uint64_t misses =
+      after.counterValue("evo.stage.candidate.misses") -
+      before.counterValue("evo.stage.candidate.misses");
+  EXPECT_EQ(misses, 0u);
+  EXPECT_GT(probes, 0u);
+  EXPECT_EQ(hits, probes);
+
+  fs::remove_all(dir);
+}
+
+TEST(EvolveRun, ObjectiveSubsetStillDominatesBaselines) {
+  EvolveJob job = tinyEvolve();
+  job.params.objectives = "sigma,area";
+  core::TuningFlow flow(core::makeFlowConfig(job.flow));
+  const EvolveRunResult result = runEvolveJob(flow, job);
+  EXPECT_TRUE(result.success);
+  ASSERT_EQ(result.baselines.size(), 20u);
+  for (const BaselinePoint& baseline : result.baselines) {
+    EXPECT_TRUE(baseline.dominated) << baseline.origin;
+  }
+}
+
+}  // namespace
+}  // namespace sct::evo

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "artifact/binary_format.hpp"
 #include "artifact/codecs.hpp"
 #include "clocktree/clock_tree.hpp"
 #include "core/flow.hpp"
+#include "evo/params.hpp"
 #include "liberty/liberty_io.hpp"
 #include "lint/engine.hpp"
 #include "lint/report_io.hpp"
@@ -456,6 +458,55 @@ TEST(LintClockTest, WarnsWhenRangeBelowTreeSkewOnlyWithTreeContext) {
   EXPECT_FALSE(with.hasErrors());
   // Without tree context the cross-check degrades to skipped.
   EXPECT_TRUE(lintClock(spec).empty());
+}
+
+// ---- evo pack ------------------------------------------------------------
+
+lint::LintReport lintEvolve(const evo::EvolveParams& params) {
+  lint::LintSubject subject;
+  subject.evolveParams = &params;
+  return lint::LintEngine::withAllRules().run(subject);
+}
+
+TEST(LintEvoTest, DefaultParamsAreClean) {
+  const evo::EvolveParams params;
+  const lint::LintReport report = lintEvolve(params);
+  EXPECT_TRUE(report.empty()) << lint::writeTextToString(report);
+}
+
+TEST(LintEvoTest, DetectsDegeneratePopulationAndGenerations) {
+  evo::EvolveParams params;
+  params.population = 1;
+  params.generations = 0;
+  const lint::LintReport report = lintEvolve(params);
+  EXPECT_TRUE(report.hasRule("evo.population.too-small"));
+  EXPECT_TRUE(report.hasRule("evo.generations.zero"));
+  EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(LintEvoTest, DetectsInvalidObjectiveSets) {
+  evo::EvolveParams unknown;
+  unknown.objectives = "sigma,yield";
+  EXPECT_TRUE(lintEvolve(unknown).hasRule("evo.objectives.invalid"));
+  evo::EvolveParams empty;
+  empty.objectives = "";
+  EXPECT_TRUE(lintEvolve(empty).hasRule("evo.objectives.invalid"));
+  evo::EvolveParams subset;
+  subset.objectives = "area,sigma";
+  EXPECT_FALSE(lintEvolve(subset).hasRule("evo.objectives.invalid"));
+}
+
+TEST(LintEvoTest, DetectsInvertedOrNonFiniteGeneBounds) {
+  evo::EvolveParams inverted;
+  inverted.geneMin = 0.06;
+  inverted.geneMax = 0.002;
+  EXPECT_TRUE(lintEvolve(inverted).hasRule("evo.gene-bounds.inverted"));
+  evo::EvolveParams negative;
+  negative.geneMin = -0.01;
+  EXPECT_TRUE(lintEvolve(negative).hasRule("evo.gene-bounds.inverted"));
+  evo::EvolveParams nan;
+  nan.geneMax = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(lintEvolve(nan).hasRule("evo.gene-bounds.inverted"));
 }
 
 // ---- engine + report plumbing --------------------------------------------

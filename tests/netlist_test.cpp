@@ -9,6 +9,8 @@
 #include "netlist/builder.hpp"
 #include "netlist/mcu.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/noc.hpp"
+#include "netlist/random.hpp"
 
 namespace sct::netlist {
 namespace {
@@ -331,6 +333,77 @@ TEST(Accumulator, SmallAndValid) {
   EXPECT_EQ(acc.validate(), "");
   EXPECT_GT(acc.gateCount(), 40u);
   EXPECT_LT(acc.gateCount(), 200u);
+}
+
+// ------------------------------------------------------------ NoC router ----
+
+TEST(Noc, ValidatesCleanAndDeterministic) {
+  const Design a = buildNocRouter();
+  const Design b = buildNocRouter();
+  EXPECT_EQ(a.validate(), "");
+  ASSERT_EQ(a.instanceCount(), b.instanceCount());
+  ASSERT_EQ(a.netCount(), b.netCount());
+  for (std::size_t i = 0; i < a.instanceCount(); ++i) {
+    EXPECT_EQ(a.instance(static_cast<InstIndex>(i)).op,
+              b.instance(static_cast<InstIndex>(i)).op);
+    EXPECT_EQ(a.instance(static_cast<InstIndex>(i)).inputs,
+              b.instance(static_cast<InstIndex>(i)).inputs);
+  }
+}
+
+TEST(Noc, CarriesBufferAndCreditState) {
+  // Flit buffers, VC/age bookkeeping and credit counters: a control-heavy
+  // sequential population, structurally unlike the MCU register file.
+  const Design noc = buildNocRouter();
+  std::size_t ffs = 0;
+  for (const Instance& inst : noc.instances()) {
+    if (inst.alive && isSequential(inst.op)) ++ffs;
+  }
+  NocConfig config;
+  // At least the raw flit storage: ports * vcs * depth * flitWidth bits.
+  EXPECT_GE(ffs, config.ports * config.vcs * config.bufferDepth *
+                     config.flitWidth);
+  EXPECT_GT(noc.gateCount(), 1000u);
+}
+
+TEST(Noc, ScalesWithRadixAndWidth) {
+  NocConfig wide;
+  wide.ports = 7;
+  wide.flitWidth = 32;
+  const Design base = buildNocRouter();
+  const Design scaled = buildNocRouter(wide);
+  EXPECT_EQ(scaled.validate(), "");
+  EXPECT_GT(scaled.gateCount(), base.gateCount());
+}
+
+// ------------------------------------------------- random DAG scale knob ----
+
+TEST(RandomDag, ScaleOneReproducesUnscaledBitForBit) {
+  RandomDagConfig unscaled;
+  RandomDagConfig explicitOne;
+  explicitOne.scale = 1;
+  const Design a = generateRandomDag(unscaled);
+  const Design b = generateRandomDag(explicitOne);
+  ASSERT_EQ(a.instanceCount(), b.instanceCount());
+  ASSERT_EQ(a.netCount(), b.netCount());
+  for (std::size_t i = 0; i < a.instanceCount(); ++i) {
+    EXPECT_EQ(a.instance(static_cast<InstIndex>(i)).op,
+              b.instance(static_cast<InstIndex>(i)).op);
+    EXPECT_EQ(a.instance(static_cast<InstIndex>(i)).inputs,
+              b.instance(static_cast<InstIndex>(i)).inputs);
+  }
+}
+
+TEST(RandomDag, ScaleMultipliesTheDesign) {
+  RandomDagConfig base;
+  base.gates = 100;
+  base.flipFlops = 8;
+  RandomDagConfig big = base;
+  big.scale = 8;
+  const Design small = generateRandomDag(base);
+  const Design scaled = generateRandomDag(big);
+  EXPECT_EQ(scaled.validate(), "");
+  EXPECT_GE(scaled.gateCount(), 6 * small.gateCount());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include "core/flow_job.hpp"
+#include "evo/tuner.hpp"
 #include "obs/metrics.hpp"
 #include "postsi/scenario.hpp"
 #include "server/client.hpp"
@@ -227,6 +228,59 @@ TEST(ServerTest, ScenarioMatchesLocalRunByteForByte) {
   const Response jsonResponse = client.scenario(asJson);
   EXPECT_EQ(jsonResponse.status, Status::kOk);
   EXPECT_EQ(jsonResponse.body, expected.json);
+}
+
+// ---- evolve over the wire ------------------------------------------------
+
+server::EvolveRequest smallEvolve() {
+  server::EvolveRequest request;
+  request.job = smallFlow(4.0).job;
+  request.params.population = 4;
+  request.params.generations = 1;
+  return request;
+}
+
+TEST(ServerTest, EvolveMatchesLocalRunByteForByte) {
+  TempDir dir("sct_server_evolve");
+  TestServer srv(dir);
+  const server::EvolveRequest request = smallEvolve();
+
+  evo::EvolveJob job;
+  job.flow = request.job;
+  job.params = request.params;
+  core::TuningFlow local(core::makeFlowConfig(job.flow));
+  const evo::EvolveRunResult expected = evo::runEvolveJob(local, job);
+
+  Client client = srv.connect();
+  const Response first = client.evolve(request);
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(first.summary, expected.summary);
+  EXPECT_EQ(first.body, expected.report);
+
+  // Second call answers from the response cache — still byte-identical —
+  // and the JSON rendering swaps the body format, not the content source.
+  const Response second = client.evolve(request);
+  EXPECT_EQ(second.body, expected.report);
+
+  server::EvolveRequest asJson = request;
+  asJson.json = true;
+  const Response jsonResponse = client.evolve(asJson);
+  EXPECT_EQ(jsonResponse.status, Status::kOk);
+  EXPECT_EQ(jsonResponse.body, expected.json);
+}
+
+TEST(ServerTest, EvolveRejectsBadJobsWithError) {
+  TempDir dir("sct_server_evolve_bad");
+  TestServer srv(dir);
+  Client client = srv.connect();
+  server::EvolveRequest request = smallEvolve();
+  request.params.objectives = "sigma,karma";
+  const Response response = client.evolve(request);
+  EXPECT_EQ(response.status, Status::kError);
+  // The connection survives the failed request.
+  server::PingRequest ping;
+  ping.echo = "still here";
+  EXPECT_EQ(client.ping(ping).body, "still here");
 }
 
 TEST(ServerTest, ScenarioRejectsBadJobsWithError) {

@@ -339,6 +339,68 @@ TEST_F(SynthesisTest, RespectsTunedWindows) {
   }
 }
 
+TEST_F(SynthesisTest, CompiledWindowsMatchStringLookupBitForBit) {
+  // The slot-interned CompiledConstraintView is a pure lookup optimization:
+  // toggling it must not change a single mapping decision.
+  const tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      *stat_,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kCellLoadSlope,
+                                      0.03));
+  const Synthesizer synth(*lib_, &constraints);
+  const Design subject = netlist::generateAccumulator(16);
+  sta::ClockSpec clock;
+  clock.period = 6.0;
+
+  SynthesisOptions compiled;
+  compiled.compiledConstraintWindows = true;
+  SynthesisOptions stringPath;
+  stringPath.compiledConstraintWindows = false;
+  const SynthesisResult a = synth.run(subject, clock, compiled);
+  const SynthesisResult b = synth.run(subject, clock, stringPath);
+
+  EXPECT_EQ(a.timingMet, b.timingMet);
+  EXPECT_EQ(a.legal, b.legal);
+  EXPECT_EQ(a.worstSlack, b.worstSlack);
+  EXPECT_EQ(a.tns, b.tns);
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.buffersInserted, b.buffersInserted);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.cellUsage(), b.cellUsage());
+}
+
+TEST_F(SynthesisTest, CompiledViewMirrorsConstraintSemantics) {
+  tuning::LibraryConstraints constraints = tuning::tuneLibrary(
+      *stat_,
+      tuning::TuningConfig::forMethod(tuning::TuningMethod::kSigmaCeiling,
+                                      0.02));
+  // Kill one family outright so the unusable path is exercised too.
+  const liberty::Cell* killed = nullptr;
+  for (const liberty::Cell* cell : lib_->cells()) {
+    if (cell->function() == liberty::CellFunction::kMux2) {
+      constraints.markUnusable(cell->name());
+      killed = cell;
+    }
+  }
+  ASSERT_NE(killed, nullptr);
+
+  const tuning::CompiledConstraintView view(constraints, *lib_);
+  EXPECT_FALSE(view.usable(*killed));
+  for (const liberty::Cell* cell : lib_->cells()) {
+    if (cell->function() == liberty::CellFunction::kMux2) continue;
+    EXPECT_TRUE(view.usable(*cell)) << cell->name();
+    const tuning::PinWindow* slot = view.window(*cell, 0);
+    const auto byName = constraints.window(cell->name(), "Z");
+    if (byName) {
+      ASSERT_NE(slot, nullptr) << cell->name();
+      EXPECT_EQ(slot->maxLoad, byName->maxLoad);
+      EXPECT_EQ(slot->maxSlew, byName->maxSlew);
+      EXPECT_EQ(slot->minLoad, byName->minLoad);
+    }
+  }
+}
+
 TEST_F(SynthesisTest, UnusableFamiliesForceDecomposition) {
   // Build constraints that kill the whole MUX2 family.
   tuning::LibraryConstraints constraints;

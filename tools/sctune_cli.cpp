@@ -48,6 +48,7 @@
 #include "core/env.hpp"
 #include "core/flow.hpp"
 #include "core/flow_job.hpp"
+#include "evo/tuner.hpp"
 #include "server/client.hpp"
 #include "lint/engine.hpp"
 #include "lint/report_io.hpp"
@@ -57,6 +58,8 @@
 #include "postsi/scenario.hpp"
 #include "sta/report.hpp"
 #include "netlist/dsp.hpp"
+#include "netlist/noc.hpp"
+#include "netlist/random.hpp"
 #include "netlist/verilog_io.hpp"
 #include "statlib/stat_io.hpp"
 #include "tuning/constraints_io.hpp"
@@ -221,6 +224,16 @@ netlist::Design designByName(const std::string& name,
                              const liberty::Library* library) {
   if (name == "mcu") return netlist::generateMcu();
   if (name == "dsp") return netlist::generateDsp();
+  if (name == "noc") return netlist::buildNocRouter();
+  if (name == "big") {
+    // The flow's 10x-paper-size subject (core::FlowConfig::big defaults).
+    return netlist::generateRandomDag({.primaryInputs = 64,
+                                       .gates = 200,
+                                       .flipFlops = 16,
+                                       .primaryOutputs = 64,
+                                       .scale = 1000,
+                                       .seed = 1});
+  }
   if (name == "accumulator") return netlist::generateAccumulator(16);
   // Otherwise: a structural Verilog file.
   std::ifstream in(name);
@@ -440,6 +453,7 @@ std::filesystem::path cacheRoot(const Args& args) {
 core::FlowJob flowJobFromArgs(const Args& args) {
   core::FlowJob job;
   job.profile = args.get("profile").value_or("full");
+  job.workload = args.get("workload").value_or(job.workload);
   job.period = args.requireDouble("period");
   if (const auto method = args.get("method")) {
     job.method = *method;
@@ -481,6 +495,7 @@ core::FlowConfig makeFlowConfig(const Args& args) {
 postsi::ScenarioJob scenarioJobFromArgs(const Args& args) {
   postsi::ScenarioJob job;
   job.flow.profile = args.get("profile").value_or("full");
+  job.flow.workload = args.get("workload").value_or(job.flow.workload);
   job.flow.period = 0.0;  // per-cell periods live in job.periods
   if (const auto method = args.get("method")) {
     job.flow.method = *method;
@@ -527,6 +542,45 @@ int cmdScenario(const Args& args) {
   // exists to take (yield < 1), not a command failure — unlike `flow`,
   // which targets a single period and exits 2 when it is missed.
   return 0;
+}
+
+/// Evolve job description from the command line; shared verbatim between the
+/// local `evolve` command and `client evolve`, so both paths encode identical
+/// jobs (and therefore identical cache keys and report bytes).
+evo::EvolveJob evolveJobFromArgs(const Args& args) {
+  evo::EvolveJob job;
+  job.flow.profile = args.get("profile").value_or("full");
+  job.flow.workload = args.get("workload").value_or(job.flow.workload);
+  job.flow.period = args.requireDouble("period");
+  job.flow.mcCount = args.getUint("mc", 0);
+  job.flow.mcSeed = args.getUint("seed", job.flow.mcSeed);
+  job.flow.lintMode = args.get("lint-mode").value_or("error");
+  job.params.population = args.getUint("population", job.params.population);
+  job.params.generations =
+      args.getUint("generations", job.params.generations);
+  job.params.objectives =
+      args.get("objectives").value_or(job.params.objectives);
+  if (const auto v = args.get("gene-min")) job.params.geneMin = std::stod(*v);
+  if (const auto v = args.get("gene-max")) job.params.geneMax = std::stod(*v);
+  job.params.seed = args.getUint("evo-seed", job.params.seed);
+  return job;
+}
+
+int cmdEvolve(const Args& args) {
+  const evo::EvolveJob job = evolveJobFromArgs(args);
+  core::TuningFlow flow(makeFlowConfigFor(job.flow, args));
+  const evo::EvolveRunResult result = evo::runEvolveJob(flow, job);
+  std::printf("%s\n", result.summary.c_str());
+  // The body choice mirrors the daemon's (json flag selects the rendering),
+  // so a --report file and a `client evolve --report` file are
+  // byte-identical for the same job.
+  const std::string& body = args.has("json") ? result.json : result.report;
+  if (const auto out = args.get("report")) {
+    writeFile(*out, body);
+  } else {
+    std::fputs(body.c_str(), stdout);
+  }
+  return result.success ? 0 : 2;
 }
 
 int cmdFlow(const Args& args) {
@@ -673,6 +727,15 @@ int cmdClient(const std::string& op, const Args& args) {
     request.deadlineMillis = args.getUint("deadline-ms", 0);
     return finishClientCall(client.scenario(request), args);
   }
+  if (op == "evolve") {
+    const evo::EvolveJob job = evolveJobFromArgs(args);
+    server::EvolveRequest request;
+    request.job = job.flow;
+    request.params = job.params;
+    request.json = args.has("json");
+    request.deadlineMillis = args.getUint("deadline-ms", 0);
+    return finishClientCall(client.evolve(request), args);
+  }
   if (op == "lint") {
     server::LintRequest request;
     request.artifactType = args.require("type");
@@ -700,7 +763,7 @@ int cmdClient(const std::string& op, const Args& args) {
   if (op == "shutdown") return finishClientCall(client.shutdown(), args);
   throw std::runtime_error(
       "unknown client op '" + op +
-      "' (flow|scenario|lint|sta|ping|health|shutdown)");
+      "' (flow|scenario|evolve|lint|sta|ping|health|shutdown)");
 }
 
 int usage() {
@@ -711,7 +774,7 @@ int usage() {
       "commands:\n"
       "  characterize  --out lib.lib [--corner TT] [--mc 50 --seed 2014\n"
       "                --stat-out stat.slib]\n"
-      "  generate      --design mcu|dsp|accumulator --out design.v\n"
+      "  generate      --design mcu|dsp|noc|big|accumulator --out design.v\n"
       "  tune          --stat stat.slib --method sigma-ceiling --value 0.02\n"
       "                --out constraints.txt [--script constraints.tcl]\n"
       "  synth         --lib lib.lib --design <name|file.v> --period <ns>\n"
@@ -723,6 +786,7 @@ int usage() {
       "                (type inferred from .lib/.slib/.v/.txt; exit 3 when\n"
       "                 error-severity findings exist)\n"
       "  flow          --period <ns> [--method <m> --value <v>]\n"
+      "                [--workload mcu|dsp|noc|big]\n"
       "                [--profile small|full] [--mc N --seed S]\n"
       "                [--cache-dir DIR | --no-cache] [--cache-stats]\n"
       "                [--no-mem-cache | --mem-cache-mb N]\n"
@@ -733,9 +797,18 @@ int usage() {
       "                [--profile small|full] [--trials N] [--tune-range-min\n"
       "                X --tune-range-max Y --tune-step S --tune-area A]\n"
       "                [--json] [--report report.txt] + flow cache flags\n"
+      "  evolve        --period <ns> — multi-objective evolutionary window\n"
+      "                tuner (NSGA-II over per-cluster sigma thresholds,\n"
+      "                seeded with the five paper methods' sweep points);\n"
+      "                [--workload mcu|dsp|noc|big] [--population N]\n"
+      "                [--generations G] [--objectives sigma,area,power]\n"
+      "                [--gene-min X --gene-max Y] [--evo-seed S]\n"
+      "                [--profile small|full] [--json] [--report report.txt]\n"
+      "                + flow cache flags\n"
       "  client <op>   --socket PATH | --tcp-port N — run <op> on a sctuned\n"
       "                daemon: flow (same flags as flow), scenario (same\n"
-      "                flags as scenario), lint (--path F\n"
+      "                flags as scenario), evolve (same flags as evolve),\n"
+      "                lint (--path F\n"
       "                --type T [--json]), sta (--lib F --netlist F\n"
       "                --period <ns>), ping ([--sleep-ms N --echo TEXT]),\n"
       "                health, shutdown; all ops accept --deadline-ms N\n"
@@ -792,7 +865,7 @@ int main(int argc, char** argv) {
     if (command == "flow") {
       booleans = {"no-cache", "no-mem-cache", "cache-stats", "obs-off"};
     }
-    if (command == "scenario") {
+    if (command == "scenario" || command == "evolve") {
       booleans = {"no-cache", "no-mem-cache", "json", "obs-off"};
     }
     if (command == "synth") booleans = {"obs-off"};
@@ -817,6 +890,7 @@ int main(int argc, char** argv) {
     else if (command == "lint") code = cmdLint(lintPath, args);
     else if (command == "flow") code = cmdFlow(args);
     else if (command == "scenario") code = cmdScenario(args);
+    else if (command == "evolve") code = cmdEvolve(args);
     else if (command == "cache stats") code = cmdCacheStats(args);
     else if (command == "cache gc") code = cmdCacheGc(args);
     else if (command == "client") code = cmdClient(clientOp, args);
